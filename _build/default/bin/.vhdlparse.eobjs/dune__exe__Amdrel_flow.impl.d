@@ -1,0 +1,1 @@
+bin/amdrel_flow.ml: Arg Bitstream Cmd Cmdliner Core Filename Format Fpga_arch List Netlist Pack Power Printf Route String Sys Term Tool_common

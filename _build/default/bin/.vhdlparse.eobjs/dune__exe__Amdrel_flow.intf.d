@@ -1,0 +1,1 @@
+bin/amdrel_flow.mli:

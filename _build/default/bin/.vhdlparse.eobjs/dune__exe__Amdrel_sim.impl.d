@@ -1,0 +1,1 @@
+bin/amdrel_sim.ml: Arg Cmd Cmdliner Filename Hashtbl List Netlist Printf Scanf String Synth Term Tool_common Util

@@ -1,0 +1,1 @@
+bin/amdrel_sim.mli:

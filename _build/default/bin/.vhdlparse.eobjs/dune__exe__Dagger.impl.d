@@ -1,0 +1,1 @@
+bin/dagger.ml: Arg Bitstream Cmd Cmdliner Fpga_arch Netlist Pack Place Printf Route Term Tool_common

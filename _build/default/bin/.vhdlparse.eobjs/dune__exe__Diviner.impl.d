@@ -1,0 +1,1 @@
+bin/diviner.ml: Arg Cmd Cmdliner Format Netlist Synth Term Tool_common

@@ -1,0 +1,1 @@
+bin/druid.ml: Arg Cmd Cmdliner Printf Synth Term Tool_common

@@ -1,0 +1,1 @@
+bin/dutys.ml: Arg Cmd Cmdliner Fpga_arch Printf Term Tool_common

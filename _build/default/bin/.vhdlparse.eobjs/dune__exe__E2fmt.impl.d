@@ -1,0 +1,1 @@
+bin/e2fmt.ml: Arg Cmd Cmdliner Printf Synth Term Tool_common

@@ -1,0 +1,1 @@
+bin/e2fmt.mli:

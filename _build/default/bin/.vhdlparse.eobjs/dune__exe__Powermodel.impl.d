@@ -1,0 +1,1 @@
+bin/powermodel.ml: Arg Cmd Cmdliner Format Fpga_arch List Netlist Pack Place Power Printf Route Term Tool_common

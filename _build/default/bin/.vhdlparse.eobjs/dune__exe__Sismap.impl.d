@@ -1,0 +1,1 @@
+bin/sismap.ml: Arg Cmd Cmdliner Format Netlist Techmap Term Tool_common

@@ -1,0 +1,1 @@
+bin/tool_common.ml: Fpga_arch Netlist Pack Printf Synth

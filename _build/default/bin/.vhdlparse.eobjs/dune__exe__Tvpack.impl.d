@@ -1,0 +1,1 @@
+bin/tvpack.ml: Arg Cmd Cmdliner Netlist Pack Printf Term Tool_common

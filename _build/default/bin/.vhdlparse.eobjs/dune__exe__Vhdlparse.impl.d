@@ -1,0 +1,1 @@
+bin/vhdlparse.ml: Arg Cmd Cmdliner List Netlist Printf Term Tool_common

@@ -1,0 +1,1 @@
+bin/vpr.ml: Arg Array Cmd Cmdliner Fpga_arch Netlist Pack Place Printf Route Term Tool_common

@@ -1,0 +1,86 @@
+(* The integrated design framework CLI: VHDL in, bitstream out, with every
+   intermediate product written next to the output (our substitute for the
+   paper's GUI; the six GUI stages map to the six stage reports below). *)
+
+open Cmdliner
+
+let run input outdir seed fixed_width =
+  let text = Tool_common.read_file input in
+  (try Sys.mkdir outdir 0o755 with Sys_error _ -> ());
+  let base = Filename.concat outdir (Filename.remove_extension (Filename.basename input)) in
+  let config =
+    {
+      Core.Flow.default_config with
+      Core.Flow.seed;
+      search_min_width = fixed_width = None;
+    }
+  in
+  let t0 = Sys.time () in
+  let r = Core.Flow.run_vhdl ~config text in
+  let elapsed = Sys.time () -. t0 in
+  (* stage products *)
+  Tool_common.write_file (base ^ ".edf") r.Core.Flow.edif;
+  Tool_common.write_file (base ^ ".blif") r.Core.Flow.blif_mapped;
+  Pack.Netfile.to_file (base ^ ".net") r.Core.Flow.packing;
+  Fpga_arch.Archfile.to_file (base ^ ".arch") config.Core.Flow.params;
+  Bitstream.Dagger.to_file (base ^ ".bit") r.Core.Flow.bitstream;
+  (* stage reports, in the GUI's six-stage order *)
+  Printf.printf "=== 1. File upload ===\n  %s (%d bytes)\n" input
+    (String.length text);
+  Format.printf "=== 2. Synthesis (DIVINER + DRUID) ===@.  %a -> %s@."
+    Netlist.Logic.pp_stats r.Core.Flow.source_stats (base ^ ".edf");
+  Format.printf "=== 3. Format translation (E2FMT + SIS) ===@.  %a -> %s@."
+    Netlist.Logic.pp_stats r.Core.Flow.mapped_stats (base ^ ".blif");
+  Printf.printf "=== 4. Packing (T-VPack) ===\n  %d clusters, %.1f%% utilisation -> %s\n"
+    r.Core.Flow.n_clusters
+    (100.0 *. r.Core.Flow.utilization)
+    (base ^ ".net");
+  Printf.printf
+    "=== 5. Placement and routing (VPR) ===\n  %dx%d grid, bb cost %.2f, \
+     channel width %d%s, critical path %.3f ns\n"
+    r.Core.Flow.grid.Fpga_arch.Grid.nx r.Core.Flow.grid.Fpga_arch.Grid.ny
+    r.Core.Flow.placement_cost r.Core.Flow.route_stats.Route.Router.channel_width
+    (match r.Core.Flow.route_stats.Route.Router.minimum_width with
+    | Some w -> Printf.sprintf " (minimum %d)" w
+    | None -> "")
+    (r.Core.Flow.route_stats.Route.Router.critical_path_s *. 1e9);
+  print_endline "\nplaced-and-routed array:";
+  print_string (Route.Render.to_string r.Core.Flow.routed);
+  Format.printf "=== 6. Power estimation and FPGA program ===@.  %a@."
+    Power.Model.pp r.Core.Flow.power;
+  Printf.printf "  %s\n" (Bitstream.Dagger.summary r.Core.Flow.bitstream);
+  Printf.printf "  bitstream %s, fabric emulation %s -> %s\n"
+    (if r.Core.Flow.bitstream_verified then "verified" else "MISMATCH")
+    (if r.Core.Flow.fabric_verified then "equivalent" else "MISMATCH")
+    (base ^ ".bit");
+  Printf.printf "total CPU time: %.2f s (stages: %s)\n" elapsed
+    (String.concat ", "
+       (List.map
+          (fun (nm, t) -> Printf.sprintf "%s %.3fs" nm t)
+          r.Core.Flow.times))
+
+let input_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.vhd")
+
+let outdir_arg =
+  Arg.(
+    value & opt string "flow_out"
+    & info [ "d"; "outdir" ] ~docv:"DIR" ~doc:"output directory")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"placement seed")
+
+let width_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "route-width" ] ~doc:"fixed channel width (skip the search)")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "amdrel_flow"
+       ~doc:"Run the complete VHDL-to-bitstream design flow")
+    Term.(
+      const (fun i o s w -> Tool_common.protect (fun () -> run i o s w))
+      $ input_arg $ outdir_arg $ seed_arg $ width_arg)
+
+let () = exit (Cmd.eval cmd)

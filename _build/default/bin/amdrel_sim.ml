@@ -1,0 +1,106 @@
+(* Design simulator: run a VHDL or BLIF design cycle by cycle and dump a
+   VCD waveform — the flow's functional-verification companion.
+
+   Stimulus file format (one directive per line, '#' comments):
+     @<cycle> <signal>=<value>      value: 0/1 for bits, decimal for vectors
+   Assignments hold until overridden.  Without a stimulus file the inputs
+   are driven with seeded random values each cycle. *)
+
+open Cmdliner
+
+let parse_stimulus text =
+  String.split_on_char '\n' text
+  |> List.map String.trim
+  |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  |> List.map (fun line ->
+         try Scanf.sscanf line "@%d %[^=]=%d" (fun c nm v -> (c, nm, v))
+         with Scanf.Scan_failure _ | End_of_file ->
+           failwith ("bad stimulus line: " ^ line))
+
+let load_design path =
+  let text = Tool_common.read_file path in
+  if Filename.check_suffix path ".blif" then Netlist.Blif.of_string text
+  else Synth.Diviner.synthesize text
+
+let run input cycles seed stimulus_path vcd_path =
+  let net = load_design input in
+  let st = Netlist.Logic.sim_init net in
+  let rec_ = Netlist.Vcd.create net in
+  let tbl = Hashtbl.create 16 in
+  let input_of nm =
+    match Hashtbl.find_opt tbl nm with Some v -> v | None -> false
+  in
+  let stimulus =
+    match stimulus_path with
+    | Some p -> parse_stimulus (Tool_common.read_file p)
+    | None -> []
+  in
+  let rng = Util.Prng.create seed in
+  let inputs = Netlist.Logic.inputs net in
+  let outputs = Netlist.Logic.outputs net in
+  Printf.printf "%-6s" "cycle";
+  List.iter (fun o -> Printf.printf " %s" (Netlist.Logic.name net o)) outputs;
+  print_newline ();
+  for cycle = 0 to cycles - 1 do
+    if stimulus = [] then
+      List.iter
+        (fun i ->
+          Hashtbl.replace tbl (Netlist.Logic.name net i) (Util.Prng.bool rng))
+        inputs
+    else
+      List.iter
+        (fun (c, nm, v) ->
+          if c = cycle then
+            match Netlist.Logic.find net nm with
+            | Some _ -> Hashtbl.replace tbl nm (v <> 0)
+            | None ->
+                (* vector assignment *)
+                let bits = Netlist.Logic.find_vector net nm in
+                if bits = [] then failwith ("unknown stimulus signal " ^ nm);
+                Netlist.Logic.set_vector_inputs net tbl nm (List.length bits) v)
+        stimulus;
+    Netlist.Logic.sim_eval net st input_of;
+    Netlist.Vcd.sample rec_ st ~time:cycle;
+    Printf.printf "%-6d" cycle;
+    List.iter
+      (fun o ->
+        Printf.printf " %d" (if Netlist.Logic.sim_value st o then 1 else 0))
+      outputs;
+    print_newline ();
+    Netlist.Logic.sim_step net st
+  done;
+  (match vcd_path with
+  | Some p ->
+      Netlist.Vcd.to_file p rec_;
+      Printf.printf "waveform -> %s\n" p
+  | None -> ())
+
+let input_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"DESIGN.vhd|.blif")
+
+let cycles_arg =
+  Arg.(value & opt int 16 & info [ "cycles" ] ~doc:"clock cycles to run")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~doc:"random stimulus seed")
+
+let stim_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "stimulus" ] ~docv:"FILE" ~doc:"stimulus file (see tool help)")
+
+let vcd_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "vcd" ] ~docv:"OUT.vcd" ~doc:"write a VCD waveform")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "amdrel_sim" ~doc:"Simulate a design and dump waveforms")
+    Term.(
+      const (fun i c s st v -> Tool_common.protect (fun () -> run i c s st v))
+      $ input_arg $ cycles_arg $ seed_arg $ stim_arg $ vcd_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,29 @@
+(* DIVINER: behavioural VHDL synthesis to an EDIF netlist. *)
+
+open Cmdliner
+
+let run input output =
+  let text = Tool_common.read_file input in
+  let net = Synth.Diviner.synthesize text in
+  let edif = Netlist.Edif.of_logic net in
+  Netlist.Edif.to_file output edif;
+  Format.printf "%s -> %s: %a@." input output Netlist.Logic.pp_stats
+    (Netlist.Logic.stats net)
+
+let input_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.vhd")
+
+let output_arg =
+  Arg.(
+    value
+    & opt string "out.edf"
+    & info [ "o"; "output" ] ~docv:"OUTPUT.edf" ~doc:"EDIF output path")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "diviner" ~doc:"Synthesize behavioural VHDL into an EDIF netlist")
+    Term.(
+      const (fun i o -> Tool_common.protect (fun () -> run i o))
+      $ input_arg $ output_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,27 @@
+(* DRUID: normalise commercial-tool EDIF for the downstream academic flow. *)
+
+open Cmdliner
+
+let run input output =
+  let text = Tool_common.read_file input in
+  let normalized = Synth.Druid.normalize_string text in
+  Tool_common.write_file output normalized;
+  Printf.printf "%s -> %s (normalised)\n" input output
+
+let input_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.edf")
+
+let output_arg =
+  Arg.(
+    value
+    & opt string "out.edf"
+    & info [ "o"; "output" ] ~docv:"OUTPUT.edf" ~doc:"EDIF output path")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "druid" ~doc:"Normalise an EDIF netlist for the academic flow")
+    Term.(
+      const (fun i o -> Tool_common.protect (fun () -> run i o))
+      $ input_arg $ output_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,57 @@
+(* DUTYS: generate the architecture file describing the target FPGA. *)
+
+open Cmdliner
+
+let run output k n i_opt seg width =
+  let i =
+    match i_opt with
+    | Some i -> i
+    | None -> Fpga_arch.Params.recommended_inputs ~k ~n
+  in
+  let params =
+    Fpga_arch.Params.validate
+      {
+        Fpga_arch.Params.amdrel with
+        Fpga_arch.Params.k;
+        n;
+        i;
+        segment_length = seg;
+        switch_width = width;
+      }
+  in
+  Fpga_arch.Archfile.to_file output params;
+  Printf.printf "%s: K=%d N=%d I=%d seg=%d switch=%gx (%d config bits/CLB)\n"
+    output k n i seg width
+    (Fpga_arch.Params.clb_config_bits params)
+
+let output_arg =
+  Arg.(
+    value
+    & opt string "fpga.arch"
+    & info [ "o"; "output" ] ~docv:"OUTPUT.arch" ~doc:"architecture file")
+
+let k_arg = Arg.(value & opt int 4 & info [ "k" ] ~doc:"LUT inputs")
+let n_arg = Arg.(value & opt int 5 & info [ "n" ] ~doc:"BLEs per CLB")
+
+let i_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "i" ] ~doc:"CLB inputs (default: the (K/2)(N+1) rule)")
+
+let seg_arg =
+  Arg.(value & opt int 1 & info [ "segment" ] ~doc:"wire segment length")
+
+let width_arg =
+  Arg.(
+    value & opt float 10.0
+    & info [ "switch-width" ] ~doc:"routing switch width (x minimum)")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "dutys" ~doc:"Generate the FPGA architecture description file")
+    Term.(
+      const (fun o k n i s w -> Tool_common.protect (fun () -> run o k n i s w))
+      $ output_arg $ k_arg $ n_arg $ i_arg $ seg_arg $ width_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,27 @@
+(* E2FMT: EDIF to BLIF translation. *)
+
+open Cmdliner
+
+let run input output =
+  let text = Tool_common.read_file input in
+  let blif = Synth.E2fmt.edif_to_blif text in
+  Tool_common.write_file output blif;
+  Printf.printf "%s -> %s\n" input output
+
+let input_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.edf")
+
+let output_arg =
+  Arg.(
+    value
+    & opt string "out.blif"
+    & info [ "o"; "output" ] ~docv:"OUTPUT.blif" ~doc:"BLIF output path")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "e2fmt" ~doc:"Translate an EDIF netlist to BLIF")
+    Term.(
+      const (fun i o -> Tool_common.protect (fun () -> run i o))
+      $ input_arg $ output_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,51 @@
+(* PowerModel: dynamic, short-circuit and leakage power estimation of the
+   placed-and-routed design. *)
+
+open Cmdliner
+
+let run blif_path net_path arch_path freq_mhz seed =
+  let net = Netlist.Blif.of_string (Tool_common.read_file blif_path) in
+  let packing = Pack.Netfile.of_string net (Tool_common.read_file net_path) in
+  let params =
+    match arch_path with
+    | Some p -> Fpga_arch.Archfile.of_file p
+    | None -> Fpga_arch.Params.amdrel
+  in
+  let problem = Place.Problem.build ~io_rat:params.Fpga_arch.Params.io_rat packing in
+  let anneal =
+    Place.Anneal.run ~options:{ Place.Anneal.seed; inner_num = 1.0 } problem
+  in
+  let routed = Route.Router.route_min_width params anneal.Place.Anneal.placement in
+  let options =
+    { Power.Model.default_options with Power.Model.frequency = freq_mhz *. 1e6 }
+  in
+  let report = Power.Model.estimate ~options routed in
+  Format.printf "%a@." Power.Model.pp report;
+  print_endline "top nets by switched energy (J/cycle):";
+  List.iter
+    (fun (nm, e) -> Printf.printf "  %-24s %.3g\n" nm e)
+    report.Power.Model.net_energy_breakdown
+
+let blif_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"MAPPED.blif")
+
+let net_arg =
+  Arg.(required & pos 1 (some file) None & info [] ~docv:"PACKED.net")
+
+let arch_arg =
+  Arg.(value & opt (some file) None & info [ "arch" ] ~docv:"FPGA.arch")
+
+let freq_arg =
+  Arg.(value & opt float 100.0 & info [ "freq" ] ~docv:"MHZ" ~doc:"data rate")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"placement seed")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "powermodel"
+       ~doc:"Estimate power of the placed-and-routed design")
+    Term.(
+      const (fun b n a f s -> Tool_common.protect (fun () -> run b n a f s))
+      $ blif_arg $ net_arg $ arch_arg $ freq_arg $ seed_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,37 @@
+(* The SIS stage: technology-independent optimisation plus FlowMap K-LUT
+   mapping, BLIF to BLIF. *)
+
+open Cmdliner
+
+let run input output k no_verify =
+  let text = Tool_common.read_file input in
+  let mapped, report = Techmap.Mapper.map_blif ~k ~verify:(not no_verify) text in
+  Tool_common.write_file output mapped;
+  Format.printf "%s -> %s@.  before: %a@.  after:  %a (depth bound %d)@." input
+    output Netlist.Logic.pp_stats report.Techmap.Mapper.before
+    Netlist.Logic.pp_stats report.Techmap.Mapper.after
+    report.Techmap.Mapper.predicted_depth
+
+let input_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.blif")
+
+let output_arg =
+  Arg.(
+    value
+    & opt string "mapped.blif"
+    & info [ "o"; "output" ] ~docv:"OUTPUT.blif" ~doc:"mapped BLIF output")
+
+let k_arg =
+  Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc:"LUT input count")
+
+let no_verify_arg =
+  Arg.(value & flag & info [ "no-verify" ] ~doc:"skip equivalence checking")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "sismap" ~doc:"Optimise and map a BLIF netlist into K-LUTs")
+    Term.(
+      const (fun i o k nv -> Tool_common.protect (fun () -> run i o k nv))
+      $ input_arg $ output_arg $ k_arg $ no_verify_arg)
+
+let () = exit (Cmd.eval cmd)

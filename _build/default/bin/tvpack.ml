@@ -1,0 +1,40 @@
+(* T-VPack: pack a mapped BLIF netlist into BLE clusters. *)
+
+open Cmdliner
+
+let run input output n i =
+  let text = Tool_common.read_file input in
+  let net = Netlist.Blif.of_string text in
+  let packing = Pack.Cluster.pack ~n ~i net in
+  Pack.Netfile.to_file output packing;
+  Printf.printf
+    "%s -> %s: %d BLEs in %d clusters (N=%d, I=%d, utilisation %.1f%%)\n" input
+    output
+    (Pack.Cluster.ble_count packing)
+    (Pack.Cluster.cluster_count packing)
+    n i
+    (100.0 *. Pack.Cluster.utilization packing)
+
+let input_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"MAPPED.blif")
+
+let output_arg =
+  Arg.(
+    value
+    & opt string "packed.net"
+    & info [ "o"; "output" ] ~docv:"OUTPUT.net" ~doc:"packed netlist output")
+
+let n_arg =
+  Arg.(value & opt int 5 & info [ "n" ] ~docv:"N" ~doc:"BLEs per cluster")
+
+let i_arg =
+  Arg.(value & opt int 12 & info [ "i" ] ~docv:"I" ~doc:"cluster inputs")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "tvpack" ~doc:"Pack LUTs and flip-flops into BLEs and clusters")
+    Term.(
+      const (fun f o n i -> Tool_common.protect (fun () -> run f o n i))
+      $ input_arg $ output_arg $ n_arg $ i_arg)
+
+let () = exit (Cmd.eval cmd)

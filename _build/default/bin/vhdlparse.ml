@@ -1,0 +1,25 @@
+(* VHDL Parser tool: syntax checking of VHDL input files. *)
+
+open Cmdliner
+
+let run path =
+  let text = Tool_common.read_file path in
+  match Netlist.Vhdl_parser.check text with
+  | Netlist.Vhdl_parser.Ok d ->
+      Printf.printf "%s: syntax OK (entity %s, %d ports, %d statements)\n" path
+        d.Netlist.Vhdl_ast.entity.Netlist.Vhdl_ast.entity_name
+        (List.length d.Netlist.Vhdl_ast.entity.Netlist.Vhdl_ast.ports)
+        (List.length d.Netlist.Vhdl_ast.arch.Netlist.Vhdl_ast.stmts)
+  | Netlist.Vhdl_parser.Error (line, msg) ->
+      Printf.printf "%s:%d: syntax error: %s\n" path line msg;
+      exit 1
+
+let path_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.vhd")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "vhdlparse" ~doc:"Check the syntax of a VHDL source file")
+    Term.(const (fun p -> Tool_common.protect (fun () -> run p)) $ path_arg)
+
+let () = exit (Cmd.eval cmd)

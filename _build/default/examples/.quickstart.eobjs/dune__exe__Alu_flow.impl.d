@@ -1,0 +1,1 @@
+examples/alu_flow.ml: Bitstream Core Edif Format Fpga_arch Hashtbl List Logic Netlist Pack Place Power Printf Route Synth Techmap Vhdl_parser

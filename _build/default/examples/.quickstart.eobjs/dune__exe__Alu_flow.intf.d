@@ -1,0 +1,1 @@
+examples/alu_flow.mli:

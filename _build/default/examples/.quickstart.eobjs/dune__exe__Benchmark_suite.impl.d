@@ -1,0 +1,1 @@
+examples/benchmark_suite.ml: Bitstream Core Fpga_arch List Netlist Power Printexc Printf Route Util

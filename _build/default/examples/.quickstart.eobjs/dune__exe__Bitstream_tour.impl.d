@@ -1,0 +1,1 @@
+examples/bitstream_tour.ml: Bitstream Bytes Char Core Format Logic Netlist Printf String

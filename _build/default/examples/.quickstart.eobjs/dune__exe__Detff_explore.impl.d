@@ -1,0 +1,1 @@
+examples/detff_explore.ml: Clocking Detff Ff_bench List Printf Spice Util

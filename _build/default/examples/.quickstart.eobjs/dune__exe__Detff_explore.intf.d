@@ -1,0 +1,1 @@
+examples/detff_explore.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bitstream Core Hashtbl Netlist Printf String

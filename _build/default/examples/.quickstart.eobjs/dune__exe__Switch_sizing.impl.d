@@ -1,0 +1,1 @@
+examples/switch_sizing.ml: Core Float List Printf Routing_exp Spice String Tech

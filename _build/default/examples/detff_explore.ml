@@ -1,0 +1,59 @@
+(* Flip-flop exploration (the study behind Table 1): simulate the five
+   published DETFFs at the transistor level, reproduce the
+   energy/delay/energy-delay-product comparison, and show why the platform
+   selected the Llopis-1 flip-flop.
+
+   Run with: dune exec examples/detff_explore.exe *)
+
+open Spice
+
+let () =
+  print_endline "== DETFF exploration (Table 1 study) ==";
+  Printf.printf
+    "stimulus: %.1f GHz clock, data toggling on every edge for %d cycles\n\n"
+    (1e-9 /. Ff_bench.period) Ff_bench.toggle_cycles;
+  let results = Ff_bench.table1 () in
+  let rows =
+    List.map
+      (fun (r : Ff_bench.result) ->
+        [
+          Detff.name r.kind;
+          Util.Tablefmt.f1 r.energy_fj;
+          Util.Tablefmt.f1 r.delay_ps;
+          Util.Tablefmt.f1 (r.edp /. 1000.0);
+          string_of_int r.transistors;
+        ])
+      results
+  in
+  Util.Tablefmt.print
+    [ "cell"; "energy (fJ)"; "delay (ps)"; "EDP (fJ*ns)"; "transistors" ]
+    rows;
+  let by_energy =
+    List.sort (fun (a : Ff_bench.result) b -> compare a.energy_fj b.energy_fj)
+      results
+  in
+  let by_edp =
+    List.sort (fun (a : Ff_bench.result) b -> compare a.edp b.edp) results
+  in
+  (match (by_energy, by_edp) with
+  | e :: _, d :: _ ->
+      Printf.printf "\nlowest energy: %s\nlowest EDP:    %s\n"
+        (Detff.name e.kind) (Detff.name d.kind);
+      Printf.printf
+        "selected:      %s — lowest total energy and the simplest structure\n"
+        (Detff.name Detff.Llopis1)
+  | _ -> ());
+  print_endline
+    "\nDET vs SET at matched data rate (clock at f/2 for the DETFF):";
+  List.iter
+    (fun (p : Ff_bench.det_vs_set) ->
+      Printf.printf "  activity %.2f: DET %.1f fJ  SET %.1f fJ  (%+.0f%%)\n"
+        p.activity p.det_energy_fj p.set_energy_fj
+        (100.0 *. ((p.det_energy_fj /. p.set_energy_fj) -. 1.0)))
+    (Ff_bench.det_vs_set_sweep ());
+  (* also show the gated-clock effect on the selected flip-flop (Table 2) *)
+  print_endline "\nBLE-level gated clock on the selected flip-flop:";
+  List.iter
+    (fun (row : Clocking.table2_row) ->
+      Printf.printf "  %-24s %6.2f fJ/cycle\n" row.label row.energy_fj)
+    (Clocking.table2 ())

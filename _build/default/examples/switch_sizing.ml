@@ -1,0 +1,55 @@
+(* Routing-switch sizing (the study behind Figs. 8-10): sweep the pass
+   transistor width for several wire lengths and metal configurations,
+   plotting energy-delay-area product curves, and compare against tri-state
+   buffer switches at the selected operating point.
+
+   Run with: dune exec examples/switch_sizing.exe *)
+
+open Spice
+
+let plot_curve (cv : Routing_exp.curve) =
+  Printf.printf "  wire length %d (optimal %gx):\n" cv.wire_length
+    (Routing_exp.optimal_width cv);
+  let finite =
+    List.filter (fun (p : Routing_exp.point) -> Float.is_finite p.eda)
+      cv.points
+  in
+  let max_eda =
+    List.fold_left (fun m (p : Routing_exp.point) -> Float.max m p.eda) 0.0
+      finite
+  in
+  List.iter
+    (fun (p : Routing_exp.point) ->
+      if Float.is_finite p.eda then begin
+        let bar = int_of_float (40.0 *. p.eda /. max_eda) in
+        Printf.printf "    W=%4gx %s %.3g\n" p.width (String.make (max bar 1) '#')
+          p.eda
+      end)
+    cv.points
+
+let () =
+  print_endline "== Routing switch sizing (Figs. 8-10 study) ==";
+  (* a faster subset: two wire lengths per configuration *)
+  let widths = [ 2.0; 4.0; 8.0; 10.0; 16.0; 32.0; 64.0 ] in
+  List.iter
+    (fun config ->
+      Printf.printf "\n%s:\n" (Tech.wire_config_name config);
+      let curves = Routing_exp.sweep ~widths ~lengths:[ 1; 8 ] ~config () in
+      List.iter plot_curve curves)
+    [
+      Tech.Min_width_min_spacing;
+      Tech.Min_width_double_spacing;
+      Tech.Double_width_double_spacing;
+    ];
+  print_endline "\npass transistor vs tri-state buffer at the selected point:";
+  List.iter
+    (fun (p : Core.Explore.switch_point) ->
+      Printf.printf "  %-18s E=%7.1f fJ  D=%7.1f ps  A=%6.1f  EDA=%.3g\n"
+        (match p.style with
+        | Routing_exp.Pass_transistor -> "pass transistor"
+        | Routing_exp.Tristate_buffer -> "tri-state buffer")
+        p.energy_fj p.delay_ps p.area p.eda)
+    (Core.Explore.switch_style_comparison ());
+  print_endline
+    "\nconclusion: 10x-minimum pass transistors on length-1, min-width/\n\
+     double-spacing wires — the platform the paper selected."

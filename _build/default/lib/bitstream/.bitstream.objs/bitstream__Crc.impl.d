@@ -1,0 +1,1 @@
+lib/bitstream/crc.ml: Array Bytes Char Int32 Lazy

@@ -1,0 +1,1 @@
+lib/bitstream/dagger.ml: Array Buffer Fabric Fpga_arch Frames Layout List Pack Place Printf Route String

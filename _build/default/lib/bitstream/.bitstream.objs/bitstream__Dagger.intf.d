@@ -1,0 +1,1 @@
+lib/bitstream/dagger.mli: Fpga_arch Layout Netlist Route

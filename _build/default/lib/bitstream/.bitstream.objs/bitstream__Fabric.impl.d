@@ -1,0 +1,1 @@
+lib/bitstream/fabric.ml: Array Fpga_arch Frames Hashtbl Layout Lazy List Logic Netlist Printf Techmap Tt Util

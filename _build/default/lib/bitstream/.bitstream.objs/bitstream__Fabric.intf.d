@@ -1,0 +1,1 @@
+lib/bitstream/fabric.mli: Fpga_arch Layout Netlist

@@ -1,0 +1,1 @@
+lib/bitstream/frames.ml: Array Buffer Char Crc Fpga_arch Int32 Layout List String

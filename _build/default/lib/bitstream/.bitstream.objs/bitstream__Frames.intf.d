@@ -1,0 +1,1 @@
+lib/bitstream/frames.mli: Fpga_arch Layout

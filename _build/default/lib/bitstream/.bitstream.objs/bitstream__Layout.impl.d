@@ -1,0 +1,1 @@
+lib/bitstream/layout.ml: Array Fpga_arch Hashtbl List Logic Netlist Pack Place Route Tt

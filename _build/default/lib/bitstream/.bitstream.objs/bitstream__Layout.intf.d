@@ -1,0 +1,1 @@
+lib/bitstream/layout.mli: Fpga_arch Netlist Route

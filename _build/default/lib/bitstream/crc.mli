@@ -1,0 +1,10 @@
+(** CRC-32 (IEEE 802.3 polynomial), protecting bitstream frames the way
+    device programmers do. *)
+
+val update : int32 -> bytes -> int32
+(** Extend a running CRC with more data. *)
+
+val of_bytes : bytes -> int32
+
+val of_string : string -> int32
+(** CRC32("123456789") = 0xCBF43926l (the standard check vector). *)

@@ -1,0 +1,30 @@
+(** DAGGER: configuration bitstream generation and verification. *)
+
+type generated = {
+  bytes : string;        (** the framed binary bitstream *)
+  config : Layout.config;
+  bits : int;            (** configuration bit count *)
+}
+
+val generate : Route.Router.routed -> generated
+
+val to_file : string -> generated -> unit
+
+type verdict = Verified | Corrupted of string | Config_mismatch
+
+val verify : Route.Router.routed -> string -> verdict
+(** Structural round trip: decode and compare against the configuration
+    extracted from the implementation. *)
+
+val emulate : Fpga_arch.Params.t -> string -> Netlist.Logic.t
+(** Load the bitstream into the fabric model (see {!Fabric}). *)
+
+val verify_functional : Route.Router.routed -> string -> bool
+(** Functional sign-off: the configured fabric simulates identically to
+    the mapped netlist. *)
+
+val fuse_map : generated -> string
+(** Per-tile configuration report: LUT contents, register/clock-enable
+    selects, crossbar codes, pads and switch usage. *)
+
+val summary : generated -> string

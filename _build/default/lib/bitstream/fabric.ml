@@ -1,0 +1,165 @@
+(* Fabric emulation: load a decoded bitstream into a software model of the
+   FPGA and reconstruct the logic it implements.
+
+   This is the strongest verification DAGGER offers: connectivity is
+   derived purely from the configuration — the ON pass transistors and
+   connection-box switches form electrical nets exactly as they would in
+   silicon (pass transistors are bidirectional, so a routed net is simply a
+   connected component of configured switches), LUT contents come from the
+   LUT bits, and the local crossbar codes select each LUT input.  The
+   resulting Logic network can be simulated against the original design. *)
+
+open Netlist
+
+exception Invalid_configuration of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Invalid_configuration s)) fmt
+
+(* Build the configured netlist.  [params] is the device's architecture
+   (K, N, I), as a programmer would know it from the architecture file. *)
+let to_logic (params : Fpga_arch.Params.t) (cfg : Layout.config) =
+  let k = params.Fpga_arch.Params.k in
+  let n = params.Fpga_arch.Params.n in
+  let i_pins = params.Fpga_arch.Params.i in
+  (* ---- electrical nets: connected components of configured switches ---- *)
+  let descs = Hashtbl.create 256 in
+  let touch d =
+    if not (Hashtbl.mem descs d) then Hashtbl.replace descs d (Hashtbl.length descs)
+  in
+  List.iter (fun (a, b) -> touch a; touch b) cfg.Layout.switches;
+  List.iter (fun (a, b) -> touch a; touch b) cfg.Layout.pin_links;
+  let uf = Util.Union_find.create (max 1 (Hashtbl.length descs)) in
+  let union a b = Util.Union_find.union uf (Hashtbl.find descs a) (Hashtbl.find descs b) in
+  List.iter (fun (a, b) -> union a b) cfg.Layout.switches;
+  List.iter (fun (a, b) -> union a b) cfg.Layout.pin_links;
+  let component d =
+    match Hashtbl.find_opt descs d with
+    | Some idx -> Some (Util.Union_find.find uf idx)
+    | None -> None
+  in
+  (* ---- the reconstructed network ---- *)
+  let net = Logic.create ~model:(cfg.Layout.design ^ "_fabric") () in
+  (* driver signal of each electrical component, keyed by component root *)
+  let comp_driver = Hashtbl.create 64 in
+  (* BLE output signals: (block, slot) -> signal id (created lazily so
+     feedback and cross-CLB references resolve in any order) *)
+  let ble_out = Hashtbl.create 64 in
+  List.iter
+    (fun (clb : Layout.clb_config) ->
+      Array.iteri
+        (fun j (_ : Layout.ble_config) ->
+          let nm = Printf.sprintf "clb%d_ble%d" clb.Layout.block j in
+          Hashtbl.replace ble_out (clb.Layout.block, j) (Logic.add_input net nm))
+        clb.Layout.bles)
+    cfg.Layout.clbs;
+  (* input pads drive their components *)
+  List.iter
+    (fun (p : Layout.pad_config) ->
+      if p.Layout.pad_is_input then begin
+        let id = Logic.add_input net p.Layout.pad_name in
+        match component (2, p.Layout.pad_block, 0, 0, 0) with
+        | Some root -> Hashtbl.replace comp_driver root id
+        | None -> () (* an unconnected input pad is legal *)
+      end)
+    cfg.Layout.pads;
+  (* CLB output pins drive their components *)
+  List.iter
+    (fun (clb : Layout.clb_config) ->
+      Array.iteri
+        (fun j (ble : Layout.ble_config) ->
+          ignore ble;
+          match component (2, clb.Layout.block, j, 0, 0) with
+          | Some root ->
+              Hashtbl.replace comp_driver root
+                (Hashtbl.find ble_out (clb.Layout.block, j))
+          | None -> ())
+        clb.Layout.bles)
+    cfg.Layout.clbs;
+  (* signal arriving at an input pin, if its component is driven *)
+  let at_ipin block pin =
+    match component (3, block, pin, 0, 0) with
+    | Some root -> Hashtbl.find_opt comp_driver root
+    | None -> None
+  in
+  let const0 = lazy (Logic.add_const net (Logic.fresh_name net "gnd") false) in
+  (* ---- realise each BLE ---- *)
+  List.iter
+    (fun (clb : Layout.clb_config) ->
+      Array.iteri
+        (fun j (ble : Layout.ble_config) ->
+          let out = Hashtbl.find ble_out (clb.Layout.block, j) in
+          if ble.Layout.lut_bits = 0 && not ble.Layout.registered then
+            (* unused slot: tie low *)
+            Logic.set_driver net out (Logic.Const false)
+          else begin
+            (* resolve the K crossbar codes *)
+            let fanins =
+              Array.map
+                (fun code ->
+                  if code < i_pins then
+                    match at_ipin clb.Layout.block code with
+                    | Some s -> s
+                    | None ->
+                        fail "CLB %d input pin %d selected but undriven"
+                          clb.Layout.block code
+                  else if code < i_pins + n then
+                    Hashtbl.find ble_out (clb.Layout.block, code - i_pins)
+                  else Lazy.force const0)
+                ble.Layout.input_sources
+            in
+            if Array.length fanins <> k then
+              fail "CLB %d BLE %d has %d sources" clb.Layout.block j
+                (Array.length fanins);
+            let tt = Tt.create k ble.Layout.lut_bits in
+            (* drop don't-care inputs so the fabric netlist stays tidy *)
+            let tt, sup = Tt.compact tt in
+            let fanins = Array.of_list (List.map (fun s -> fanins.(s)) sup) in
+            if ble.Layout.registered then begin
+              let d =
+                if Tt.arity tt = 0 then
+                  Logic.add_const net (Logic.fresh_name net "c")
+                    (Tt.is_const1 tt)
+                else
+                  Logic.add_gate net (Logic.fresh_name net "lut") tt fanins
+              in
+              Logic.set_driver net out
+                (Logic.Latch { data = d; init = ble.Layout.ff_init })
+            end
+            else if Tt.arity tt = 0 then
+              Logic.set_driver net out (Logic.Const (Tt.is_const1 tt))
+            else Logic.set_driver net out (Logic.Gate { tt; fanins })
+          end)
+        clb.Layout.bles)
+    cfg.Layout.clbs;
+  (* ---- output pads ---- *)
+  List.iter
+    (fun (p : Layout.pad_config) ->
+      if not p.Layout.pad_is_input then begin
+        let src =
+          match at_ipin p.Layout.pad_block 0 with
+          | Some s -> s
+          | None -> fail "output pad %s is undriven" p.Layout.pad_name
+        in
+        (* a pad-to-pad passthrough makes the output name coincide with the
+           input pad's signal: mark that signal as the output directly *)
+        if Logic.name net src = p.Layout.pad_name then Logic.set_output net src
+        else begin
+          let id = Logic.add_gate net p.Layout.pad_name Tt.buf [| src |] in
+          Logic.set_output net id
+        end
+      end)
+    cfg.Layout.pads;
+  net
+
+(* Emulate a raw bitstream string directly. *)
+let of_bitstream (params : Fpga_arch.Params.t) bytes =
+  to_logic params (Frames.decode bytes)
+
+(* The programmer's final check: the configured fabric must behave exactly
+   like the mapped netlist the flow produced. *)
+let functionally_equivalent ?(vectors = 64) ?(cycles = 8)
+    (params : Fpga_arch.Params.t) ~reference bytes =
+  let fabric = of_bitstream params bytes in
+  (* the fabric has no clock pin; output names match the reference's
+     primary outputs, input pads its primary inputs *)
+  Techmap.Simcheck.is_equivalent ~vectors ~cycles reference fabric

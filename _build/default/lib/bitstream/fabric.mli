@@ -1,0 +1,27 @@
+(** Fabric emulation: load a decoded bitstream into a software model of
+    the FPGA and reconstruct the logic it implements.
+
+    Connectivity is derived purely from the configuration — the ON pass
+    transistors form electrical nets exactly as in silicon (pass
+    transistors are bidirectional, so a routed net is a connected
+    component of configured switches); LUT contents come from the LUT
+    bits; crossbar codes select each LUT input.  The resulting network
+    can be simulated against the original design. *)
+
+exception Invalid_configuration of string
+(** An electrically inconsistent configuration (undriven selected pin,
+    undriven output pad, bad source code). *)
+
+val to_logic : Fpga_arch.Params.t -> Layout.config -> Netlist.Logic.t
+(** Reconstruct the implemented netlist.  Input pads become primary
+    inputs under their pad names; output pads become primary outputs. *)
+
+val of_bitstream : Fpga_arch.Params.t -> string -> Netlist.Logic.t
+(** Decode and reconstruct in one step.
+    @raise Frames.Corrupt / Invalid_configuration. *)
+
+val functionally_equivalent :
+  ?vectors:int -> ?cycles:int -> Fpga_arch.Params.t ->
+  reference:Netlist.Logic.t -> string -> bool
+(** The programmer's final check: the configured fabric must simulate
+    identically to the mapped netlist the flow produced. *)

@@ -1,0 +1,14 @@
+(** Bitstream serialisation: framed binary with a CRC-32 trailer.
+
+    Layout: magic "AMD1"; header (design name, nx, ny, width, K, N, I);
+    CLB frames; pad table; routing switch and pin-link descriptors;
+    CRC-32 of everything above. *)
+
+exception Corrupt of string
+
+val magic : string
+
+val encode : Fpga_arch.Params.t -> Layout.config -> string
+
+val decode : string -> Layout.config
+(** @raise Corrupt on truncation, bad magic or CRC mismatch. *)

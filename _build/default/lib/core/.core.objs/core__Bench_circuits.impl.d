@@ -1,0 +1,1 @@
+lib/core/bench_circuits.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/core/explore.ml: Array Bench_circuits Flow Fpga_arch List Option Power Printexc Printf Route Spice Util

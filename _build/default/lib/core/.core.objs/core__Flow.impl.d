@@ -1,0 +1,1 @@
+lib/core/flow.ml: Bitstream Fpga_arch List Logic Netlist Pack Place Power Printf Route Synth Sys Techmap

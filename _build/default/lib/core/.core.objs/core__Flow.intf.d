@@ -1,0 +1,1 @@
+lib/core/flow.mli: Bitstream Fpga_arch Netlist Pack Power Route

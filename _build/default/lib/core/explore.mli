@@ -1,0 +1,63 @@
+(** Architecture exploration drivers: the CLB-level studies of §3.1
+    (cluster size, LUT size, the input rule) re-run through the full
+    flow, plus router-mode and switch-style comparisons. *)
+
+type sweep_point = {
+  label : string;
+  avg_power_mw : float;    (** geomean over the suite *)
+  avg_crit_ns : float;     (** geomean *)
+  avg_clusters : float;
+  avg_min_width : float;
+  avg_utilization : float;
+}
+
+val run_suite :
+  ?config:Flow.config -> (string * string) list -> Flow.result list
+(** Run circuits through the flow, skipping (and reporting) failures. *)
+
+val summarize : string -> Flow.result list -> sweep_point
+
+val cluster_size_sweep :
+  ?ns:int list -> ?circuits:(string * string) list -> unit ->
+  sweep_point list
+(** Paper: N = 5 selected. *)
+
+val lut_size_sweep :
+  ?ks:int list -> ?circuits:(string * string) list -> unit ->
+  sweep_point list
+(** Paper cites K = 4. *)
+
+type input_rule_point = {
+  i_value : int;
+  rule_value : int;
+  utilization : float;
+  clusters : float;
+}
+
+val input_rule_sweep :
+  ?circuits:(string * string) list -> unit -> input_rule_point list
+(** BLE utilisation versus I; saturates at I = (K/2)(N+1). *)
+
+type td_point = {
+  circuit : string;
+  routability_crit_ns : float;
+  timing_driven_crit_ns : float;
+  routability_wire : int;
+  timing_driven_wire : int;
+}
+
+val timing_driven_comparison :
+  ?circuits:(string * string) list -> unit -> td_point list
+
+type switch_point = {
+  style : Spice.Routing_exp.switch_style;
+  energy_fj : float;
+  delay_ps : float;
+  area : float;
+  eda : float;
+}
+
+val switch_style_comparison :
+  ?width:float -> ?wire_length:int -> ?cfg:Spice.Tech.wire_config ->
+  unit -> switch_point list
+(** Pass transistor vs tri-state buffer at the selected operating point. *)

@@ -1,0 +1,204 @@
+(* The integrated design framework: VHDL -> configuration bitstream.
+
+   This is the paper's primary contribution — the complete tool-supported
+   flow of Fig. 11: VHDL Parser, DIVINER (synthesis), DRUID (EDIF fix-up),
+   E2FMT (EDIF to BLIF), SIS (LUT mapping), T-VPack (packing), DUTYS
+   (architecture file), VPR (place & route), PowerModel and DAGGER.  Every
+   stage can also run standalone through the bin/ executables. *)
+
+open Netlist
+
+type config = {
+  params : Fpga_arch.Params.t;
+  seed : int;
+  io_rat : int;
+  search_min_width : bool; (* binary-search the minimum channel width *)
+  timing_driven : bool;    (* VPR's path-timing-driven place & route *)
+  verify_mapping : bool;   (* random-simulation equivalence after SIS *)
+  verify_bitstream : bool; (* DAGGER round-trip check *)
+  verify_fabric : bool;    (* emulate the bitstream on the fabric model *)
+  power_options : Power.Model.options;
+}
+
+let default_config =
+  {
+    params = Fpga_arch.Params.amdrel;
+    seed = 1;
+    io_rat = 2;
+    search_min_width = true;
+    timing_driven = false;
+    verify_mapping = true;
+    verify_bitstream = true;
+    verify_fabric = true;
+    power_options = Power.Model.default_options;
+  }
+
+type stage_times = (string * float) list (* seconds per stage *)
+
+type result = {
+  design : string;
+  source_stats : Logic.stats;       (* after synthesis, library gates *)
+  mapped : Logic.t;
+  mapped_stats : Logic.stats;
+  packing : Pack.Cluster.packing;
+  n_clusters : int;
+  utilization : float;
+  grid : Fpga_arch.Grid.t;
+  placement_cost : float;
+  routed : Route.Router.routed;
+  route_stats : Route.Router.stats;
+  power : Power.Model.report;
+  bitstream : Bitstream.Dagger.generated;
+  bitstream_verified : bool;
+  fabric_verified : bool;   (* bitstream emulated on the fabric model *)
+  edif : string;                    (* intermediate products, for the tools *)
+  blif_mapped : string;
+  times : stage_times;
+}
+
+exception Flow_error of string * exn
+(** Stage name and underlying failure. *)
+
+let timed times label f =
+  let t0 = Sys.time () in
+  match f () with
+  | v ->
+      times := (label, Sys.time () -. t0) :: !times;
+      v
+  | exception e -> raise (Flow_error (label, e))
+
+(* Run from a Logic network already in library-gate form (the entry point
+   the BLIF-based tools share). *)
+let run_network ?(config = default_config) (net : Logic.t) =
+  let times = ref [] in
+  let source_stats = Logic.stats net in
+  (* DIVINER end: EDIF out; DRUID: normalise; E2FMT: back to BLIF/logic *)
+  let edif =
+    timed times "diviner-edif" (fun () -> Netlist.Edif.of_logic net)
+  in
+  let edif_text = Netlist.Edif.to_string edif in
+  let normalized =
+    timed times "druid" (fun () -> Synth.Druid.normalize edif)
+  in
+  let net2 =
+    timed times "e2fmt" (fun () -> Netlist.Edif.to_logic normalized)
+  in
+  (* SIS: LUT mapping *)
+  let mapped, _map_report =
+    timed times "sis-flowmap" (fun () ->
+        Techmap.Mapper.map_network ~k:config.params.Fpga_arch.Params.k
+          ~verify:config.verify_mapping net2)
+  in
+  let blif_mapped = Netlist.Blif.to_string mapped in
+  (* T-VPack *)
+  let packing =
+    timed times "t-vpack" (fun () ->
+        Pack.Cluster.pack ~n:config.params.Fpga_arch.Params.n
+          ~i:config.params.Fpga_arch.Params.i mapped)
+  in
+  (* VPR placement *)
+  let problem =
+    timed times "vpr-setup" (fun () ->
+        Place.Problem.build ~io_rat:config.io_rat packing)
+  in
+  let anneal =
+    timed times "vpr-place" (fun () ->
+        let timing =
+          if config.timing_driven then Some Place.Anneal.default_timing
+          else None
+        in
+        Place.Anneal.run
+          ~options:{ Place.Anneal.seed = config.seed; inner_num = 1.0 }
+          ?timing problem)
+  in
+  (* VPR routing *)
+  let routed =
+    timed times "vpr-route" (fun () ->
+        let timing =
+          if config.timing_driven then Some Place.Td_timing.default_model
+          else None
+        in
+        if config.search_min_width then
+          Route.Router.route_min_width ?timing config.params
+            anneal.Place.Anneal.placement
+        else
+          Route.Router.route_fixed ?timing config.params
+            anneal.Place.Anneal.placement ~width:12)
+  in
+  let route_stats = Route.Router.stats routed in
+  (* PowerModel *)
+  let power =
+    timed times "powermodel" (fun () ->
+        Power.Model.estimate ~options:config.power_options routed)
+  in
+  (* DAGGER *)
+  let bitstream =
+    timed times "dagger" (fun () -> Bitstream.Dagger.generate routed)
+  in
+  let bitstream_verified =
+    (not config.verify_bitstream)
+    || Bitstream.Dagger.verify routed bitstream.Bitstream.Dagger.bytes
+       = Bitstream.Dagger.Verified
+  in
+  let fabric_verified =
+    (not config.verify_fabric)
+    || timed times "fabric-emulation" (fun () ->
+           Bitstream.Dagger.verify_functional routed
+             bitstream.Bitstream.Dagger.bytes)
+  in
+  {
+    design = net.Logic.model;
+    source_stats;
+    mapped;
+    mapped_stats = Logic.stats mapped;
+    packing;
+    n_clusters = Pack.Cluster.cluster_count packing;
+    utilization = Pack.Cluster.utilization packing;
+    grid = problem.Place.Problem.grid;
+    placement_cost = anneal.Place.Anneal.final_cost;
+    routed;
+    route_stats;
+    power;
+    bitstream;
+    bitstream_verified;
+    fabric_verified;
+    edif = edif_text;
+    blif_mapped;
+    times = List.rev !times;
+  }
+
+(* Full flow from VHDL source text. *)
+let run_vhdl ?(config = default_config) text =
+  let times = ref [] in
+  let file =
+    timed times "vhdl-parser" (fun () -> Netlist.Vhdl_parser.file_of_string text)
+  in
+  let top = List.nth file (List.length file - 1) in
+  let net =
+    timed times "diviner-synth" (fun () ->
+        Synth.Diviner.synthesize_ast ~library:file top)
+  in
+  let result = run_network ~config net in
+  { result with times = List.rev !times @ result.times }
+
+(* Entry from a BLIF netlist (skips the VHDL/EDIF front end). *)
+let run_blif ?(config = default_config) text =
+  let net = Netlist.Blif.of_string text in
+  run_network ~config net
+
+(* One-line summary used by reports and the CLI. *)
+let summary r =
+  Printf.sprintf
+    "%-12s %4d LUTs %3d FFs %3d CLBs %dx%d W=%s crit=%.2fns P=%.2fmW bits=%d %s"
+    r.design r.mapped_stats.Logic.n_gates r.mapped_stats.Logic.n_latches
+    r.n_clusters r.grid.Fpga_arch.Grid.nx r.grid.Fpga_arch.Grid.ny
+    (match r.route_stats.Route.Router.minimum_width with
+    | Some w -> string_of_int w
+    | None -> string_of_int r.route_stats.Route.Router.channel_width)
+    (r.route_stats.Route.Router.critical_path_s *. 1e9)
+    (r.power.Power.Model.total_w *. 1e3)
+    r.bitstream.Bitstream.Dagger.bits
+    (match (r.bitstream_verified, r.fabric_verified) with
+    | true, true -> "[verified+emulated]"
+    | true, false -> "[FABRIC MISMATCH]"
+    | false, _ -> "[BITSTREAM MISMATCH]")

@@ -1,0 +1,63 @@
+(** The integrated design framework: VHDL to configuration bitstream.
+
+    This is the paper's primary contribution — the complete tool-supported
+    flow of Fig. 11: VHDL Parser, DIVINER (synthesis), DRUID (EDIF
+    fix-up), E2FMT (EDIF to BLIF), SIS (LUT mapping), T-VPack (packing),
+    DUTYS (architecture), VPR (place & route), PowerModel and DAGGER.
+    Every stage also runs standalone through the bin/ executables. *)
+
+type config = {
+  params : Fpga_arch.Params.t;
+  seed : int;
+  io_rat : int;
+  search_min_width : bool; (** binary-search the minimum channel width *)
+  timing_driven : bool;    (** VPR's path-timing-driven place & route *)
+  verify_mapping : bool;   (** random-simulation equivalence after SIS *)
+  verify_bitstream : bool; (** DAGGER structural round-trip *)
+  verify_fabric : bool;    (** emulate the bitstream on the fabric model *)
+  power_options : Power.Model.options;
+}
+
+val default_config : config
+(** The paper's platform, all verifications on, width search on,
+    routability-driven. *)
+
+type stage_times = (string * float) list
+(** CPU seconds per stage, flow order. *)
+
+type result = {
+  design : string;
+  source_stats : Netlist.Logic.stats; (** after synthesis, library gates *)
+  mapped : Netlist.Logic.t;
+  mapped_stats : Netlist.Logic.stats;
+  packing : Pack.Cluster.packing;
+  n_clusters : int;
+  utilization : float;
+  grid : Fpga_arch.Grid.t;
+  placement_cost : float;
+  routed : Route.Router.routed;
+  route_stats : Route.Router.stats;
+  power : Power.Model.report;
+  bitstream : Bitstream.Dagger.generated;
+  bitstream_verified : bool;
+  fabric_verified : bool;
+  edif : string;        (** intermediate products, for the tools *)
+  blif_mapped : string;
+  times : stage_times;
+}
+
+exception Flow_error of string * exn
+(** Stage name and the underlying failure. *)
+
+val run_network : ?config:config -> Netlist.Logic.t -> result
+(** Run from a Logic network already in library-gate form (the entry the
+    BLIF-based tools share). *)
+
+val run_vhdl : ?config:config -> string -> result
+(** The full flow from VHDL source text (possibly several entities; the
+    last is the top). *)
+
+val run_blif : ?config:config -> string -> result
+
+val summary : result -> string
+(** One line: LUTs/FFs/CLBs/grid/width/critical path/power/bits/verdicts. *)

@@ -1,0 +1,1 @@
+lib/fpga_arch/archfile.ml: List Params Printf String

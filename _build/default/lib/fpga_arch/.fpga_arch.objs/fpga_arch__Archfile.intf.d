@@ -1,0 +1,1 @@
+lib/fpga_arch/archfile.mli: Params

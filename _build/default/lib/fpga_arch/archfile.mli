@@ -1,0 +1,15 @@
+(** Architecture file generation and parsing (the DUTYS tool).
+
+    A small keyword format, one entry per line; see {!to_string} output
+    for the exact shape. *)
+
+exception Parse_error of string
+
+val to_string : Params.t -> string
+val to_file : string -> Params.t -> unit
+
+val of_string : string -> Params.t
+(** Unspecified fields default to {!Params.amdrel}; the result is
+    validated. @raise Parse_error / {!Params.Invalid_params}. *)
+
+val of_file : string -> Params.t

@@ -1,0 +1,47 @@
+(* Die floorplan: a square nx x ny array of CLBs surrounded by an IO ring.
+
+   Coordinates follow the VPR convention: CLBs at (1..nx, 1..ny); IO pads on
+   the perimeter at x = 0, x = nx+1, y = 0 or y = ny+1 (corners unused).
+   Each perimeter position holds [io_rat] pads, addressed by a sub-index. *)
+
+type location = Clb of int * int | Pad of int * int * int (* x, y, sub *)
+
+type t = {
+  nx : int;
+  ny : int;
+  io_rat : int;
+}
+
+(* Smallest square grid fitting [n_clbs] CLBs and [n_ios] pads. *)
+let size_for ~n_clbs ~n_ios ~io_rat =
+  let rec grow d =
+    let pads = 4 * d * io_rat in
+    if d * d >= n_clbs && pads >= n_ios then d else grow (d + 1)
+  in
+  let d = grow 1 in
+  { nx = d; ny = d; io_rat }
+
+let clb_positions t =
+  List.concat_map
+    (fun x -> List.map (fun y -> (x, y)) (List.init t.ny (fun i -> i + 1)))
+    (List.init t.nx (fun i -> i + 1))
+
+(* Perimeter pad slots in clockwise order. *)
+let pad_positions t =
+  let top = List.init t.nx (fun i -> (i + 1, t.ny + 1)) in
+  let right = List.init t.ny (fun i -> (t.nx + 1, t.ny - i)) in
+  let bottom = List.init t.nx (fun i -> (t.nx - i, 0)) in
+  let left = List.init t.ny (fun i -> (0, i + 1)) in
+  List.concat_map
+    (fun (x, y) -> List.init t.io_rat (fun sub -> (x, y, sub)))
+    (top @ right @ bottom @ left)
+
+let n_clb_slots t = t.nx * t.ny
+
+let n_pad_slots t = 2 * (t.nx + t.ny) * t.io_rat
+
+let is_perimeter t (x, y) =
+  (x = 0 || x = t.nx + 1 || y = 0 || y = t.ny + 1)
+  && not ((x = 0 || x = t.nx + 1) && (y = 0 || y = t.ny + 1))
+
+let in_clb_range t (x, y) = x >= 1 && x <= t.nx && y >= 1 && y <= t.ny

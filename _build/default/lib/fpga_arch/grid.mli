@@ -1,0 +1,23 @@
+(** Die floorplan: a square array of CLBs surrounded by an IO ring.
+
+    VPR conventions: CLBs at (1..nx, 1..ny); pads on the perimeter at
+    x = 0, x = nx+1, y = 0 or y = ny+1 (corners unused), [io_rat] pads per
+    perimeter position. *)
+
+type location = Clb of int * int | Pad of int * int * int (** x, y, sub *)
+
+type t = { nx : int; ny : int; io_rat : int }
+
+val size_for : n_clbs:int -> n_ios:int -> io_rat:int -> t
+(** Smallest square grid fitting the given block counts. *)
+
+val clb_positions : t -> (int * int) list
+
+val pad_positions : t -> (int * int * int) list
+(** Perimeter pad slots in clockwise order. *)
+
+val n_clb_slots : t -> int
+val n_pad_slots : t -> int
+
+val is_perimeter : t -> int * int -> bool
+val in_clb_range : t -> int * int -> bool

@@ -1,0 +1,74 @@
+(* FPGA architecture parameters (what DUTYS captures in the architecture
+   file).  Defaults are the platform the paper selected in §3:
+   K = 4, N = 5, I = 12, pass-transistor switches at 10x minimum width,
+   length-1 segments, disjoint switch boxes (Fs = 3), Fc = 1. *)
+
+type switch_kind = Pass_transistor | Tristate_buffer
+
+type t = {
+  name : string;
+  k : int;                 (* LUT inputs *)
+  n : int;                 (* BLEs per CLB *)
+  i : int;                 (* CLB inputs *)
+  fc_in : float;           (* fraction of tracks an input pin connects to *)
+  fc_out : float;          (* fraction of tracks an output pin connects to *)
+  fs : int;                (* switch-box fanout per incoming wire *)
+  segment_length : int;    (* logic blocks spanned by one wire segment *)
+  switch : switch_kind;
+  switch_width : float;    (* multiples of the minimum transistor width *)
+  io_rat : int;            (* IO pads per perimeter grid position *)
+  registered_outputs : bool;  (* all CLB outputs can be registered *)
+  gated_clock : bool;         (* BLE + CLB gated clocks (paper Tables 2-3) *)
+}
+
+(* The paper's empirical rule: I = (K/2)(N+1) gives ~98% BLE utilisation. *)
+let recommended_inputs ~k ~n = k * (n + 1) / 2
+
+let amdrel =
+  {
+    name = "amdrel_018";
+    k = 4;
+    n = 5;
+    i = recommended_inputs ~k:4 ~n:5;
+    fc_in = 1.0;
+    fc_out = 1.0;
+    fs = 3;
+    segment_length = 1;
+    switch = Pass_transistor;
+    switch_width = 10.0;
+    io_rat = 2;
+    registered_outputs = true;
+    gated_clock = true;
+  }
+
+exception Invalid_params of string
+
+let validate p =
+  let fail msg = raise (Invalid_params msg) in
+  if p.k < 2 || p.k > 5 then fail "K must be between 2 and 5";
+  if p.n < 1 then fail "N must be positive";
+  if p.i < p.k then fail "I must be at least K";
+  if p.i > p.k * p.n then fail "I must not exceed K*N (a full crossbar)";
+  if p.fc_in <= 0.0 || p.fc_in > 1.0 then fail "Fc_in must be in (0, 1]";
+  if p.fc_out <= 0.0 || p.fc_out > 1.0 then fail "Fc_out must be in (0, 1]";
+  if p.fs <> 3 then fail "only the disjoint switch box (Fs = 3) is supported";
+  if p.segment_length < 1 then fail "segment length must be positive";
+  if p.switch_width < 1.0 then fail "switch width below minimum";
+  if p.io_rat < 1 then fail "io_rat must be positive";
+  p
+
+(* Follows the paper's utilisation rule? (informational) *)
+let follows_input_rule p = p.i = recommended_inputs ~k:p.k ~n:p.n
+
+(* Configuration bits per CLB tile, from the platform description in §3:
+   - each BLE: 2^K LUT bits, 1 output-register select, 1 clock enable;
+   - fully connected local crossbar: each of the N*K LUT inputs picks one
+     of I + N sources (a (I+N)-to-1 mux, encoded one-hot-free in
+     ceil(log2 (I+N+1)) bits — the +1 is the unconnected state). *)
+let clb_config_bits p =
+  let mux_inputs = p.i + p.n + 1 in
+  let bits_per_mux =
+    let rec log2up v acc = if v <= 1 then acc else log2up ((v + 1) / 2) (acc + 1) in
+    log2up mux_inputs 0
+  in
+  (p.n * ((1 lsl p.k) + 2)) + (p.n * p.k * bits_per_mux)

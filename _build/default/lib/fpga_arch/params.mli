@@ -1,0 +1,38 @@
+(** FPGA architecture parameters (what DUTYS captures in the architecture
+    file).  Defaults are the platform the paper selected in §3. *)
+
+type switch_kind = Pass_transistor | Tristate_buffer
+
+type t = {
+  name : string;
+  k : int;                 (** LUT inputs *)
+  n : int;                 (** BLEs per CLB *)
+  i : int;                 (** CLB inputs *)
+  fc_in : float;           (** fraction of tracks an input pin connects to *)
+  fc_out : float;
+  fs : int;                (** switch-box fanout per incoming wire *)
+  segment_length : int;    (** logic blocks spanned by one wire segment *)
+  switch : switch_kind;
+  switch_width : float;    (** multiples of the minimum transistor width *)
+  io_rat : int;            (** IO pads per perimeter grid position *)
+  registered_outputs : bool;
+  gated_clock : bool;      (** BLE + CLB gated clocks (Tables 2-3) *)
+}
+
+val recommended_inputs : k:int -> n:int -> int
+(** The paper's empirical rule I = (K/2)(N+1) (~98 % BLE utilisation). *)
+
+val amdrel : t
+(** The selected platform: K=4, N=5, I=12, Fc=1, Fs=3, length-1 segments,
+    10x pass-transistor switches, gated clocks. *)
+
+exception Invalid_params of string
+
+val validate : t -> t
+(** Identity on valid parameters. @raise Invalid_params otherwise. *)
+
+val follows_input_rule : t -> bool
+
+val clb_config_bits : t -> int
+(** Configuration bits per CLB tile: LUT contents, register/clock-enable
+    selects, and the fully connected input crossbar codes. *)

@@ -1,0 +1,1 @@
+lib/netlist/blif.ml: Array Buffer List Logic Printf Qm String Tt

@@ -1,0 +1,1 @@
+lib/netlist/edif.ml: Array Gatelib Hashtbl List Logic Printf Sexp String Tt

@@ -1,0 +1,1 @@
+lib/netlist/gatelib.ml: List Tt

@@ -1,0 +1,1 @@
+lib/netlist/logic.ml: Array Format Hashtbl List Printf String Tt

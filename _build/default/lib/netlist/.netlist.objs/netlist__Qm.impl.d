@@ -1,0 +1,1 @@
+lib/netlist/qm.ml: Array Hashtbl List Tt

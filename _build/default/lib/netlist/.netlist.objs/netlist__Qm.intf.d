@@ -1,0 +1,1 @@
+lib/netlist/qm.mli: Tt

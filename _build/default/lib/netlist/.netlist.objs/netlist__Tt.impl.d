@@ -1,0 +1,1 @@
+lib/netlist/tt.ml: Array List Stdlib String

@@ -1,0 +1,1 @@
+lib/netlist/vcd.ml: Array Buffer Char List Logic Printf String

@@ -1,0 +1,1 @@
+lib/netlist/vhdl_ast.ml:

@@ -1,0 +1,1 @@
+lib/netlist/vhdl_lexer.ml: List Printf String

@@ -1,0 +1,1 @@
+lib/netlist/vhdl_parser.ml: List Printf String Vhdl_ast Vhdl_lexer

@@ -1,0 +1,1 @@
+lib/netlist/vhdl_parser.mli: Vhdl_ast

@@ -1,0 +1,266 @@
+(* BLIF (Berkeley Logic Interchange Format) reader and writer.
+
+   Supports the subset every tool in the flow exchanges: .model, .inputs,
+   .outputs, .names with SOP covers (on-set, '1' output; off-set '0' output
+   also accepted), .latch (re/fe/as triggering ignored — single implicit
+   clock), .end, '#' comments and '\' line continuations. *)
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+let fail line msg = raise (Parse_error (line, msg))
+
+(* Tokenised logical lines (continuations folded, comments stripped). *)
+let logical_lines text =
+  let raw = String.split_on_char '\n' text in
+  let rec fold acc pending pending_line lineno = function
+    | [] ->
+        let acc =
+          if pending = "" then acc else (pending_line, pending) :: acc
+        in
+        List.rev acc
+    | line :: rest ->
+        let line =
+          match String.index_opt line '#' with
+          | Some i -> String.sub line 0 i
+          | None -> line
+        in
+        let line = String.trim line in
+        let lineno' = lineno + 1 in
+        if line = "" then
+          if pending = "" then fold acc "" 0 lineno' rest
+          else fold acc pending pending_line lineno' rest
+        else if String.length line > 0 && line.[String.length line - 1] = '\\'
+        then begin
+          let part = String.sub line 0 (String.length line - 1) in
+          let start = if pending = "" then lineno else pending_line in
+          fold acc (pending ^ part ^ " ") start lineno' rest
+        end
+        else begin
+          let full = pending ^ line in
+          let start = if pending = "" then lineno else pending_line in
+          fold ((start, full) :: acc) "" 0 lineno' rest
+        end
+  in
+  fold [] "" 0 1 raw
+
+let tokens line =
+  String.split_on_char ' ' line
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.filter (fun s -> s <> "")
+
+(* A raw .names body line: input pattern plus output value. *)
+type cover_line = { pattern : string; value : char }
+
+type raw_names = { out : string; ins : string list; cover : cover_line list }
+
+let parse_cover_line line toks =
+  match toks with
+  | [ pat; v ] when String.length v = 1 && (v = "0" || v = "1") ->
+      { pattern = pat; value = v.[0] }
+  | [ v ] when v = "0" || v = "1" ->
+      (* constant function: empty input list *)
+      { pattern = ""; value = v.[0] }
+  | _ -> fail line ("bad cover line: " ^ String.concat " " toks)
+
+let literal_of_char line = function
+  | '0' -> Tt.Zero
+  | '1' -> Tt.One
+  | '-' -> Tt.Dash
+  | ch -> fail line (Printf.sprintf "bad cover character %c" ch)
+
+(* Convert a parsed .names into a truth table. *)
+let tt_of_names line (r : raw_names) =
+  let n = List.length r.ins in
+  if n > Tt.max_vars then
+    fail line
+      (Printf.sprintf ".names %s has %d inputs; max supported is %d" r.out n
+         Tt.max_vars);
+  let on_set = List.filter (fun c -> c.value = '1') r.cover in
+  let off_set = List.filter (fun c -> c.value = '0') r.cover in
+  match (on_set, off_set) with
+  | [], [] -> Tt.const0 n
+  | _ :: _, [] ->
+      let cubes =
+        List.map
+          (fun c ->
+            if String.length c.pattern <> n then
+              fail line ("cover width mismatch for " ^ r.out);
+            Array.init n (fun i -> literal_of_char line c.pattern.[i]))
+          on_set
+      in
+      Tt.of_cubes n cubes
+  | [], _ :: _ ->
+      let cubes =
+        List.map
+          (fun c ->
+            if String.length c.pattern <> n then
+              fail line ("cover width mismatch for " ^ r.out);
+            Array.init n (fun i -> literal_of_char line c.pattern.[i]))
+          off_set
+      in
+      Tt.lnot (Tt.of_cubes n cubes)
+  | _ -> fail line (".names " ^ r.out ^ " mixes on-set and off-set lines")
+
+type statement =
+  | Model of string
+  | Inputs of string list
+  | Outputs of string list
+  | Names of int * raw_names
+  | LatchStmt of { input : string; output : string; init : bool }
+  | Clock of string
+  | End
+
+let parse_statements text =
+  let lines = logical_lines text in
+  let rec go acc = function
+    | [] -> List.rev acc
+    | (ln, line) :: rest -> (
+        match tokens line with
+        | ".model" :: [ nm ] -> go (Model nm :: acc) rest
+        | ".inputs" :: ins -> go (Inputs ins :: acc) rest
+        | ".outputs" :: outs -> go (Outputs outs :: acc) rest
+        | ".clock" :: [ clk ] -> go (Clock clk :: acc) rest
+        | ".latch" :: args ->
+            let input, output, init =
+              match args with
+              | [ i; o ] -> (i, o, false)
+              | [ i; o; init ] -> (i, o, init = "1")
+              | [ i; o; _type; _ctl; init ] -> (i, o, init = "1")
+              | [ i; o; _type; _ctl ] -> (i, o, false)
+              | _ -> fail ln "bad .latch"
+            in
+            go (LatchStmt { input; output; init } :: acc) rest
+        | ".names" :: sigs -> (
+            match List.rev sigs with
+            | out :: rev_ins ->
+                let ins = List.rev rev_ins in
+                (* gather cover lines until the next dot-directive *)
+                let rec covers cov = function
+                  | (ln2, l2) :: more when String.length l2 > 0 && l2.[0] <> '.'
+                    ->
+                      covers (parse_cover_line ln2 (tokens l2) :: cov) more
+                  | remaining -> (List.rev cov, remaining)
+                in
+                let cover, remaining = covers [] rest in
+                go (Names (ln, { out; ins; cover }) :: acc) remaining
+            | [] -> fail ln ".names without signals")
+        | ".end" :: _ -> go (End :: acc) rest
+        | ".exdc" :: _ -> go acc rest (* don't-care networks ignored *)
+        | tok :: _ when String.length tok > 0 && tok.[0] = '.' ->
+            fail ln ("unsupported directive " ^ tok)
+        | _ -> fail ln ("unexpected line: " ^ line))
+  in
+  go [] lines
+
+(* Build a Logic network.  Signals may be referenced before their driver is
+   seen, so unresolved references become provisional inputs upgraded later. *)
+let of_string text =
+  let stmts = parse_statements text in
+  let net = Logic.create () in
+  let declared_inputs = ref [] in
+  let declared_outputs = ref [] in
+  let lookup nm =
+    match Logic.find net nm with
+    | Some id -> id
+    | None -> Logic.add_input net nm
+  in
+  List.iter
+    (function
+      | Model nm -> net.Logic.model <- nm
+      | Inputs ins ->
+          declared_inputs := !declared_inputs @ ins;
+          List.iter (fun nm -> ignore (lookup nm)) ins
+      | Outputs outs -> declared_outputs := !declared_outputs @ outs
+      | Clock clk -> net.Logic.clock <- Some clk
+      | Names (ln, r) ->
+          let tt = tt_of_names ln r in
+          let fanins = Array.of_list (List.map lookup r.ins) in
+          let id = lookup r.out in
+          (match Logic.driver net id with
+          | Logic.Input when not (List.mem r.out !declared_inputs) ->
+              if Array.length fanins = 0 then
+                Logic.set_driver net id (Logic.Const (Tt.is_const1 tt))
+              else Logic.set_driver net id (Logic.Gate { tt; fanins })
+          | Logic.Input -> fail ln (r.out ^ " is a declared input")
+          | _ -> fail ln ("multiple drivers for " ^ r.out))
+      | LatchStmt { input; output; init } ->
+          let data = lookup input in
+          let id = lookup output in
+          (match Logic.driver net id with
+          | Logic.Input when not (List.mem output !declared_inputs) ->
+              Logic.set_driver net id (Logic.Latch { data; init })
+          | _ -> fail 0 ("multiple drivers for latch " ^ output))
+      | End -> ())
+    stmts;
+  List.iter (fun nm -> Logic.set_output net (lookup nm)) !declared_outputs;
+  net
+
+let of_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string text
+
+(* ---------- writer ---------- *)
+
+let string_of_cube cube =
+  String.init (Array.length cube) (fun i ->
+      match cube.(i) with Tt.Zero -> '0' | Tt.One -> '1' | Tt.Dash -> '-')
+
+let to_buffer buf (net : Logic.t) =
+  let add = Buffer.add_string buf in
+  add (Printf.sprintf ".model %s\n" net.Logic.model);
+  let ins = Logic.inputs net in
+  if ins <> [] then begin
+    add ".inputs";
+    List.iter (fun id -> add (" " ^ Logic.name net id)) ins;
+    add "\n"
+  end;
+  if Logic.outputs net <> [] then begin
+    add ".outputs";
+    List.iter (fun id -> add (" " ^ Logic.name net id)) (Logic.outputs net);
+    add "\n"
+  end;
+  (match net.Logic.clock with
+  | Some clk -> add (Printf.sprintf ".clock %s\n" clk)
+  | None -> ());
+  for id = 0 to Logic.signal_count net - 1 do
+    match Logic.driver net id with
+    | Logic.Input -> ()
+    | Logic.Const b ->
+        add (Printf.sprintf ".names %s\n" (Logic.name net id));
+        if b then add "1\n"
+    | Logic.Latch { data; init } ->
+        add
+          (Printf.sprintf ".latch %s %s %d\n" (Logic.name net data)
+             (Logic.name net id)
+             (if init then 1 else 0))
+    | Logic.Gate { tt; fanins } ->
+        add ".names";
+        Array.iter (fun f -> add (" " ^ Logic.name net f)) fanins;
+        add (" " ^ Logic.name net id ^ "\n");
+        if Tt.is_const1 tt then
+          (* constant-1 over n inputs: one all-dash cube keeps the cover
+             width consistent with the fanin list *)
+          add
+            (if Array.length fanins = 0 then "1\n"
+             else String.make (Array.length fanins) '-' ^ " 1\n")
+        else
+          (* minimum SOP cover (exact Quine-McCluskey; espresso's role) *)
+          List.iter
+            (fun cube -> add (string_of_cube cube ^ " 1\n"))
+            (Qm.min_cover tt)
+  done;
+  add ".end\n"
+
+let to_string net =
+  let buf = Buffer.create 1024 in
+  to_buffer buf net;
+  Buffer.contents buf
+
+let to_file path net =
+  let oc = open_out path in
+  output_string oc (to_string net);
+  close_out oc

@@ -1,0 +1,18 @@
+(** BLIF (Berkeley Logic Interchange Format) reader and writer.
+
+    Supports the subset the flow's tools exchange: [.model], [.inputs],
+    [.outputs], [.names] with SOP covers (on-set or off-set), [.latch],
+    [.clock], [.end], comments and line continuations. *)
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+val of_string : string -> Logic.t
+(** @raise Parse_error on malformed input. *)
+
+val of_file : string -> Logic.t
+
+val to_string : Logic.t -> string
+(** Gate covers are written as on-set cubes via {!Tt.to_cubes}. *)
+
+val to_file : string -> Logic.t -> unit

@@ -1,0 +1,466 @@
+(* EDIF 2.0.0 netlists over the generic gate library.
+
+   The representation keeps exactly what the flow needs: the design name,
+   the top-level ports, gate/DFF instances and the nets joining ports.
+   [to_sexp]/[of_sexp] give the concrete EDIF syntax; [of_logic]/[to_logic]
+   convert to and from the Logic IR (the network must already be expressed
+   in library gates — DIVINER's decomposition guarantees that). *)
+
+type direction = In | Out
+
+type instance = { inst_name : string; cell : string }
+
+(* A connection point: (Some instance, port) or (None, top-level port). *)
+type portref = { instance : string option; port : string }
+
+type net = { net_name : string; joined : portref list }
+
+type t = {
+  design : string;
+  ports : (string * direction) list;
+  instances : instance list;
+  nets : net list;
+}
+
+exception Invalid_edif of string
+
+let fail msg = raise (Invalid_edif msg)
+
+(* ---------- conversion to the concrete EDIF syntax ---------- *)
+
+let library_name = "AMDREL_LIB"
+let design_library = "DESIGNS"
+
+let port_sexp (name, dir) =
+  Sexp.List
+    [
+      Sexp.Atom "port";
+      Sexp.Atom name;
+      Sexp.List
+        [
+          Sexp.Atom "direction";
+          Sexp.Atom (match dir with In -> "INPUT" | Out -> "OUTPUT");
+        ];
+    ]
+
+let cell_sexp (c : Gatelib.cell) =
+  let ports =
+    List.map (fun p -> (p, In)) c.Gatelib.in_ports
+    @ [ (c.Gatelib.out_port, Out) ]
+  in
+  Sexp.List
+    [
+      Sexp.Atom "cell";
+      Sexp.Atom c.Gatelib.cell_name;
+      Sexp.List [ Sexp.Atom "cellType"; Sexp.Atom "GENERIC" ];
+      Sexp.List
+        [
+          Sexp.Atom "view";
+          Sexp.Atom "net";
+          Sexp.List [ Sexp.Atom "viewType"; Sexp.Atom "NETLIST" ];
+          Sexp.List (Sexp.Atom "interface" :: List.map port_sexp ports);
+        ];
+    ]
+
+let dff_cell_sexp =
+  Sexp.List
+    [
+      Sexp.Atom "cell";
+      Sexp.Atom Gatelib.dff_name;
+      Sexp.List [ Sexp.Atom "cellType"; Sexp.Atom "GENERIC" ];
+      Sexp.List
+        [
+          Sexp.Atom "view";
+          Sexp.Atom "net";
+          Sexp.List [ Sexp.Atom "viewType"; Sexp.Atom "NETLIST" ];
+          Sexp.List
+            (Sexp.Atom "interface"
+            :: List.map port_sexp
+                 [ (Gatelib.dff_in, In); (Gatelib.dff_out, Out) ]);
+        ];
+    ]
+
+let portref_sexp (r : portref) =
+  match r.instance with
+  | None -> Sexp.List [ Sexp.Atom "portRef"; Sexp.Atom r.port ]
+  | Some inst ->
+      Sexp.List
+        [
+          Sexp.Atom "portRef";
+          Sexp.Atom r.port;
+          Sexp.List [ Sexp.Atom "instanceRef"; Sexp.Atom inst ];
+        ]
+
+let to_sexp t =
+  let instance_sexp (i : instance) =
+    Sexp.List
+      [
+        Sexp.Atom "instance";
+        Sexp.Atom i.inst_name;
+        Sexp.List
+          [
+            Sexp.Atom "viewRef";
+            Sexp.Atom "net";
+            Sexp.List
+              [
+                Sexp.Atom "cellRef";
+                Sexp.Atom i.cell;
+                Sexp.List [ Sexp.Atom "libraryRef"; Sexp.Atom library_name ];
+              ];
+          ];
+      ]
+  in
+  let net_sexp (n : net) =
+    Sexp.List
+      [
+        Sexp.Atom "net";
+        Sexp.Atom n.net_name;
+        Sexp.List (Sexp.Atom "joined" :: List.map portref_sexp n.joined);
+      ]
+  in
+  Sexp.List
+    [
+      Sexp.Atom "edif";
+      Sexp.Atom t.design;
+      Sexp.List
+        [ Sexp.Atom "edifVersion"; Sexp.Atom "2"; Sexp.Atom "0"; Sexp.Atom "0" ];
+      Sexp.List [ Sexp.Atom "edifLevel"; Sexp.Atom "0" ];
+      Sexp.List
+        [
+          Sexp.Atom "keywordMap";
+          Sexp.List [ Sexp.Atom "keywordLevel"; Sexp.Atom "0" ];
+        ];
+      Sexp.List
+        (Sexp.Atom "library" :: Sexp.Atom library_name
+        :: Sexp.List [ Sexp.Atom "edifLevel"; Sexp.Atom "0" ]
+        :: (List.map cell_sexp Gatelib.comb_cells @ [ dff_cell_sexp ]));
+      Sexp.List
+        [
+          Sexp.Atom "library";
+          Sexp.Atom design_library;
+          Sexp.List [ Sexp.Atom "edifLevel"; Sexp.Atom "0" ];
+          Sexp.List
+            [
+              Sexp.Atom "cell";
+              Sexp.Atom t.design;
+              Sexp.List [ Sexp.Atom "cellType"; Sexp.Atom "GENERIC" ];
+              Sexp.List
+                [
+                  Sexp.Atom "view";
+                  Sexp.Atom "net";
+                  Sexp.List [ Sexp.Atom "viewType"; Sexp.Atom "NETLIST" ];
+                  Sexp.List (Sexp.Atom "interface" :: List.map port_sexp t.ports);
+                  Sexp.List
+                    (Sexp.Atom "contents"
+                    :: (List.map instance_sexp t.instances
+                       @ List.map net_sexp t.nets));
+                ];
+            ];
+        ];
+      Sexp.List
+        [
+          Sexp.Atom "design";
+          Sexp.Atom t.design;
+          Sexp.List
+            [
+              Sexp.Atom "cellRef";
+              Sexp.Atom t.design;
+              Sexp.List [ Sexp.Atom "libraryRef"; Sexp.Atom design_library ];
+            ];
+        ];
+    ]
+
+let to_string t = Sexp.to_string (to_sexp t)
+
+let to_file path t =
+  let oc = open_out path in
+  output_string oc (to_string t);
+  output_char oc '\n';
+  close_out oc
+
+(* ---------- parsing ---------- *)
+
+let atom_exn msg = function
+  | Some (Sexp.Atom a) -> a
+  | _ -> fail msg
+
+let of_sexp sexp =
+  if Sexp.keyword sexp <> Some "edif" then fail "not an EDIF file";
+  let design =
+    match Sexp.body sexp with
+    | Sexp.Atom d :: _ -> d
+    | _ -> fail "missing design name"
+  in
+  (* find the design cell: the cell whose name matches the (design ...)
+     cellRef, or failing that the last cell of the last library *)
+  let libraries = Sexp.children "library" sexp in
+  let top_cell_name =
+    match Sexp.child "design" sexp with
+    | Some d -> (
+        match Sexp.child "cellref" d with
+        | Some cr -> atom_exn "bad cellRef" (List.nth_opt (Sexp.body cr) 0)
+        | None -> design)
+    | None -> design
+  in
+  let cells = List.concat_map (Sexp.children "cell") libraries in
+  let top_cell =
+    match
+      List.find_opt
+        (fun c ->
+          match Sexp.body c with
+          | Sexp.Atom n :: _ -> n = top_cell_name
+          | _ -> false)
+        cells
+    with
+    | Some c -> c
+    | None -> (
+        (* fall back to the only cell that has contents *)
+        match
+          List.find_opt
+            (fun c ->
+              match Sexp.child "view" c with
+              | Some v -> Sexp.child "contents" v <> None
+              | None -> false)
+            cells
+        with
+        | Some c -> c
+        | None -> fail ("cannot find design cell " ^ top_cell_name))
+  in
+  let view =
+    match Sexp.child "view" top_cell with
+    | Some v -> v
+    | None -> fail "design cell has no view"
+  in
+  let ports =
+    match Sexp.child "interface" view with
+    | None -> []
+    | Some itf ->
+        List.map
+          (fun p ->
+            let name = atom_exn "bad port" (List.nth_opt (Sexp.body p) 0) in
+            let dir =
+              match Sexp.child "direction" p with
+              | Some d -> (
+                  match List.nth_opt (Sexp.body d) 0 with
+                  | Some (Sexp.Atom a) when String.uppercase_ascii a = "OUTPUT"
+                    ->
+                      Out
+                  | _ -> In)
+              | None -> In
+            in
+            (name, dir))
+          (Sexp.children "port" itf)
+  in
+  let contents =
+    match Sexp.child "contents" view with
+    | Some c -> c
+    | None -> fail "design cell has no contents"
+  in
+  let instances =
+    List.map
+      (fun i ->
+        let inst_name = atom_exn "bad instance" (List.nth_opt (Sexp.body i) 0) in
+        let cell =
+          match Sexp.child "viewref" i with
+          | Some vr -> (
+              match Sexp.child "cellref" vr with
+              | Some cr -> atom_exn "bad cellRef" (List.nth_opt (Sexp.body cr) 0)
+              | None -> fail ("instance " ^ inst_name ^ " without cellRef"))
+          | None -> (
+              (* some writers put cellRef directly under instance *)
+              match Sexp.child "cellref" i with
+              | Some cr -> atom_exn "bad cellRef" (List.nth_opt (Sexp.body cr) 0)
+              | None -> fail ("instance " ^ inst_name ^ " without cellRef"))
+        in
+        { inst_name; cell })
+      (Sexp.children "instance" contents)
+  in
+  let nets =
+    List.map
+      (fun nt ->
+        let net_name = atom_exn "bad net" (List.nth_opt (Sexp.body nt) 0) in
+        let joined =
+          match Sexp.child "joined" nt with
+          | None -> []
+          | Some j ->
+              List.map
+                (fun pr ->
+                  let port =
+                    atom_exn "bad portRef" (List.nth_opt (Sexp.body pr) 0)
+                  in
+                  let instance =
+                    match Sexp.child "instanceref" pr with
+                    | Some ir ->
+                        Some (atom_exn "bad instanceRef"
+                                (List.nth_opt (Sexp.body ir) 0))
+                    | None -> None
+                  in
+                  { instance; port })
+                (Sexp.children "portref" j)
+        in
+        { net_name; joined })
+      (Sexp.children "net" contents)
+  in
+  { design; ports; instances; nets }
+
+let of_string text = of_sexp (Sexp.of_string text)
+
+let of_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string text
+
+(* ---------- Logic conversion ---------- *)
+
+(* EDIF identifiers: letters, digits, underscore; must not start with a
+   digit.  (DRUID applies this as part of netlist normalisation.) *)
+let sanitize_ident nm =
+  let nm =
+    String.map
+      (fun ch ->
+        if (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z')
+           || (ch >= '0' && ch <= '9') || ch = '_'
+        then ch
+        else '_')
+      nm
+  in
+  if nm = "" then "_"
+  else if nm.[0] >= '0' && nm.[0] <= '9' then "n" ^ nm
+  else nm
+
+(* Convert a Logic network (already in library gates) to EDIF. *)
+let of_logic (net : Logic.t) =
+  (* unique sanitized names per signal *)
+  let used = Hashtbl.create 64 in
+  let signal_name = Array.make (Logic.signal_count net) "" in
+  for id = 0 to Logic.signal_count net - 1 do
+    let base = sanitize_ident (Logic.name net id) in
+    let rec unique nm k =
+      if Hashtbl.mem used nm then unique (Printf.sprintf "%s_%d" base k) (k + 1)
+      else nm
+    in
+    let nm = unique base 0 in
+    Hashtbl.replace used nm ();
+    signal_name.(id) <- nm
+  done;
+  let ports =
+    List.map (fun id -> (signal_name.(id), In)) (Logic.inputs net)
+    @ List.map (fun id -> (signal_name.(id), Out)) (Logic.outputs net)
+  in
+  let instances = ref [] and nets = Hashtbl.create 64 in
+  (* nets keyed by driving signal id: accumulate portrefs *)
+  let touch id = if not (Hashtbl.mem nets id) then Hashtbl.replace nets id [] in
+  let join id r = touch id; Hashtbl.replace nets id (r :: Hashtbl.find nets id) in
+  (* top-level port connections *)
+  List.iter (fun id -> join id { instance = None; port = signal_name.(id) })
+    (Logic.inputs net);
+  List.iter (fun id -> join id { instance = None; port = signal_name.(id) })
+    (Logic.outputs net);
+  for id = 0 to Logic.signal_count net - 1 do
+    match Logic.driver net id with
+    | Logic.Input -> touch id
+    | Logic.Const b ->
+        let inst = "I_" ^ signal_name.(id) in
+        instances :=
+          { inst_name = inst; cell = (if b then "CONST1" else "CONST0") }
+          :: !instances;
+        join id { instance = Some inst; port = "Y" }
+    | Logic.Latch { data; init = _ } ->
+        let inst = "I_" ^ signal_name.(id) in
+        instances := { inst_name = inst; cell = Gatelib.dff_name } :: !instances;
+        join id { instance = Some inst; port = Gatelib.dff_out };
+        join data { instance = Some inst; port = Gatelib.dff_in }
+    | Logic.Gate { tt; fanins } -> (
+        match Gatelib.of_tt tt with
+        | None ->
+            fail
+              (Printf.sprintf "signal %s is not a library gate (tt %s)"
+                 (Logic.name net id) (Tt.to_string tt))
+        | Some cell ->
+            let inst = "I_" ^ signal_name.(id) in
+            instances := { inst_name = inst; cell = cell.Gatelib.cell_name }
+                         :: !instances;
+            join id { instance = Some inst; port = cell.Gatelib.out_port };
+            List.iteri
+              (fun k port -> join fanins.(k) { instance = Some inst; port })
+              cell.Gatelib.in_ports)
+  done;
+  let nets =
+    Hashtbl.fold
+      (fun id joined acc ->
+        { net_name = signal_name.(id); joined = List.rev joined } :: acc)
+      nets []
+    |> List.sort (fun a b -> compare a.net_name b.net_name)
+  in
+  {
+    design = sanitize_ident net.Logic.model;
+    ports;
+    instances = List.rev !instances;
+    nets;
+  }
+
+(* Convert parsed EDIF back to a Logic network. *)
+let to_logic t =
+  let net = Logic.create ~model:t.design () in
+  (* map connection point -> net; find each net's driver *)
+  let point_key r =
+    match r.instance with
+    | None -> "@top:" ^ r.port
+    | Some i -> i ^ ":" ^ r.port
+  in
+  let net_of_point = Hashtbl.create 64 in
+  List.iter
+    (fun n ->
+      List.iter (fun r -> Hashtbl.replace net_of_point (point_key r) n.net_name)
+        n.joined)
+    t.nets;
+  let cell_of_inst = Hashtbl.create 64 in
+  List.iter (fun i -> Hashtbl.replace cell_of_inst i.inst_name i.cell)
+    t.instances;
+  (* every net becomes a signal; resolve drivers afterwards *)
+  let signal nm =
+    match Logic.find net nm with
+    | Some id -> id
+    | None -> Logic.add_input net nm
+  in
+  let net_for r =
+    match Hashtbl.find_opt net_of_point (point_key r) with
+    | Some n -> n
+    | None -> fail ("unconnected port " ^ point_key r)
+  in
+  (* top input ports drive their nets *)
+  List.iter
+    (fun (p, dir) ->
+      if dir = In then ignore (signal (net_for { instance = None; port = p })))
+    t.ports;
+  (* instances drive nets from their output ports *)
+  List.iter
+    (fun (i : instance) ->
+      if i.cell = Gatelib.dff_name then begin
+        let q = signal (net_for { instance = Some i.inst_name; port = Gatelib.dff_out }) in
+        let d = signal (net_for { instance = Some i.inst_name; port = Gatelib.dff_in }) in
+        Logic.set_driver net q (Logic.Latch { data = d; init = false })
+      end
+      else begin
+        let cell = Gatelib.find_exn i.cell in
+        let y = signal (net_for { instance = Some i.inst_name; port = cell.Gatelib.out_port }) in
+        let fanins =
+          Array.of_list
+            (List.map
+               (fun p -> signal (net_for { instance = Some i.inst_name; port = p }))
+               cell.Gatelib.in_ports)
+        in
+        if cell.Gatelib.in_ports = [] then
+          Logic.set_driver net y (Logic.Const (Tt.is_const1 cell.Gatelib.tt))
+        else Logic.set_driver net y (Logic.Gate { tt = cell.Gatelib.tt; fanins })
+      end)
+    t.instances;
+  (* top output ports *)
+  List.iter
+    (fun (p, dir) ->
+      if dir = Out then
+        Logic.set_output net (signal (net_for { instance = None; port = p })))
+    t.ports;
+  net

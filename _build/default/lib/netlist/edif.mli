@@ -1,0 +1,48 @@
+(** EDIF 2.0.0 netlists over the generic gate library ({!Gatelib}).
+
+    The representation keeps what the flow needs: design name, top-level
+    ports, gate/DFF instances and the nets joining ports.  Conversion to
+    and from the Logic IR requires the network to be expressed in library
+    gates (DIVINER's decomposition guarantees that). *)
+
+type direction = In | Out
+
+type instance = { inst_name : string; cell : string }
+
+type portref = { instance : string option; port : string }
+(** A connection point: (Some instance, port) or (None, top-level port). *)
+
+type net = { net_name : string; joined : portref list }
+
+type t = {
+  design : string;
+  ports : (string * direction) list;
+  instances : instance list;
+  nets : net list;
+}
+
+exception Invalid_edif of string
+
+val library_name : string
+val design_library : string
+
+val to_sexp : t -> Sexp.t
+val to_string : t -> string
+val to_file : string -> t -> unit
+
+val of_sexp : Sexp.t -> t
+(** @raise Invalid_edif on a structurally invalid netlist. *)
+
+val of_string : string -> t
+val of_file : string -> t
+
+val sanitize_ident : string -> string
+(** EDIF identifier discipline: alphanumerics and underscore, not starting
+    with a digit (applied by DRUID as part of normalisation). *)
+
+val of_logic : Logic.t -> t
+(** @raise Invalid_edif if a gate is not a library cell. *)
+
+val to_logic : t -> Logic.t
+(** Signals take the EDIF net names.
+    @raise Invalid_edif on dangling ports or unknown cells. *)

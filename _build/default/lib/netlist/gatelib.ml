@@ -1,0 +1,44 @@
+(* The generic gate library shared by DIVINER's EDIF output, DRUID and
+   E2FMT.  Each combinational cell has ordered input ports, one output port
+   and a defining truth table; DFF is the one sequential cell. *)
+
+type cell = {
+  cell_name : string;
+  in_ports : string list;
+  out_port : string;
+  tt : Tt.t; (* over the in_ports, in order *)
+}
+
+let comb_cells =
+  [
+    { cell_name = "CONST0"; in_ports = []; out_port = "Y"; tt = Tt.const0 0 };
+    { cell_name = "CONST1"; in_ports = []; out_port = "Y"; tt = Tt.const1 0 };
+    { cell_name = "BUF"; in_ports = [ "A" ]; out_port = "Y"; tt = Tt.buf };
+    { cell_name = "INV"; in_ports = [ "A" ]; out_port = "Y"; tt = Tt.inv };
+    { cell_name = "AND2"; in_ports = [ "A"; "B" ]; out_port = "Y"; tt = Tt.and_n 2 };
+    { cell_name = "OR2"; in_ports = [ "A"; "B" ]; out_port = "Y"; tt = Tt.or_n 2 };
+    { cell_name = "XOR2"; in_ports = [ "A"; "B" ]; out_port = "Y"; tt = Tt.xor_n 2 };
+    { cell_name = "NAND2"; in_ports = [ "A"; "B" ]; out_port = "Y"; tt = Tt.nand_n 2 };
+    { cell_name = "NOR2"; in_ports = [ "A"; "B" ]; out_port = "Y"; tt = Tt.nor_n 2 };
+    { cell_name = "XNOR2"; in_ports = [ "A"; "B" ]; out_port = "Y"; tt = Tt.xnor_n 2 };
+    { cell_name = "AND3"; in_ports = [ "A"; "B"; "C" ]; out_port = "Y"; tt = Tt.and_n 3 };
+    { cell_name = "OR3"; in_ports = [ "A"; "B"; "C" ]; out_port = "Y"; tt = Tt.or_n 3 };
+    (* MUX2: Y = S ? A : B *)
+    { cell_name = "MUX2"; in_ports = [ "S"; "A"; "B" ]; out_port = "Y"; tt = Tt.mux2 };
+  ]
+
+(* The sequential cell: D in, Q out; the clock is an implicit global. *)
+let dff_name = "DFF"
+let dff_in = "D"
+let dff_out = "Q"
+
+let find name =
+  List.find_opt (fun c -> c.cell_name = name) comb_cells
+
+let find_exn name =
+  match find name with
+  | Some c -> c
+  | None -> invalid_arg ("Gatelib: unknown cell " ^ name)
+
+(* Cell whose truth table equals [tt] exactly (ports in fanin order). *)
+let of_tt tt = List.find_opt (fun c -> Tt.equal c.tt tt) comb_cells

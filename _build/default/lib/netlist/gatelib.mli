@@ -1,0 +1,24 @@
+(** The generic gate library shared by DIVINER's EDIF output, DRUID and
+    E2FMT.  Each combinational cell has ordered input ports, one output
+    port and a defining truth table; DFF is the one sequential cell. *)
+
+type cell = {
+  cell_name : string;
+  in_ports : string list;
+  out_port : string;
+  tt : Tt.t; (** over the in_ports, in order *)
+}
+
+val comb_cells : cell list
+
+val dff_name : string
+val dff_in : string
+val dff_out : string
+
+val find : string -> cell option
+
+val find_exn : string -> cell
+(** @raise Invalid_argument on an unknown cell name. *)
+
+val of_tt : Tt.t -> cell option
+(** The cell whose table equals the argument exactly (fanin order). *)

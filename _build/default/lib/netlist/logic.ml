@@ -1,0 +1,293 @@
+(* Generic logic network: the interchange IR of the whole CAD flow.
+
+   A network is a set of named signals; each signal is driven by a primary
+   input, a constant, a combinational gate (truth table over fanins), or a
+   latch (the flow's flip-flops).  BLIF, EDIF and the VHDL elaborator all
+   read/write this structure; SIS-style optimisation and LUT mapping
+   transform it in place or into a fresh network. *)
+
+type driver =
+  | Input
+  | Const of bool
+  | Gate of { tt : Tt.t; fanins : int array }
+  | Latch of { data : int; init : bool }
+
+type t = {
+  mutable model : string;
+  mutable drivers : driver array;  (* indexed by signal id *)
+  mutable names : string array;
+  mutable count : int;
+  by_name : (string, int) Hashtbl.t;
+  mutable outputs : int list;      (* primary outputs, in declaration order *)
+  mutable clock : string option;   (* single clock domain, by convention *)
+}
+
+let create ?(model = "top") () =
+  {
+    model;
+    drivers = Array.make 16 Input;
+    names = Array.make 16 "";
+    count = 0;
+    by_name = Hashtbl.create 64;
+    outputs = [];
+    clock = None;
+  }
+
+let signal_count t = t.count
+
+let name t id = t.names.(id)
+
+let driver t id = t.drivers.(id)
+
+let find t nm = Hashtbl.find_opt t.by_name nm
+
+let find_exn t nm =
+  match find t nm with
+  | Some id -> id
+  | None -> invalid_arg ("Logic: unknown signal " ^ nm)
+
+let grow t =
+  let cap = Array.length t.drivers in
+  if t.count >= cap then begin
+    let nd = Array.make (2 * cap) Input and nn = Array.make (2 * cap) "" in
+    Array.blit t.drivers 0 nd 0 t.count;
+    Array.blit t.names 0 nn 0 t.count;
+    t.drivers <- nd;
+    t.names <- nn
+  end
+
+let add t nm drv =
+  if Hashtbl.mem t.by_name nm then invalid_arg ("Logic.add: duplicate " ^ nm);
+  grow t;
+  let id = t.count in
+  t.drivers.(id) <- drv;
+  t.names.(id) <- nm;
+  t.count <- t.count + 1;
+  Hashtbl.replace t.by_name nm id;
+  id
+
+let fresh_name t prefix =
+  let rec go k =
+    let nm = Printf.sprintf "%s_%d" prefix k in
+    if Hashtbl.mem t.by_name nm then go (k + 1) else nm
+  in
+  if Hashtbl.mem t.by_name prefix then go 0 else prefix
+
+let add_input t nm = add t nm Input
+
+let add_const t nm v = add t nm (Const v)
+
+let add_gate t nm tt fanins =
+  if Tt.arity tt <> Array.length fanins then
+    invalid_arg "Logic.add_gate: arity mismatch";
+  add t nm (Gate { tt; fanins })
+
+let add_latch t nm ~data ~init = add t nm (Latch { data; init })
+
+(* Replace the driver of an existing signal (used by optimisation passes). *)
+let set_driver t id drv = t.drivers.(id) <- drv
+
+let set_output t id =
+  if not (List.mem id t.outputs) then t.outputs <- t.outputs @ [ id ]
+
+let outputs t = t.outputs
+
+let inputs t =
+  List.filter
+    (fun id -> match t.drivers.(id) with Input -> true | _ -> false)
+    (List.init t.count (fun i -> i))
+
+let latches t =
+  List.filter
+    (fun id -> match t.drivers.(id) with Latch _ -> true | _ -> false)
+    (List.init t.count (fun i -> i))
+
+let gates t =
+  List.filter
+    (fun id -> match t.drivers.(id) with Gate _ -> true | _ -> false)
+    (List.init t.count (fun i -> i))
+
+let fanins t id =
+  match t.drivers.(id) with
+  | Gate g -> Array.to_list g.fanins
+  | Latch l -> [ l.data ]
+  | Input | Const _ -> []
+
+(* Fanout counts over gates, latches and primary outputs. *)
+let fanout_counts t =
+  let counts = Array.make t.count 0 in
+  for id = 0 to t.count - 1 do
+    List.iter (fun f -> counts.(f) <- counts.(f) + 1) (fanins t id)
+  done;
+  List.iter (fun o -> counts.(o) <- counts.(o) + 1) t.outputs;
+  counts
+
+exception Combinational_cycle of string
+
+(* Topological order of the combinational part: inputs, constants and
+   latches are sources; gate fanins must precede the gate. *)
+let topo_order t =
+  let state = Array.make t.count 0 in
+  (* 0 unvisited, 1 visiting, 2 done *)
+  let order = ref [] in
+  let rec visit id =
+    if state.(id) = 1 then raise (Combinational_cycle t.names.(id));
+    if state.(id) = 0 then begin
+      state.(id) <- 1;
+      (match t.drivers.(id) with
+      | Gate g -> Array.iter visit g.fanins
+      | Input | Const _ | Latch _ -> ());
+      state.(id) <- 2;
+      order := id :: !order
+    end
+  in
+  for id = 0 to t.count - 1 do
+    visit id
+  done;
+  List.rev !order
+
+(* Logic depth (levels of gates; inputs/latches at level 0). *)
+let depth t =
+  let level = Array.make t.count 0 in
+  List.iter
+    (fun id ->
+      match t.drivers.(id) with
+      | Gate g ->
+          level.(id) <-
+            1 + Array.fold_left (fun m f -> max m level.(f)) 0 g.fanins
+      | Input | Const _ | Latch _ -> level.(id) <- 0)
+    (topo_order t);
+  Array.fold_left max 0 level
+
+(* Deep copy (drivers are immutable values, arrays are rebuilt). *)
+let copy t =
+  {
+    model = t.model;
+    drivers = Array.sub t.drivers 0 (Array.length t.drivers);
+    names = Array.sub t.names 0 (Array.length t.names);
+    count = t.count;
+    by_name = Hashtbl.copy t.by_name;
+    outputs = t.outputs;
+    clock = t.clock;
+  }
+
+(* ---------- simulation ---------- *)
+
+type sim_state = {
+  values : bool array;        (* current signal values *)
+  order : int list;           (* cached topo order *)
+}
+
+let sim_init t =
+  let st = { values = Array.make t.count false; order = topo_order t } in
+  (* latches start at their initial values *)
+  List.iter
+    (fun id ->
+      match t.drivers.(id) with
+      | Latch l -> st.values.(id) <- l.init
+      | _ -> ())
+    (List.init t.count (fun i -> i));
+  st
+
+(* Evaluate the combinational logic for the given input assignment (a
+   function name -> bool); latches keep their current outputs. *)
+let sim_eval t st input_of =
+  List.iter
+    (fun id ->
+      match t.drivers.(id) with
+      | Input -> st.values.(id) <- input_of t.names.(id)
+      | Const b -> st.values.(id) <- b
+      | Gate g ->
+          let row = ref 0 in
+          Array.iteri
+            (fun i f -> if st.values.(f) then row := !row lor (1 lsl i))
+            g.fanins;
+          st.values.(id) <- Tt.eval g.tt !row
+      | Latch _ -> ())
+    st.order
+
+(* Clock edge: every latch captures its data input (call after sim_eval). *)
+let sim_step t st =
+  let next =
+    List.filter_map
+      (fun id ->
+        match t.drivers.(id) with
+        | Latch l -> Some (id, st.values.(l.data))
+        | _ -> None)
+      (List.init t.count (fun i -> i))
+  in
+  List.iter (fun (id, v) -> st.values.(id) <- v) next
+
+let sim_value st id = st.values.(id)
+
+(* Bit index of a vector signal name: accepts both the elaborator's
+   "base[i]" and the EDIF-sanitised "base_i_" forms. *)
+let vector_bit ~base nm =
+  let n = String.length nm and bn = String.length base in
+  if n <= bn || String.sub nm 0 bn <> base then None
+  else
+    let rest = String.sub nm bn (n - bn) in
+    let digits =
+      if String.length rest >= 3 && rest.[0] = '[' && rest.[String.length rest - 1] = ']'
+      then Some (String.sub rest 1 (String.length rest - 2))
+      else if String.length rest >= 3 && rest.[0] = '_'
+              && rest.[String.length rest - 1] = '_'
+      then Some (String.sub rest 1 (String.length rest - 2))
+      else None
+    in
+    match digits with
+    | Some d when d <> "" && String.for_all (fun c -> c >= '0' && c <= '9') d ->
+        Some (int_of_string d)
+    | _ -> None
+
+(* All signals forming vector [base], as (bit index, signal id). *)
+let find_vector t base =
+  let out = ref [] in
+  for id = 0 to t.count - 1 do
+    match vector_bit ~base t.names.(id) with
+    | Some i -> out := (i, id) :: !out
+    | None -> ()
+  done;
+  List.sort compare !out
+
+(* Read a vector's integer value from a simulation state (output/any bits). *)
+let read_vector t st base =
+  List.fold_left
+    (fun acc (i, id) -> if sim_value st id then acc lor (1 lsl i) else acc)
+    0 (find_vector t base)
+
+(* Drive a vector input in an input table keyed by signal name. *)
+let set_vector_inputs t tbl base width v =
+  ignore width;
+  List.iter
+    (fun (i, id) -> Hashtbl.replace tbl t.names.(id) ((v lsr i) land 1 = 1))
+    (find_vector t base)
+
+(* One-call combinational simulation: returns output values by name. *)
+let simulate_comb t input_of =
+  let st = sim_init t in
+  sim_eval t st input_of;
+  List.map (fun id -> (t.names.(id), st.values.(id))) t.outputs
+
+(* ---------- statistics ---------- *)
+
+type stats = {
+  n_inputs : int;
+  n_outputs : int;
+  n_gates : int;
+  n_latches : int;
+  levels : int;
+}
+
+let stats t =
+  {
+    n_inputs = List.length (inputs t);
+    n_outputs = List.length t.outputs;
+    n_gates = List.length (gates t);
+    n_latches = List.length (latches t);
+    levels = depth t;
+  }
+
+let pp_stats fmt s =
+  Format.fprintf fmt "%d PI, %d PO, %d gates, %d latches, depth %d"
+    s.n_inputs s.n_outputs s.n_gates s.n_latches s.levels

@@ -1,0 +1,126 @@
+(** Generic logic network: the interchange IR of the whole CAD flow.
+
+    A network is a set of named signals; each signal is driven by a
+    primary input, a constant, a combinational gate (truth table over
+    fanins) or a latch.  BLIF, EDIF and the VHDL elaborator read/write
+    this structure; optimisation and LUT mapping transform it. *)
+
+type driver =
+  | Input
+  | Const of bool
+  | Gate of { tt : Tt.t; fanins : int array }
+  | Latch of { data : int; init : bool }
+
+type t = {
+  mutable model : string;
+  mutable drivers : driver array;
+  mutable names : string array;
+  mutable count : int;
+  by_name : (string, int) Hashtbl.t;
+  mutable outputs : int list;     (** primary outputs, declaration order *)
+  mutable clock : string option;  (** the single clock domain, by name *)
+}
+
+val create : ?model:string -> unit -> t
+
+val signal_count : t -> int
+
+val name : t -> int -> string
+
+val driver : t -> int -> driver
+
+val find : t -> string -> int option
+
+val find_exn : t -> string -> int
+(** @raise Invalid_argument on an unknown name. *)
+
+val add : t -> string -> driver -> int
+(** @raise Invalid_argument on a duplicate name. *)
+
+val fresh_name : t -> string -> string
+(** [prefix] itself if unused, else ["prefix_<k>"]. *)
+
+val add_input : t -> string -> int
+val add_const : t -> string -> bool -> int
+
+val add_gate : t -> string -> Tt.t -> int array -> int
+(** @raise Invalid_argument if the table arity and fanin count differ. *)
+
+val add_latch : t -> string -> data:int -> init:bool -> int
+
+val set_driver : t -> int -> driver -> unit
+(** Replace a signal's driver (optimisation passes). *)
+
+val set_output : t -> int -> unit
+(** Mark a primary output (idempotent; order preserved). *)
+
+val outputs : t -> int list
+val inputs : t -> int list
+val latches : t -> int list
+val gates : t -> int list
+
+val fanins : t -> int -> int list
+(** Gate fanins, a latch's data, or [] for sources. *)
+
+val fanout_counts : t -> int array
+(** References per signal from gates, latches and primary outputs. *)
+
+exception Combinational_cycle of string
+(** Raised (with a signal name) by {!topo_order} on a combinational loop. *)
+
+val topo_order : t -> int list
+(** Topological order; inputs, constants and latches are sources. *)
+
+val depth : t -> int
+(** Combinational gate levels (sources at level 0). *)
+
+val copy : t -> t
+(** Independent deep copy. *)
+
+(** {2 Vector-name helpers}
+
+    Vector bits are named ["base[i]"] by the elaborator and ["base_i_"]
+    after EDIF sanitisation; both forms resolve. *)
+
+val vector_bit : base:string -> string -> int option
+val find_vector : t -> string -> (int * int) list
+(** (bit index, signal id) sorted by bit. *)
+
+(** {2 Simulation} *)
+
+type sim_state
+
+val sim_init : t -> sim_state
+(** Fresh state; latches start at their initial values. *)
+
+val sim_eval : t -> sim_state -> (string -> bool) -> unit
+(** Settle the combinational logic under the given input assignment. *)
+
+val sim_step : t -> sim_state -> unit
+(** Clock edge: every latch captures its data (call after {!sim_eval}). *)
+
+val sim_value : sim_state -> int -> bool
+
+val simulate_comb : t -> (string -> bool) -> (string * bool) list
+(** One-call combinational evaluation; output values by name. *)
+
+val read_vector : t -> sim_state -> string -> int
+(** Integer value of a named vector in the state. *)
+
+val set_vector_inputs :
+  t -> (string, bool) Hashtbl.t -> string -> int -> int -> unit
+(** Drive a vector in an input table keyed by signal name. *)
+
+(** {2 Statistics} *)
+
+type stats = {
+  n_inputs : int;
+  n_outputs : int;
+  n_gates : int;
+  n_latches : int;
+  levels : int;
+}
+
+val stats : t -> stats
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,144 @@
+(* Exact two-level minimisation: Quine-McCluskey prime generation followed
+   by branch-and-bound unate covering.
+
+   This plays the role SIS's espresso plays when the flow writes SOP
+   covers: the BLIF emitted after mapping carries minimum covers instead
+   of the greedy expansion {!Tt.to_cubes} produces.  With at most
+   Tt.max_vars = 5 variables (32 minterms) the exact algorithm is cheap. *)
+
+(* A cube as (mask, value): mask bit set = the variable is specified and
+   must equal the corresponding value bit. *)
+type cube = { mask : int; value : int }
+
+let cube_covers cube row = row land cube.mask = cube.value
+
+(* All prime implicants of [tt] by iterated pairwise merging. *)
+let primes (tt : Tt.t) =
+  let n = Tt.arity tt in
+  let full = (1 lsl n) - 1 in
+  let on_set =
+    List.filter (fun r -> Tt.eval tt r) (List.init (1 lsl n) (fun r -> r))
+  in
+  if on_set = [] then []
+  else begin
+    (* generations of cubes; a cube is prime if no merge consumed it *)
+    let current = ref (List.map (fun r -> { mask = full; value = r }) on_set) in
+    let primes = ref [] in
+    let continue_ = ref true in
+    while !continue_ do
+      let merged = Hashtbl.create 16 in
+      let next = Hashtbl.create 16 in
+      List.iter
+        (fun a ->
+          List.iter
+            (fun b ->
+              if a.mask = b.mask then begin
+                let diff = a.value lxor b.value in
+                (* merge when the values differ in exactly one specified bit *)
+                if diff <> 0 && diff land (diff - 1) = 0 && diff land a.mask <> 0
+                then begin
+                  let c = { mask = a.mask land lnot diff;
+                            value = a.value land lnot diff } in
+                  Hashtbl.replace next (c.mask, c.value) c;
+                  Hashtbl.replace merged (a.mask, a.value) ();
+                  Hashtbl.replace merged (b.mask, b.value) ()
+                end
+              end)
+            !current)
+        !current;
+      List.iter
+        (fun c ->
+          if not (Hashtbl.mem merged (c.mask, c.value)) then
+            primes := c :: !primes)
+        !current;
+      current := Hashtbl.fold (fun _ c acc -> c :: acc) next [];
+      if !current = [] then continue_ := false
+    done;
+    List.sort_uniq compare !primes
+  end
+
+(* Exact minimum cover of the on-set by primes, by branch and bound on
+   cover size.  The search is budgeted: functions with pathologically many
+   primes fall back to the greedy cover (still correct, possibly larger),
+   keeping worst-case runtime bounded. *)
+let search_budget = 20_000
+
+let min_cover (tt : Tt.t) =
+  let n = Tt.arity tt in
+  let on_set =
+    List.filter (fun r -> Tt.eval tt r) (List.init (1 lsl n) (fun r -> r))
+  in
+  if on_set = [] then []
+  else begin
+    let ps = Array.of_list (primes tt) in
+    let covers_of_row =
+      List.map
+        (fun row ->
+          ( row,
+            List.filter
+              (fun i -> cube_covers ps.(i) row)
+              (List.init (Array.length ps) (fun i -> i)) ))
+        on_set
+    in
+    (* branch and bound over remaining rows *)
+    let best = ref None in
+    let best_size = ref max_int in
+    let nodes = ref 0 in
+    let exception Budget in
+    let rec search chosen remaining =
+      incr nodes;
+      if !nodes > search_budget then raise Budget;
+      let size = List.length chosen in
+      if size >= !best_size then ()
+      else
+        match remaining with
+        | [] ->
+            best := Some chosen;
+            best_size := size
+        | _ ->
+            (* pick the uncovered row with the fewest candidate primes *)
+            let row, candidates =
+              List.fold_left
+                (fun (br, bc) (r, c) ->
+                  if List.length c < List.length bc then (r, c) else (br, bc))
+                (List.hd remaining) (List.tl remaining)
+            in
+            ignore row;
+            List.iter
+              (fun i ->
+                let remaining' =
+                  List.filter (fun (r, _) -> not (cube_covers ps.(i) r)) remaining
+                in
+                search (i :: chosen) remaining')
+              candidates
+    in
+    (match search [] covers_of_row with
+    | () -> ()
+    | exception Budget -> ());
+    match !best with
+    | None ->
+        (* budget exhausted before any full cover: fall back to greedy *)
+        Tt.to_cubes tt
+    | Some chosen ->
+        List.rev_map
+          (fun i ->
+            let c = ps.(i) in
+            Array.init n (fun bit ->
+                if c.mask land (1 lsl bit) = 0 then Tt.Dash
+                else if c.value land (1 lsl bit) <> 0 then Tt.One
+                else Tt.Zero))
+          chosen
+  end
+
+(* Sanity helper: a cover's function. *)
+let cover_function n cubes = Tt.of_cubes n cubes
+
+(* Literal count of a cover (the area metric two-level minimisers report). *)
+let literal_count cubes =
+  List.fold_left
+    (fun acc cube ->
+      acc
+      + Array.fold_left
+          (fun a lit -> match lit with Tt.Dash -> a | _ -> a + 1)
+          0 cube)
+    0 cubes

@@ -1,0 +1,27 @@
+(** Exact two-level minimisation: Quine-McCluskey prime generation plus
+    branch-and-bound unate covering.
+
+    Plays espresso's role when the flow writes SOP covers; with at most
+    {!Tt.max_vars} = 5 variables the exact algorithm is cheap. *)
+
+type cube = { mask : int; value : int }
+(** A cube as (mask, value): a set mask bit means the variable is
+    specified and must equal the value bit. *)
+
+val cube_covers : cube -> int -> bool
+
+val primes : Tt.t -> cube list
+(** All prime implicants of the on-set. *)
+
+val search_budget : int
+(** Branch-and-bound node budget; beyond it the greedy cover is used. *)
+
+val min_cover : Tt.t -> Tt.literal array list
+(** A minimum-cardinality prime cover of the on-set (BLIF literal form);
+    [] for the constant-0 function.  Within {!search_budget} the cover is
+    exactly minimum; pathological functions fall back to the greedy cover
+    (correct, possibly larger). *)
+
+val cover_function : int -> Tt.literal array list -> Tt.t
+
+val literal_count : Tt.literal array list -> int

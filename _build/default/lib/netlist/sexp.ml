@@ -1,0 +1,129 @@
+(* S-expressions: the concrete syntax of EDIF. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of int * string
+
+(* EDIF atoms may contain letters, digits and a few punctuation characters;
+   strings are double-quoted. *)
+let of_string text =
+  let n = String.length text in
+  let pos = ref 0 in
+  let line = ref 1 in
+  let fail msg = raise (Parse_error (!line, msg)) in
+  let peek () = if !pos < n then Some text.[!pos] else None in
+  let advance () =
+    if !pos < n then begin
+      if text.[!pos] = '\n' then incr line;
+      incr pos
+    end
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let atom_char c =
+    match c with
+    | '(' | ')' | ' ' | '\t' | '\n' | '\r' | '"' -> false
+    | _ -> true
+  in
+  let read_atom () =
+    let start = !pos in
+    while (match peek () with Some c -> atom_char c | None -> false) do
+      advance ()
+    done;
+    Atom (String.sub text start (!pos - start))
+  in
+  let read_string () =
+    advance ();
+    (* opening quote *)
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Atom (Printf.sprintf "%S" (Buffer.contents buf))
+  in
+  let rec read_sexp () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '(' ->
+        advance ();
+        let rec items acc =
+          skip_ws ();
+          match peek () with
+          | None -> fail "unterminated list"
+          | Some ')' ->
+              advance ();
+              List (List.rev acc)
+          | Some _ -> items (read_sexp () :: acc)
+        in
+        items []
+    | Some '"' -> read_string ()
+    | Some ')' -> fail "unexpected )"
+    | Some _ -> read_atom ()
+  in
+  let result = read_sexp () in
+  skip_ws ();
+  if !pos <> n then fail "trailing characters";
+  result
+
+let rec to_buffer ?(indent = 0) buf t =
+  let pad k = Buffer.add_string buf (String.make k ' ') in
+  match t with
+  | Atom a -> Buffer.add_string buf a
+  | List items ->
+      Buffer.add_char buf '(';
+      let simple =
+        List.for_all (function Atom _ -> true | List _ -> false) items
+        && List.length items <= 6
+      in
+      if simple then
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ' ';
+            to_buffer ~indent buf item)
+          items
+      else
+        List.iteri
+          (fun i item ->
+            if i > 0 then begin
+              Buffer.add_char buf '\n';
+              pad (indent + 2)
+            end;
+            to_buffer ~indent:(indent + 2) buf item)
+          items;
+      Buffer.add_char buf ')'
+
+let to_string t =
+  let buf = Buffer.create 256 in
+  to_buffer buf t;
+  Buffer.contents buf
+
+(* Accessors used by the EDIF reader. *)
+let atom = function Atom a -> Some a | List _ -> None
+
+let keyword = function
+  | List (Atom k :: _) -> Some (String.lowercase_ascii k)
+  | _ -> None
+
+(* All sub-lists whose head atom matches [k] (case-insensitive). *)
+let children k = function
+  | List (_ :: rest) ->
+      List.filter (fun s -> keyword s = Some (String.lowercase_ascii k)) rest
+  | _ -> []
+
+let child k sexp = match children k sexp with s :: _ -> Some s | [] -> None
+
+(* Body of a list node: elements after the head keyword. *)
+let body = function List (_ :: rest) -> rest | _ -> []

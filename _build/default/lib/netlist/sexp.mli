@@ -1,0 +1,29 @@
+(** S-expressions: the concrete syntax of EDIF. *)
+
+type t = Atom of string | List of t list
+
+exception Parse_error of int * string
+
+val of_string : string -> t
+(** Parse one s-expression (strings are kept quoted in the atom).
+    @raise Parse_error on malformed input or trailing characters. *)
+
+val to_buffer : ?indent:int -> Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Pretty-printed with two-space indentation for non-trivial lists. *)
+
+(** {2 Accessors used by the EDIF reader} *)
+
+val atom : t -> string option
+
+val keyword : t -> string option
+(** Lowercased head atom of a list node. *)
+
+val children : string -> t -> t list
+(** Sub-lists whose head matches (case-insensitive). *)
+
+val child : string -> t -> t option
+
+val body : t -> t list
+(** Elements after the head keyword. *)

@@ -1,0 +1,178 @@
+(* Truth tables over up to 6 variables, packed into one int.
+
+   Bit [i] of [bits] is the function value on the input assignment whose
+   binary encoding is [i] (variable 0 is the least significant input).
+   Six variables need 64 bits; OCaml's 63-bit int covers our K <= 6 LUTs
+   because we cap [max_vars] at 5... no: we keep 6 by using Int64-free
+   masking — 2^6 = 64 rows exceed 62 usable bits, so the cap is 5 for a
+   plain int.  LUT size in this framework is K = 4, and every algorithm
+   (FlowMap, packing) is bounded by K + 1, so [max_vars] = 5 is sufficient
+   headroom and keeps the representation allocation-free. *)
+
+let max_vars = 5
+
+type t = { n : int; bits : int }
+
+let rows n = 1 lsl n
+
+let mask n = (1 lsl rows n) - 1
+
+let create n bits =
+  if n < 0 || n > max_vars then invalid_arg "Tt.create: bad arity";
+  { n; bits = bits land mask n }
+
+let arity t = t.n
+
+let bits t = t.bits
+
+let const0 n = create n 0
+
+let const1 n = create n (mask n)
+
+(* Projection onto variable [i]: f(x) = x_i. *)
+let var n i =
+  if i < 0 || i >= n then invalid_arg "Tt.var: index out of range";
+  let b = ref 0 in
+  for row = 0 to rows n - 1 do
+    if row land (1 lsl i) <> 0 then b := !b lor (1 lsl row)
+  done;
+  create n !b
+
+let same_arity a b =
+  if a.n <> b.n then invalid_arg "Tt: arity mismatch"
+
+let lnot a = create a.n (lnot a.bits)
+
+let land_ a b = same_arity a b; create a.n (a.bits land b.bits)
+
+let lor_ a b = same_arity a b; create a.n (a.bits lor b.bits)
+
+let lxor_ a b = same_arity a b; create a.n (a.bits lxor b.bits)
+
+let equal a b = a.n = b.n && a.bits = b.bits
+
+let is_const0 t = t.bits = 0
+
+let is_const1 t = t.bits = mask t.n
+
+(* Value on one input assignment given as a bit vector (bit i = input i). *)
+let eval t assignment =
+  (t.bits lsr (assignment land (rows t.n - 1))) land 1 = 1
+
+(* Positive/negative cofactor with respect to variable [i] (same arity). *)
+let cofactor t i value =
+  let b = ref 0 in
+  for row = 0 to rows t.n - 1 do
+    let row' =
+      if value then row lor (1 lsl i) else row land Stdlib.lnot (1 lsl i)
+    in
+    if (t.bits lsr row') land 1 = 1 then b := !b lor (1 lsl row)
+  done;
+  create t.n !b
+
+(* Does the function actually depend on variable [i]? *)
+let depends_on t i = not (equal (cofactor t i false) (cofactor t i true))
+
+(* Variables in the true support. *)
+let support t = List.filter (depends_on t) (List.init t.n (fun i -> i))
+
+(* Re-express [t] over a new variable list: [perm.(j)] gives, for new input
+   j, the old input index it corresponds to.  The new arity is the length of
+   [perm]; old variables not mentioned must be outside the support. *)
+let permute t perm =
+  let n' = Array.length perm in
+  if n' > max_vars then invalid_arg "Tt.permute: too many variables";
+  let b = ref 0 in
+  for row' = 0 to rows n' - 1 do
+    (* build an old-row with don't-care variables at 0 *)
+    let old_row = ref 0 in
+    Array.iteri
+      (fun j i -> if row' land (1 lsl j) <> 0 then old_row := !old_row lor (1 lsl i))
+      perm;
+    if (t.bits lsr !old_row) land 1 = 1 then b := !b lor (1 lsl row')
+  done;
+  create n' !b
+
+(* Shrink to the true support; returns (new table, support list). *)
+let compact t =
+  let sup = support t in
+  (permute t (Array.of_list sup), sup)
+
+(* Build an n-ary function by composing a 2-input operation left to right. *)
+let reduce op = function
+  | [] -> invalid_arg "Tt.reduce: empty"
+  | first :: rest -> List.fold_left op first rest
+
+(* SOP cover: list of cubes, each cube an array of [`Zero | `One | `Dash]
+   of length n, in BLIF's on-set convention. *)
+type literal = Zero | One | Dash
+
+let cube_matches cube row =
+  let ok = ref true in
+  Array.iteri
+    (fun i lit ->
+      let bit = (row lsr i) land 1 in
+      match lit with
+      | Zero -> if bit <> 0 then ok := false
+      | One -> if bit <> 1 then ok := false
+      | Dash -> ())
+    cube;
+  !ok
+
+let of_cubes n cubes =
+  let b = ref 0 in
+  for row = 0 to rows n - 1 do
+    if List.exists (fun cube -> cube_matches cube row) cubes then
+      b := !b lor (1 lsl row)
+  done;
+  create n !b
+
+(* Simple cube extraction: start from minterms and greedily grow each cube
+   by dropping literals while it stays inside the on-set.  Not minimal, but
+   compact enough for readable BLIF output. *)
+let to_cubes t =
+  let n = t.n in
+  let covered = Array.make (rows n) false in
+  let inside cube =
+    let ok = ref true in
+    for row = 0 to rows n - 1 do
+      if cube_matches cube row && not (eval t row) then ok := false
+    done;
+    !ok
+  in
+  let out = ref [] in
+  for row = 0 to rows n - 1 do
+    if eval t row && not covered.(row) then begin
+      let cube =
+        Array.init n (fun i -> if (row lsr i) land 1 = 1 then One else Zero)
+      in
+      (* greedy literal dropping *)
+      for i = 0 to n - 1 do
+        let saved = cube.(i) in
+        cube.(i) <- Dash;
+        if not (inside cube) then cube.(i) <- saved
+      done;
+      for r = 0 to rows n - 1 do
+        if cube_matches cube r then covered.(r) <- true
+      done;
+      out := Array.copy cube :: !out
+    end
+  done;
+  List.rev !out
+
+let to_string t =
+  String.init (rows t.n) (fun i -> if eval t i then '1' else '0')
+
+(* Common gate functions. *)
+let and_n n = reduce land_ (List.init n (var n))
+let or_n n = reduce lor_ (List.init n (var n))
+let xor_n n = reduce lxor_ (List.init n (var n))
+let nand_n n = lnot (and_n n)
+let nor_n n = lnot (or_n n)
+let xnor_n n = lnot (xor_n n)
+let buf = var 1 0
+let inv = lnot buf
+(* mux: inputs (sel, a, b) -> sel ? a : b *)
+let mux2 =
+  let sel = var 3 0 and a = var 3 1 and b = var 3 2 in
+  lor_ (land_ sel a) (land_ (lnot sel) b)

@@ -1,0 +1,89 @@
+(** Truth tables over up to {!max_vars} variables, packed into one [int].
+
+    Bit [i] of the table is the function value on the input assignment
+    whose binary encoding is [i] (variable 0 is the least significant
+    input).  LUT size in this framework is K = 4 and every algorithm is
+    bounded by K + 1, so the 5-variable cap keeps the representation
+    allocation-free. *)
+
+type t
+
+val max_vars : int
+(** Maximum arity (5). *)
+
+val create : int -> int -> t
+(** [create n bits] over [n] variables; excess bits are masked.
+    @raise Invalid_argument if [n] is out of range. *)
+
+val arity : t -> int
+
+val bits : t -> int
+(** The packed table (low [2^arity] bits). *)
+
+val const0 : int -> t
+val const1 : int -> t
+
+val var : int -> int -> t
+(** [var n i] is the projection x_i over [n] variables. *)
+
+val lnot : t -> t
+val land_ : t -> t -> t
+val lor_ : t -> t -> t
+val lxor_ : t -> t -> t
+(** Pointwise connectives. @raise Invalid_argument on arity mismatch. *)
+
+val equal : t -> t -> bool
+val is_const0 : t -> bool
+val is_const1 : t -> bool
+
+val eval : t -> int -> bool
+(** [eval t row] with [row]'s bit [i] the value of variable [i]. *)
+
+val cofactor : t -> int -> bool -> t
+(** Cofactor with respect to one variable (same arity). *)
+
+val depends_on : t -> int -> bool
+
+val support : t -> int list
+(** Variables the function actually depends on, ascending. *)
+
+val permute : t -> int array -> t
+(** [permute t perm] re-expresses [t] over new variables where
+    [perm.(j)] is the old index of new input [j]; old variables not
+    mentioned must be outside the support. *)
+
+val compact : t -> t * int list
+(** Shrink to the true support; returns the smaller table and the support. *)
+
+val reduce : (t -> t -> t) -> t list -> t
+(** Left fold of a binary connective. @raise Invalid_argument on []. *)
+
+(** {2 Sum-of-products covers (BLIF's cube notation)} *)
+
+type literal = Zero | One | Dash
+
+val cube_matches : literal array -> int -> bool
+
+val of_cubes : int -> literal array list -> t
+(** On-set union of the cubes. *)
+
+val to_cubes : t -> literal array list
+(** A (non-minimal but compact) cover: minterm seeds greedily expanded by
+    literal dropping. *)
+
+val to_string : t -> string
+(** Row-ordered 0/1 string, row 0 first. *)
+
+(** {2 Common gate functions} *)
+
+val and_n : int -> t
+val or_n : int -> t
+val xor_n : int -> t
+val nand_n : int -> t
+val nor_n : int -> t
+val xnor_n : int -> t
+val buf : t
+val inv : t
+
+val mux2 : t
+(** Inputs (sel, a, b): sel ? a : b. *)

@@ -1,0 +1,17 @@
+(** VCD (Value Change Dump) writer for logic-network simulations.
+
+    One scalar wire per recorded signal; viewers reconstruct vectors from
+    the ["base\[i\]"] names. *)
+
+type recorder
+
+val create : ?signals:int list -> Logic.t -> recorder
+(** Record the given signals (default: inputs, latches and outputs). *)
+
+val sample : ?timescale:string -> recorder -> Logic.sim_state -> time:int -> unit
+(** Record the state at [time]; only changes are emitted.  The header is
+    written on the first sample. *)
+
+val contents : recorder -> string
+
+val to_file : string -> recorder -> unit

@@ -1,0 +1,84 @@
+(* AST for the synthesizable VHDL subset accepted by the flow's front end
+   (the paper's VHDL Parser + DIVINER stages).
+
+   Supported: entity/architecture pairs; std_logic and std_logic_vector
+   ports and signals; concurrent (conditional) signal assignments; logical,
+   comparison and unsigned-add/sub operators; concatenation and indexing;
+   processes with rising_edge clocks, async resets, if/elsif/else and case
+   statements. *)
+
+type typ = Std_logic | Std_logic_vector of int * int (* hi downto lo *)
+
+let width = function Std_logic -> 1 | Std_logic_vector (hi, lo) -> hi - lo + 1
+
+type direction = In | Out
+
+type port = { port_name : string; dir : direction; typ : typ }
+
+type binop =
+  | And
+  | Or
+  | Nand
+  | Nor
+  | Xor
+  | Xnor
+  | Add
+  | Sub
+  | Eq
+  | Neq
+  | Lt   (* unsigned vector/bit comparisons *)
+  | Gt
+  | Le
+  | Ge
+
+type expr =
+  | Name of string
+  | Indexed of string * expr    (* index must elaborate to a constant *)
+  | Slice of string * expr * expr (* hi downto lo, constant bounds *)
+  | Char_lit of char            (* '0' | '1' *)
+  | String_lit of string        (* "0101", MSB first *)
+  | Int_lit of int              (* for  = integer comparisons, e.g. counters *)
+  | Not of expr
+  | Binop of binop * expr * expr
+  | Concat of expr * expr
+  | Call of string * expr list  (* rising_edge(clk), falling_edge(clk) *)
+  | Aggregate_others of char    (* (others => '0') / (others => '1') *)
+
+type seq_stmt =
+  | Assign of expr * expr (* target <= value *)
+  | If of (expr * seq_stmt list) list * seq_stmt list (* branches, else *)
+  | Case of expr * (case_choice * seq_stmt list) list
+
+and case_choice = Choice of expr | Others
+
+type association = Named of string * expr | Positional of expr
+
+type concurrent =
+  | Cond_assign of { target : expr; branches : (expr * expr) list; default : expr }
+      (* target <= v1 when c1 else v2 when c2 else vd *)
+  | Process of { sensitivity : string list; body : seq_stmt list }
+  | Instance of { label : string; component : string; port_map : association list }
+      (* u1 : counter4 port map (clk => clk, q => q1); *)
+  | Generate of { label : string; var : string; lo : expr; hi : expr;
+                  body : concurrent list }
+      (* g : for i in 0 to 7 generate ... end generate; *)
+
+type entity = { entity_name : string; ports : port list }
+
+type architecture = {
+  arch_name : string;
+  of_entity : string;
+  signals : (string * typ) list;
+  stmts : concurrent list;
+}
+
+type design = { entity : entity; arch : architecture }
+
+(* A source file may hold several entity/architecture pairs; the last one
+   is the default top. *)
+type file = design list
+
+let binop_name = function
+  | And -> "and" | Or -> "or" | Nand -> "nand" | Nor -> "nor"
+  | Xor -> "xor" | Xnor -> "xnor" | Add -> "+" | Sub -> "-"
+  | Eq -> "=" | Neq -> "/=" | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">="

@@ -1,0 +1,121 @@
+(* Hand-written lexer for the VHDL subset.  VHDL is case-insensitive:
+   identifiers and keywords are lowercased. *)
+
+type token =
+  | Ident of string
+  | Int of int
+  | Char_lit of char
+  | String_lit of string
+  | Lparen
+  | Rparen
+  | Semicolon
+  | Colon
+  | Comma
+  | Assign   (* <= *)
+  | Arrow    (* => *)
+  | Eq       (* = *)
+  | Neq      (* /= *)
+  | Amp      (* & *)
+  | Plus
+  | Minus
+  | Lt       (* < *)
+  | Gt       (* > *)
+  | Ge       (* >= *)
+  | Eof
+
+type lexeme = { tok : token; line : int }
+
+exception Lex_error of int * string
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+
+(* '.' admits selected names (work.foo, ieee.std_logic_1164.all) as single
+   identifiers; only context clauses use them and those are skipped. *)
+let is_ident_char c =
+  is_ident_start c || (c >= '0' && c <= '9') || c = '_' || c = '.'
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize text =
+  let n = String.length text in
+  let pos = ref 0 and line = ref 1 in
+  let out = ref [] in
+  let emit tok = out := { tok; line = !line } :: !out in
+  let peek k = if !pos + k < n then Some text.[!pos + k] else None in
+  while !pos < n do
+    let c = text.[!pos] in
+    if c = '\n' then begin incr line; incr pos end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '-' && peek 1 = Some '-' then begin
+      (* comment to end of line *)
+      while !pos < n && text.[!pos] <> '\n' do incr pos done
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while !pos < n && is_ident_char text.[!pos] do incr pos done;
+      emit (Ident (String.lowercase_ascii (String.sub text start (!pos - start))))
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < n && is_digit text.[!pos] do incr pos done;
+      emit (Int (int_of_string (String.sub text start (!pos - start))))
+    end
+    else if c = '\'' then begin
+      (* char literal: '0' or '1' (attributes are not supported) *)
+      match (peek 1, peek 2) with
+      | Some v, Some '\'' when v = '0' || v = '1' ->
+          emit (Char_lit v);
+          pos := !pos + 3
+      | _ -> raise (Lex_error (!line, "bad character literal"))
+    end
+    else if c = '"' then begin
+      let start = !pos + 1 in
+      let close = ref start in
+      while !close < n && text.[!close] <> '"' do incr close done;
+      if !close >= n then raise (Lex_error (!line, "unterminated string"));
+      let s = String.sub text start (!close - start) in
+      String.iter
+        (fun ch ->
+          if ch <> '0' && ch <> '1' then
+            raise (Lex_error (!line, "bit-string literals may contain only 0/1")))
+        s;
+      emit (String_lit s);
+      pos := !close + 1
+    end
+    else begin
+      let two = if !pos + 1 < n then String.sub text !pos 2 else "" in
+      match two with
+      | "<=" -> emit Assign; pos := !pos + 2
+      | "=>" -> emit Arrow; pos := !pos + 2
+      | "/=" -> emit Neq; pos := !pos + 2
+      | ">=" -> emit Ge; pos := !pos + 2
+      | _ -> (
+          (match c with
+          | '(' -> emit Lparen
+          | ')' -> emit Rparen
+          | ';' -> emit Semicolon
+          | ':' -> emit Colon
+          | ',' -> emit Comma
+          | '=' -> emit Eq
+          | '&' -> emit Amp
+          | '+' -> emit Plus
+          | '-' -> emit Minus
+          | '<' -> emit Lt
+          | '>' -> emit Gt
+          | _ ->
+              raise
+                (Lex_error (!line, Printf.sprintf "unexpected character %c" c)));
+          incr pos)
+    end
+  done;
+  emit Eof;
+  List.rev !out
+
+let token_name = function
+  | Ident s -> Printf.sprintf "identifier %s" s
+  | Int i -> Printf.sprintf "integer %d" i
+  | Char_lit c -> Printf.sprintf "'%c'" c
+  | String_lit s -> Printf.sprintf "\"%s\"" s
+  | Lparen -> "(" | Rparen -> ")" | Semicolon -> ";" | Colon -> ":"
+  | Comma -> "," | Assign -> "<=" | Arrow -> "=>" | Eq -> "=" | Neq -> "/="
+  | Amp -> "&" | Plus -> "+" | Minus -> "-" | Lt -> "<" | Gt -> ">"
+  | Ge -> ">=" | Eof -> "end of file"

@@ -1,0 +1,578 @@
+(* Recursive-descent parser for the VHDL subset (see Vhdl_ast).
+
+   Also exposes [check] — the paper's standalone "VHDL Parser" tool, which
+   only reports syntax validity. *)
+
+open Vhdl_ast
+open Vhdl_lexer
+
+exception Parse_error of int * string
+
+type state = { mutable toks : lexeme list }
+
+let fail st msg =
+  let line = match st.toks with l :: _ -> l.line | [] -> 0 in
+  raise (Parse_error (line, msg))
+
+let peek st = match st.toks with l :: _ -> l.tok | [] -> Eof
+
+let advance st =
+  match st.toks with _ :: rest -> st.toks <- rest | [] -> ()
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    fail st
+      (Printf.sprintf "expected %s, found %s" (token_name tok)
+         (token_name (peek st)))
+
+let expect_kw st kw =
+  match peek st with
+  | Ident k when k = kw -> advance st
+  | t -> fail st (Printf.sprintf "expected '%s', found %s" kw (token_name t))
+
+let ident st =
+  match peek st with
+  | Ident k -> advance st; k
+  | t -> fail st (Printf.sprintf "expected identifier, found %s" (token_name t))
+
+let int_lit st =
+  match peek st with
+  | Int i -> advance st; i
+  | t -> fail st (Printf.sprintf "expected integer, found %s" (token_name t))
+
+let keywords =
+  [ "entity"; "is"; "port"; "in"; "out"; "end"; "architecture"; "of";
+    "signal"; "begin"; "process"; "if"; "then"; "elsif"; "else"; "case";
+    "when"; "others"; "and"; "or"; "nand"; "nor"; "xor"; "xnor"; "not";
+    "downto"; "std_logic"; "std_logic_vector" ]
+
+let is_keyword k = List.mem k keywords
+
+(* ---------- types ---------- *)
+
+let parse_type st =
+  match peek st with
+  | Ident "std_logic" -> advance st; Std_logic
+  | Ident "std_logic_vector" ->
+      advance st;
+      expect st Lparen;
+      let hi = int_lit st in
+      expect_kw st "downto";
+      let lo = int_lit st in
+      expect st Rparen;
+      if lo <> 0 then fail st "only (N downto 0) vectors are supported";
+      Std_logic_vector (hi, lo)
+  | t -> fail st ("expected a type, found " ^ token_name t)
+
+(* ---------- expressions ---------- *)
+
+(* primary := literal | name | name(int[ downto int]) | call(args) | (expr) *)
+let rec parse_primary st =
+  match peek st with
+  | Char_lit c -> advance st; Vhdl_ast.Char_lit c
+  | String_lit s -> advance st; Vhdl_ast.String_lit s
+  | Int i -> advance st; Vhdl_ast.Int_lit i
+  | Lparen ->
+      advance st;
+      (* aggregate (others => '0'|'1') or a parenthesised expression *)
+      (match peek st with
+      | Ident "others" ->
+          advance st;
+          expect st Arrow;
+          let c =
+            match peek st with
+            | Char_lit c -> advance st; c
+            | t -> fail st ("expected '0' or '1', found " ^ token_name t)
+          in
+          expect st Rparen;
+          Aggregate_others c
+      | _ ->
+          let e = parse_expr st in
+          expect st Rparen;
+          e)
+  | Ident "not" ->
+      advance st;
+      Not (parse_primary st)
+  | Ident nm when not (is_keyword nm) ->
+      advance st;
+      if peek st = Lparen then begin
+        advance st;
+        (* name(expr), name(hi downto lo), or call(expr {, expr}) *)
+        let first = parse_expr st in
+        match peek st with
+        | Ident "downto" ->
+            advance st;
+            let lo = parse_expr st in
+            expect st Rparen;
+            Slice (nm, first, lo)
+        | Comma ->
+            let rec args acc =
+              advance st;
+              let a = parse_expr st in
+              if peek st = Comma then args (a :: acc)
+              else List.rev (a :: acc)
+            in
+            let rest = args [ first ] in
+            expect st Rparen;
+            Call (nm, rest)
+        | Rparen ->
+            advance st;
+            (* single parenthesised argument: an index for signals, a call
+               for the clock-edge predicates *)
+            if nm = "rising_edge" || nm = "falling_edge" then Call (nm, [ first ])
+            else Indexed (nm, first)
+        | t -> fail st ("unexpected " ^ token_name t)
+      end
+      else Name nm
+  | t -> fail st ("expected an expression, found " ^ token_name t)
+
+(* factor := primary  (not handled in primary for tightest binding) *)
+and parse_addend st =
+  let rec go lhs =
+    match peek st with
+    | Plus -> advance st; go (Binop (Add, lhs, parse_primary st))
+    | Minus -> advance st; go (Binop (Sub, lhs, parse_primary st))
+    | Amp -> advance st; go (Concat (lhs, parse_primary st))
+    | _ -> lhs
+  in
+  go (parse_primary st)
+
+and parse_relation st =
+  let lhs = parse_addend st in
+  match peek st with
+  | Eq -> advance st; Binop (Eq, lhs, parse_addend st)
+  | Neq -> advance st; Binop (Neq, lhs, parse_addend st)
+  | Lt -> advance st; Binop (Vhdl_ast.Lt, lhs, parse_addend st)
+  | Gt -> advance st; Binop (Vhdl_ast.Gt, lhs, parse_addend st)
+  | Ge -> advance st; Binop (Vhdl_ast.Ge, lhs, parse_addend st)
+  (* "<=" in expression position is less-or-equal (assignment targets are
+     parsed before their <= token, so no ambiguity arises here) *)
+  | Assign -> advance st; Binop (Vhdl_ast.Le, lhs, parse_addend st)
+  | _ -> lhs
+
+and parse_expr st =
+  let op_of = function
+    | "and" -> Some And | "or" -> Some Or | "nand" -> Some Nand
+    | "nor" -> Some Nor | "xor" -> Some Xor | "xnor" -> Some Xnor
+    | _ -> None
+  in
+  let rec go lhs =
+    match peek st with
+    | Ident k -> (
+        match op_of k with
+        | Some op ->
+            advance st;
+            go (Binop (op, lhs, parse_relation st))
+        | None -> lhs)
+    | _ -> lhs
+  in
+  go (parse_relation st)
+
+(* assignment target: name, name(i) or name(hi downto lo) *)
+let parse_target st =
+  let nm = ident st in
+  if peek st = Lparen then begin
+    advance st;
+    let hi = parse_expr st in
+    match peek st with
+    | Ident "downto" ->
+        advance st;
+        let lo = parse_expr st in
+        expect st Rparen;
+        Slice (nm, hi, lo)
+    | _ ->
+        expect st Rparen;
+        Indexed (nm, hi)
+  end
+  else Name nm
+
+(* ---------- sequential statements ---------- *)
+
+let rec parse_seq_stmts st stop =
+  (* parse until one of the stop keywords is next *)
+  let rec go acc =
+    match peek st with
+    | Ident k when List.mem k stop -> List.rev acc
+    | _ -> go (parse_seq_stmt st :: acc)
+  in
+  go []
+
+and parse_seq_stmt st =
+  match peek st with
+  | Ident "if" -> parse_if st
+  | Ident "case" -> parse_case st
+  | Ident "null" ->
+      advance st;
+      expect st Semicolon;
+      If ([], []) (* no-op *)
+  | _ ->
+      let target = parse_target st in
+      expect st Assign;
+      let value = parse_expr st in
+      expect st Semicolon;
+      Assign (target, value)
+
+and parse_if st =
+  expect_kw st "if";
+  let cond = parse_expr st in
+  expect_kw st "then";
+  let body = parse_seq_stmts st [ "elsif"; "else"; "end" ] in
+  let rec branches acc =
+    match peek st with
+    | Ident "elsif" ->
+        advance st;
+        let c = parse_expr st in
+        expect_kw st "then";
+        let b = parse_seq_stmts st [ "elsif"; "else"; "end" ] in
+        branches ((c, b) :: acc)
+    | Ident "else" ->
+        advance st;
+        let b = parse_seq_stmts st [ "end" ] in
+        (List.rev acc, b)
+    | _ -> (List.rev acc, [])
+  in
+  let rest, els = branches [ (cond, body) ] in
+  expect_kw st "end";
+  expect_kw st "if";
+  expect st Semicolon;
+  If (rest, els)
+
+and parse_case st =
+  expect_kw st "case";
+  let subject = parse_expr st in
+  expect_kw st "is";
+  let rec alts acc =
+    match peek st with
+    | Ident "when" ->
+        advance st;
+        let choice =
+          match peek st with
+          | Ident "others" -> advance st; Others
+          | _ -> Choice (parse_expr st)
+        in
+        expect st Arrow;
+        let body = parse_seq_stmts st [ "when"; "end" ] in
+        alts ((choice, body) :: acc)
+    | _ -> List.rev acc
+  in
+  let alternatives = alts [] in
+  expect_kw st "end";
+  expect_kw st "case";
+  expect st Semicolon;
+  Case (subject, alternatives)
+
+(* ---------- concurrent statements ---------- *)
+
+let parse_process st =
+  expect_kw st "process";
+  let sensitivity =
+    if peek st = Lparen then begin
+      advance st;
+      let rec go acc =
+        let nm = ident st in
+        if peek st = Comma then begin advance st; go (nm :: acc) end
+        else List.rev (nm :: acc)
+      in
+      let l = go [] in
+      expect st Rparen;
+      l
+    end
+    else []
+  in
+  (match peek st with Ident "is" -> advance st | _ -> ());
+  expect_kw st "begin";
+  let body = parse_seq_stmts st [ "end" ] in
+  expect_kw st "end";
+  expect_kw st "process";
+  expect st Semicolon;
+  Process { sensitivity; body }
+
+let parse_cond_assign st =
+  let target = parse_target st in
+  expect st Assign;
+  (* v1 [when c1 else v2 [when c2 else ...]] ; *)
+  let rec go branches =
+    let v = parse_expr st in
+    match peek st with
+    | Ident "when" ->
+        advance st;
+        let c = parse_expr st in
+        expect_kw st "else";
+        go ((v, c) :: branches)
+    | _ ->
+        expect st Semicolon;
+        (List.rev_map (fun (v, c) -> (c, v)) branches, v)
+  in
+  let branches, default = go [] in
+  Cond_assign { target; branches; default }
+
+(* label : component port map ( ... );  or  label : entity work.name ... *)
+let parse_instance st =
+  let label = ident st in
+  expect st Colon;
+  let component =
+    match peek st with
+    | Ident "entity" ->
+        advance st;
+        let nm = ident st in
+        (* strip a library prefix: work.counter4 -> counter4 *)
+        (match String.rindex_opt nm '.' with
+        | Some i -> String.sub nm (i + 1) (String.length nm - i - 1)
+        | None -> nm)
+    | _ -> ident st
+  in
+  expect_kw st "port";
+  expect_kw st "map";
+  expect st Lparen;
+  let rec assocs acc =
+    let a =
+      match peek st with
+      | Ident nm when not (is_keyword nm) -> (
+          (* could be "formal => actual" or a positional expression *)
+          let saved = st.toks in
+          advance st;
+          match peek st with
+          | Arrow ->
+              advance st;
+              Named (nm, parse_expr st)
+          | _ ->
+              st.toks <- saved;
+              Positional (parse_expr st))
+      | _ -> Positional (parse_expr st)
+    in
+    if peek st = Comma then begin
+      advance st;
+      assocs (a :: acc)
+    end
+    else List.rev (a :: acc)
+  in
+  let port_map = assocs [] in
+  expect st Rparen;
+  expect st Semicolon;
+  Instance { label; component; port_map }
+
+(* label : for VAR in LO to HI generate <concurrent...> end generate; *)
+let rec parse_generate st =
+  let label = ident st in
+  expect st Colon;
+  expect_kw st "for";
+  let var = ident st in
+  expect_kw st "in";
+  let lo = parse_expr st in
+  expect_kw st "to";
+  let hi = parse_expr st in
+  expect_kw st "generate";
+  let rec stmts acc =
+    match peek st with
+    | Ident "end" -> List.rev acc
+    | _ -> stmts (parse_concurrent st :: acc)
+  in
+  let body = stmts [] in
+  expect_kw st "end";
+  expect_kw st "generate";
+  (match peek st with
+  | Ident nm when nm = label -> advance st
+  | _ -> ());
+  expect st Semicolon;
+  Generate { label; var; lo; hi; body }
+
+and parse_concurrent st =
+  match peek st with
+  | Ident "process" -> parse_process st
+  | Ident nm when not (is_keyword nm) -> (
+      (* lookahead: "label :" introduces an instantiation or a generate *)
+      match st.toks with
+      | _ :: { tok = Colon; _ } :: { tok = Ident "for"; _ } :: _ ->
+          ignore nm;
+          parse_generate st
+      | _ :: { tok = Colon; _ } :: _ ->
+          ignore nm;
+          parse_instance st
+      | _ -> parse_cond_assign st)
+  | _ -> parse_cond_assign st
+
+(* ---------- design units ---------- *)
+
+let parse_port st =
+  let rec names acc =
+    let nm = ident st in
+    if peek st = Comma then begin advance st; names (nm :: acc) end
+    else List.rev (nm :: acc)
+  in
+  let nms = names [] in
+  expect st Colon;
+  let dir =
+    match peek st with
+    | Ident "in" -> advance st; In
+    | Ident "out" -> advance st; Out
+    | t -> fail st ("expected port direction, found " ^ token_name t)
+  in
+  let typ = parse_type st in
+  List.map (fun port_name -> { port_name; dir; typ }) nms
+
+let parse_entity st =
+  expect_kw st "entity";
+  let entity_name = ident st in
+  expect_kw st "is";
+  let ports =
+    match peek st with
+    | Ident "port" ->
+        advance st;
+        expect st Lparen;
+        let rec go acc =
+          let ps = parse_port st in
+          if peek st = Semicolon then begin advance st; go (acc @ ps) end
+          else acc @ ps
+        in
+        let ps = go [] in
+        expect st Rparen;
+        expect st Semicolon;
+        ps
+    | _ -> []
+  in
+  expect_kw st "end";
+  (match peek st with
+  | Ident "entity" -> advance st
+  | Ident nm when nm = entity_name -> advance st
+  | _ -> ());
+  (match peek st with
+  | Ident nm when nm = entity_name -> advance st
+  | _ -> ());
+  expect st Semicolon;
+  { entity_name; ports }
+
+let parse_architecture st =
+  expect_kw st "architecture";
+  let arch_name = ident st in
+  expect_kw st "of";
+  let of_entity = ident st in
+  expect_kw st "is";
+  let rec decls acc =
+    match peek st with
+    | Ident "signal" ->
+        advance st;
+        let rec names ns =
+          let nm = ident st in
+          if peek st = Comma then begin advance st; names (nm :: ns) end
+          else List.rev (nm :: ns)
+        in
+        let nms = names [] in
+        expect st Colon;
+        let typ = parse_type st in
+        expect st Semicolon;
+        decls (acc @ List.map (fun nm -> (nm, typ)) nms)
+    | Ident "component" ->
+        (* component declarations repeat the entity interface; the
+           elaborator resolves instances against the entity itself, so the
+           declaration is checked for syntax and skipped *)
+        advance st;
+        let cname = ident st in
+        (match peek st with Ident "is" -> advance st | _ -> ());
+        (match peek st with
+        | Ident "port" ->
+            advance st;
+            expect st Lparen;
+            let rec skip_ports () =
+              ignore (parse_port st);
+              if peek st = Semicolon then begin advance st; skip_ports () end
+            in
+            skip_ports ();
+            expect st Rparen;
+            expect st Semicolon
+        | _ -> ());
+        expect_kw st "end";
+        expect_kw st "component";
+        (match peek st with
+        | Ident nm when nm = cname -> advance st
+        | _ -> ());
+        expect st Semicolon;
+        decls acc
+    | _ -> acc
+  in
+  let signals = decls [] in
+  expect_kw st "begin";
+  let rec stmts acc =
+    match peek st with
+    | Ident "end" -> List.rev acc
+    | _ -> stmts (parse_concurrent st :: acc)
+  in
+  let body = stmts [] in
+  expect_kw st "end";
+  (match peek st with
+  | Ident "architecture" -> advance st
+  | Ident nm when nm = arch_name -> advance st
+  | _ -> ());
+  (match peek st with
+  | Ident nm when nm = arch_name -> advance st
+  | _ -> ());
+  expect st Semicolon;
+  { arch_name; of_entity; signals; stmts = body }
+
+(* library/use clauses are recognised and skipped *)
+let skip_context st =
+  let rec go () =
+    match peek st with
+    | Ident "library" | Ident "use" ->
+        let rec to_semi () =
+          if peek st <> Semicolon && peek st <> Eof then begin
+            advance st;
+            to_semi ()
+          end
+        in
+        to_semi ();
+        expect st Semicolon;
+        go ()
+    | _ -> ()
+  in
+  go ()
+
+let parse_design st =
+  skip_context st;
+  let entity = parse_entity st in
+  skip_context st;
+  let arch = parse_architecture st in
+  if arch.of_entity <> entity.entity_name then
+    fail st
+      (Printf.sprintf "architecture %s is of entity %s, not %s" arch.arch_name
+         arch.of_entity entity.entity_name);
+  { entity; arch }
+
+(* A file: one or more entity/architecture pairs. *)
+let parse_file st =
+  let rec go acc =
+    skip_context st;
+    match peek st with
+    | Eof -> List.rev acc
+    | _ -> go (parse_design st :: acc)
+  in
+  match go [] with
+  | [] -> fail st "empty design file"
+  | designs -> designs
+
+let file_of_string text =
+  let st = { toks = tokenize text } in
+  parse_file st
+
+let of_string text =
+  match file_of_string text with
+  | [ d ] -> d
+  | designs -> List.nth designs (List.length designs - 1)
+(* multiple units: the last is the top; the library is available through
+   [file_of_string] *)
+
+let of_file path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  of_string text
+
+(* The standalone VHDL Parser tool: syntax check only. *)
+type check_result = Ok of design | Error of int * string
+
+let check text =
+  match of_string text with
+  | d -> Ok d
+  | exception Parse_error (line, msg) -> Error (line, msg)
+  | exception Lex_error (line, msg) -> Error (line, msg)

@@ -1,0 +1,21 @@
+(** Recursive-descent parser for the VHDL subset (see {!Vhdl_ast}).
+
+    Also exposes {!check} — the paper's standalone "VHDL Parser" tool,
+    which only reports syntax validity. *)
+
+exception Parse_error of int * string
+(** Line number and message. *)
+
+val file_of_string : string -> Vhdl_ast.file
+(** Parse a file of one or more entity/architecture pairs.
+    @raise Parse_error / {!Vhdl_lexer.Lex_error} on malformed input. *)
+
+val of_string : string -> Vhdl_ast.design
+(** The last design unit of the file (the conventional top). *)
+
+val of_file : string -> Vhdl_ast.design
+
+type check_result = Ok of Vhdl_ast.design | Error of int * string
+
+val check : string -> check_result
+(** Syntax check without raising. *)

@@ -1,0 +1,1 @@
+lib/pack/ble.ml: Array Hashtbl List Logic Netlist

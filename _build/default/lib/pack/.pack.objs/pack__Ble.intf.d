@@ -1,0 +1,1 @@
+lib/pack/ble.mli: Netlist

@@ -1,0 +1,1 @@
+lib/pack/cluster.ml: Array Ble Hashtbl List Logic Netlist Option Printf

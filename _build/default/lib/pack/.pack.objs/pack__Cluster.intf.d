@@ -1,0 +1,1 @@
+lib/pack/cluster.mli: Ble Hashtbl Netlist

@@ -1,0 +1,1 @@
+lib/pack/netfile.ml: Array Ble Buffer Cluster Hashtbl List Logic Netlist Option Printf String

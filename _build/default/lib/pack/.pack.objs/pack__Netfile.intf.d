@@ -1,0 +1,1 @@
+lib/pack/netfile.mli: Cluster Netlist

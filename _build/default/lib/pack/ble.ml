@@ -1,0 +1,71 @@
+(* Basic Logic Element formation (first half of T-VPack).
+
+   A BLE holds one K-LUT and one flip-flop.  A LUT and the latch it feeds
+   merge into one BLE when the latch is the LUT's only fanout (the classic
+   packing rule); otherwise each gets its own BLE with the other half
+   unused. *)
+
+open Netlist
+
+type t = {
+  index : int;
+  lut : int option;        (* mapped-network signal computed by the LUT *)
+  ff : int option;         (* latch signal registered in this BLE *)
+  output : int;            (* the signal this BLE drives *)
+  inputs : int list;       (* distinct input signals (LUT fanins or FF data) *)
+  name : string;
+}
+
+let uses_ff t = t.ff <> None
+
+(* Build BLEs from a K-LUT network. *)
+let form (net : Logic.t) =
+  let fanout = Logic.fanout_counts net in
+  let absorbed = Hashtbl.create 16 in
+  (* LUT signals absorbed into a register BLE *)
+  let bles = ref [] in
+  let next = ref 0 in
+  let add ~lut ~ff ~output ~inputs =
+    let index = !next in
+    incr next;
+    bles :=
+      { index; lut; ff; output; inputs = List.sort_uniq compare inputs;
+        name = Logic.name net output }
+      :: !bles
+  in
+  (* pass 1: latches *)
+  List.iter
+    (fun l ->
+      match Logic.driver net l with
+      | Logic.Latch { data; _ } -> (
+          match Logic.driver net data with
+          | Logic.Gate { fanins; _ }
+            when fanout.(data) = 1 && not (List.mem data (Logic.outputs net)) ->
+              (* LUT + FF fused *)
+              Hashtbl.replace absorbed data ();
+              add ~lut:(Some data) ~ff:(Some l) ~output:l
+                ~inputs:(Array.to_list fanins)
+          | _ ->
+              (* FF alone; the LUT input routes through the BLE *)
+              add ~lut:None ~ff:(Some l) ~output:l ~inputs:[ data ])
+      | _ -> ())
+    (Logic.latches net);
+  (* pass 2: remaining LUTs *)
+  List.iter
+    (fun g ->
+      if not (Hashtbl.mem absorbed g) then
+        match Logic.driver net g with
+        | Logic.Gate { fanins; _ } ->
+            add ~lut:(Some g) ~ff:None ~output:g ~inputs:(Array.to_list fanins)
+        | _ -> ())
+    (Logic.gates net);
+  (* pass 3: constants that are consumed or exported need a generator BLE
+     (a LUT programmed to a constant function, as on real devices) *)
+  let fanout = Logic.fanout_counts net in
+  for id = 0 to Logic.signal_count net - 1 do
+    match Logic.driver net id with
+    | Logic.Const _ when fanout.(id) > 0 ->
+        add ~lut:(Some id) ~ff:None ~output:id ~inputs:[]
+    | _ -> ()
+  done;
+  Array.of_list (List.rev !bles)

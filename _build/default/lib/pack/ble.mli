@@ -1,0 +1,20 @@
+(** Basic Logic Element formation (the first half of T-VPack).
+
+    A BLE holds one K-LUT and one flip-flop.  A LUT and the latch it
+    feeds merge into one BLE when the latch is the LUT's only fanout (the
+    classic packing rule); otherwise each gets its own BLE with the other
+    half unused. *)
+
+type t = {
+  index : int;
+  lut : int option;   (** mapped-network signal computed by the LUT *)
+  ff : int option;    (** latch signal registered in this BLE *)
+  output : int;       (** the signal this BLE drives *)
+  inputs : int list;  (** distinct input signals *)
+  name : string;
+}
+
+val uses_ff : t -> bool
+
+val form : Netlist.Logic.t -> t array
+(** Build BLEs from a K-LUT network. *)

@@ -1,0 +1,176 @@
+(* Greedy attraction-based clustering (second half of T-VPack).
+
+   Clusters are filled one at a time: an unclustered BLE with the most used
+   inputs seeds the cluster; BLEs sharing the most nets with the cluster are
+   absorbed while the cluster stays within its size (N) and distinct-input
+   (I) limits.  Inputs generated inside the cluster stop counting against I
+   — the input-sharing effect the I = (K/2)(N+1) rule builds on. *)
+
+open Netlist
+
+type t = {
+  id : int;
+  bles : Ble.t list;           (* at most N *)
+  input_nets : int list;       (* signals entering the cluster *)
+  output_nets : int list;      (* BLE outputs used outside the cluster *)
+}
+
+type packing = {
+  net : Logic.t;               (* the mapped network the packing refers to *)
+  clusters : t array;
+  n : int;                     (* cluster size limit *)
+  i : int;                     (* cluster input limit *)
+  cluster_of_ble : (int, int) Hashtbl.t; (* BLE index -> cluster id *)
+}
+
+exception Infeasible of string
+
+(* Distinct external inputs if [candidate] joins [members]. *)
+let external_inputs members candidate =
+  let all = candidate :: members in
+  let produced = List.map (fun (b : Ble.t) -> b.Ble.output) all in
+  List.concat_map (fun (b : Ble.t) -> b.Ble.inputs) all
+  |> List.filter (fun s -> not (List.mem s produced))
+  |> List.sort_uniq compare
+
+(* Nets a BLE touches (inputs plus output). *)
+let nets_of (b : Ble.t) = List.sort_uniq compare (b.Ble.output :: b.Ble.inputs)
+
+let attraction cluster_nets b =
+  List.length (List.filter (fun s -> List.mem s cluster_nets) (nets_of b))
+
+let pack ?(n = 5) ?(i = 12) (net : Logic.t) =
+  let bles = Ble.form net in
+  List.iter
+    (fun (b : Ble.t) ->
+      let need = List.length b.Ble.inputs in
+      if need > i then
+        raise
+          (Infeasible
+             (Printf.sprintf "BLE %s needs %d inputs; the CLB provides %d"
+                b.Ble.name need i)))
+    (Array.to_list bles);
+  let unclustered = Hashtbl.create 64 in
+  Array.iter (fun (b : Ble.t) -> Hashtbl.replace unclustered b.Ble.index b) bles;
+  let cluster_of_ble = Hashtbl.create 64 in
+  let clusters = ref [] in
+  let next_id = ref 0 in
+  while Hashtbl.length unclustered > 0 do
+    (* seed: most inputs *)
+    let seed =
+      Hashtbl.fold
+        (fun _ b best ->
+          match best with
+          | None -> Some b
+          | Some cur ->
+              if List.length b.Ble.inputs > List.length cur.Ble.inputs then
+                Some b
+              else best)
+        unclustered None
+    in
+    let seed = Option.get seed in
+    Hashtbl.remove unclustered seed.Ble.index;
+    let members = ref [ seed ] in
+    let full = ref false in
+    while (not !full) && List.length !members < n do
+      let cluster_nets =
+        List.sort_uniq compare (List.concat_map nets_of !members)
+      in
+      (* best feasible candidate by attraction *)
+      let best =
+        Hashtbl.fold
+          (fun _ b best ->
+            if List.length (external_inputs !members b) <= i then
+              let a = attraction cluster_nets b in
+              match best with
+              | Some (cur_a, _) when cur_a >= a -> best
+              | _ -> Some (a, b)
+            else best)
+          unclustered None
+      in
+      match best with
+      | Some (_, b) ->
+          Hashtbl.remove unclustered b.Ble.index;
+          members := b :: !members
+      | None -> full := true
+    done;
+    let id = !next_id in
+    incr next_id;
+    let members = List.rev !members in
+    List.iter (fun (b : Ble.t) -> Hashtbl.replace cluster_of_ble b.Ble.index id)
+      members;
+    clusters := (id, members) :: !clusters
+  done;
+  (* compute per-cluster input/output nets *)
+  let fanout_users = Hashtbl.create 64 in
+  (* signal -> BLE indices using it as input *)
+  Array.iter
+    (fun (b : Ble.t) ->
+      List.iter
+        (fun s ->
+          let cur = Option.value (Hashtbl.find_opt fanout_users s) ~default:[] in
+          Hashtbl.replace fanout_users s (b.Ble.index :: cur))
+        b.Ble.inputs)
+    bles;
+  let outputs_of_net = Logic.outputs net in
+  let finalize (id, members) =
+    let produced = List.map (fun (b : Ble.t) -> b.Ble.output) members in
+    let input_nets =
+      List.concat_map (fun (b : Ble.t) -> b.Ble.inputs) members
+      |> List.filter (fun s -> not (List.mem s produced))
+      |> List.sort_uniq compare
+    in
+    let output_nets =
+      List.filter
+        (fun s ->
+          List.mem s outputs_of_net
+          || List.exists
+               (fun user -> Hashtbl.find cluster_of_ble user <> id)
+               (Option.value (Hashtbl.find_opt fanout_users s) ~default:[]))
+        produced
+    in
+    { id; bles = members; input_nets; output_nets }
+  in
+  let clusters = List.rev_map finalize !clusters |> List.rev in
+  {
+    net;
+    clusters = Array.of_list (List.rev clusters);
+    n;
+    i;
+    cluster_of_ble;
+  }
+
+(* ---------- statistics and invariants ---------- *)
+
+let cluster_count p = Array.length p.clusters
+
+let ble_count p =
+  Array.fold_left (fun acc c -> acc + List.length c.bles) 0 p.clusters
+
+(* Check the N / I / single-driver invariants (used by tests). *)
+let check p =
+  Array.for_all
+    (fun c ->
+      List.length c.bles <= p.n && List.length c.input_nets <= p.i)
+    p.clusters
+  &&
+  (* every BLE in exactly one cluster *)
+  let seen = Hashtbl.create 64 in
+  Array.for_all
+    (fun c ->
+      List.for_all
+        (fun (b : Ble.t) ->
+          if Hashtbl.mem seen b.Ble.index then false
+          else begin
+            Hashtbl.replace seen b.Ble.index ();
+            true
+          end)
+        c.bles)
+    p.clusters
+
+(* Average fraction of occupied BLE slots. *)
+let utilization p =
+  if Array.length p.clusters = 0 then 1.0
+  else
+    float_of_int (ble_count p)
+    /. float_of_int (Array.length p.clusters * p.n)

@@ -1,0 +1,37 @@
+(** Greedy attraction-based clustering (the second half of T-VPack).
+
+    Clusters fill one at a time: an unclustered BLE with the most used
+    inputs seeds the cluster; BLEs sharing the most nets are absorbed
+    while the cluster stays within its size (N) and distinct-input (I)
+    limits.  Inputs generated inside the cluster stop counting against I
+    — the input-sharing effect the I = (K/2)(N+1) rule builds on. *)
+
+type t = {
+  id : int;
+  bles : Ble.t list;       (** at most N *)
+  input_nets : int list;   (** signals entering the cluster *)
+  output_nets : int list;  (** BLE outputs used outside the cluster *)
+}
+
+type packing = {
+  net : Netlist.Logic.t;   (** the mapped network the packing refers to *)
+  clusters : t array;
+  n : int;
+  i : int;
+  cluster_of_ble : (int, int) Hashtbl.t;
+}
+
+exception Infeasible of string
+(** Raised when a single BLE already exceeds the input limit. *)
+
+val pack : ?n:int -> ?i:int -> Netlist.Logic.t -> packing
+(** Defaults: the platform's N = 5, I = 12. *)
+
+val cluster_count : packing -> int
+val ble_count : packing -> int
+
+val check : packing -> bool
+(** The N / I / one-cluster-per-BLE invariants (used by tests). *)
+
+val utilization : packing -> float
+(** Fraction of occupied BLE slots. *)

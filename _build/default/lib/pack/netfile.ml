@@ -1,0 +1,155 @@
+(* T-VPack netlist file: the textual interchange between the packer and
+   VPR (placement & routing), mirroring the role of VPR's .net format.
+
+   Format (one directive per line, '#' comments):
+
+     .model <name>
+     .n <N> .i <I>
+     .cluster <id>
+       .ble <output-signal> lut=<signal|-> ff=<signal|-> in=<sig,sig,...>
+     .endcluster
+ *)
+
+open Netlist
+
+let to_string (p : Cluster.packing) =
+  let buf = Buffer.create 1024 in
+  let nm id = Logic.name p.Cluster.net id in
+  Buffer.add_string buf (Printf.sprintf ".model %s\n" p.Cluster.net.Logic.model);
+  Buffer.add_string buf (Printf.sprintf ".n %d .i %d\n" p.Cluster.n p.Cluster.i);
+  Array.iter
+    (fun (c : Cluster.t) ->
+      Buffer.add_string buf (Printf.sprintf ".cluster %d\n" c.Cluster.id);
+      List.iter
+        (fun (b : Ble.t) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  .ble %s lut=%s ff=%s in=%s\n" (nm b.Ble.output)
+               (match b.Ble.lut with Some l -> nm l | None -> "-")
+               (match b.Ble.ff with Some f -> nm f | None -> "-")
+               (String.concat "," (List.map nm b.Ble.inputs))))
+        c.Cluster.bles;
+      Buffer.add_string buf ".endcluster\n")
+    p.Cluster.clusters;
+  Buffer.contents buf
+
+let to_file path p =
+  let oc = open_out path in
+  output_string oc (to_string p);
+  close_out oc
+
+exception Parse_error of string
+
+(* Rebuild a packing against [net] (the mapped network the file refers to). *)
+let of_string (net : Logic.t) text =
+  let sig_of nm =
+    match Logic.find net nm with
+    | Some id -> id
+    | None -> raise (Parse_error ("unknown signal " ^ nm))
+  in
+  let lines =
+    String.split_on_char '\n' text
+    |> List.map String.trim
+    |> List.filter (fun l -> l <> "" && l.[0] <> '#')
+  in
+  let n = ref 5 and i = ref 12 in
+  let clusters = ref [] in
+  let current = ref None in
+  let ble_index = ref 0 in
+  List.iter
+    (fun line ->
+      let toks =
+        String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+      in
+      match toks with
+      | ".model" :: _ -> ()
+      | [ ".n"; nv; ".i"; iv ] ->
+          n := int_of_string nv;
+          i := int_of_string iv
+      | [ ".cluster"; id ] -> current := Some (int_of_string id, [])
+      | [ ".endcluster" ] -> (
+          match !current with
+          | Some (id, bles) ->
+              clusters := (id, List.rev bles) :: !clusters;
+              current := None
+          | None -> raise (Parse_error ".endcluster without .cluster"))
+      | ".ble" :: out :: rest -> (
+          let get prefix =
+            match
+              List.find_opt
+                (fun t -> String.length t >= String.length prefix
+                          && String.sub t 0 (String.length prefix) = prefix)
+                rest
+            with
+            | Some t ->
+                String.sub t (String.length prefix)
+                  (String.length t - String.length prefix)
+            | None -> raise (Parse_error ("missing " ^ prefix))
+          in
+          let lut = get "lut=" and ff = get "ff=" and ins = get "in=" in
+          let inputs =
+            if ins = "" then []
+            else List.map sig_of (String.split_on_char ',' ins)
+          in
+          let b =
+            {
+              Ble.index = !ble_index;
+              lut = (if lut = "-" then None else Some (sig_of lut));
+              ff = (if ff = "-" then None else Some (sig_of ff));
+              output = sig_of out;
+              inputs = List.sort_uniq compare inputs;
+              name = out;
+            }
+          in
+          incr ble_index;
+          match !current with
+          | Some (id, bles) -> current := Some (id, b :: bles)
+          | None -> raise (Parse_error ".ble outside .cluster"))
+      | _ -> raise (Parse_error ("bad line: " ^ line)))
+    lines;
+  let cluster_of_ble = Hashtbl.create 64 in
+  let outputs_of_net = Logic.outputs net in
+  let all = List.rev !clusters in
+  List.iter
+    (fun (id, bles) ->
+      List.iter (fun (b : Ble.t) -> Hashtbl.replace cluster_of_ble b.Ble.index id)
+        bles)
+    all;
+  let fanout_users = Hashtbl.create 64 in
+  List.iter
+    (fun (_, bles) ->
+      List.iter
+        (fun (b : Ble.t) ->
+          List.iter
+            (fun s ->
+              let cur =
+                Option.value (Hashtbl.find_opt fanout_users s) ~default:[]
+              in
+              Hashtbl.replace fanout_users s (b.Ble.index :: cur))
+            b.Ble.inputs)
+        bles)
+    all;
+  let finalize (id, members) =
+    let produced = List.map (fun (b : Ble.t) -> b.Ble.output) members in
+    let input_nets =
+      List.concat_map (fun (b : Ble.t) -> b.Ble.inputs) members
+      |> List.filter (fun s -> not (List.mem s produced))
+      |> List.sort_uniq compare
+    in
+    let output_nets =
+      List.filter
+        (fun s ->
+          List.mem s outputs_of_net
+          || List.exists
+               (fun user -> Hashtbl.find cluster_of_ble user <> id)
+               (Option.value (Hashtbl.find_opt fanout_users s) ~default:[]))
+        produced
+    in
+    { Cluster.id; bles = members; input_nets; output_nets }
+  in
+  {
+    Cluster.net;
+    clusters = Array.of_list (List.map finalize all);
+    n = !n;
+    i = !i;
+    cluster_of_ble;
+  }

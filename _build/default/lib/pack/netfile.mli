@@ -1,0 +1,11 @@
+(** T-VPack netlist file: the textual interchange between the packer and
+    VPR, mirroring the role of VPR's .net format. *)
+
+exception Parse_error of string
+
+val to_string : Cluster.packing -> string
+val to_file : string -> Cluster.packing -> unit
+
+val of_string : Netlist.Logic.t -> string -> Cluster.packing
+(** Rebuild a packing against the mapped network the file refers to.
+    @raise Parse_error on malformed input or unknown signals. *)

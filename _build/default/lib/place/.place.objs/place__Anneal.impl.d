@@ -1,0 +1,1 @@
+lib/place/anneal.ml: Array Float Fpga_arch Hashtbl List Placement Problem Td_timing Util

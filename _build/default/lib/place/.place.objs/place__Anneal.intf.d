@@ -1,0 +1,1 @@
+lib/place/anneal.mli: Fpga_arch Placement Problem Td_timing

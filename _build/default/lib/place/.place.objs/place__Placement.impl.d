@@ -1,0 +1,1 @@
+lib/place/placement.ml: Array Fpga_arch Hashtbl Problem Util

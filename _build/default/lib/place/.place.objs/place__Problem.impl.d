@@ -1,0 +1,1 @@
+lib/place/problem.ml: Array Fpga_arch Hashtbl List Logic Netlist Option Pack Printf

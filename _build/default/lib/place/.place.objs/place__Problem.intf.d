@@ -1,0 +1,1 @@
+lib/place/problem.mli: Fpga_arch Netlist Pack

@@ -1,0 +1,1 @@
+lib/place/td_timing.ml: Array Float Hashtbl List Logic Netlist Option Pack Problem

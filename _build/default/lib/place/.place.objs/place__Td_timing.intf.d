@@ -1,0 +1,1 @@
+lib/place/td_timing.mli: Hashtbl Problem

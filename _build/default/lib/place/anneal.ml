@@ -1,0 +1,305 @@
+(* Adaptive simulated annealing, following VPR's schedule:
+   - initial temperature = 20 x the cost standard deviation of random moves;
+   - moves per temperature = inner_num * Nblocks^(4/3);
+   - temperature update factor chosen from the acceptance rate;
+   - window (range) limiting tracks an 0.44 target acceptance rate;
+   - exit when T drops below a small fraction of the cost per net.
+
+   With [timing] options the annealer runs in VPR's path-timing-driven
+   mode: cost = (1 - lambda) * bb/bb_norm + lambda * td/td_norm, where the
+   timing cost of a connection is criticality^crit_exp x estimated delay;
+   criticalities and normalisations refresh at every temperature. *)
+
+type options = {
+  seed : int;
+  inner_num : float;  (* VPR's -inner_num; 1.0 reproduces the default effort *)
+}
+
+let default_options = { seed = 1; inner_num = 1.0 }
+
+type timing_options = {
+  lambda : float;     (* timing tradeoff; VPR default 0.5 *)
+  crit_exp : float;   (* criticality exponent; VPR default 1.0 *)
+  model : Td_timing.delay_model;
+}
+
+let default_timing =
+  { lambda = 0.5; crit_exp = 1.0; model = Td_timing.default_model }
+
+type result = {
+  placement : Placement.t;
+  initial_cost : float;
+  final_cost : float;   (* bounding-box cost (comparable across modes) *)
+  estimated_dmax : float option; (* timing-driven mode: final estimate *)
+  moves : int;
+  accepted : int;
+}
+
+(* Swap/move a block to a target slot; if the slot is occupied the occupants
+   exchange places.  Returns an undo closure. *)
+let apply_move (pl : Placement.t) b target =
+  let clear l =
+    match l with
+    | Fpga_arch.Grid.Clb (x, y) -> pl.Placement.clb_at.(x).(y) <- -1
+    | Fpga_arch.Grid.Pad (x, y, s) -> Hashtbl.remove pl.Placement.pad_at (x, y, s)
+  in
+  let put blk l =
+    pl.Placement.loc.(blk) <- l;
+    match l with
+    | Fpga_arch.Grid.Clb (x, y) -> pl.Placement.clb_at.(x).(y) <- blk
+    | Fpga_arch.Grid.Pad (x, y, s) ->
+        Hashtbl.replace pl.Placement.pad_at (x, y, s) blk
+  in
+  let from = pl.Placement.loc.(b) in
+  let occupant =
+    match target with
+    | Fpga_arch.Grid.Clb (x, y) ->
+        let o = pl.Placement.clb_at.(x).(y) in
+        if o >= 0 then Some o else None
+    | Fpga_arch.Grid.Pad (x, y, s) -> Hashtbl.find_opt pl.Placement.pad_at (x, y, s)
+  in
+  let swap blk1 l1 blk2_opt l2 =
+    (* clear both slots first so a swap never stomps the slot it fills *)
+    clear l1;
+    clear l2;
+    put blk1 l1;
+    match blk2_opt with Some o -> put o l2 | None -> ()
+  in
+  swap b target occupant from;
+  fun () -> swap b from occupant target
+
+(* Nets touching a block. *)
+let nets_of_block (problem : Problem.t) =
+  let touch = Array.make (Array.length problem.Problem.blocks) [] in
+  Array.iteri
+    (fun ni (net : Problem.net) ->
+      touch.(net.Problem.driver) <- ni :: touch.(net.Problem.driver);
+      Array.iter (fun s -> touch.(s) <- ni :: touch.(s)) net.Problem.sinks)
+    problem.Problem.nets;
+  Array.map (List.sort_uniq compare) touch
+
+let run ?(options = default_options) ?timing (problem : Problem.t) =
+  let rng = Util.Prng.create options.seed in
+  let pl = Placement.initial ~seed:options.seed problem in
+  let grid = problem.Problem.grid in
+  let nets = problem.Problem.nets in
+  let n_blocks = Array.length problem.Problem.blocks in
+  let n_nets = Array.length nets in
+  if n_nets = 0 || n_blocks <= 1 then
+    {
+      placement = pl;
+      initial_cost = 0.0;
+      final_cost = 0.0;
+      estimated_dmax = None;
+      moves = 0;
+      accepted = 0;
+    }
+  else begin
+    let touch = nets_of_block problem in
+    (* ---- cost bookkeeping ---- *)
+    let bb_costs = Array.map (Placement.net_cost pl) nets in
+    let bb_total = ref (Array.fold_left ( +. ) 0.0 bb_costs) in
+    let initial_cost = !bb_total in
+    (* timing-driven state *)
+    let coords b = Placement.coords pl b in
+    let criticality =
+      ref
+        (match timing with
+        | Some t -> (Td_timing.analyze ~model:t.model problem ~coords).Td_timing.criticality
+        | None -> [||])
+    in
+    let td_cost_of_net ni =
+      match timing with
+      | None -> 0.0
+      | Some t ->
+          let net = nets.(ni) in
+          let dx, dy = coords net.Problem.driver in
+          let acc = ref 0.0 in
+          Array.iteri
+            (fun si sink ->
+              let sx, sy = coords sink in
+              let delay =
+                t.model.Td_timing.t_fixed
+                +. (t.model.Td_timing.t_per_tile
+                   *. float_of_int (abs (dx - sx) + abs (dy - sy)))
+              in
+              let crit = !criticality.(ni).(si) ** t.crit_exp in
+              acc := !acc +. (crit *. delay))
+            net.Problem.sinks;
+          !acc
+    in
+    let td_costs = Array.init n_nets td_cost_of_net in
+    let td_total = ref (Array.fold_left ( +. ) 0.0 td_costs) in
+    (* normalisation scales, refreshed per temperature *)
+    let bb_scale = ref 0.0 and td_scale = ref 0.0 in
+    let refresh_scales () =
+      match timing with
+      | None ->
+          bb_scale := 1.0;
+          td_scale := 0.0
+      | Some t ->
+          bb_scale := (1.0 -. t.lambda) /. Float.max !bb_total 1e-9;
+          td_scale := t.lambda /. Float.max !td_total 1e-12
+    in
+    refresh_scales ();
+    let pad_slots = Array.of_list (Fpga_arch.Grid.pad_positions grid) in
+    let moves_total = ref 0 and accepted_total = ref 0 in
+    let window = ref (float_of_int (max grid.Fpga_arch.Grid.nx 1)) in
+    let propose () =
+      let b = Util.Prng.int rng n_blocks in
+      let bx, by = Placement.coords pl b in
+      match problem.Problem.blocks.(b) with
+      | Problem.Cluster_block _ ->
+          let d = max 1 (int_of_float !window) in
+          let x = bx + Util.Prng.int rng ((2 * d) + 1) - d in
+          let y = by + Util.Prng.int rng ((2 * d) + 1) - d in
+          let x = max 1 (min grid.Fpga_arch.Grid.nx x) in
+          let y = max 1 (min grid.Fpga_arch.Grid.ny y) in
+          if Fpga_arch.Grid.Clb (x, y) = pl.Placement.loc.(b) then None
+          else Some (b, Fpga_arch.Grid.Clb (x, y))
+      | Problem.Input_pad _ | Problem.Output_pad _ ->
+          let x, y, s = Util.Prng.pick rng pad_slots in
+          if Fpga_arch.Grid.Pad (x, y, s) = pl.Placement.loc.(b) then None
+          else Some (b, Fpga_arch.Grid.Pad (x, y, s))
+    in
+    let affected_nets b target =
+      let occ =
+        match target with
+        | Fpga_arch.Grid.Clb (x, y) ->
+            let o = pl.Placement.clb_at.(x).(y) in
+            if o >= 0 then Some o else None
+        | Fpga_arch.Grid.Pad (x, y, s) ->
+            Hashtbl.find_opt pl.Placement.pad_at (x, y, s)
+      in
+      match occ with
+      | Some o -> List.sort_uniq compare (touch.(b) @ touch.(o))
+      | None -> touch.(b)
+    in
+    (* combined delta over the touched nets for the current placement *)
+    let eval_nets nets_touched =
+      List.fold_left
+        (fun (bb, td) ni ->
+          (bb +. Placement.net_cost pl nets.(ni), td +. td_cost_of_net ni))
+        (0.0, 0.0) nets_touched
+    in
+    let try_move temperature =
+      match propose () with
+      | None -> ()
+      | Some (b, target) ->
+          incr moves_total;
+          let nets_touched = affected_nets b target in
+          let bb_before, td_before =
+            List.fold_left
+              (fun (bb, td) ni -> (bb +. bb_costs.(ni), td +. td_costs.(ni)))
+              (0.0, 0.0) nets_touched
+          in
+          let undo = apply_move pl b target in
+          let bb_after, td_after = eval_nets nets_touched in
+          let delta =
+            ((bb_after -. bb_before) *. !bb_scale)
+            +. ((td_after -. td_before) *. !td_scale)
+          in
+          let accept =
+            delta <= 0.0
+            || Util.Prng.float rng < exp (-.delta /. temperature)
+          in
+          if accept then begin
+            incr accepted_total;
+            List.iter
+              (fun ni ->
+                bb_total := !bb_total -. bb_costs.(ni);
+                td_total := !td_total -. td_costs.(ni);
+                bb_costs.(ni) <- Placement.net_cost pl nets.(ni);
+                td_costs.(ni) <- td_cost_of_net ni;
+                bb_total := !bb_total +. bb_costs.(ni);
+                td_total := !td_total +. td_costs.(ni))
+              nets_touched
+          end
+          else undo ()
+    in
+    (* initial temperature from random-move statistics *)
+    let sample_deltas = Array.make (min 200 (20 * n_blocks)) 0.0 in
+    Array.iteri
+      (fun idx _ ->
+        match propose () with
+        | None -> ()
+        | Some (b, target) ->
+            let nets_touched = affected_nets b target in
+            let bb_before, td_before =
+              List.fold_left
+                (fun (bb, td) ni -> (bb +. bb_costs.(ni), td +. td_costs.(ni)))
+                (0.0, 0.0) nets_touched
+            in
+            let undo = apply_move pl b target in
+            let bb_after, td_after = eval_nets nets_touched in
+            sample_deltas.(idx) <-
+              ((bb_after -. bb_before) *. !bb_scale)
+              +. ((td_after -. td_before) *. !td_scale);
+            undo ())
+      sample_deltas;
+    let t0 = 20.0 *. Util.Stats.stddev sample_deltas +. 1e-9 in
+    let temperature = ref t0 in
+    let inner =
+      int_of_float
+        (options.inner_num *. (float_of_int n_blocks ** (4.0 /. 3.0)))
+      |> max 16
+    in
+    let exit_scale () =
+      (* the floor guards degenerate placements whose cost reaches zero
+         (e.g. only pad-to-pad nets): the schedule must still terminate *)
+      Float.max 1e-9
+        (match timing with
+        | None -> 0.005 *. !bb_total /. float_of_int n_nets
+        | Some _ ->
+            (* costs are normalised to ~1 in timing mode *)
+            0.005 /. float_of_int n_nets)
+    in
+    let stop = ref false in
+    while not !stop do
+      (* refresh criticalities and normalisations at each temperature *)
+      (match timing with
+      | Some t ->
+          criticality :=
+            (Td_timing.analyze ~model:t.model problem ~coords).Td_timing.criticality;
+          Array.iteri (fun ni _ -> td_costs.(ni) <- td_cost_of_net ni) td_costs;
+          td_total := Array.fold_left ( +. ) 0.0 td_costs
+      | None -> ());
+      refresh_scales ();
+      let accepted_before = !accepted_total in
+      for _ = 1 to inner do
+        try_move !temperature
+      done;
+      let rate =
+        float_of_int (!accepted_total - accepted_before) /. float_of_int inner
+      in
+      let alpha =
+        if rate > 0.96 then 0.5
+        else if rate > 0.8 then 0.9
+        else if rate > 0.15 then 0.95
+        else 0.8
+      in
+      temperature := !temperature *. alpha;
+      window := !window *. (1.0 -. 0.44 +. rate);
+      window :=
+        Float.max 1.0 (Float.min !window (float_of_int grid.Fpga_arch.Grid.nx));
+      if !temperature < exit_scale () then stop := true
+    done;
+    (* final greedy pass at T ~ 0 *)
+    for _ = 1 to inner do
+      try_move 1e-9
+    done;
+    let estimated_dmax =
+      match timing with
+      | Some t ->
+          Some (Td_timing.analyze ~model:t.model problem ~coords).Td_timing.dmax
+      | None -> None
+    in
+    {
+      placement = pl;
+      initial_cost;
+      final_cost = !bb_total;
+      estimated_dmax;
+      moves = !moves_total;
+      accepted = !accepted_total;
+    }
+  end

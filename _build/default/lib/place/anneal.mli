@@ -1,0 +1,39 @@
+(** Adaptive simulated annealing, following VPR's schedule: initial
+    temperature from random-move statistics, inner_num x Nblocks^(4/3)
+    moves per temperature, acceptance-driven cooling and range limiting.
+
+    With [timing] options the annealer runs in VPR's path-timing-driven
+    mode: cost = (1-lambda) x bb/bb_norm + lambda x td/td_norm, where a
+    connection's timing cost is criticality^crit_exp x estimated delay;
+    criticalities and normalisations refresh every temperature. *)
+
+type options = {
+  seed : int;
+  inner_num : float; (** 1.0 reproduces VPR's default effort *)
+}
+
+val default_options : options
+
+type timing_options = {
+  lambda : float;   (** timing tradeoff; VPR default 0.5 *)
+  crit_exp : float; (** criticality exponent; VPR default 1.0 *)
+  model : Td_timing.delay_model;
+}
+
+val default_timing : timing_options
+
+type result = {
+  placement : Placement.t;
+  initial_cost : float;
+  final_cost : float;  (** bounding-box cost (comparable across modes) *)
+  estimated_dmax : float option; (** timing-driven mode only *)
+  moves : int;
+  accepted : int;
+}
+
+val apply_move :
+  Placement.t -> int -> Fpga_arch.Grid.location -> unit -> unit
+(** Move/swap a block to a target slot; returns the undo closure.
+    Exposed for testing. *)
+
+val run : ?options:options -> ?timing:timing_options -> Problem.t -> result

@@ -1,0 +1,97 @@
+(* A placement assignment plus the bounding-box wirelength cost. *)
+
+type t = {
+  problem : Problem.t;
+  loc : Fpga_arch.Grid.location array;       (* per block *)
+  clb_at : int array array;                  (* (x, y) -> block or -1 *)
+  pad_at : (int * int * int, int) Hashtbl.t; (* (x, y, sub) -> block *)
+}
+
+let location t b = t.loc.(b)
+
+let coords t b =
+  match t.loc.(b) with
+  | Fpga_arch.Grid.Clb (x, y) -> (x, y)
+  | Fpga_arch.Grid.Pad (x, y, _) -> (x, y)
+
+(* Random initial placement. *)
+let initial ?(seed = 1) (problem : Problem.t) =
+  let rng = Util.Prng.create seed in
+  let grid = problem.Problem.grid in
+  let clb_slots = Array.of_list (Fpga_arch.Grid.clb_positions grid) in
+  let pad_slots = Array.of_list (Fpga_arch.Grid.pad_positions grid) in
+  Util.Prng.shuffle rng clb_slots;
+  Util.Prng.shuffle rng pad_slots;
+  let loc =
+    Array.make (Array.length problem.Problem.blocks) (Fpga_arch.Grid.Clb (0, 0))
+  in
+  let clb_at = Array.make_matrix (grid.Fpga_arch.Grid.nx + 2)
+      (grid.Fpga_arch.Grid.ny + 2) (-1) in
+  let pad_at = Hashtbl.create 64 in
+  let next_clb = ref 0 and next_pad = ref 0 in
+  Array.iteri
+    (fun b kind ->
+      match kind with
+      | Problem.Cluster_block _ ->
+          let x, y = clb_slots.(!next_clb) in
+          incr next_clb;
+          loc.(b) <- Fpga_arch.Grid.Clb (x, y);
+          clb_at.(x).(y) <- b
+      | Problem.Input_pad _ | Problem.Output_pad _ ->
+          let x, y, sub = pad_slots.(!next_pad) in
+          incr next_pad;
+          loc.(b) <- Fpga_arch.Grid.Pad (x, y, sub);
+          Hashtbl.replace pad_at (x, y, sub) b)
+    problem.Problem.blocks;
+  { problem; loc; clb_at; pad_at }
+
+(* ---------- cost ---------- *)
+
+(* VPR's bounding-box wirelength: half-perimeter scaled by a fanout
+   correction factor q (Cheng's values, linearised above 3 terminals). *)
+let q_factor terminals =
+  if terminals <= 3 then 1.0
+  else 0.8624 +. (0.1 *. float_of_int (terminals - 3))
+
+let net_bbox t (net : Problem.net) =
+  let x0, y0 = coords t net.Problem.driver in
+  let xmin = ref x0 and xmax = ref x0 and ymin = ref y0 and ymax = ref y0 in
+  Array.iter
+    (fun s ->
+      let x, y = coords t s in
+      if x < !xmin then xmin := x;
+      if x > !xmax then xmax := x;
+      if y < !ymin then ymin := y;
+      if y > !ymax then ymax := y)
+    net.Problem.sinks;
+  (!xmin, !xmax, !ymin, !ymax)
+
+let net_cost t net =
+  let xmin, xmax, ymin, ymax = net_bbox t net in
+  let terminals = 1 + Array.length net.Problem.sinks in
+  q_factor terminals *. float_of_int (xmax - xmin + (ymax - ymin))
+
+let total_cost t =
+  Array.fold_left (fun acc net -> acc +. net_cost t net) 0.0
+    t.problem.Problem.nets
+
+(* ---------- legality (used by tests) ---------- *)
+
+let legal t =
+  let grid = t.problem.Problem.grid in
+  let ok = ref true in
+  let seen = Hashtbl.create 64 in
+  Array.iteri
+    (fun b kind ->
+      (match (kind, t.loc.(b)) with
+      | Problem.Cluster_block _, Fpga_arch.Grid.Clb (x, y) ->
+          if not (Fpga_arch.Grid.in_clb_range grid (x, y)) then ok := false
+      | (Problem.Input_pad _ | Problem.Output_pad _), Fpga_arch.Grid.Pad (x, y, sub)
+        ->
+          if not (Fpga_arch.Grid.is_perimeter grid (x, y)) then ok := false;
+          if sub < 0 || sub >= grid.Fpga_arch.Grid.io_rat then ok := false
+      | _ -> ok := false);
+      if Hashtbl.mem seen t.loc.(b) then ok := false;
+      Hashtbl.replace seen t.loc.(b) ())
+    t.problem.Problem.blocks;
+  !ok

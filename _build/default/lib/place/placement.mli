@@ -1,0 +1,30 @@
+(** A placement assignment plus the bounding-box wirelength cost. *)
+
+type t = {
+  problem : Problem.t;
+  loc : Fpga_arch.Grid.location array;       (** per block *)
+  clb_at : int array array;                  (** (x, y) -> block or -1 *)
+  pad_at : (int * int * int, int) Hashtbl.t;
+}
+
+val location : t -> int -> Fpga_arch.Grid.location
+
+val coords : t -> int -> int * int
+(** Grid coordinates of a block (pads report their perimeter position). *)
+
+val initial : ?seed:int -> Problem.t -> t
+(** Random legal placement. *)
+
+val q_factor : int -> float
+(** VPR's fanout correction for the half-perimeter metric. *)
+
+val net_bbox : t -> Problem.net -> int * int * int * int
+(** (xmin, xmax, ymin, ymax). *)
+
+val net_cost : t -> Problem.net -> float
+(** q(fanout) x half-perimeter. *)
+
+val total_cost : t -> float
+
+val legal : t -> bool
+(** Every block on a distinct slot of the right kind (used by tests). *)

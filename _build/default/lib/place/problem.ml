@@ -1,0 +1,114 @@
+(* The placement problem: blocks (clusters and IO pads) and the nets
+   connecting them, extracted from a T-VPack packing.
+
+   The clock is distributed on a dedicated global network (the platform has
+   one clock per CLB), so it does not appear as a routable net. *)
+
+open Netlist
+
+type block =
+  | Cluster_block of int (* cluster id *)
+  | Input_pad of int     (* signal id *)
+  | Output_pad of int    (* signal id *)
+
+type net = {
+  signal : int;          (* signal id in the mapped network *)
+  driver : int;          (* block index *)
+  sinks : int array;     (* block indices *)
+}
+
+type t = {
+  packing : Pack.Cluster.packing;
+  blocks : block array;
+  nets : net array;
+  grid : Fpga_arch.Grid.t;
+}
+
+let block_name problem idx =
+  let nm s = Logic.name problem.packing.Pack.Cluster.net s in
+  match problem.blocks.(idx) with
+  | Cluster_block c -> Printf.sprintf "clb_%d" c
+  | Input_pad s -> Printf.sprintf "ipad_%s" (nm s)
+  | Output_pad s -> Printf.sprintf "opad_%s" (nm s)
+
+let is_pad = function Input_pad _ | Output_pad _ -> true | Cluster_block _ -> false
+
+(* Signals excluded from routing: the clock (global network). *)
+let global_signals (net : Logic.t) =
+  match net.Logic.clock with
+  | Some clk -> (
+      match Logic.find net clk with Some id -> [ id ] | None -> [])
+  | None -> []
+
+let build ?(io_rat = 2) (p : Pack.Cluster.packing) =
+  let lnet = p.Pack.Cluster.net in
+  let globals = global_signals lnet in
+  let blocks = ref [] in
+  let n_blocks = ref 0 in
+  let add b =
+    blocks := b :: !blocks;
+    incr n_blocks;
+    !n_blocks - 1
+  in
+  (* clusters *)
+  let cluster_block = Array.make (Array.length p.Pack.Cluster.clusters) (-1) in
+  Array.iter
+    (fun (c : Pack.Cluster.t) ->
+      cluster_block.(c.Pack.Cluster.id) <- add (Cluster_block c.Pack.Cluster.id))
+    p.Pack.Cluster.clusters;
+  (* input pads: primary inputs, except globals *)
+  let input_block = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      if not (List.mem s globals) then
+        Hashtbl.replace input_block s (add (Input_pad s)))
+    (Logic.inputs lnet);
+  (* output pads *)
+  let output_block = Hashtbl.create 16 in
+  List.iter
+    (fun s -> Hashtbl.replace output_block s (add (Output_pad s)))
+    (Logic.outputs lnet);
+  let blocks = Array.of_list (List.rev !blocks) in
+  (* signal -> producing block *)
+  let producer = Hashtbl.create 64 in
+  Hashtbl.iter (fun s b -> Hashtbl.replace producer s b) input_block;
+  Array.iter
+    (fun (c : Pack.Cluster.t) ->
+      List.iter
+        (fun (b : Pack.Ble.t) ->
+          Hashtbl.replace producer b.Pack.Ble.output
+            cluster_block.(c.Pack.Cluster.id))
+        c.Pack.Cluster.bles)
+    p.Pack.Cluster.clusters;
+  (* nets: any signal consumed by a block other than its producer *)
+  let sinks_of = Hashtbl.create 64 in
+  let add_sink s b =
+    if not (List.mem s globals) then begin
+      let cur = Option.value (Hashtbl.find_opt sinks_of s) ~default:[] in
+      if not (List.mem b cur) then Hashtbl.replace sinks_of s (b :: cur)
+    end
+  in
+  Array.iter
+    (fun (c : Pack.Cluster.t) ->
+      List.iter
+        (fun s -> add_sink s cluster_block.(c.Pack.Cluster.id))
+        c.Pack.Cluster.input_nets)
+    p.Pack.Cluster.clusters;
+  Hashtbl.iter (fun s b -> add_sink s b) output_block;
+  let nets =
+    Hashtbl.fold
+      (fun s sinks acc ->
+        match Hashtbl.find_opt producer s with
+        | Some driver ->
+            let sinks = List.filter (fun b -> b <> driver) sinks in
+            if sinks = [] then acc
+            else { signal = s; driver; sinks = Array.of_list sinks } :: acc
+        | None -> acc)
+      sinks_of []
+    |> List.sort (fun a b -> compare a.signal b.signal)
+    |> Array.of_list
+  in
+  let n_clbs = Array.length p.Pack.Cluster.clusters in
+  let n_ios = Hashtbl.length input_block + Hashtbl.length output_block in
+  let grid = Fpga_arch.Grid.size_for ~n_clbs ~n_ios ~io_rat in
+  { packing = p; blocks; nets; grid }

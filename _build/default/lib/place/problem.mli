@@ -1,0 +1,33 @@
+(** The placement problem: blocks (clusters and IO pads) and the nets
+    connecting them, extracted from a T-VPack packing.
+
+    The clock is distributed on a dedicated global network (the platform
+    has one clock per CLB), so it does not appear as a routable net. *)
+
+type block =
+  | Cluster_block of int (** cluster id *)
+  | Input_pad of int     (** signal id *)
+  | Output_pad of int    (** signal id *)
+
+type net = {
+  signal : int;       (** signal id in the mapped network *)
+  driver : int;       (** block index *)
+  sinks : int array;  (** block indices *)
+}
+
+type t = {
+  packing : Pack.Cluster.packing;
+  blocks : block array;
+  nets : net array;
+  grid : Fpga_arch.Grid.t;
+}
+
+val block_name : t -> int -> string
+
+val is_pad : block -> bool
+
+val global_signals : Netlist.Logic.t -> int list
+(** Signals excluded from routing (the clock). *)
+
+val build : ?io_rat:int -> Pack.Cluster.packing -> t
+(** Derive blocks, nets and a fitting grid. *)

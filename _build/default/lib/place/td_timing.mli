@@ -1,0 +1,29 @@
+(** Pre-route static timing for timing-driven placement (T-VPlace style).
+
+    Interconnect delays are estimated from placement distance (a linear
+    per-tile model); a forward/backward pass over the mapped netlist
+    yields per-connection slacks, and criticality = 1 - slack / Dmax
+    weights the placement cost. *)
+
+type delay_model = {
+  t_local : float;    (** intra-cluster connection, s *)
+  t_per_tile : float; (** per Manhattan tile of separation, s *)
+  t_fixed : float;    (** pin/buffer overhead of an inter-block hop, s *)
+  t_logic : float;    (** LUT delay, s *)
+  t_clk_q : float;
+  t_setup : float;
+}
+
+val default_model : delay_model
+
+val block_of_signal : Problem.t -> (int, int) Hashtbl.t
+(** Producing block of every cluster-output / input-pad signal. *)
+
+type analysis = {
+  dmax : float;  (** estimated critical path, s *)
+  criticality : float array array;
+      (** per (net index, sink position): in [0, 1] *)
+}
+
+val analyze :
+  ?model:delay_model -> Problem.t -> coords:(int -> int * int) -> analysis

@@ -1,0 +1,1 @@
+lib/power/activity.ml: Array Float Hashtbl List Logic Netlist Tt Util

@@ -1,0 +1,1 @@
+lib/power/model.ml: Activity Array Format Fpga_arch Hashtbl List Logic Netlist Pack Place Route Spice

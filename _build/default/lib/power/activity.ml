@@ -1,0 +1,110 @@
+(* Switching-activity estimation by random-vector simulation (the approach
+   of the Poon/Wilton FPGA power model's default mode).
+
+   The mapped network is clocked for [cycles] cycles with fresh random
+   primary inputs each cycle; every signal's transition count and high-state
+   occupancy are accumulated.  Activities are transitions per clock cycle. *)
+
+open Netlist
+
+type t = {
+  activity : float array;     (* signal id -> transitions per cycle *)
+  probability : float array;  (* signal id -> P(high) *)
+  cycles : int;
+}
+
+(* ---------- analytic mode ----------
+
+   The model's probabilistic mode: static probabilities propagate exactly
+   through each gate's truth table under an input-independence assumption.
+   In the zero-delay synchronous model with i.i.d. input vectors, a
+   signal's per-cycle toggle probability is then 2 p (1 - p) — the same
+   quantity the random-vector simulation measures.  (Najm's transition
+   density, which additionally counts glitching, is available through
+   [boolean_difference] for callers that want it.)  Latch statistics
+   iterate to a fixed point. *)
+
+(* P(f = 1) given independent input probabilities. *)
+let tt_probability tt p =
+  let n = Tt.arity tt in
+  let total = ref 0.0 in
+  for row = 0 to (1 lsl n) - 1 do
+    if Tt.eval tt row then begin
+      let pr = ref 1.0 in
+      for i = 0 to n - 1 do
+        pr := !pr *. (if (row lsr i) land 1 = 1 then p.(i) else 1.0 -. p.(i))
+      done;
+      total := !total +. !pr
+    end
+  done;
+  !total
+
+(* P(boolean difference wrt input i) = P(f_xi=1 <> f_xi=0). *)
+let boolean_difference tt i p =
+  let f1 = Tt.cofactor tt i true and f0 = Tt.cofactor tt i false in
+  tt_probability (Tt.lxor_ f1 f0) p
+
+let estimate_static ?(iterations = 16) (net : Logic.t) =
+  let n = Logic.signal_count net in
+  let prob = Array.make n 0.5 in
+  let dens = Array.make n 1.0 in
+  let order = Logic.topo_order net in
+  (* latch outputs converge over a few sweeps (their values feed back) *)
+  let toggle p = 2.0 *. p *. (1.0 -. p) in
+  for _ = 1 to iterations do
+    List.iter
+      (fun id ->
+        match Logic.driver net id with
+        | Logic.Input -> prob.(id) <- 0.5; dens.(id) <- toggle 0.5
+        | Logic.Const b -> prob.(id) <- (if b then 1.0 else 0.0); dens.(id) <- 0.0
+        | Logic.Gate { tt; fanins } ->
+            let p = Array.map (fun f -> prob.(f)) fanins in
+            prob.(id) <- tt_probability tt p;
+            dens.(id) <- toggle prob.(id)
+        | Logic.Latch _ -> ())
+      order;
+    (* a register fires at most once per cycle: its toggle probability is
+       that of its data, bounded by the data's own activity *)
+    List.iter
+      (fun l ->
+        match Logic.driver net l with
+        | Logic.Latch { data; _ } ->
+            prob.(l) <- prob.(data);
+            dens.(l) <- Float.min dens.(data) (toggle prob.(data))
+        | _ -> ())
+      (Logic.latches net)
+  done;
+  { activity = dens; probability = prob; cycles = 0 }
+
+let estimate ?(cycles = 512) ?(seed = 7) (net : Logic.t) =
+  let rng = Util.Prng.create seed in
+  let n = Logic.signal_count net in
+  let transitions = Array.make n 0 in
+  let highs = Array.make n 0 in
+  let st = Logic.sim_init net in
+  let prev = Array.make n false in
+  let inputs = Logic.inputs net in
+  let tbl = Hashtbl.create 16 in
+  let input_of nm =
+    match Hashtbl.find_opt tbl nm with Some v -> v | None -> false
+  in
+  for _ = 1 to cycles do
+    List.iter
+      (fun id -> Hashtbl.replace tbl (Logic.name net id) (Util.Prng.bool rng))
+      inputs;
+    Logic.sim_eval net st input_of;
+    for id = 0 to n - 1 do
+      let v = Logic.sim_value st id in
+      if v <> prev.(id) then transitions.(id) <- transitions.(id) + 1;
+      if v then highs.(id) <- highs.(id) + 1;
+      prev.(id) <- v
+    done;
+    Logic.sim_step net st
+  done;
+  {
+    activity =
+      Array.map (fun t -> float_of_int t /. float_of_int cycles) transitions;
+    probability =
+      Array.map (fun h -> float_of_int h /. float_of_int cycles) highs;
+    cycles;
+  }

@@ -1,0 +1,26 @@
+(** Switching-activity estimation by random-vector simulation (the
+    Poon/Wilton FPGA power model's default mode).
+
+    The mapped network is clocked with fresh random primary inputs each
+    cycle; every signal's transition count and high-state occupancy are
+    accumulated. *)
+
+type t = {
+  activity : float array;    (** signal id -> transitions per cycle *)
+  probability : float array; (** signal id -> P(high) *)
+  cycles : int;
+}
+
+val estimate : ?cycles:int -> ?seed:int -> Netlist.Logic.t -> t
+(** Simulation mode: random vectors over [cycles] clock cycles. *)
+
+val tt_probability : Netlist.Tt.t -> float array -> float
+(** P(f = 1) under independent input probabilities. *)
+
+val boolean_difference : Netlist.Tt.t -> int -> float array -> float
+(** P(the output is sensitive to input [i]). *)
+
+val estimate_static : ?iterations:int -> Netlist.Logic.t -> t
+(** Analytic mode: exact per-gate probability propagation plus Najm's
+    transition-density rule, inputs at P = 0.5 / D = 1; latch statistics
+    iterate to a fixed point.  [cycles] in the result is 0. *)

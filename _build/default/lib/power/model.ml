@@ -1,0 +1,195 @@
+(* The PowerModel tool: dynamic, short-circuit and leakage power of a
+   placed-and-routed design (after Poon/Yan/Wilton's flexible FPGA power
+   model, adapted to the paper's platform).
+
+   Dynamic power: 0.5 * V^2 * f * sum over nets of activity * capacitance,
+   where routed nets get wire + switch capacitance from their routing trees
+   and intra-cluster nets get the local-crossbar capacitance.  The clock
+   network is modelled per CLB (local wire + DETFF loads); the platform's
+   DETFF halves the clock frequency for the same data rate, and the
+   BLE/CLB gated clocks scale the idle fraction down to the Table-2/3
+   residual.
+
+   Short-circuit power: 10 % of dynamic (the model's default assumption).
+   Leakage: per configuration SRAM cell plus per-BLE constant. *)
+
+open Netlist
+
+type report = {
+  dynamic_w : float;
+  clock_w : float;
+  short_circuit_w : float;
+  leakage_w : float;
+  total_w : float;
+  net_energy_breakdown : (string * float) list; (* top consumers, J/cycle *)
+}
+
+type activity_mode = Simulated | Analytic
+
+type options = {
+  frequency : float;       (* data rate, Hz *)
+  vdd : float;
+  activity_cycles : int;
+  activity_mode : activity_mode;
+}
+
+let default_options =
+  { frequency = 100e6; vdd = Spice.Tech.stm018.Spice.Tech.vdd;
+    activity_cycles = 512; activity_mode = Simulated }
+
+(* capacitance constants (F) *)
+let c_ipin = 5e-15
+let c_ff_clock = 4e-15        (* DETFF clock load (Table 1 platform FF) *)
+
+(* The CLB is fully connected (17-to-1 multiplexing on every LUT input in
+   the selected platform), so any signal entering the local network — a BLE
+   feedback or a cluster input — drives one leg of each of the N*K input
+   multiplexers.  This is the architectural cost of large clusters the
+   paper's exploration trades off against routing savings. *)
+let c_crossbar_load (params : Fpga_arch.Params.t) =
+  float_of_int (params.Fpga_arch.Params.n * params.Fpga_arch.Params.k)
+  *. 0.8e-15
+
+let c_local_net params = 1.5e-15 +. c_crossbar_load params
+
+(* LUT mux-tree switched capacitance doubles with each extra input. *)
+let c_lut_internal (params : Fpga_arch.Params.t) =
+  float_of_int (1 lsl params.Fpga_arch.Params.k) *. 0.8e-15
+
+(* CLB local clock network grows with the number of BLEs. *)
+let c_clb_clock_wire (params : Fpga_arch.Params.t) =
+  float_of_int params.Fpga_arch.Params.n *. 4e-15
+let gated_idle_residual = 0.17 (* Table 3: gated/single, all FFs off *)
+let leak_per_sram_bit = 8e-9  (* W per configuration cell *)
+let leak_per_ble = 60e-9      (* W *)
+
+let estimate ?(options = default_options) (routed : Route.Router.routed) =
+  let problem = routed.Route.Router.problem in
+  let packing = problem.Place.Problem.packing in
+  let lnet = packing.Pack.Cluster.net in
+  let params = routed.Route.Router.graph.Route.Rrgraph.params in
+  let consts = routed.Route.Router.constants in
+  let act =
+    match options.activity_mode with
+    | Simulated -> Activity.estimate ~cycles:options.activity_cycles lnet
+    | Analytic -> Activity.estimate_static lnet
+  in
+  let v2 = options.vdd *. options.vdd in
+  let f = options.frequency in
+  (* ---- routed inter-cluster nets ---- *)
+  let net_cap = Hashtbl.create 64 in
+  Array.iter
+    (fun (tr : Route.Pathfinder.route_tree) ->
+      let net = problem.Place.Problem.nets.(tr.Route.Pathfinder.net_index) in
+      let cap = ref 0.0 in
+      List.iter
+        (fun nd ->
+          let node = routed.Route.Router.graph.Route.Rrgraph.nodes.(nd) in
+          match node.Route.Rrgraph.kind with
+          | Route.Rrgraph.Chanx _ | Route.Rrgraph.Chany _ ->
+              cap :=
+                !cap
+                +. (consts.Route.Timing.c_wire_tile
+                   *. float_of_int node.Route.Rrgraph.wire_tiles)
+                +. consts.Route.Timing.c_switch
+          | Route.Rrgraph.Ipin _ ->
+              (* entering the cluster also loads the local crossbar *)
+              cap := !cap +. c_ipin +. c_crossbar_load params
+          | Route.Rrgraph.Opin _ -> cap := !cap +. consts.Route.Timing.c_switch
+          | Route.Rrgraph.Sink _ -> ())
+        tr.Route.Pathfinder.nodes;
+      Hashtbl.replace net_cap net.Place.Problem.signal !cap)
+    routed.Route.Router.result.Route.Pathfinder.trees;
+  (* ---- intra-cluster nets: BLE outputs consumed locally ---- *)
+  Array.iter
+    (fun (c : Pack.Cluster.t) ->
+      List.iter
+        (fun (b : Pack.Ble.t) ->
+          let s = b.Pack.Ble.output in
+          if not (Hashtbl.mem net_cap s) then
+            Hashtbl.replace net_cap s (c_local_net params))
+        c.Pack.Cluster.bles)
+    packing.Pack.Cluster.clusters;
+  (* ---- dynamic signal power ---- *)
+  let breakdown = ref [] in
+  let dynamic =
+    Hashtbl.fold
+      (fun s cap acc ->
+        let a = act.Activity.activity.(s) in
+        let e = 0.5 *. a *. cap *. v2 in
+        breakdown := (Logic.name lnet s, e) :: !breakdown;
+        acc +. e)
+      net_cap 0.0
+  in
+  (* LUT internal energy per evaluation: scale with output activity *)
+  let lut_internal =
+    List.fold_left
+      (fun acc g ->
+        acc +. (0.5 *. act.Activity.activity.(g) *. c_lut_internal params *. v2))
+      0.0 (Logic.gates lnet)
+  in
+  let dynamic_w = (dynamic +. lut_internal) *. f in
+  (* ---- clock network ---- *)
+  (* DETFFs run the clock at f/2 for data rate f *)
+  let f_clk = f /. 2.0 in
+  let clock_w =
+    Array.fold_left
+      (fun acc (c : Pack.Cluster.t) ->
+        let ffs =
+          List.filter (fun (b : Pack.Ble.t) -> Pack.Ble.uses_ff b)
+            c.Pack.Cluster.bles
+        in
+        let n_ff = List.length ffs in
+        if n_ff = 0 && params.Fpga_arch.Params.gated_clock then
+          (* whole CLB gated off: Table 3 residual *)
+          acc +. (gated_idle_residual *. c_clb_clock_wire params *. v2 *. f_clk)
+        else begin
+          let ff_cap = float_of_int n_ff *. c_ff_clock in
+          (* with BLE-level gating, idle BLEs stop their FF clock load;
+             estimate idleness from the latch output activity *)
+          let effective_ff_cap =
+            if params.Fpga_arch.Params.gated_clock then
+              List.fold_left
+                (fun a (b : Pack.Ble.t) ->
+                  match b.Pack.Ble.ff with
+                  | Some ff_sig ->
+                      let idle = act.Activity.activity.(ff_sig) < 0.01 in
+                      a +. (if idle then gated_idle_residual else 1.06)
+                           *. c_ff_clock
+                  | None -> a)
+                0.0 ffs
+            else ff_cap
+          in
+          acc +. ((c_clb_clock_wire params +. effective_ff_cap) *. v2 *. f_clk)
+        end)
+      0.0 packing.Pack.Cluster.clusters
+  in
+  (* ---- leakage ---- *)
+  let n_clbs = Array.length packing.Pack.Cluster.clusters in
+  let clb_bits = Fpga_arch.Params.clb_config_bits params in
+  let routing_bits_per_tile = 4 * routed.Route.Router.width in
+  let leakage_w =
+    float_of_int n_clbs
+    *. ((float_of_int (clb_bits + routing_bits_per_tile) *. leak_per_sram_bit)
+       +. (float_of_int params.Fpga_arch.Params.n *. leak_per_ble))
+  in
+  let short_circuit_w = 0.1 *. (dynamic_w +. clock_w) in
+  let top =
+    List.sort (fun (_, a) (_, b) -> compare b a) !breakdown
+    |> List.filteri (fun i _ -> i < 10)
+  in
+  {
+    dynamic_w;
+    clock_w;
+    short_circuit_w;
+    leakage_w;
+    total_w = dynamic_w +. clock_w +. short_circuit_w +. leakage_w;
+    net_energy_breakdown = top;
+  }
+
+let pp fmt r =
+  Format.fprintf fmt
+    "dynamic %.3f mW, clock %.3f mW, short-circuit %.3f mW, leakage %.3f mW, \
+     total %.3f mW"
+    (r.dynamic_w *. 1e3) (r.clock_w *. 1e3) (r.short_circuit_w *. 1e3)
+    (r.leakage_w *. 1e3) (r.total_w *. 1e3)

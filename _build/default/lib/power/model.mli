@@ -1,0 +1,37 @@
+(** The PowerModel tool: dynamic, short-circuit and leakage power of a
+    placed-and-routed design (after Poon/Yan/Wilton's flexible FPGA power
+    model, adapted to the paper's platform).
+
+    Routed nets get wire + switch capacitance from their routing trees;
+    intra-cluster nets get the (N x K)-leg crossbar capacitance; the
+    clock network runs at f/2 (DETFFs) with the Table-2/3 gated-clock
+    residuals; short-circuit is 10 % of dynamic; leakage is per
+    configuration cell plus per BLE. *)
+
+type report = {
+  dynamic_w : float;
+  clock_w : float;
+  short_circuit_w : float;
+  leakage_w : float;
+  total_w : float;
+  net_energy_breakdown : (string * float) list;
+      (** top consumers, J per cycle *)
+}
+
+type activity_mode =
+  | Simulated (** random-vector simulation (see {!Activity.estimate}) *)
+  | Analytic  (** probability propagation ({!Activity.estimate_static}) *)
+
+type options = {
+  frequency : float; (** data rate, Hz *)
+  vdd : float;
+  activity_cycles : int;
+  activity_mode : activity_mode;
+}
+
+val default_options : options
+(** 100 MHz, the process VDD, 512 simulated activity cycles. *)
+
+val estimate : ?options:options -> Route.Router.routed -> report
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,1 @@
+lib/route/pathfinder.ml: Array List Rrgraph Util

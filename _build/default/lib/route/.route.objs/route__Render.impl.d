@@ -1,0 +1,1 @@
+lib/route/render.ml: Array Buffer Fpga_arch Hashtbl List Option Pack Pathfinder Place Printf Router Rrgraph Util

@@ -1,0 +1,1 @@
+lib/route/router.ml: Array Float Fpga_arch Hashtbl List Pack Pathfinder Place Printf Rrgraph Timing

@@ -1,0 +1,1 @@
+lib/route/router.mli: Fpga_arch Pathfinder Place Rrgraph Timing

@@ -1,0 +1,1 @@
+lib/route/rrgraph.ml: Array Float Fpga_arch Hashtbl List Option Pack Place

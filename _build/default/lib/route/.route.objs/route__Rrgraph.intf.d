@@ -1,0 +1,1 @@
+lib/route/rrgraph.mli: Fpga_arch Hashtbl Place

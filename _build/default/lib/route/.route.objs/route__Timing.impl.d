@@ -1,0 +1,1 @@
+lib/route/timing.ml: Array Float Fpga_arch Hashtbl List Logic Netlist Option Pack Pathfinder Place Rrgraph Spice

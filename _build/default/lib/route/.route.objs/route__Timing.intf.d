@@ -1,0 +1,1 @@
+lib/route/timing.mli: Fpga_arch Hashtbl Pathfinder Place Rrgraph Spice

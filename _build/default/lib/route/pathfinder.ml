@@ -1,0 +1,246 @@
+(* PathFinder negotiated-congestion routing (McMurchie & Ebeling), the
+   algorithm VPR uses.
+
+   Each iteration rips up and reroutes every net with Dijkstra over node
+   costs  base * (1 + acc_fac * history) * present,  where [present]
+   penalises current overuse and grows geometrically between iterations.
+   Convergence = no node used beyond its capacity. *)
+
+type net_spec = {
+  index : int;               (* position in the problem's net array *)
+  source : int;              (* driver OPIN node *)
+  sinks : int list;          (* SINK nodes *)
+  crit : float;              (* timing criticality in [0,1]; 0 = pure
+                                congestion-driven routing *)
+}
+
+type route_tree = {
+  net_index : int;
+  nodes : int list;          (* all RR nodes of the net's routing *)
+  parents : (int * int) list; (* (node, parent-node) edges of the tree *)
+}
+
+type result = {
+  graph : Rrgraph.t;
+  trees : route_tree array;
+  iterations : int;
+  success : bool;
+}
+
+type state = {
+  occ : int array;
+  history : float array;
+  mutable pres_fac : float;
+}
+
+let node_cost (g : Rrgraph.t) st n ~extra =
+  let node = g.Rrgraph.nodes.(n) in
+  let over = st.occ.(n) + extra + 1 - node.Rrgraph.capacity in
+  let present = if over > 0 then 1.0 +. (float_of_int over *. st.pres_fac) else 1.0 in
+  node.Rrgraph.base_cost *. (1.0 +. st.history.(n)) *. present
+
+(* Timing-driven blend (the VPR router's cost): a critical net weighs node
+   delay, a non-critical net weighs congestion. *)
+let blended_cost (g : Rrgraph.t) st ?node_delay ~crit n =
+  match node_delay with
+  | Some delays when crit > 0.0 ->
+      (crit *. delays.(n) /. 1e-11)
+      +. ((1.0 -. crit) *. node_cost g st n ~extra:0)
+  | _ -> node_cost g st n ~extra:0
+
+(* Scratch buffers shared across nets within one [route] call. *)
+type scratch = {
+  dist : float array;
+  prev : int array;
+  in_tree : bool array;
+  is_sink : bool array;
+  heap : int Util.Pqueue.t;
+}
+
+let make_scratch n =
+  {
+    dist = Array.make n infinity;
+    prev = Array.make n (-1);
+    in_tree = Array.make n false;
+    is_sink = Array.make n false;
+    heap = Util.Pqueue.create ();
+  }
+
+(* Route one net: grow a tree from the driver OPIN to every sink.
+   [bounds], if given, restricts the search to nodes intersecting the
+   rectangle (VPR's bounding-box routing). *)
+let route_net (g : Rrgraph.t) st sc ?node_delay ?bounds ~crit ~source ~sinks () =
+  let inside =
+    match bounds with
+    | None -> fun _ -> true
+    | Some (bx0, bx1, by0, by1) ->
+        fun v ->
+          g.Rrgraph.xhi.(v) >= bx0 && g.Rrgraph.xlo.(v) <= bx1
+          && g.Rrgraph.yhi.(v) >= by0 && g.Rrgraph.ylo.(v) <= by1
+  in
+  let n = Rrgraph.node_count g in
+  let tree_nodes = ref [ source ] in
+  let tree_parents = ref [] in
+  sc.in_tree.(source) <- true;
+  List.iter (fun t -> sc.is_sink.(t) <- true) sinks;
+  let n_remaining = ref (List.length sinks) in
+  let cleanup () =
+    List.iter (fun t -> sc.is_sink.(t) <- false) sinks;
+    List.iter (fun t -> sc.in_tree.(t) <- false) !tree_nodes
+  in
+  (try
+     while !n_remaining > 0 do
+       (* multi-source Dijkstra from the current tree *)
+       Array.fill sc.dist 0 n infinity;
+       Array.fill sc.prev 0 n (-1);
+       Util.Pqueue.clear sc.heap;
+       List.iter
+         (fun t ->
+           sc.dist.(t) <- 0.0;
+           Util.Pqueue.push sc.heap 0.0 t)
+         !tree_nodes;
+       let target = ref (-1) in
+       (try
+          while not (Util.Pqueue.is_empty sc.heap) do
+            let d, u = Util.Pqueue.pop sc.heap in
+            if d <= sc.dist.(u) then begin
+              if sc.is_sink.(u) then begin
+                target := u;
+                raise Exit
+              end;
+              Array.iter
+                (fun v ->
+                  if inside v then begin
+                    let c = blended_cost g st ?node_delay ~crit v in
+                    let nd = d +. c in
+                    if nd < sc.dist.(v) then begin
+                      sc.dist.(v) <- nd;
+                      sc.prev.(v) <- u;
+                      Util.Pqueue.push sc.heap nd v
+                    end
+                  end)
+                g.Rrgraph.edges.(u)
+            end
+          done
+        with Exit -> ());
+       if !target < 0 then raise Not_found;
+       (* trace back, adding path nodes to the tree *)
+       let rec back v =
+         if not sc.in_tree.(v) then begin
+           sc.in_tree.(v) <- true;
+           tree_nodes := v :: !tree_nodes;
+           tree_parents := (v, sc.prev.(v)) :: !tree_parents;
+           back sc.prev.(v)
+         end
+       in
+       back !target;
+       sc.is_sink.(!target) <- false;
+       decr n_remaining
+     done
+   with e -> cleanup (); raise e);
+  cleanup ();
+  (List.sort_uniq compare !tree_nodes, !tree_parents)
+
+let occupy st nodes = List.iter (fun nd -> st.occ.(nd) <- st.occ.(nd) + 1) nodes
+
+let release st nodes = List.iter (fun nd -> st.occ.(nd) <- st.occ.(nd) - 1) nodes
+
+let route ?(max_iterations = 30) ?(pres_fac0 = 0.5) ?(pres_mult = 1.6)
+    ?(acc_fac = 0.4) ?node_delay (g : Rrgraph.t) (nets : net_spec array) =
+  let n = Rrgraph.node_count g in
+  let st = { occ = Array.make n 0; history = Array.make n 0.0; pres_fac = pres_fac0 } in
+  let trees =
+    Array.map (fun spec -> { net_index = spec.index; nodes = []; parents = [] }) nets
+  in
+  let sc = make_scratch n in
+  let iteration = ref 0 in
+  let done_ = ref false in
+  let hopeless = ref false in
+  (* early exit on stagnation: congestion that stops improving will not
+     converge at this width, so stop burning iterations (VPR does the same) *)
+  let best_overuse = ref max_int in
+  let since_improvement = ref 0 in
+  let total_overuse () =
+    let k = ref 0 in
+    Array.iteri
+      (fun i used ->
+        let over = used - g.Rrgraph.nodes.(i).Rrgraph.capacity in
+        if over > 0 then k := !k + over)
+      st.occ;
+    !k
+  in
+  let feasible () = total_overuse () = 0 in
+  while (not !done_) && (not !hopeless) && !iteration < max_iterations do
+    incr iteration;
+    Array.iteri
+      (fun idx spec ->
+        release st trees.(idx).nodes;
+        (* bounding box of the net's terminals, expanded by 3 tiles; a net
+           that cannot route inside it retries unrestricted *)
+        let terminals = spec.source :: spec.sinks in
+        let margin = 3 in
+        let bounds =
+          ( List.fold_left (fun m t -> min m g.Rrgraph.xlo.(t)) max_int terminals
+            - margin,
+            List.fold_left (fun m t -> max m g.Rrgraph.xhi.(t)) 0 terminals
+            + margin,
+            List.fold_left (fun m t -> min m g.Rrgraph.ylo.(t)) max_int terminals
+            - margin,
+            List.fold_left (fun m t -> max m g.Rrgraph.yhi.(t)) 0 terminals
+            + margin )
+        in
+        let nodes, parents =
+          match
+            route_net g st sc ?node_delay ~bounds ~crit:spec.crit
+              ~source:spec.source ~sinks:spec.sinks ()
+          with
+          | r -> r
+          | exception Not_found ->
+              route_net g st sc ?node_delay ~crit:spec.crit
+                ~source:spec.source ~sinks:spec.sinks ()
+        in
+        occupy st nodes;
+        trees.(idx) <- { net_index = spec.index; nodes; parents })
+      nets;
+    if feasible () then done_ := true
+    else begin
+      let over = total_overuse () in
+      if over < !best_overuse then begin
+        best_overuse := over;
+        since_improvement := 0
+      end
+      else incr since_improvement;
+      if !since_improvement >= 8 then hopeless := true;
+      (* update history on overused nodes, sharpen the present penalty *)
+      Array.iteri
+        (fun i used ->
+          let o = used - g.Rrgraph.nodes.(i).Rrgraph.capacity in
+          if o > 0 then
+            st.history.(i) <- st.history.(i) +. (acc_fac *. float_of_int o))
+        st.occ;
+      st.pres_fac <- st.pres_fac *. pres_mult
+    end
+  done;
+  { graph = g; trees; iterations = !iteration; success = !done_ }
+
+(* ---------- verification helpers ---------- *)
+
+(* No node is used beyond capacity. *)
+let no_overuse (r : result) =
+  let n = Rrgraph.node_count r.graph in
+  let occ = Array.make n 0 in
+  Array.iter
+    (fun tr -> List.iter (fun nd -> occ.(nd) <- occ.(nd) + 1) tr.nodes)
+    r.trees;
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    if occ.(i) > r.graph.Rrgraph.nodes.(i).Rrgraph.capacity then ok := false
+  done;
+  !ok
+
+(* Every tree is connected and reaches its sinks. *)
+let tree_connects ~source ~sinks tr =
+  let member v = List.mem v tr.nodes in
+  member source
+  && List.for_all member sinks
+  && List.for_all (fun (v, p) -> member v && member p) tr.parents

@@ -1,0 +1,39 @@
+(** PathFinder negotiated-congestion routing (McMurchie & Ebeling), the
+    algorithm VPR uses.
+
+    Each iteration rips up and reroutes every net with Dijkstra over node
+    costs base x (1 + acc x history) x present; the present-overuse
+    penalty grows geometrically between iterations.  Convergence = no
+    node used beyond its capacity.  With [node_delay], nets blend in a
+    criticality-weighted delay term (the timing-driven router). *)
+
+type net_spec = {
+  index : int;     (** position in the problem's net array *)
+  source : int;    (** driver OPIN node *)
+  sinks : int list;
+  crit : float;    (** timing criticality in [0,1]; 0 = congestion only *)
+}
+
+type route_tree = {
+  net_index : int;
+  nodes : int list;
+  parents : (int * int) list; (** (node, parent) edges of the tree *)
+}
+
+type result = {
+  graph : Rrgraph.t;
+  trees : route_tree array;
+  iterations : int;
+  success : bool;
+}
+
+val route :
+  ?max_iterations:int -> ?pres_fac0:float -> ?pres_mult:float ->
+  ?acc_fac:float -> ?node_delay:float array -> Rrgraph.t ->
+  net_spec array -> result
+(** @raise Not_found if some sink is unreachable in the graph. *)
+
+val no_overuse : result -> bool
+(** Independent capacity re-check (used by tests). *)
+
+val tree_connects : source:int -> sinks:int list -> route_tree -> bool

@@ -1,0 +1,109 @@
+(* ASCII rendering of the placed-and-routed FPGA — the textual counterpart
+   of VPR's graphics window (and of the paper's GUI placement view).
+
+   Each tile prints as a small cell: CLBs show their cluster id and BLE
+   occupancy, pads their direction, channels their track usage. *)
+
+let channel_usage (routed : Router.routed) =
+  let g = routed.Router.graph in
+  (* per (is_x, coord-x, coord-y): used tracks *)
+  let used = Hashtbl.create 64 in
+  Array.iter
+    (fun (tr : Pathfinder.route_tree) ->
+      List.iter
+        (fun nd ->
+          let node = g.Rrgraph.nodes.(nd) in
+          match node.Rrgraph.kind with
+          | Rrgraph.Chanx (xs, y, _) ->
+              for x = xs to xs + node.Rrgraph.wire_tiles - 1 do
+                let key = (true, x, y) in
+                Hashtbl.replace used key
+                  (1 + Option.value (Hashtbl.find_opt used key) ~default:0)
+              done
+          | Rrgraph.Chany (x, ys, _) ->
+              for y = ys to ys + node.Rrgraph.wire_tiles - 1 do
+                let key = (false, x, y) in
+                Hashtbl.replace used key
+                  (1 + Option.value (Hashtbl.find_opt used key) ~default:0)
+              done
+          | _ -> ())
+        tr.Pathfinder.nodes)
+    routed.Router.result.Pathfinder.trees;
+  used
+
+(* Render the array: rows from y = ny+1 (top pads) down to 0. *)
+let to_string (routed : Router.routed) =
+  let problem = routed.Router.problem in
+  let placement = routed.Router.placement in
+  let grid = problem.Place.Problem.grid in
+  let nx = grid.Fpga_arch.Grid.nx and ny = grid.Fpga_arch.Grid.ny in
+  let used = channel_usage routed in
+  let usage_x x y =
+    Option.value (Hashtbl.find_opt used (true, x, y)) ~default:0
+  in
+  let usage_y x y =
+    Option.value (Hashtbl.find_opt used (false, x, y)) ~default:0
+  in
+  (* block occupancy maps *)
+  let clb_label = Hashtbl.create 16 in
+  let pad_label = Hashtbl.create 16 in
+  Array.iteri
+    (fun b kind ->
+      match (kind, Place.Placement.location placement b) with
+      | Place.Problem.Cluster_block cid, Fpga_arch.Grid.Clb (x, y) ->
+          let n_bles =
+            List.length
+              problem.Place.Problem.packing.Pack.Cluster.clusters.(cid)
+                .Pack.Cluster.bles
+          in
+          Hashtbl.replace clb_label (x, y) (Printf.sprintf "C%-2d:%d" cid n_bles)
+      | Place.Problem.Input_pad _, Fpga_arch.Grid.Pad (x, y, _) ->
+          let cur = Option.value (Hashtbl.find_opt pad_label (x, y)) ~default:"" in
+          Hashtbl.replace pad_label (x, y) (cur ^ "I")
+      | Place.Problem.Output_pad _, Fpga_arch.Grid.Pad (x, y, _) ->
+          let cur = Option.value (Hashtbl.find_opt pad_label (x, y)) ~default:"" in
+          Hashtbl.replace pad_label (x, y) (cur ^ "O")
+      | _ -> ())
+    problem.Place.Problem.blocks;
+  let buf = Buffer.create 1024 in
+  let cell_w = 6 in
+  let pad s = Util.Tablefmt.pad Util.Tablefmt.Left cell_w s in
+  let tile x y =
+    if x >= 1 && x <= nx && y >= 1 && y <= ny then
+      match Hashtbl.find_opt clb_label (x, y) with
+      | Some l -> pad ("[" ^ l ^ "]" |> fun s -> s)
+      | None -> pad "[ .  ]"
+    else
+      match Hashtbl.find_opt pad_label (x, y) with
+      | Some l -> pad ("(" ^ l ^ ")")
+      | None ->
+          if (x = 0 || x = nx + 1) && (y = 0 || y = ny + 1) then pad " "
+          else pad "( )"
+  in
+  for y = ny + 1 downto 0 do
+    (* tile row *)
+    for x = 0 to nx + 1 do
+      Buffer.add_string buf (tile x y);
+      (* vertical channel to the right of tile column x (chany x, rows) *)
+      if x <= nx && y >= 1 && y <= ny then
+        Buffer.add_string buf (Printf.sprintf "|%d " (usage_y x y))
+      else if x <= nx then Buffer.add_string buf "   "
+    done;
+    Buffer.add_char buf '\n';
+    (* horizontal channel below row y (chanx at y-1) *)
+    if y >= 1 then begin
+      for x = 0 to nx + 1 do
+        if x >= 1 && x <= nx then
+          Buffer.add_string buf (pad (Printf.sprintf "-%d-" (usage_x x (y - 1))))
+        else Buffer.add_string buf (pad "");
+        if x <= nx then Buffer.add_string buf "   "
+      done;
+      Buffer.add_char buf '\n'
+    end
+  done;
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\nCxx:n = cluster xx with n BLEs; (I)/(O) = pads; |n -n- = tracks \
+        in use (of %d)\n"
+       routed.Router.width);
+  Buffer.contents buf

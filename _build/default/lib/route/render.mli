@@ -1,0 +1,9 @@
+(** ASCII rendering of the placed-and-routed FPGA — the textual
+    counterpart of VPR's graphics window (and of the paper's GUI
+    placement view).  CLB tiles show cluster id and BLE count, pads their
+    direction, channels their used-track counts. *)
+
+val channel_usage : Router.routed -> (bool * int * int, int) Hashtbl.t
+(** Used tracks per channel position: key (is_chanx, x, y). *)
+
+val to_string : Router.routed -> string

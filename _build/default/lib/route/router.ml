@@ -1,0 +1,183 @@
+(* Routing driver: pin assignment, channel-width search and the routed
+   design record the rest of the flow consumes. *)
+
+type routed = {
+  problem : Place.Problem.t;
+  placement : Place.Placement.t;
+  graph : Rrgraph.t;
+  result : Pathfinder.result;
+  width : int;                (* channel width used *)
+  min_width : int option;     (* smallest routable width, if searched *)
+  constants : Timing.constants;
+}
+
+(* Net specs (driver OPIN, SINK nodes, criticality) for every routable net.
+   [criticalities], if given, supplies per-net timing weights (index-aligned
+   with the problem's net array). *)
+let net_terminals ?criticalities (g : Rrgraph.t) (problem : Place.Problem.t) =
+  let packing = problem.Place.Problem.packing in
+  Array.mapi
+    (fun ni (net : Place.Problem.net) ->
+      let source =
+        match problem.Place.Problem.blocks.(net.Place.Problem.driver) with
+        | Place.Problem.Cluster_block cid ->
+            let cluster = packing.Pack.Cluster.clusters.(cid) in
+            let slot = ref 0 in
+            List.iteri
+              (fun k (b : Pack.Ble.t) ->
+                if b.Pack.Ble.output = net.Place.Problem.signal then slot := k)
+              cluster.Pack.Cluster.bles;
+            Hashtbl.find g.Rrgraph.node_of_opin (net.Place.Problem.driver, !slot)
+        | Place.Problem.Input_pad _ | Place.Problem.Output_pad _ ->
+            Hashtbl.find g.Rrgraph.node_of_opin (net.Place.Problem.driver, 0)
+      in
+      let sinks =
+        Array.to_list net.Place.Problem.sinks
+        |> List.map (fun b -> Hashtbl.find g.Rrgraph.node_of_sink b)
+        |> List.sort_uniq compare
+      in
+      let crit =
+        match criticalities with Some c -> c.(ni) | None -> 0.0
+      in
+      { Pathfinder.index = ni; source; sinks; crit })
+    problem.Place.Problem.nets
+
+(* Elmore-style per-node delay estimate used by the timing-driven router. *)
+let node_delays (g : Rrgraph.t) (consts : Timing.constants) =
+  Array.map
+    (fun (node : Rrgraph.node) ->
+      match node.Rrgraph.kind with
+      | Rrgraph.Chanx _ | Rrgraph.Chany _ ->
+          let tiles = float_of_int node.Rrgraph.wire_tiles in
+          (consts.Timing.r_switch +. (consts.Timing.r_wire_tile *. tiles))
+          *. (consts.Timing.c_switch +. (consts.Timing.c_wire_tile *. tiles))
+      | Rrgraph.Ipin _ -> consts.Timing.t_ipin /. 10.0
+      | Rrgraph.Opin _ -> consts.Timing.r_switch *. consts.Timing.c_switch
+      | Rrgraph.Sink _ -> 0.0)
+    g.Rrgraph.nodes
+
+let try_width ?(max_iterations = 30) ?timing (params : Fpga_arch.Params.t)
+    (placement : Place.Placement.t) width =
+  let problem = placement.Place.Placement.problem in
+  let g = Rrgraph.build params problem.Place.Problem.grid placement ~width in
+  let criticalities, node_delay =
+    match timing with
+    | None -> (None, None)
+    | Some model ->
+        let coords b = Place.Placement.coords placement b in
+        let a = Place.Td_timing.analyze ~model problem ~coords in
+        (* cap criticality so the congestion term never vanishes and
+           PathFinder can still negotiate overuse away (VPR does the same) *)
+        let per_net =
+          Array.map
+            (fun crits -> Float.min 0.95 (Array.fold_left Float.max 0.0 crits))
+            a.Place.Td_timing.criticality
+        in
+        (Some per_net, Some (node_delays g (Timing.default_constants params)))
+  in
+  let nets = net_terminals ?criticalities g problem in
+  match Pathfinder.route ~max_iterations ?node_delay g nets with
+  | r when r.Pathfinder.success -> Some (g, r)
+  | _ -> None
+  | exception Not_found -> None
+
+(* Route at a fixed width (raises if infeasible). *)
+let route_fixed ?(max_iterations = 40) ?timing (params : Fpga_arch.Params.t)
+    (placement : Place.Placement.t) ~width =
+  match try_width ~max_iterations ?timing params placement width with
+  | Some (g, r) ->
+      {
+        problem = placement.Place.Placement.problem;
+        placement;
+        graph = g;
+        result = r;
+        width;
+        min_width = None;
+        constants = Timing.default_constants params;
+      }
+  | None -> failwith (Printf.sprintf "unroutable at channel width %d" width)
+
+(* Find the minimum routable channel width (VPR's headline metric), then
+   return the routing at low stress (1.2x the minimum, the usual practice) *)
+let route_min_width ?(max_iterations = 30) ?(start = 6) ?timing
+    (params : Fpga_arch.Params.t) (placement : Place.Placement.t) =
+  (* grow until routable (the width search itself runs congestion-driven) *)
+  let rec grow w =
+    if w > 128 then failwith "unroutable even at channel width 128"
+    else
+      match try_width ~max_iterations params placement w with
+      | Some ok -> (w, ok)
+      | None -> grow (w * 2)
+  in
+  let hi, hi_ok = grow start in
+  (* binary search down; lo = 0 is by definition unroutable, so the whole
+     untested range below [start] is covered *)
+  let rec shrink lo hi hi_ok =
+    (* invariant: hi routable, lo not (or lo = 0) *)
+    if hi - lo <= 1 then (hi, hi_ok)
+    else begin
+      let mid = (lo + hi) / 2 in
+      match try_width ~max_iterations params placement mid with
+      | Some ok -> shrink lo mid ok
+      | None -> shrink mid hi hi_ok
+    end
+  in
+  let min_w, _ = shrink 0 hi hi_ok in
+  (* low-stress final routing, timing-driven if requested *)
+  let final_w = max min_w (int_of_float (Float.ceil (1.2 *. float_of_int min_w))) in
+  let g, r =
+    match
+      try_width ~max_iterations:(2 * max_iterations) ?timing params placement
+        final_w
+    with
+    | Some ok -> ok
+    | None -> (
+        match
+          try_width ~max_iterations:(2 * max_iterations) ?timing params
+            placement (2 * final_w)
+        with
+        | Some ok -> ok
+        | None -> failwith "low-stress routing failed")
+  in
+  {
+    problem = placement.Place.Placement.problem;
+    placement;
+    graph = g;
+    result = r;
+    width = g.Rrgraph.width;
+    min_width = Some min_w;
+    constants = Timing.default_constants params;
+  }
+
+(* ---------- statistics ---------- *)
+
+type stats = {
+  channel_width : int;
+  minimum_width : int option;
+  total_wire_tiles : int;     (* wirelength in tile units *)
+  switches_used : int;
+  critical_path_s : float;
+}
+
+let stats (r : routed) =
+  let wire = ref 0 and switches = ref 0 in
+  Array.iter
+    (fun (tr : Pathfinder.route_tree) ->
+      List.iter
+        (fun nd ->
+          let node = r.graph.Rrgraph.nodes.(nd) in
+          match node.Rrgraph.kind with
+          | Rrgraph.Chanx _ | Rrgraph.Chany _ ->
+              wire := !wire + node.Rrgraph.wire_tiles;
+              incr switches
+          | _ -> ())
+        tr.Pathfinder.nodes)
+    r.result.Pathfinder.trees;
+  {
+    channel_width = r.width;
+    minimum_width = r.min_width;
+    total_wire_tiles = !wire;
+    switches_used = !switches;
+    critical_path_s =
+      Timing.critical_path r.problem r.graph r.constants r.result;
+  }

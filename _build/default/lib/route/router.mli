@@ -1,0 +1,49 @@
+(** Routing driver: pin assignment, channel-width search and the routed
+    design record the rest of the flow consumes. *)
+
+type routed = {
+  problem : Place.Problem.t;
+  placement : Place.Placement.t;
+  graph : Rrgraph.t;
+  result : Pathfinder.result;
+  width : int;
+  min_width : int option; (** smallest routable width, if searched *)
+  constants : Timing.constants;
+}
+
+val net_terminals :
+  ?criticalities:float array -> Rrgraph.t -> Place.Problem.t ->
+  Pathfinder.net_spec array
+(** Driver OPIN and SINK nodes for every routable net; [criticalities]
+    supplies per-net timing weights. *)
+
+val node_delays : Rrgraph.t -> Timing.constants -> float array
+(** Per-node delay estimate for the timing-driven router. *)
+
+val try_width :
+  ?max_iterations:int -> ?timing:Place.Td_timing.delay_model ->
+  Fpga_arch.Params.t -> Place.Placement.t -> int ->
+  (Rrgraph.t * Pathfinder.result) option
+(** Attempt a routing at the given channel width; None if infeasible. *)
+
+val route_fixed :
+  ?max_iterations:int -> ?timing:Place.Td_timing.delay_model ->
+  Fpga_arch.Params.t -> Place.Placement.t -> width:int -> routed
+(** @raise Failure when unroutable at that width. *)
+
+val route_min_width :
+  ?max_iterations:int -> ?start:int -> ?timing:Place.Td_timing.delay_model ->
+  Fpga_arch.Params.t -> Place.Placement.t -> routed
+(** Binary-search the minimum channel width (VPR's headline metric), then
+    return a low-stress (1.2x) routing — timing-driven if requested.
+    @raise Failure when unroutable even at width 128. *)
+
+type stats = {
+  channel_width : int;
+  minimum_width : int option;
+  total_wire_tiles : int; (** wirelength in tile units *)
+  switches_used : int;
+  critical_path_s : float;
+}
+
+val stats : routed -> stats

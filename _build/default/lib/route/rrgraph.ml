@@ -1,0 +1,265 @@
+(* Routing-resource graph for the island-style interconnect of §3.3.
+
+   Geometry (VPR conventions):
+   - horizontal channels chanx(x, y) for x in 1..nx, y in 0..ny (the channel
+     above row y; y = 0 is below the first row);
+   - vertical channels chany(x, y) for x in 0..nx, y in 1..ny;
+   - the switch box S(x, y) joins chanx(x, y), chanx(x+1, y), chany(x, y)
+     and chany(x, y+1) with the disjoint pattern (Fs = 3): track t connects
+     only to track t of the other three channels;
+   - wires span [segment_length] tiles, staggered by track so segment ends
+     distribute evenly; pass-transistor switches join them at their ends;
+   - every logic block touches the four surrounding channels; pins connect
+     to an Fc fraction of the tracks crossing the tile; each block has one
+     SINK node fed by its input pins (capacity = I), so the router chooses
+     input pins naturally.  Output pins are per-BLE. *)
+
+type node_kind =
+  | Opin of int * int (* block index, pin *)
+  | Ipin of int * int (* block index, pin *)
+  | Sink of int       (* block index *)
+  | Chanx of int * int * int (* x-start, y, track *)
+  | Chany of int * int * int (* x, y-start, track *)
+
+type node = {
+  kind : node_kind;
+  capacity : int;
+  base_cost : float;
+  wire_tiles : int; (* tiles spanned; 0 for pins *)
+}
+
+type t = {
+  nodes : node array;
+  edges : int array array;     (* adjacency: node -> successor nodes *)
+  node_of_opin : (int * int, int) Hashtbl.t;
+  node_of_sink : (int, int) Hashtbl.t;
+  width : int;                 (* tracks per channel *)
+  params : Fpga_arch.Params.t;
+  grid : Fpga_arch.Grid.t;
+  (* spatial extent of each node, for bounding-box-limited routing *)
+  xlo : int array;
+  xhi : int array;
+  ylo : int array;
+  yhi : int array;
+}
+
+let node_count g = Array.length g.nodes
+
+(* Wires are described by their start coordinate; a chanx wire starting at
+   (xs, y) covers tiles xs..xs+len-1.  Track t in channel row y starts at
+   positions where (xs - 1 + t) mod len = 0, so ends stagger across tracks. *)
+let build (params : Fpga_arch.Params.t) (grid : Fpga_arch.Grid.t)
+    (placement : Place.Placement.t) ~width =
+  let problem = placement.Place.Placement.problem in
+  let blocks = problem.Place.Problem.blocks in
+  let nx = grid.Fpga_arch.Grid.nx and ny = grid.Fpga_arch.Grid.ny in
+  let len = params.Fpga_arch.Params.segment_length in
+  let nodes = ref [] and n_nodes = ref 0 in
+  let node_tbl = Hashtbl.create 1024 in
+  let add kind capacity base_cost wire_tiles =
+    let n = { kind; capacity; base_cost; wire_tiles } in
+    nodes := n :: !nodes;
+    Hashtbl.replace node_tbl !n_nodes n;
+    incr n_nodes;
+    !n_nodes - 1
+  in
+  let node_rec id = Hashtbl.find node_tbl id in
+  let edges = Hashtbl.create 1024 in
+  let add_edge a b =
+    let cur = Option.value (Hashtbl.find_opt edges a) ~default:[] in
+    if not (List.mem b cur) then Hashtbl.replace edges a (b :: cur)
+  in
+  (* ---- wire nodes ---- *)
+  (* chanx wires: for y in 0..ny, track t, starts xs where wires tile the
+     row in steps of len with offset (t mod len) *)
+  let chanx_node = Hashtbl.create 256 in
+  (* (xs, y, t) -> node *)
+  let chany_node = Hashtbl.create 256 in
+  for y = 0 to ny do
+    for t = 0 to width - 1 do
+      let offset = t mod len in
+      let xs = ref (1 - offset) in
+      while !xs <= nx do
+        let xe = min nx (!xs + len - 1) in
+        let x0 = max 1 !xs in
+        let tiles = xe - x0 + 1 in
+        if tiles > 0 then begin
+          let id = add (Chanx (x0, y, t)) 1 (float_of_int tiles) tiles in
+          Hashtbl.replace chanx_node (x0, y, t) id
+        end;
+        xs := !xs + len
+      done
+    done
+  done;
+  for x = 0 to nx do
+    for t = 0 to width - 1 do
+      let offset = t mod len in
+      let ys = ref (1 - offset) in
+      while !ys <= ny do
+        let ye = min ny (!ys + len - 1) in
+        let y0 = max 1 !ys in
+        let tiles = ye - y0 + 1 in
+        if tiles > 0 then begin
+          let id = add (Chany (x, y0, t)) 1 (float_of_int tiles) tiles in
+          Hashtbl.replace chany_node (x, y0, t) id
+        end;
+        ys := !ys + len
+      done
+    done
+  done;
+  (* wire lookup: the chanx wire covering tile x at (row) y, track t *)
+  let chanx_covering x y t =
+    let offset = t mod len in
+    (* wire starts at positions 1 - offset + k*len *)
+    let rel = x - (1 - offset) in
+    let xs = x - (rel mod len) in
+    let x0 = max 1 xs in
+    Hashtbl.find_opt chanx_node (x0, y, t)
+  in
+  let chany_covering x y t =
+    let offset = t mod len in
+    let rel = y - (1 - offset) in
+    let ys = y - (rel mod len) in
+    let y0 = max 1 ys in
+    Hashtbl.find_opt chany_node (x, y0, t)
+  in
+  (* ---- switch boxes (disjoint, Fs = 3) ---- *)
+  (* at S(x, y) for x in 0..nx, y in 0..ny: the four incident wires on track
+     t are pairwise connected (bidirectional pass transistors) when the
+     switch point falls at a wire end *)
+  let ends_at_switch_x xs tiles ~sx = xs - 1 = sx || xs + tiles - 1 = sx in
+  let ends_at_switch_y ys tiles ~sy = ys - 1 = sy || ys + tiles - 1 = sy in
+  for sx = 0 to nx do
+    for sy = 0 to ny do
+      for t = 0 to width - 1 do
+        (* wires whose END touches this switch point *)
+        let touching = ref [] in
+        let consider id_opt ends =
+          match id_opt with
+          | Some id when ends (node_rec id) && not (List.mem id !touching) ->
+              touching := id :: !touching
+          | _ -> ()
+        in
+        consider (chanx_covering sx sy t) (fun n ->
+            match n.kind with
+            | Chanx (xs, _, _) -> ends_at_switch_x xs n.wire_tiles ~sx
+            | _ -> false);
+        consider (chanx_covering (sx + 1) sy t) (fun n ->
+            match n.kind with Chanx (xs, _, _) -> xs - 1 = sx | _ -> false);
+        consider (chany_covering sx sy t) (fun n ->
+            match n.kind with
+            | Chany (_, ys, _) -> ends_at_switch_y ys n.wire_tiles ~sy
+            | _ -> false);
+        consider (chany_covering sx (sy + 1) t) (fun n ->
+            match n.kind with Chany (_, ys, _) -> ys - 1 = sy | _ -> false);
+        let touching = List.sort_uniq compare !touching in
+        List.iter
+          (fun a ->
+            List.iter (fun b -> if a <> b then begin add_edge a b; add_edge b a end)
+              touching)
+          touching
+      done
+    done
+  done;
+  (* ---- block pins ---- *)
+  let node_of_opin = Hashtbl.create 64 in
+  let node_of_sink = Hashtbl.create 64 in
+  let fc_tracks fc =
+    let k = int_of_float (Float.round (fc *. float_of_int width)) in
+    max 1 (min width k)
+  in
+  let n_in = fc_tracks params.Fpga_arch.Params.fc_in in
+  let n_out = fc_tracks params.Fpga_arch.Params.fc_out in
+  (* channels adjacent to tile (x, y) *)
+  let adjacent_wires x y t =
+    List.filter_map
+      (fun f -> f ())
+      [
+        (fun () -> chanx_covering x (y - 1) t);
+        (fun () -> chanx_covering x y t);
+        (fun () -> chany_covering (x - 1) y t);
+        (fun () -> chany_covering x y t);
+      ]
+  in
+  Array.iteri
+    (fun b kind ->
+      let x, y = Place.Placement.coords placement b in
+      match kind with
+      | Place.Problem.Cluster_block cid ->
+          let cluster =
+            problem.Place.Problem.packing.Pack.Cluster.clusters.(cid)
+          in
+          let n_bles = List.length cluster.Pack.Cluster.bles in
+          (* output pins: one per BLE slot *)
+          for pin = 0 to n_bles - 1 do
+            let id = add (Opin (b, pin)) 1 1.0 0 in
+            Hashtbl.replace node_of_opin (b, pin) id;
+            (* connect to n_out tracks, offset by pin for diversity *)
+            for j = 0 to n_out - 1 do
+              let t = (pin + (j * width / n_out)) mod width in
+              List.iter (fun w -> add_edge id w) (adjacent_wires x y t)
+            done
+          done;
+          (* input pins -> sink *)
+          let sink = add (Sink b) params.Fpga_arch.Params.i 0.0 0 in
+          Hashtbl.replace node_of_sink b sink;
+          for pin = 0 to params.Fpga_arch.Params.i - 1 do
+            let id = add (Ipin (b, pin)) 1 0.95 0 in
+            add_edge id sink;
+            for j = 0 to n_in - 1 do
+              let t = (pin + (j * width / n_in)) mod width in
+              List.iter (fun w -> add_edge w id) (adjacent_wires x y t)
+            done
+          done
+      | Place.Problem.Input_pad _ ->
+          let id = add (Opin (b, 0)) 1 1.0 0 in
+          Hashtbl.replace node_of_opin (b, 0) id;
+          for j = 0 to n_out - 1 do
+            let t = j * width / n_out mod width in
+            List.iter (fun w -> add_edge id w) (adjacent_wires x y t)
+          done
+      | Place.Problem.Output_pad _ ->
+          let sink = add (Sink b) 1 0.0 0 in
+          Hashtbl.replace node_of_sink b sink;
+          let id = add (Ipin (b, 0)) 1 0.95 0 in
+          add_edge id sink;
+          for j = 0 to n_in - 1 do
+            let t = j * width / n_in mod width in
+            List.iter (fun w -> add_edge w id) (adjacent_wires x y t)
+          done)
+    blocks;
+  let nodes = Array.of_list (List.rev !nodes) in
+  let edge_arr =
+    Array.init (Array.length nodes) (fun i ->
+        Array.of_list (Option.value (Hashtbl.find_opt edges i) ~default:[]))
+  in
+  (* spatial extents (pins take their block's coordinates) *)
+  let m = Array.length nodes in
+  let xlo = Array.make m 0 and xhi = Array.make m 0 in
+  let ylo = Array.make m 0 and yhi = Array.make m 0 in
+  let block_xy b = Place.Placement.coords placement b in
+  Array.iteri
+    (fun i nd ->
+      let x0, x1, y0, y1 =
+        match nd.kind with
+        | Chanx (xs, y, _) -> (xs, xs + nd.wire_tiles - 1, y, y + 1)
+        | Chany (x, ys, _) -> (x, x + 1, ys, ys + nd.wire_tiles - 1)
+        | Opin (b, _) | Ipin (b, _) | Sink b ->
+            let x, y = block_xy b in
+            (x, x, y, y)
+      in
+      xlo.(i) <- x0; xhi.(i) <- x1; ylo.(i) <- y0; yhi.(i) <- y1)
+    nodes;
+  {
+    nodes;
+    edges = edge_arr;
+    node_of_opin;
+    node_of_sink;
+    width;
+    params;
+    grid;
+    xlo;
+    xhi;
+    ylo;
+    yhi;
+  }

@@ -1,0 +1,43 @@
+(** Routing-resource graph for the island-style interconnect of §3.3.
+
+    Geometry (VPR conventions): horizontal channels chanx(x, y) for
+    y = 0..ny, vertical channels chany(x, y) for x = 0..nx; the disjoint
+    switch box (Fs = 3) joins same-numbered tracks; wires span
+    [segment_length] tiles, staggered by track; every logic block touches
+    the four surrounding channels; pins connect to an Fc fraction of the
+    tracks; each block has one SINK fed by its input pins so the router
+    chooses pins naturally; output pins are per-BLE. *)
+
+type node_kind =
+  | Opin of int * int        (** block index, pin *)
+  | Ipin of int * int
+  | Sink of int              (** block index *)
+  | Chanx of int * int * int (** x-start, y, track *)
+  | Chany of int * int * int (** x, y-start, track *)
+
+type node = {
+  kind : node_kind;
+  capacity : int;
+  base_cost : float;
+  wire_tiles : int; (** tiles spanned; 0 for pins *)
+}
+
+type t = {
+  nodes : node array;
+  edges : int array array; (** adjacency: node -> successors *)
+  node_of_opin : (int * int, int) Hashtbl.t;
+  node_of_sink : (int, int) Hashtbl.t;
+  width : int;             (** tracks per channel *)
+  params : Fpga_arch.Params.t;
+  grid : Fpga_arch.Grid.t;
+  xlo : int array;         (** spatial extent per node (bbox routing) *)
+  xhi : int array;
+  ylo : int array;
+  yhi : int array;
+}
+
+val node_count : t -> int
+
+val build :
+  Fpga_arch.Params.t -> Fpga_arch.Grid.t -> Place.Placement.t ->
+  width:int -> t

@@ -1,0 +1,215 @@
+(* Delay estimation over routed nets: Elmore delay on the routing trees,
+   plus logic delays, giving the post-route critical path.
+
+   Electrical constants derive from the platform's circuit design (§3):
+   pass-transistor switches at [switch_width] x minimum, length-1 metal-3
+   segments with the min-width/double-spacing RC selected in §3.3. *)
+
+open Netlist
+
+type constants = {
+  r_switch : float;   (* routing switch on-resistance, ohm *)
+  c_switch : float;   (* switch junction capacitance, F *)
+  r_wire_tile : float;
+  c_wire_tile : float;
+  t_lut : float;      (* LUT + local-interconnect delay, s *)
+  t_ble_local : float;(* intra-cluster feedback delay, s *)
+  t_clk_q : float;    (* DETFF clock-to-Q, s *)
+  t_setup : float;
+  t_ipin : float;     (* connection-box + input buffer delay, s *)
+}
+
+(* On-resistance of an NMOS pass transistor of the given width multiple in
+   the 0.18 um-class process (linear-region estimate at VDD). *)
+let pass_resistance (tech : Spice.Tech.t) width_mult =
+  let wl = width_mult *. tech.Spice.Tech.w_min /. tech.Spice.Tech.l_min in
+  let vov = tech.Spice.Tech.vdd -. tech.Spice.Tech.vt_n in
+  1.0 /. (tech.Spice.Tech.kp_n *. wl *. vov)
+
+let default_constants (params : Fpga_arch.Params.t) =
+  let tech = Spice.Tech.stm018 in
+  let cfg = Spice.Tech.Min_width_double_spacing in
+  let r_switch = pass_resistance tech params.Fpga_arch.Params.switch_width in
+  let c_switch =
+    2.0 *. tech.Spice.Tech.cj *. params.Fpga_arch.Params.switch_width
+    *. tech.Spice.Tech.w_min
+  in
+  {
+    r_switch;
+    c_switch;
+    r_wire_tile = Spice.Tech.wire_r_per_m cfg *. Spice.Tech.tile_length;
+    c_wire_tile = Spice.Tech.wire_c_per_m cfg *. Spice.Tech.tile_length;
+    t_lut = 0.45e-9;
+    t_ble_local = 0.18e-9;
+    t_clk_q = 0.20e-9;
+    t_setup = 0.10e-9;
+    t_ipin = 0.25e-9;
+  }
+
+(* Elmore delay from the source to every node of one routing tree.
+
+   The tree parents list gives (node, parent) pairs; we accumulate
+   downstream capacitance bottom-up, then delays top-down. *)
+let elmore (g : Rrgraph.t) consts ~source (tree : Pathfinder.route_tree) =
+  let node_r n =
+    let node = g.Rrgraph.nodes.(n) in
+    match node.Rrgraph.kind with
+    | Rrgraph.Chanx _ | Rrgraph.Chany _ ->
+        consts.r_switch
+        +. (consts.r_wire_tile *. float_of_int node.Rrgraph.wire_tiles)
+    | Rrgraph.Ipin _ -> consts.r_switch
+    | Rrgraph.Opin _ -> consts.r_switch
+    | Rrgraph.Sink _ -> 0.0
+  in
+  let node_c n =
+    let node = g.Rrgraph.nodes.(n) in
+    match node.Rrgraph.kind with
+    | Rrgraph.Chanx _ | Rrgraph.Chany _ ->
+        consts.c_switch
+        +. (consts.c_wire_tile *. float_of_int node.Rrgraph.wire_tiles)
+    | Rrgraph.Ipin _ -> 5e-15
+    | Rrgraph.Opin _ -> consts.c_switch
+    | Rrgraph.Sink _ -> 0.0
+  in
+  let children = Hashtbl.create 16 in
+  List.iter
+    (fun (v, p) ->
+      let cur = Option.value (Hashtbl.find_opt children p) ~default:[] in
+      Hashtbl.replace children p (v :: cur))
+    tree.Pathfinder.parents;
+  (* downstream capacitance *)
+  let cdown = Hashtbl.create 16 in
+  let rec down v =
+    match Hashtbl.find_opt cdown v with
+    | Some c -> c
+    | None ->
+        let kids = Option.value (Hashtbl.find_opt children v) ~default:[] in
+        let c = node_c v +. List.fold_left (fun acc k -> acc +. down k) 0.0 kids in
+        Hashtbl.replace cdown v c;
+        c
+  in
+  ignore (down source);
+  (* delay accumulation *)
+  let delay = Hashtbl.create 16 in
+  let rec walk v t =
+    Hashtbl.replace delay v t;
+    let kids = Option.value (Hashtbl.find_opt children v) ~default:[] in
+    List.iter (fun k -> walk k (t +. (node_r k *. down k))) kids
+  in
+  walk source (node_r source *. down source);
+  delay
+
+(* Routed delay from the net's source block to each sink block. *)
+type net_delays = (int, float) Hashtbl.t (* sink block -> delay *)
+
+let net_delays (g : Rrgraph.t) consts ~source (tree : Pathfinder.route_tree) =
+  let d = elmore g consts ~source tree in
+  let out : net_delays = Hashtbl.create 8 in
+  List.iter
+    (fun nd ->
+      match g.Rrgraph.nodes.(nd).Rrgraph.kind with
+      | Rrgraph.Sink b ->
+          let t = Option.value (Hashtbl.find_opt d nd) ~default:0.0 in
+          Hashtbl.replace out b (t +. consts.t_ipin)
+      | _ -> ())
+    tree.Pathfinder.nodes;
+  out
+
+(* ---------- post-route static timing over the mapped netlist ---------- *)
+
+(* Critical path: longest register-to-register / pad-to-pad combinational
+   path.  Signal-level DP over the mapped network; crossing a cluster
+   boundary uses the routed net delay, staying inside costs the local
+   feedback delay. *)
+let critical_path (problem : Place.Problem.t) (g : Rrgraph.t) consts
+    (routes : Pathfinder.result) =
+  let lnet = problem.Place.Problem.packing.Pack.Cluster.net in
+  let packing = problem.Place.Problem.packing in
+  (* block of each produced signal *)
+  let block_of_signal = Hashtbl.create 64 in
+  Array.iteri
+    (fun bidx kind ->
+      match kind with
+      | Place.Problem.Cluster_block cid ->
+          List.iter
+            (fun (b : Pack.Ble.t) ->
+              Hashtbl.replace block_of_signal b.Pack.Ble.output bidx)
+            packing.Pack.Cluster.clusters.(cid).Pack.Cluster.bles
+      | Place.Problem.Input_pad s -> Hashtbl.replace block_of_signal s bidx
+      | Place.Problem.Output_pad _ -> ())
+    problem.Place.Problem.blocks;
+  (* routed delays per (signal, sink block) *)
+  let routed = Hashtbl.create 64 in
+  Array.iter
+    (fun (tr : Pathfinder.route_tree) ->
+      let net = problem.Place.Problem.nets.(tr.Pathfinder.net_index) in
+      let source_node =
+        match
+          List.find_opt
+            (fun nd ->
+              match g.Rrgraph.nodes.(nd).Rrgraph.kind with
+              | Rrgraph.Opin _ -> true
+              | _ -> false)
+            tr.Pathfinder.nodes
+        with
+        | Some s -> s
+        | None -> List.hd tr.Pathfinder.nodes
+      in
+      let ds = net_delays g consts ~source:source_node tr in
+      Hashtbl.iter
+        (fun sink_block d ->
+          Hashtbl.replace routed (net.Place.Problem.signal, sink_block) d)
+        ds)
+    routes.Pathfinder.trees;
+  (* interconnect delay for signal s consumed by signal u *)
+  let edge_delay s u =
+    let sb = Hashtbl.find_opt block_of_signal s in
+    let ub = Hashtbl.find_opt block_of_signal u in
+    match (sb, ub) with
+    | Some a, Some b when a = b -> consts.t_ble_local
+    | _, Some b -> (
+        match Hashtbl.find_opt routed (s, b) with
+        | Some d -> d
+        | None -> consts.t_ble_local)
+    | _ -> consts.t_ble_local
+  in
+  (* DP over the combinational network *)
+  let arrival = Array.make (Logic.signal_count lnet) 0.0 in
+  let worst = ref 0.0 in
+  List.iter
+    (fun id ->
+      match Logic.driver lnet id with
+      | Logic.Input -> arrival.(id) <- 0.0
+      | Logic.Const _ -> arrival.(id) <- 0.0
+      | Logic.Latch _ -> arrival.(id) <- consts.t_clk_q
+      | Logic.Gate { fanins; _ } ->
+          let t =
+            Array.fold_left
+              (fun acc f -> Float.max acc (arrival.(f) +. edge_delay f id))
+              0.0 fanins
+          in
+          arrival.(id) <- t +. consts.t_lut)
+    (Logic.topo_order lnet);
+  (* paths ending at latches (plus setup) and at output pads *)
+  List.iter
+    (fun l ->
+      match Logic.driver lnet l with
+      | Logic.Latch { data; _ } ->
+          worst :=
+            Float.max !worst
+              (arrival.(data) +. edge_delay data l +. consts.t_setup)
+      | _ -> ())
+    (Logic.latches lnet);
+  Array.iteri
+    (fun bidx kind ->
+      match kind with
+      | Place.Problem.Output_pad s ->
+          let routed_d =
+            match Hashtbl.find_opt routed (s, bidx) with
+            | Some d -> d
+            | None -> 0.0
+          in
+          worst := Float.max !worst (arrival.(s) +. routed_d)
+      | _ -> ())
+    problem.Place.Problem.blocks;
+  !worst

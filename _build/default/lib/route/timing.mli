@@ -1,0 +1,39 @@
+(** Delay estimation over routed nets: Elmore delay on the routing trees
+    plus logic delays, giving the post-route critical path.
+
+    Electrical constants derive from the platform's circuit design (§3):
+    pass-transistor switches at [switch_width] x minimum, length-1
+    metal-3 segments in the min-width/double-spacing configuration. *)
+
+type constants = {
+  r_switch : float;    (** routing switch on-resistance, ohm *)
+  c_switch : float;    (** switch junction capacitance, F *)
+  r_wire_tile : float;
+  c_wire_tile : float;
+  t_lut : float;       (** LUT + local-interconnect delay, s *)
+  t_ble_local : float; (** intra-cluster feedback delay, s *)
+  t_clk_q : float;
+  t_setup : float;
+  t_ipin : float;      (** connection-box + input buffer delay, s *)
+}
+
+val pass_resistance : Spice.Tech.t -> float -> float
+(** Linear-region on-resistance of an NMOS pass transistor of the given
+    width multiple. *)
+
+val default_constants : Fpga_arch.Params.t -> constants
+
+val elmore :
+  Rrgraph.t -> constants -> source:int -> Pathfinder.route_tree ->
+  (int, float) Hashtbl.t
+(** Elmore delay from the source to every node of one routing tree. *)
+
+type net_delays = (int, float) Hashtbl.t
+(** sink block -> delay *)
+
+val net_delays :
+  Rrgraph.t -> constants -> source:int -> Pathfinder.route_tree -> net_delays
+
+val critical_path :
+  Place.Problem.t -> Rrgraph.t -> constants -> Pathfinder.result -> float
+(** Longest register-to-register / pad-to-pad path, s. *)

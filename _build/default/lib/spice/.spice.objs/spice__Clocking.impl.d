@@ -1,0 +1,1 @@
+lib/spice/clocking.ml: Circuit Detff List Measure Printf Stdcell Tech Transient Waveform

@@ -1,0 +1,1 @@
+lib/spice/clocking.mli: Circuit Detff

@@ -1,0 +1,1 @@
+lib/spice/deck.ml: Array Buffer Circuit List Printf String Tech Waveform

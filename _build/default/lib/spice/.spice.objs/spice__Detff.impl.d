@@ -1,0 +1,1 @@
+lib/spice/detff.ml: Circuit Stdcell

@@ -1,0 +1,1 @@
+lib/spice/ff_bench.ml: Circuit Detff Hashtbl List Measure Setff Stdcell Tech Transient Waveform

@@ -1,0 +1,1 @@
+lib/spice/ff_bench.mli: Circuit Detff

@@ -1,0 +1,1 @@
+lib/spice/mna.ml: Array Circuit Device List Util Waveform

@@ -1,0 +1,1 @@
+lib/spice/routing_exp.ml: Circuit Float List Measure Stdcell Tech Transient Waveform

@@ -1,0 +1,1 @@
+lib/spice/routing_exp.mli: Circuit Tech

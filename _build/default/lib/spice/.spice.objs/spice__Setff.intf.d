@@ -1,0 +1,1 @@
+lib/spice/setff.mli: Circuit

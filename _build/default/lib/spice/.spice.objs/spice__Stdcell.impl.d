@@ -1,0 +1,1 @@
+lib/spice/stdcell.ml: Circuit Option Tech

@@ -1,0 +1,1 @@
+lib/spice/stdcell.mli: Circuit Waveform

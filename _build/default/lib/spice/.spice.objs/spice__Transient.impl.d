@@ -1,0 +1,1 @@
+lib/spice/transient.ml: Array Circuit Float Hashtbl List Mna Util Waveform

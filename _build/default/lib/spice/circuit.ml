@@ -1,0 +1,96 @@
+(* Transistor-level circuit netlists.
+
+   A circuit is a bag of devices over integer nodes; node 0 is ground.
+   Builders return the nodes they create so cells compose functionally. *)
+
+type node = int
+
+let gnd : node = 0
+
+type mos_type = Nmos | Pmos
+
+type mosfet = {
+  typ : mos_type;
+  d : node;
+  g : node;
+  s : node;
+  w : float; (* channel width, m *)
+  l : float; (* channel length, m *)
+}
+
+type t = {
+  tech : Tech.t;
+  mutable n_nodes : int;
+  names : (string, node) Hashtbl.t;
+  node_names : (node, string) Hashtbl.t;
+  mutable resistors : (node * node * float) list;
+  mutable capacitors : (node * node * float) list;
+  mutable mosfets : mosfet list;
+  mutable vsources : (string * node * node * Waveform.t) list;
+}
+
+let create tech =
+  {
+    tech;
+    n_nodes = 1; (* ground *)
+    names = Hashtbl.create 64;
+    node_names = Hashtbl.create 64;
+    resistors = [];
+    capacitors = [];
+    mosfets = [];
+    vsources = [];
+  }
+
+let n_nodes t = t.n_nodes
+
+let fresh_node ?(name = "") t =
+  let id = t.n_nodes in
+  t.n_nodes <- t.n_nodes + 1;
+  let name = if name = "" then Printf.sprintf "n%d" id else name in
+  Hashtbl.replace t.names name id;
+  Hashtbl.replace t.node_names id name;
+  id
+
+(* Named node: returns the existing node of that name or creates it. *)
+let node t name =
+  match Hashtbl.find_opt t.names name with
+  | Some id -> id
+  | None -> fresh_node ~name t
+
+let node_name t id =
+  if id = gnd then "0"
+  else match Hashtbl.find_opt t.node_names id with
+    | Some s -> s
+    | None -> Printf.sprintf "n%d" id
+
+let resistor t a b r =
+  if r <= 0.0 then invalid_arg "Circuit.resistor: non-positive resistance";
+  t.resistors <- (a, b, r) :: t.resistors
+
+let capacitor t a b c =
+  if c < 0.0 then invalid_arg "Circuit.capacitor: negative capacitance";
+  if c > 0.0 then t.capacitors <- (a, b, c) :: t.capacitors
+
+let mosfet t typ ~d ~g ~s ~w ?l () =
+  let l = Option.value l ~default:t.tech.Tech.l_min in
+  if w <= 0.0 || l <= 0.0 then invalid_arg "Circuit.mosfet: non-positive geometry";
+  t.mosfets <- { typ; d; g; s; w; l } :: t.mosfets
+
+let nmos t ~d ~g ~s ~w ?l () = mosfet t Nmos ~d ~g ~s ~w ?l ()
+let pmos t ~d ~g ~s ~w ?l () = mosfet t Pmos ~d ~g ~s ~w ?l ()
+
+let vsource t name ~pos ~neg wave =
+  t.vsources <- (name, pos, neg, wave) :: t.vsources
+
+(* Supply rail: a named node held at VDD by a dedicated source. *)
+let vdd_rail ?(name = "vdd") t =
+  let nd = node t name in
+  if not (List.exists (fun (n, _, _, _) -> n = name) t.vsources) then
+    vsource t name ~pos:nd ~neg:gnd (Waveform.dc t.tech.Tech.vdd);
+  nd
+
+let device_count t =
+  List.length t.resistors + List.length t.capacitors + List.length t.mosfets
+  + List.length t.vsources
+
+let mosfet_count t = List.length t.mosfets

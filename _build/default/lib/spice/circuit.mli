@@ -1,0 +1,68 @@
+(** Transistor-level circuit netlists.
+
+    A circuit is a bag of devices over integer nodes; node 0 is ground.
+    Builders return the nodes they create so larger cells compose
+    functionally (see {!Stdcell} and {!Detff}). *)
+
+type node = int
+
+val gnd : node
+
+type mos_type = Nmos | Pmos
+
+type mosfet = {
+  typ : mos_type;
+  d : node;
+  g : node;
+  s : node;
+  w : float; (** channel width, m *)
+  l : float; (** channel length, m *)
+}
+
+type t = {
+  tech : Tech.t;
+  mutable n_nodes : int;
+  names : (string, node) Hashtbl.t;
+  node_names : (node, string) Hashtbl.t;
+  mutable resistors : (node * node * float) list;
+  mutable capacitors : (node * node * float) list;
+  mutable mosfets : mosfet list;
+  mutable vsources : (string * node * node * Waveform.t) list;
+}
+
+val create : Tech.t -> t
+
+val n_nodes : t -> int
+
+val fresh_node : ?name:string -> t -> node
+(** A new node (auto-named ["n<i>"] unless [name] is given). *)
+
+val node : t -> string -> node
+(** The named node, created on first use. *)
+
+val node_name : t -> node -> string
+
+val resistor : t -> node -> node -> float -> unit
+(** @raise Invalid_argument on a non-positive resistance. *)
+
+val capacitor : t -> node -> node -> float -> unit
+(** Zero capacitance is silently dropped.
+    @raise Invalid_argument on a negative capacitance. *)
+
+val mosfet :
+  t -> mos_type -> d:node -> g:node -> s:node -> w:float -> ?l:float ->
+  unit -> unit
+(** Channel length defaults to the process minimum.
+    @raise Invalid_argument on non-positive geometry. *)
+
+val nmos : t -> d:node -> g:node -> s:node -> w:float -> ?l:float -> unit -> unit
+val pmos : t -> d:node -> g:node -> s:node -> w:float -> ?l:float -> unit -> unit
+
+val vsource : t -> string -> pos:node -> neg:node -> Waveform.t -> unit
+
+val vdd_rail : ?name:string -> t -> node
+(** A named supply node held at VDD by a dedicated DC source (added once). *)
+
+val device_count : t -> int
+
+val mosfet_count : t -> int

@@ -1,0 +1,41 @@
+(** Gated-clock experiments of Tables 2 and 3.
+
+    Table 2 (BLE level, Fig. 5): one flip-flop clocked through a plain
+    inverter (single clock) or a NAND with a CLOCK_ENABLE (gated clock).
+    Table 3 (CLB level, Fig. 6): the CLB's local clock network — wire plus
+    five BLE-level gated-clock loads — driven directly or through a
+    CLB-level NAND. *)
+
+type table2_row = { label : string; energy_fj : float }
+
+type condition = All_off | One_on | All_on
+
+val condition_name : condition -> string
+
+type table3_row = {
+  condition : condition;
+  single_fj : float;
+  gated_fj : float;
+}
+
+val ff_kind : Detff.kind
+(** The platform's selected flip-flop (Llopis-1). *)
+
+val period : float
+val t_stop : float
+
+val build_single : unit -> Circuit.t
+(** Fig. 5a: inverter-driven clock. *)
+
+val build_gated : enable:bool -> Circuit.t
+(** Fig. 5b: NAND-gated clock.  A disabled flip-flop is clocked during the
+    settle cycles so its latches hold a written value before gating. *)
+
+val build_clb : clb_gated:bool -> condition:condition -> Circuit.t
+(** Fig. 6: the five-BLE local clock network. *)
+
+val table2 : unit -> table2_row list
+(** Rows: single clock; gated EN=1; gated EN=0 (fJ per clock cycle). *)
+
+val table3 : unit -> table3_row list
+(** Rows for all-off / one-on / all-on. *)

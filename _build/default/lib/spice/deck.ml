@@ -1,0 +1,60 @@
+(* SPICE-deck export: write a Circuit.t as a standard .sp netlist so the
+   platform's cells and experiments can be re-simulated in an external
+   SPICE (the "technology independence" the paper lists — the framework's
+   circuits are not locked to the built-in engine). *)
+
+let fmt_f = Printf.sprintf "%.6g"
+
+let fmt_wave = function
+  | Waveform.Dc v -> Printf.sprintf "DC %s" (fmt_f v)
+  | Waveform.Pulse p ->
+      Printf.sprintf "PULSE(%s %s %s %s %s %s %s)" (fmt_f p.Waveform.v0)
+        (fmt_f p.Waveform.v1) (fmt_f p.Waveform.delay) (fmt_f p.Waveform.rise)
+        (fmt_f p.Waveform.fall) (fmt_f p.Waveform.width)
+        (fmt_f p.Waveform.period)
+  | Waveform.Pwl pts ->
+      let body =
+        Array.to_list pts
+        |> List.map (fun (t, v) -> Printf.sprintf "%s %s" (fmt_f t) (fmt_f v))
+        |> String.concat " "
+      in
+      Printf.sprintf "PWL(%s)" body
+
+let to_string ?(title = "amdrel circuit") (c : Circuit.t) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let node nd = if nd = Circuit.gnd then "0" else Circuit.node_name c nd in
+  add "* %s\n" title;
+  let tech = c.Circuit.tech in
+  add ".MODEL NMOS NMOS (LEVEL=1 VTO=%s KP=%s LAMBDA=%s)\n"
+    (fmt_f tech.Tech.vt_n) (fmt_f tech.Tech.kp_n) (fmt_f tech.Tech.lambda_n);
+  add ".MODEL PMOS PMOS (LEVEL=1 VTO=-%s KP=%s LAMBDA=%s)\n"
+    (fmt_f tech.Tech.vt_p) (fmt_f tech.Tech.kp_p) (fmt_f tech.Tech.lambda_p);
+  let idx = ref 0 in
+  let next () = incr idx; !idx in
+  List.iter
+    (fun (m : Circuit.mosfet) ->
+      add "M%d %s %s %s %s %s W=%s L=%s\n" (next ()) (node m.Circuit.d)
+        (node m.Circuit.g) (node m.Circuit.s)
+        (match m.Circuit.typ with Circuit.Nmos -> "0" | Circuit.Pmos -> node m.Circuit.s)
+        (match m.Circuit.typ with Circuit.Nmos -> "NMOS" | Circuit.Pmos -> "PMOS")
+        (fmt_f m.Circuit.w) (fmt_f m.Circuit.l))
+    (List.rev c.Circuit.mosfets);
+  List.iter
+    (fun (a, b, r) -> add "R%d %s %s %s\n" (next ()) (node a) (node b) (fmt_f r))
+    (List.rev c.Circuit.resistors);
+  List.iter
+    (fun (a, b, cap) ->
+      add "C%d %s %s %s\n" (next ()) (node a) (node b) (fmt_f cap))
+    (List.rev c.Circuit.capacitors);
+  List.iter
+    (fun (nm, pos, neg, wave) ->
+      add "V%s %s %s %s\n" nm (node pos) (node neg) (fmt_wave wave))
+    (List.rev c.Circuit.vsources);
+  add ".end\n";
+  Buffer.contents buf
+
+let to_file ?title path c =
+  let oc = open_out path in
+  output_string oc (to_string ?title c);
+  close_out oc

@@ -1,0 +1,9 @@
+(** SPICE-deck export: write a {!Circuit.t} as a standard .sp netlist so
+    the platform's cells and experiments can be re-simulated in an
+    external SPICE (the paper's "technology independence" feature). *)
+
+val to_string : ?title:string -> Circuit.t -> string
+(** Level-1 .MODEL cards come from the circuit's process parameters;
+    bulks are tied to ground (NMOS) / source (PMOS). *)
+
+val to_file : ?title:string -> string -> Circuit.t -> unit

@@ -1,0 +1,172 @@
+(* The five double-edge-triggered flip-flops compared in Table 1, plus the
+   structural skeleton they share.
+
+   All five are static dual-latch DETFFs: one level-sensitive latch is
+   transparent while CLK = 1, the other while CLK = 0, and an output
+   multiplexer selects whichever latch is currently opaque (holding), so a
+   new value appears at Q after *every* clock edge.  The variants differ in
+   the tri-state-inverter style used in the latches (Fig. 3 of the paper),
+   in the feedback arrangement, and in buffering — which is what drives
+   their different clock loads, energies and CLK-to-Q delays. *)
+
+open Circuit
+
+type kind = Chung1 | Chung2 | Llopis1 | Llopis2 | Strollo
+
+let kinds = [ Chung1; Chung2; Llopis1; Llopis2; Strollo ]
+
+let name = function
+  | Chung1 -> "Chung 1 [20]"
+  | Chung2 -> "Chung 2 [20]"
+  | Llopis1 -> "Llopis 1 [19]"
+  | Llopis2 -> "Llopis 2 [19]"
+  | Strollo -> "Strollo [15]"
+
+let short_name = function
+  | Chung1 -> "chung1"
+  | Chung2 -> "chung2"
+  | Llopis1 -> "llopis1"
+  | Llopis2 -> "llopis2"
+  | Strollo -> "strollo"
+
+type style =
+  | C2mos      (* clocked-inverter latch: input + feedback both C2MOS *)
+  | Tg_inv     (* inverter + transmission-gate tri-states *)
+  | Ratioed_tg (* TG input, weak always-on feedback (Llopis-style) *)
+  | Clocked_tg (* TG input, clocked TG feedback *)
+
+(* One static level-sensitive latch.  Transparent when en = 1.
+   [out] equals D while transparent (an even number of inversions from D);
+   [store] is the raw storage node (equal to NOT D for the inverting styles,
+   D for the TG-input styles). *)
+type latch_nodes = { store : node; out : node }
+
+let latch c ~vdd ~style ~d ~en ~en_b ~out_w ~fb_w =
+  let m = fresh_node c in
+  (* storage node *)
+  let out = fresh_node c in
+  begin
+    match style with
+    | C2mos ->
+        (* m = NOT d when transparent; C2MOS feedback holds m.  The stacked
+           clocked devices need upsizing for drive, which is precisely what
+           loads the clock more than the TG styles. *)
+        Stdcell.c2mos_inverter c ~vdd ~input:d ~output:m ~en ~en_b ~wn:1.5 ();
+        Stdcell.inverter c ~vdd ~input:m ~output:out ~wn:out_w ();
+        Stdcell.c2mos_inverter c ~vdd ~input:out ~output:m ~en:en_b ~en_b:en
+          ~wn:1.5 ()
+    | Tg_inv ->
+        Stdcell.tg_tristate_inverter c ~vdd ~input:d ~output:m ~en ~en_b ();
+        Stdcell.inverter c ~vdd ~input:m ~output:out ~wn:out_w ();
+        Stdcell.tg_tristate_inverter c ~vdd ~input:out ~output:m ~en:en_b
+          ~en_b:en ~wn:fb_w ()
+    | Ratioed_tg ->
+        (* TG passes D onto m; a weak inverter pair keeps m static and is
+           simply overpowered on writes.  Only two clocked devices. *)
+        let fb = fresh_node c in
+        Stdcell.tgate c ~a:d ~b:m ~en ~en_b ~wn:2.0 ();
+        Stdcell.inverter c ~vdd ~input:m ~output:fb ();
+        Stdcell.weak_inverter c ~vdd ~input:fb ~output:m;
+        Stdcell.inverter c ~vdd ~input:fb ~output:out ~wn:out_w ()
+    | Clocked_tg ->
+        (* TG input plus a clocked-TG feedback loop: more clocked devices
+           than Ratioed_tg, hence higher clock energy. *)
+        let fb = fresh_node c in
+        Stdcell.tgate c ~a:d ~b:m ~en ~en_b ~wn:2.0 ();
+        Stdcell.inverter c ~vdd ~input:m ~output:fb ();
+        let fb2 = fresh_node c in
+        Stdcell.inverter c ~vdd ~input:fb ~output:fb2 ~wn:1.5 ();
+        Stdcell.tgate c ~a:fb2 ~b:m ~en:en_b ~en_b:en ~wn:1.5 ();
+        Stdcell.inverter c ~vdd ~input:fb ~output:out ~wn:out_w ()
+  end;
+  { store = m; out }
+
+(* Assemble a dual-latch DETFF given the latch style, the multiplexer and
+   output-buffer sizing, and optional extra clock/data conditioning stages.
+   Returns the Q node. *)
+let dual_latch c ~vdd ~d ~clk ~style ~mux_w ~out1 ~out2 ?(latch_out_w = 1.0)
+    ?(mux_storage = false) ?(clkb_w = 1.0) ?(fb_w = 1.0) ?(clk_chain_w = 1.5)
+    ~buffer_clock ~buffer_data () =
+  (* internal complement clock (and optional regeneration) *)
+  let clk_i =
+    if buffer_clock then
+      Stdcell.inverter_chain c ~vdd ~input:clk ~n:2 ~wn:clk_chain_w ()
+    else clk
+  in
+  let clk_b = fresh_node c in
+  Stdcell.inverter c ~vdd ~input:clk_i ~output:clk_b ~wn:clkb_w ();
+  let d_i =
+    if buffer_data then
+      Stdcell.inverter_chain c ~vdd ~input:d ~n:2 ~wn:1.0 ()
+    else d
+  in
+  (* latch P transparent while clk = 1; latch N transparent while clk = 0 *)
+  let lp =
+    latch c ~vdd ~style ~d:d_i ~en:clk_i ~en_b:clk_b ~out_w:latch_out_w ~fb_w
+  in
+  let ln =
+    latch c ~vdd ~style ~d:d_i ~en:clk_b ~en_b:clk_i ~out_w:latch_out_w ~fb_w
+  in
+  (* after a rising edge latch N holds the sample: select it while clk = 1 *)
+  let mux_out = fresh_node c in
+  if mux_storage then begin
+    (* multiplex the storage nodes directly (the published TG-based DETFF
+       does this): one inversion from the mux to Q, the fastest CLK-to-Q *)
+    Stdcell.mux2_tg c ~a:ln.store ~b:lp.store ~sel:clk_i ~sel_b:clk_b
+      ~output:mux_out ~wn:mux_w ();
+    let q = fresh_node c in
+    Stdcell.inverter c ~vdd ~input:mux_out ~output:q ~wn:out2 ();
+    q
+  end
+  else begin
+    Stdcell.mux2_tg c ~a:ln.out ~b:lp.out ~sel:clk_i ~sel_b:clk_b
+      ~output:mux_out ~wn:mux_w ();
+    let qb = fresh_node c and q = fresh_node c in
+    Stdcell.inverter c ~vdd ~input:mux_out ~output:qb ~wn:out1 ();
+    Stdcell.inverter c ~vdd ~input:qb ~output:q ~wn:out2 ();
+    q
+  end
+
+(* Instantiate one of the five published DETFFs.  [d] and [clk] are existing
+   nodes; returns the Q output node. *)
+let instantiate c kind ~vdd ~d ~clk =
+  match kind with
+  | Chung1 ->
+      (* C2MOS latches with the published local clk/clkb regeneration pair,
+         minimum output sizing *)
+      dual_latch c ~vdd ~d ~clk ~style:C2mos ~mux_w:1.0 ~out1:1.0 ~out2:1.0
+        ~clk_chain_w:1.0 ~buffer_clock:true ~buffer_data:false ()
+  | Chung2 ->
+      (* TG-style tri-states decouple the clock from the charging path; a
+         wide mux and a tapered output buffer give the fastest CLK-to-Q and
+         the best energy-delay product of the five *)
+      dual_latch c ~vdd ~d ~clk ~style:Tg_inv ~mux_w:2.5 ~out1:1.0 ~out2:4.0
+        ~mux_storage:true ~clkb_w:3.0 ~fb_w:2.5 ~buffer_clock:false
+        ~buffer_data:false ()
+  | Llopis1 ->
+      (* ratioed feedback: only two clocked devices per latch -> the lowest
+         clock load and total energy; the structure the paper selected.
+         The Llopis design conditions its clock internally (its testability
+         feature), which costs CLK-to-Q delay. *)
+      dual_latch c ~vdd ~d ~clk ~style:Ratioed_tg ~mux_w:1.0 ~out1:1.0
+        ~out2:1.2 ~clk_chain_w:1.0 ~buffer_clock:true ~buffer_data:false ()
+  | Llopis2 ->
+      (* clocked-TG feedback variant: same family, more clocked devices *)
+      dual_latch c ~vdd ~d ~clk ~style:Clocked_tg ~mux_w:1.0 ~out1:1.0
+        ~out2:1.2 ~clk_chain_w:1.0 ~buffer_clock:true ~buffer_data:false ()
+  | Strollo ->
+      (* internally regenerated clock and buffered data: robust but the
+         heaviest clock/data load of the five *)
+      dual_latch c ~vdd ~d ~clk ~style:C2mos ~mux_w:1.0 ~out1:1.5 ~out2:2.0
+        ~buffer_clock:true ~buffer_data:true ()
+
+(* A DETFF with a gated clock: clk_eff = NOT (NOT clk NAND en)... i.e. the
+   paper's Fig. 5b arrangement, clock AND enable through a NAND + inverter.
+   Returns (q, gated_clock_node). *)
+let with_gated_clock c kind ~vdd ~d ~clk ~enable =
+  let nand_out = fresh_node c in
+  Stdcell.nand2 c ~vdd ~a:clk ~b:enable ~output:nand_out ();
+  let clk_g = fresh_node c in
+  Stdcell.inverter c ~vdd ~input:nand_out ~output:clk_g ();
+  let q = instantiate c kind ~vdd ~d ~clk:clk_g in
+  (q, clk_g)

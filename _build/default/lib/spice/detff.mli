@@ -1,0 +1,30 @@
+(** The five double-edge-triggered flip-flops compared in Table 1.
+
+    All five are static dual-latch DETFFs: one level-sensitive latch is
+    transparent while CLK = 1, the other while CLK = 0, and an output
+    multiplexer selects whichever latch currently holds, so a new value
+    appears at Q after every clock edge.  The variants differ in the
+    tri-state-inverter style of their latches (Fig. 3 of the paper), the
+    feedback arrangement and buffering — which drives their different
+    clock loads, energies and CLK-to-Q delays. *)
+
+type kind = Chung1 | Chung2 | Llopis1 | Llopis2 | Strollo
+
+val kinds : kind list
+(** All five, in Table 1 order. *)
+
+val name : kind -> string
+(** Display name with the paper's citation, e.g. ["Llopis 1 \[19\]"]. *)
+
+val short_name : kind -> string
+
+val instantiate :
+  Circuit.t -> kind -> vdd:Circuit.node -> d:Circuit.node ->
+  clk:Circuit.node -> Circuit.node
+(** Build the flip-flop at transistor level; returns the Q node. *)
+
+val with_gated_clock :
+  Circuit.t -> kind -> vdd:Circuit.node -> d:Circuit.node ->
+  clk:Circuit.node -> enable:Circuit.node -> Circuit.node * Circuit.node
+(** The flip-flop behind a BLE-level clock gate (Fig. 5b): NAND of clock
+    and enable plus restoring inverter.  Returns (Q, gated clock node). *)

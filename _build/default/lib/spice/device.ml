@@ -1,0 +1,77 @@
+(* Level-1 (square-law) MOSFET evaluation with channel-length modulation.
+
+   [eval] returns the drain current I (flowing into the drain terminal and
+   out of the source) together with its partial derivatives with respect to
+   the three terminal voltages — exactly what the Newton linearisation in
+   Mna.stamp_mosfet needs.  The device is treated as symmetric: when the
+   nominal drain sits below the nominal source the roles swap, which is
+   essential for pass-transistor and transmission-gate circuits. *)
+
+type eval = {
+  i : float;    (* current into drain, A *)
+  di_dvd : float;
+  di_dvg : float;
+  di_dvs : float;
+}
+
+(* Square law for an n-channel device in normal mode (vds >= 0).
+   Returns (ids, gm, gds). *)
+let square_law ~kp ~vt ~lambda ~wl vgs vds =
+  if vgs <= vt then (0.0, 0.0, 0.0)
+  else begin
+    let vov = vgs -. vt in
+    let clm = 1.0 +. (lambda *. vds) in
+    if vds < vov then begin
+      (* triode *)
+      let ids = kp *. wl *. ((vov *. vds) -. (0.5 *. vds *. vds)) *. clm in
+      let gm = kp *. wl *. vds *. clm in
+      let gds =
+        (kp *. wl *. (vov -. vds) *. clm)
+        +. (kp *. wl *. ((vov *. vds) -. (0.5 *. vds *. vds)) *. lambda)
+      in
+      (ids, gm, gds)
+    end
+    else begin
+      (* saturation *)
+      let ids = 0.5 *. kp *. wl *. vov *. vov *. clm in
+      let gm = kp *. wl *. vov *. clm in
+      let gds = 0.5 *. kp *. wl *. vov *. vov *. lambda in
+      (ids, gm, gds)
+    end
+  end
+
+(* NMOS current into the [d] terminal given real terminal voltages. *)
+let nmos_eval ~kp ~vt ~lambda ~wl vd vg vs =
+  if vd >= vs then begin
+    let ids, gm, gds = square_law ~kp ~vt ~lambda ~wl (vg -. vs) (vd -. vs) in
+    { i = ids; di_dvd = gds; di_dvg = gm; di_dvs = -.(gm +. gds) }
+  end
+  else begin
+    (* reverse mode: the physical source is the [d] terminal *)
+    let ids, gm, gds = square_law ~kp ~vt ~lambda ~wl (vg -. vd) (vs -. vd) in
+    { i = -.ids; di_dvd = gm +. gds; di_dvg = -.gm; di_dvs = -.gds }
+  end
+
+(* PMOS via the voltage-mirror identity: a p-device at (vd, vg, vs) behaves
+   as an n-device at (-vd, -vg, -vs) with the current direction reversed.
+   If I_p(v) = -I_n(-v) then dI_p/dv_x = +dI_n/du_x evaluated at u = -v. *)
+let pmos_eval ~kp ~vt ~lambda ~wl vd vg vs =
+  let e = nmos_eval ~kp ~vt ~lambda ~wl (-.vd) (-.vg) (-.vs) in
+  { i = -.e.i; di_dvd = e.di_dvd; di_dvg = e.di_dvg; di_dvs = e.di_dvs }
+
+let eval (tech : Tech.t) (m : Circuit.mosfet) vd vg vs =
+  let wl = m.w /. m.l in
+  match m.typ with
+  | Circuit.Nmos ->
+      nmos_eval ~kp:tech.kp_n ~vt:tech.vt_n ~lambda:tech.lambda_n ~wl vd vg vs
+  | Circuit.Pmos ->
+      pmos_eval ~kp:tech.kp_p ~vt:tech.vt_p ~lambda:tech.lambda_p ~wl vd vg vs
+
+(* Lumped parasitic capacitances: gate cap (oxide + overlaps) at the gate,
+   junction cap at drain and source, all referenced to ground.  Grounded
+   parasitics keep the MNA matrix diagonally dominant and are the standard
+   switch-level approximation. *)
+let gate_cap (tech : Tech.t) (m : Circuit.mosfet) =
+  (tech.cox *. m.w *. m.l) +. (2.0 *. tech.cgdo *. m.w)
+
+let junction_cap (tech : Tech.t) (m : Circuit.mosfet) = tech.cj *. m.w

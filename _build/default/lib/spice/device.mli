@@ -1,0 +1,28 @@
+(** Level-1 (square-law) MOSFET evaluation with channel-length modulation.
+
+    The device is treated as symmetric: when the nominal drain sits below
+    the nominal source the roles swap, which is essential for pass
+    transistors and transmission gates. *)
+
+type eval = {
+  i : float;       (** current into the drain terminal, A *)
+  di_dvd : float;  (** partial derivatives for the Newton linearisation *)
+  di_dvg : float;
+  di_dvs : float;
+}
+
+val square_law :
+  kp:float -> vt:float -> lambda:float -> wl:float -> float -> float ->
+  float * float * float
+(** [square_law ~kp ~vt ~lambda ~wl vgs vds] for an n-channel device in
+    normal mode (vds >= 0): [(ids, gm, gds)]. *)
+
+val eval : Tech.t -> Circuit.mosfet -> float -> float -> float -> eval
+(** [eval tech m vd vg vs]: current and derivatives at the given terminal
+    voltages. *)
+
+val gate_cap : Tech.t -> Circuit.mosfet -> float
+(** Lumped gate capacitance (oxide plus overlaps), F. *)
+
+val junction_cap : Tech.t -> Circuit.mosfet -> float
+(** Lumped drain/source junction capacitance, F. *)

@@ -1,0 +1,48 @@
+(** The Table 1 experiment: energy, worst-case CLK-to-Q delay and
+    energy-delay product of the five DETFFs under the paper's Fig. 4 style
+    stimulus (a data pattern exercising an output transition on every
+    clock edge, followed by a quiet tail). *)
+
+type result = {
+  kind : Detff.kind;
+  energy_fj : float;  (** total supply energy over the input sequence *)
+  delay_ps : float;   (** worst CLK-to-Q across both edge polarities *)
+  edp : float;        (** fJ x ps, as printed in Table 1 *)
+  transistors : int;  (** flip-flop devices only (testbench excluded) *)
+}
+
+val period : float
+(** Clock period of the stimulus (1 ns: the DETFF moves data at 2 Gb/s). *)
+
+val toggle_cycles : int
+val quiet_cycles : int
+val t_stop : float
+
+val build : Detff.kind -> Circuit.t * int
+(** The testbench circuit for one candidate and its flip-flop transistor
+    count.  Identical vdd-powered clock/data pin buffers are included for
+    every design so externalised pin loads are billed uniformly. *)
+
+val measure : ?h:float -> Detff.kind -> result
+(** Simulate and measure one candidate ([h] is the integration step). *)
+
+val table1 : ?h:float -> unit -> result list
+(** All five candidates, in Table 1 order. *)
+
+val llopis1_has_lowest_energy : result list -> bool
+(** The paper's headline ordering (asserted by tests and benches). *)
+
+(** {2 DET vs SET: the platform's motivating comparison}
+
+    Same data rate; the DETFF's clock runs at half the frequency. *)
+
+type det_vs_set = {
+  activity : float;      (** fraction of data cycles that toggle *)
+  det_energy_fj : float; (** per data cycle *)
+  set_energy_fj : float;
+}
+
+val det_vs_set_point : ?h:float -> activity:float -> unit -> det_vs_set
+
+val det_vs_set_sweep :
+  ?activities:float list -> ?h:float -> unit -> det_vs_set list

@@ -1,0 +1,91 @@
+(* Waveform measurements: threshold crossings, propagation delay, energy. *)
+
+type edge = Rising | Falling
+
+(* Times at which [wave] crosses [threshold] in the given direction, linearly
+   interpolated between samples. *)
+let crossings ?edge ~threshold (times : float array) (wave : float array) =
+  let out = ref [] in
+  for i = 1 to Array.length wave - 1 do
+    let a = wave.(i - 1) and b = wave.(i) in
+    let rising = a < threshold && b >= threshold in
+    let falling = a > threshold && b <= threshold in
+    let keep =
+      match edge with
+      | None -> rising || falling
+      | Some Rising -> rising
+      | Some Falling -> falling
+    in
+    if keep && b <> a then begin
+      let frac = (threshold -. a) /. (b -. a) in
+      let t = times.(i - 1) +. (frac *. (times.(i) -. times.(i - 1))) in
+      out := t :: !out
+    end
+  done;
+  List.rev !out
+
+(* First crossing after [after]. *)
+let crossing_after ?edge ~threshold ~after times wave =
+  List.find_opt (fun t -> t >= after) (crossings ?edge ~threshold times wave)
+
+(* Propagation delay: for each input crossing, time to the next output
+   crossing; returns the worst (max) delay over all matched edges within
+   [window].  Measured at 50 % of [vdd] as in the paper's worst-case CLK-to-Q
+   characterisation.  An input edge with no output crossing within
+   [max_delay] produced no output transition and is skipped (e.g. a clock
+   edge for which the data did not change). *)
+let worst_prop_delay ~vdd ?(window = (0.0, infinity)) ?(max_delay = infinity)
+    times input output =
+  let lo, hi = window in
+  let th = vdd /. 2.0 in
+  let in_edges =
+    List.filter (fun t -> t >= lo && t <= hi) (crossings ~threshold:th times input)
+  in
+  let out_edges = crossings ~threshold:th times output in
+  let delays =
+    List.filter_map
+      (fun ti ->
+        match List.find_opt (fun t -> t > ti) out_edges with
+        | Some t_out when t_out <= hi && t_out -. ti <= max_delay ->
+            Some (t_out -. ti)
+        | _ -> None)
+      in_edges
+  in
+  match delays with [] -> None | l -> Some (List.fold_left Float.max 0.0 l)
+
+(* Trapezoidal integral of a sampled signal over [t0, t1]. *)
+let integrate ~t0 ~t1 (times : float array) (samples : float array) =
+  let acc = ref 0.0 in
+  for i = 1 to Array.length times - 1 do
+    let ta = times.(i - 1) and tb = times.(i) in
+    let a = Float.max ta t0 and b = Float.min tb t1 in
+    if b > a then begin
+      (* linear interpolation of samples at the clipped bounds *)
+      let va =
+        samples.(i - 1)
+        +. ((samples.(i) -. samples.(i - 1)) *. (a -. ta) /. (tb -. ta))
+      in
+      let vb =
+        samples.(i - 1)
+        +. ((samples.(i) -. samples.(i - 1)) *. (b -. ta) /. (tb -. ta))
+      in
+      acc := !acc +. (0.5 *. (va +. vb) *. (b -. a))
+    end
+  done;
+  !acc
+
+(* Energy delivered by source [name] over [t0, t1], J. *)
+let source_energy ?(t0 = 0.0) ?(t1 = infinity) (trace : Transient.trace) name =
+  let p = Transient.power trace name in
+  let t1 = Float.min t1 trace.times.(Array.length trace.times - 1) in
+  integrate ~t0 ~t1 trace.times p
+
+(* Total energy from all supply sources whose name passes [filter]. *)
+let total_supply_energy ?(t0 = 0.0) ?(t1 = infinity)
+    ?(filter = fun _ -> true) (trace : Transient.trace) =
+  Array.to_list trace.src_names
+  |> List.filter filter
+  |> List.fold_left (fun acc n -> acc +. source_energy ~t0 ~t1 trace n) 0.0
+
+let femto x = x *. 1e15
+let pico x = x *. 1e12

@@ -1,0 +1,37 @@
+(** Waveform measurements: threshold crossings, propagation delay, energy. *)
+
+type edge = Rising | Falling
+
+val crossings :
+  ?edge:edge -> threshold:float -> float array -> float array -> float list
+(** Times at which the waveform crosses [threshold], linearly interpolated
+    between samples. *)
+
+val crossing_after :
+  ?edge:edge -> threshold:float -> after:float -> float array ->
+  float array -> float option
+
+val worst_prop_delay :
+  vdd:float -> ?window:float * float -> ?max_delay:float ->
+  float array -> float array -> float array -> float option
+(** Worst input-to-output delay at the 50 % threshold over all matched
+    edges within [window].  An input edge with no output crossing within
+    [max_delay] produced no transition and is skipped. *)
+
+val integrate : t0:float -> t1:float -> float array -> float array -> float
+(** Trapezoidal integral of a sampled signal over [t0, t1]. *)
+
+val source_energy :
+  ?t0:float -> ?t1:float -> Transient.trace -> string -> float
+(** Energy delivered by the named source over the window, J. *)
+
+val total_supply_energy :
+  ?t0:float -> ?t1:float -> ?filter:(string -> bool) ->
+  Transient.trace -> float
+(** Total energy over all sources passing [filter]. *)
+
+val femto : float -> float
+(** Scale J to fJ (or s to fs). *)
+
+val pico : float -> float
+(** Scale s to ps (or J to pJ). *)

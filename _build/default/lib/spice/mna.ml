@@ -1,0 +1,129 @@
+(* Modified nodal analysis: matrix assembly for one Newton iteration.
+
+   Unknowns: node voltages for nodes 1..n-1 (ground excluded) followed by one
+   branch current per voltage source.  The sign convention for the branch
+   current is "flowing from the + node through the source to the - node", so
+   the power a source delivers to the circuit is -V * i. *)
+
+type t = {
+  circuit : Circuit.t;
+  n_v : int;                     (* voltage unknowns *)
+  n_src : int;
+  size : int;
+  vsrcs : (string * int * int * Waveform.t) array;
+  mosfets : Circuit.mosfet array;
+  resistors : (int * int * float) array;
+  (* explicit caps plus device parasitics, flattened to (a, b, c) branches *)
+  caps : (int * int * float) array;
+  g : float array array;         (* system matrix, reused between solves *)
+  rhs : float array;
+}
+
+let gmin = 1e-9  (* drain-source shunt aiding Newton convergence *)
+
+(* Every node to ground.  Large enough that gate-only nodes (pure
+   capacitive loads, which contribute nothing to the DC conductance matrix)
+   keep the system comfortably non-singular; small enough that its leakage
+   is far below any energy being measured. *)
+let gshunt = 1e-9
+
+let build (c : Circuit.t) =
+  let n_v = Circuit.n_nodes c - 1 in
+  let vsrcs = Array.of_list (List.rev c.vsources) in
+  let n_src = Array.length vsrcs in
+  let size = n_v + n_src in
+  let parasitics =
+    List.concat_map
+      (fun (m : Circuit.mosfet) ->
+        [
+          (m.g, Circuit.gnd, Device.gate_cap c.tech m);
+          (m.d, Circuit.gnd, Device.junction_cap c.tech m);
+          (m.s, Circuit.gnd, Device.junction_cap c.tech m);
+        ])
+      c.mosfets
+  in
+  {
+    circuit = c;
+    n_v;
+    n_src;
+    size;
+    vsrcs;
+    mosfets = Array.of_list (List.rev c.mosfets);
+    resistors = Array.of_list (List.rev c.resistors);
+    caps = Array.of_list (List.rev c.capacitors @ parasitics);
+    g = Array.make_matrix size size 0.0;
+    rhs = Array.make size 0.0;
+  }
+
+(* Row/column index of a node; ground contributes nothing. *)
+let idx node = node - 1
+
+let add t r c v = if r >= 0 && c >= 0 then t.g.(r).(c) <- t.g.(r).(c) +. v
+
+let add_rhs t r v = if r >= 0 then t.rhs.(r) <- t.rhs.(r) +. v
+
+let stamp_conductance t a b g =
+  let ia = idx a and ib = idx b in
+  add t ia ia g;
+  add t ib ib g;
+  add t ia ib (-.g);
+  add t ib ia (-.g)
+
+(* Current [i] injected into node [a] and drawn from node [b]. *)
+let stamp_current t a b i =
+  add_rhs t (idx a) i;
+  add_rhs t (idx b) (-.i)
+
+let stamp_mosfet t (m : Circuit.mosfet) v =
+  let vd = v.(m.d) and vg = v.(m.g) and vs = v.(m.s) in
+  let e = Device.eval t.circuit.tech m vd vg vs in
+  let id_ = idx m.d and ig = idx m.g and is_ = idx m.s in
+  (* current into drain: i = ieq + di_dvd*vd + di_dvg*vg + di_dvs*vs *)
+  let ieq = e.i -. (e.di_dvd *. vd) -. (e.di_dvg *. vg) -. (e.di_dvs *. vs) in
+  (* KCL at drain: +i leaves through the channel *)
+  add t id_ id_ e.di_dvd;
+  add t id_ ig e.di_dvg;
+  add t id_ is_ e.di_dvs;
+  add_rhs t id_ (-.ieq);
+  (* KCL at source: -i *)
+  add t is_ id_ (-.e.di_dvd);
+  add t is_ ig (-.e.di_dvg);
+  add t is_ is_ (-.e.di_dvs);
+  add_rhs t is_ ieq;
+  stamp_conductance t m.d m.s gmin
+
+(* Assemble the linear system for one Newton iteration.
+
+   [v] is the current voltage guess (indexed by node id, v.(0) = 0).
+   [cap_geq]/[cap_ih] are the per-capacitor companion conductance and history
+   current for this timestep (computed once per step by the integrator); for
+   a DC solve pass zeros. [time] selects the source values. *)
+let assemble t ~v ~cap_geq ~cap_ih ~time =
+  for r = 0 to t.size - 1 do
+    t.rhs.(r) <- 0.0;
+    Array.fill t.g.(r) 0 t.size 0.0
+  done;
+  for n = 1 to t.n_v do
+    add t (idx n) (idx n) gshunt
+  done;
+  Array.iter (fun (a, b, r) -> stamp_conductance t a b (1.0 /. r)) t.resistors;
+  Array.iteri
+    (fun k (a, b, _) ->
+      stamp_conductance t a b cap_geq.(k);
+      stamp_current t a b cap_ih.(k))
+    t.caps;
+  Array.iter (fun m -> stamp_mosfet t m v) t.mosfets;
+  Array.iteri
+    (fun k (_, p, n, wave) ->
+      let row = t.n_v + k in
+      let ip = idx p and in_ = idx n in
+      (* branch current enters the + node row with +1 *)
+      add t ip row 1.0;
+      add t in_ row (-1.0);
+      add t row ip 1.0;
+      add t row in_ (-1.0);
+      add_rhs t row (Waveform.value wave time))
+    t.vsrcs
+
+(* Solve the assembled system; returns the raw unknown vector. *)
+let solve t = Util.Lu.solve_system t.g t.rhs

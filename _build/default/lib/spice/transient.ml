@@ -1,0 +1,160 @@
+(* Transient analysis: trapezoidal integration with Newton iteration.
+
+   The solver assembles the companion-linearised MNA system at each Newton
+   iteration; the solution of that system IS the new voltage guess (not a
+   delta), which is the standard companion formulation.  If Newton fails to
+   converge on a step the step is recursively quartered (stiff edges). *)
+
+type trace = {
+  h : float;
+  times : float array;
+  probe_names : string array;
+  probe_waves : float array array;     (* probe index -> samples *)
+  src_names : string array;
+  src_power : float array array;       (* source index -> delivered power, W *)
+}
+
+exception No_convergence of float
+(** Raised with the simulation time at which Newton diverged beyond rescue. *)
+
+let damp_limit = 0.5 (* max voltage change per Newton iteration, V *)
+
+(* One Newton solve at [time] given cap companions; updates [v] in place.
+   Returns true on convergence. *)
+let newton (m : Mna.t) ~v ~cap_geq ~cap_ih ~time ~tol ~max_iter =
+  let n_nodes = m.n_v + 1 in
+  let rec iterate k =
+    if k >= max_iter then false
+    else begin
+      Mna.assemble m ~v ~cap_geq ~cap_ih ~time;
+      match Mna.solve m with
+      | exception Util.Lu.Singular _ ->
+          (* a numerically singular Jacobian at this operating point is a
+             convergence failure like any other: let the caller substep *)
+          false
+      | x ->
+      let delta = ref 0.0 in
+      for node = 1 to n_nodes - 1 do
+        let target = x.(node - 1) in
+        let d = target -. v.(node) in
+        let d = Float.max (-.damp_limit) (Float.min damp_limit d) in
+        if Float.abs d > !delta then delta := Float.abs d;
+        v.(node) <- v.(node) +. d
+      done;
+      if !delta < tol then true else iterate (k + 1)
+    end
+  in
+  iterate 0
+
+(* Extract source branch currents for the converged solution. *)
+let source_currents (m : Mna.t) ~v ~cap_geq ~cap_ih ~time =
+  Mna.assemble m ~v ~cap_geq ~cap_ih ~time;
+  let x = Mna.solve m in
+  Array.init m.n_src (fun k -> x.(m.n_v + k))
+
+(* DC operating point: Newton with capacitors removed.  Falls back to the
+   all-zero state on non-convergence (the caller's stimuli are expected to
+   include a settle interval in that case). *)
+let dc_operating_point (m : Mna.t) ~tol =
+  let v = Array.make (m.n_v + 1) 0.0 in
+  let zeros = Array.make (Array.length m.caps) 0.0 in
+  let ok = newton m ~v ~cap_geq:zeros ~cap_ih:zeros ~time:0.0 ~tol ~max_iter:300 in
+  if not ok then Array.fill v 0 (Array.length v) 0.0;
+  v
+
+(* Advance the state (v, cap currents) from [time] by [h], splitting the step
+   on Newton failure. *)
+let rec advance (m : Mna.t) ~v ~icap ~time ~h ~tol ~depth =
+  let ncaps = Array.length m.caps in
+  let cap_geq = Array.make ncaps 0.0 in
+  let cap_ih = Array.make ncaps 0.0 in
+  Array.iteri
+    (fun k (a, b, c) ->
+      let geq = 2.0 *. c /. h in
+      cap_geq.(k) <- geq;
+      cap_ih.(k) <- (geq *. (v.(a) -. v.(b))) +. icap.(k))
+    m.caps;
+  let v_try = Array.copy v in
+  let ok =
+    newton m ~v:v_try ~cap_geq ~cap_ih ~time:(time +. h) ~tol ~max_iter:100
+  in
+  if ok then begin
+    Array.blit v_try 0 v 0 (Array.length v);
+    Array.iteri
+      (fun k (a, b, _) ->
+        icap.(k) <- (cap_geq.(k) *. (v.(a) -. v.(b))) -. cap_ih.(k))
+      m.caps;
+    source_currents m ~v ~cap_geq ~cap_ih ~time:(time +. h)
+  end
+  else if depth < 5 then begin
+    (* quarter the step; discard intermediate source currents *)
+    let h4 = h /. 4.0 in
+    let last = ref [||] in
+    for i = 0 to 3 do
+      last :=
+        advance m ~v ~icap ~time:(time +. (float_of_int i *. h4)) ~h:h4 ~tol
+          ~depth:(depth + 1)
+    done;
+    !last
+  end
+  else raise (No_convergence time)
+
+(* Run a transient from t = 0 to [t_stop] with fixed output step [h].
+
+   [probes] are node names whose waveforms are recorded.  Per-source
+   delivered power (-V * i_branch) is always recorded so energies over
+   arbitrary windows can be computed afterwards (see Measure). *)
+let run ?(h = 1e-12) ?(tol = 1e-6) ~t_stop ~probes (c : Circuit.t) =
+  (* resolve probe names before building the MNA structures: a probe must
+     refer to an existing node, not silently create a floating one *)
+  List.iter
+    (fun name ->
+      if not (Hashtbl.mem c.Circuit.names name) then
+        invalid_arg ("Transient.run: unknown probe node " ^ name))
+    probes;
+  let m = Mna.build c in
+  let v = dc_operating_point m ~tol in
+  let icap = Array.make (Array.length m.caps) 0.0 in
+  let steps = int_of_float (Float.ceil (t_stop /. h)) in
+  let probe_nodes = Array.of_list (List.map (Circuit.node c) probes) in
+  let probe_names = Array.of_list probes in
+  let src_names = Array.map (fun (n, _, _, _) -> n) m.vsrcs in
+  let times = Array.init (steps + 1) (fun i -> float_of_int i *. h) in
+  let probe_waves = Array.map (fun _ -> Array.make (steps + 1) 0.0) probe_nodes in
+  let src_power = Array.map (fun _ -> Array.make (steps + 1) 0.0) src_names in
+  let record i currents =
+    Array.iteri (fun p nd -> probe_waves.(p).(i) <- v.(nd)) probe_nodes;
+    Array.iteri
+      (fun k (_, _, _, wave) ->
+        let volt = Waveform.value wave times.(i) in
+        src_power.(k).(i) <- -.volt *. currents.(k))
+      m.vsrcs
+  in
+  (* initial sample: currents at t = 0 from the DC solution *)
+  let zeros = Array.make (Array.length m.caps) 0.0 in
+  record 0 (source_currents m ~v ~cap_geq:zeros ~cap_ih:zeros ~time:0.0);
+  for i = 1 to steps do
+    let currents =
+      advance m ~v ~icap ~time:times.(i - 1) ~h ~tol ~depth:0
+    in
+    record i currents
+  done;
+  { h; times; probe_names; probe_waves; src_names; src_power }
+
+let probe trace name =
+  let rec find i =
+    if i >= Array.length trace.probe_names then
+      invalid_arg ("Transient.probe: unknown probe " ^ name)
+    else if trace.probe_names.(i) = name then trace.probe_waves.(i)
+    else find (i + 1)
+  in
+  find 0
+
+let power trace name =
+  let rec find i =
+    if i >= Array.length trace.src_names then
+      invalid_arg ("Transient.power: unknown source " ^ name)
+    else if trace.src_names.(i) = name then trace.src_power.(i)
+    else find (i + 1)
+  in
+  find 0

@@ -1,0 +1,33 @@
+(** Transient analysis: trapezoidal integration with Newton iteration.
+
+    The solver assembles the companion-linearised MNA system at each Newton
+    iteration; if a step fails to converge it is recursively quartered.
+    The simulation starts from a DC operating point (capacitors open),
+    falling back to the all-zero state if DC does not converge. *)
+
+type trace = {
+  h : float;
+  times : float array;
+  probe_names : string array;
+  probe_waves : float array array;  (** probe index -> samples *)
+  src_names : string array;
+  src_power : float array array;    (** source index -> delivered power, W *)
+}
+
+exception No_convergence of float
+(** Raised with the simulation time at which Newton diverged beyond
+    rescue (after step subdivision). *)
+
+val run :
+  ?h:float -> ?tol:float -> t_stop:float -> probes:string list ->
+  Circuit.t -> trace
+(** Simulate from t = 0 to [t_stop] with fixed step [h] (default 1 ps).
+    [probes] are node names whose waveforms are recorded; per-source
+    delivered power is always recorded.
+    @raise Invalid_argument if a probe names no existing node. *)
+
+val probe : trace -> string -> float array
+(** Recorded waveform of a probed node. *)
+
+val power : trace -> string -> float array
+(** Delivered-power waveform of a source. *)

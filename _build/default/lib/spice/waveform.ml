@@ -1,0 +1,68 @@
+(* Stimulus waveforms for independent voltage sources. *)
+
+type t =
+  | Dc of float
+  | Pulse of pulse
+  | Pwl of (float * float) array
+      (* (time, value) pairs sorted by time; linear interpolation, value held
+         before the first and after the last point *)
+
+and pulse = {
+  v0 : float;      (* initial level *)
+  v1 : float;      (* pulsed level *)
+  delay : float;   (* time of first rising edge start *)
+  rise : float;    (* rise time *)
+  fall : float;    (* fall time *)
+  width : float;   (* time spent at v1 (after the rise) *)
+  period : float;  (* repetition period *)
+}
+
+let dc v = Dc v
+
+let pulse ?(v0 = 0.0) ~v1 ~delay ~rise ~fall ~width ~period () =
+  if period <= 0.0 then invalid_arg "Waveform.pulse: period must be positive";
+  Pulse { v0; v1; delay; rise; fall; width; period }
+
+let pwl points =
+  let a = Array.of_list points in
+  for i = 1 to Array.length a - 1 do
+    if fst a.(i) < fst a.(i - 1) then
+      invalid_arg "Waveform.pwl: times must be non-decreasing"
+  done;
+  Pwl a
+
+(* A clock with 50 % duty cycle and symmetric edges. *)
+let clock ~vdd ~period ~slew ~delay =
+  pulse ~v1:vdd ~delay ~rise:slew ~fall:slew
+    ~width:((period /. 2.0) -. slew)
+    ~period ()
+
+let value t time =
+  match t with
+  | Dc v -> v
+  | Pulse p ->
+      if time < p.delay then p.v0
+      else begin
+        let tau = Float.rem (time -. p.delay) p.period in
+        if tau < p.rise then
+          p.v0 +. ((p.v1 -. p.v0) *. tau /. p.rise)
+        else if tau < p.rise +. p.width then p.v1
+        else if tau < p.rise +. p.width +. p.fall then
+          p.v1 +. ((p.v0 -. p.v1) *. (tau -. p.rise -. p.width) /. p.fall)
+        else p.v0
+      end
+  | Pwl a ->
+      let n = Array.length a in
+      if n = 0 then 0.0
+      else if time <= fst a.(0) then snd a.(0)
+      else if time >= fst a.(n - 1) then snd a.(n - 1)
+      else begin
+        (* binary search for the segment containing [time] *)
+        let lo = ref 0 and hi = ref (n - 1) in
+        while !hi - !lo > 1 do
+          let mid = (!lo + !hi) / 2 in
+          if fst a.(mid) <= time then lo := mid else hi := mid
+        done;
+        let t0, v0 = a.(!lo) and t1, v1 = a.(!hi) in
+        if t1 = t0 then v1 else v0 +. ((v1 -. v0) *. (time -. t0) /. (t1 -. t0))
+      end

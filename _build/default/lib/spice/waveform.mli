@@ -1,0 +1,41 @@
+(** Stimulus waveforms for independent voltage sources. *)
+
+type pulse = {
+  v0 : float;      (** initial level *)
+  v1 : float;      (** pulsed level *)
+  delay : float;   (** time of first rising edge start *)
+  rise : float;
+  fall : float;
+  width : float;   (** time spent at [v1] after the rise *)
+  period : float;
+}
+
+type t =
+  | Dc of float
+  | Pulse of pulse
+  | Pwl of (float * float) array
+      (** (time, value) pairs sorted by time; linear interpolation, value
+          held before the first and after the last point *)
+
+val dc : float -> t
+
+val pulse :
+  ?v0:float ->
+  v1:float ->
+  delay:float ->
+  rise:float ->
+  fall:float ->
+  width:float ->
+  period:float ->
+  unit ->
+  t
+(** @raise Invalid_argument on a non-positive period. *)
+
+val pwl : (float * float) list -> t
+(** @raise Invalid_argument if times decrease. *)
+
+val clock : vdd:float -> period:float -> slew:float -> delay:float -> t
+(** A 50 %-duty-cycle clock with symmetric edges. *)
+
+val value : t -> float -> float
+(** [value w t] evaluates the waveform at time [t]. *)

@@ -1,0 +1,1 @@
+lib/synth/diviner.ml: Array Edif Elaborate Gatelib Hashtbl List Logic Netlist Opt Tt Vhdl_parser

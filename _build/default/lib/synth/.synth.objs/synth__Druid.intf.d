@@ -1,0 +1,1 @@
+lib/synth/druid.mli: Netlist

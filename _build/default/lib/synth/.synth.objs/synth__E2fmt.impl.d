@@ -1,0 +1,1 @@
+lib/synth/e2fmt.ml: Blif Edif Netlist

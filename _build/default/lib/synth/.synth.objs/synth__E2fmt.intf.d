@@ -1,0 +1,1 @@
+lib/synth/e2fmt.mli: Netlist

@@ -1,0 +1,1 @@
+lib/synth/elaborate.ml: Array Hashtbl List Logic Map Netlist Printf String Tt Vhdl_ast

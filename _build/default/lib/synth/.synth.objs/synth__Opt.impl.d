@@ -1,0 +1,1 @@
+lib/synth/opt.ml: Array Hashtbl List Logic Netlist Seq Stdlib Tt

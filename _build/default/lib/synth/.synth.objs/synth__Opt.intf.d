@@ -1,0 +1,1 @@
+lib/synth/opt.mli: Netlist

@@ -1,0 +1,87 @@
+(* DIVINER: the behavioural VHDL synthesizer of the flow.
+
+   VHDL source -> parse -> elaborate -> optimise -> decompose to library
+   gates -> EDIF netlist (the commercial-tool interchange format of the
+   paper's Fig. 11). *)
+
+open Netlist
+
+(* Express every gate in library cells.  Optimisation can leave arbitrary
+   truth tables (cofactors of muxes etc.); Shannon-expand those into
+   MUX2/INV trees, which Gatelib covers. *)
+let decompose_to_library (net : Logic.t) =
+  let memo = Hashtbl.create 64 in
+  (* build a signal computing [tt] over [fanins]; returns its id *)
+  let rec build tt fanins =
+    let key = (Tt.bits tt, Tt.arity tt, Array.to_list fanins) in
+    match Hashtbl.find_opt memo key with
+    | Some id -> id
+    | None ->
+        let id =
+          if Tt.is_const0 tt then
+            Logic.add_const net (Logic.fresh_name net "c0") false
+          else if Tt.is_const1 tt then
+            Logic.add_const net (Logic.fresh_name net "c1") true
+          else
+            match Gatelib.of_tt tt with
+            | Some _ ->
+                Logic.add_gate net (Logic.fresh_name net "g") tt fanins
+            | None ->
+                (* Shannon expansion on the last variable *)
+                let i = Tt.arity tt - 1 in
+                let sub value =
+                  let cof = Tt.cofactor tt i value in
+                  let cof, sup = Tt.compact cof in
+                  let sub_fanins =
+                    Array.of_list (List.map (fun j -> fanins.(j)) sup)
+                  in
+                  build cof sub_fanins
+                in
+                let t = sub true and e = sub false in
+                Logic.add_gate net (Logic.fresh_name net "g") Tt.mux2
+                  [| fanins.(i); t; e |]
+        in
+        Hashtbl.replace memo key id;
+        id
+  in
+  for id = 0 to Logic.signal_count net - 1 do
+    match Logic.driver net id with
+    | Logic.Gate { tt; fanins } when Gatelib.of_tt tt = None ->
+        if Tt.is_const0 tt then Logic.set_driver net id (Logic.Const false)
+        else if Tt.is_const1 tt then Logic.set_driver net id (Logic.Const true)
+        else begin
+          (* Shannon-expand; the node itself becomes the top multiplexer *)
+          let i = Tt.arity tt - 1 in
+          let sub value =
+            let cof = Tt.cofactor tt i value in
+            let cof, sup = Tt.compact cof in
+            build cof (Array.of_list (List.map (fun j -> fanins.(j)) sup))
+          in
+          let t = sub true and e = sub false in
+          Logic.set_driver net id
+            (Logic.Gate { tt = Tt.mux2; fanins = [| fanins.(i); t; e |] })
+        end
+    | _ -> ()
+  done;
+  (* Shannon introduces fresh constants/gates; clean up *)
+  Opt.garbage_collect net
+
+(* Synthesis from a parsed design: elaborate, optimise, decompose.
+   [library] supplies the other design units instances may reference. *)
+let synthesize_ast ?library design =
+  let net = Elaborate.elaborate ?library design in
+  let net = Opt.optimize net in
+  decompose_to_library net
+
+(* Full synthesis: VHDL text to a Logic network in library gates.  The file
+   may contain several entities; the last is the top and the others form
+   the instantiation library. *)
+let synthesize text =
+  let file = Vhdl_parser.file_of_string text in
+  let top = List.nth file (List.length file - 1) in
+  synthesize_ast ~library:file top
+
+(* VHDL text to EDIF (the DIVINER command-line behaviour). *)
+let to_edif text = Edif.of_logic (synthesize text)
+
+let to_edif_string text = Edif.to_string (to_edif text)

@@ -1,0 +1,21 @@
+(** DIVINER: the behavioural VHDL synthesizer of the flow.
+
+    VHDL source -> parse -> elaborate -> optimise -> decompose to library
+    gates -> EDIF netlist (the interchange of the paper's Fig. 11). *)
+
+val decompose_to_library : Netlist.Logic.t -> Netlist.Logic.t
+(** Express every gate in library cells, Shannon-expanding arbitrary
+    truth tables into MUX2/INV trees. *)
+
+val synthesize_ast :
+  ?library:Netlist.Vhdl_ast.design list -> Netlist.Vhdl_ast.design ->
+  Netlist.Logic.t
+(** Elaborate, optimise and decompose one parsed design. *)
+
+val synthesize : string -> Netlist.Logic.t
+(** Full synthesis from VHDL text.  The file may contain several
+    entities; the last is the top and the others form the instantiation
+    library. *)
+
+val to_edif : string -> Netlist.Edif.t
+val to_edif_string : string -> string

@@ -1,0 +1,13 @@
+(** DRUID: EDIF normalisation.
+
+    Adapts commercial-tool EDIF output for the downstream academic tools:
+    identifier sanitisation, library-cell validation, removal of dangling
+    nets and duplicate logic, canonical naming — implemented as a round
+    trip through the Logic IR with a cleanup in between. *)
+
+exception Druid_error of string
+
+val normalize : Netlist.Edif.t -> Netlist.Edif.t
+(** @raise Druid_error on a netlist the flow cannot accept. *)
+
+val normalize_string : string -> string

@@ -1,0 +1,13 @@
+(* E2FMT: EDIF to BLIF netlist translation. *)
+
+open Netlist
+
+let to_logic (e : Edif.t) = Edif.to_logic e
+
+let edif_to_blif text =
+  let net = to_logic (Edif.of_string text) in
+  Blif.to_string net
+
+let file_to_file ~edif_path ~blif_path =
+  let net = to_logic (Edif.of_file edif_path) in
+  Blif.to_file blif_path net

@@ -1,0 +1,8 @@
+(** E2FMT: EDIF to BLIF netlist translation. *)
+
+val to_logic : Netlist.Edif.t -> Netlist.Logic.t
+
+val edif_to_blif : string -> string
+(** EDIF text in, BLIF text out. *)
+
+val file_to_file : edif_path:string -> blif_path:string -> unit

@@ -1,0 +1,674 @@
+(* VHDL elaboration: AST -> bit-level Logic network (the heart of DIVINER).
+
+   Every VHDL signal of width w becomes w Logic bit-signals named
+   "sig" (w = 1) or "sig[i]".  Expressions elaborate to vectors of signal
+   ids with index 0 = LSB.  Gates are built strictly from library functions
+   (INV/AND2/OR2/XOR2/XNOR2/MUX2), so the result converts directly to EDIF.
+
+   Process semantics: statements execute sequentially over a symbolic
+   environment (last assignment wins); 'if' merges the branch environments
+   with multiplexers.  Clocked processes follow the two standard shapes
+
+     process(clk) ... if rising_edge(clk) then ... end if;
+     process(clk, rst) ... if rst = '1' then ... elsif rising_edge(clk) ...
+
+   Unassigned paths hold the register value in clocked processes and are an
+   elaboration error in combinational ones (no implicit latches). *)
+
+open Netlist
+open Vhdl_ast
+
+exception Elab_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Elab_error s)) fmt
+
+type env = {
+  net : Logic.t;
+  widths : (string, int) Hashtbl.t;       (* VHDL signal name -> width *)
+  bits : (string, int array) Hashtbl.t;   (* name -> logic ids, LSB first *)
+  genvars : (string, int) Hashtbl.t;      (* generate loop variables *)
+  mutable const0 : int option;
+  mutable const1 : int option;
+  mutable tmp : int;
+}
+
+let bit_name nm w i = if w = 1 then nm else Printf.sprintf "%s[%d]" nm i
+
+let fresh env =
+  env.tmp <- env.tmp + 1;
+  Printf.sprintf "n%d" env.tmp
+
+let const env v =
+  match (v, env.const0, env.const1) with
+  | false, Some id, _ -> id
+  | true, _, Some id -> id
+  | false, None, _ ->
+      let id = Logic.add_const env.net (Logic.fresh_name env.net "const0") false in
+      env.const0 <- Some id;
+      id
+  | true, _, None ->
+      let id = Logic.add_const env.net (Logic.fresh_name env.net "const1") true in
+      env.const1 <- Some id;
+      id
+
+let gate env tt fanins =
+  let id = Logic.add_gate env.net (fresh env) tt (Array.of_list fanins) in
+  id
+
+let inv env a = gate env Tt.inv [ a ]
+let and2 env a b = gate env (Tt.and_n 2) [ a; b ]
+let or2 env a b = gate env (Tt.or_n 2) [ a; b ]
+let xor2 env a b = gate env (Tt.xor_n 2) [ a; b ]
+let xnor2 env a b = gate env (Tt.xnor_n 2) [ a; b ]
+let nand2 env a b = gate env (Tt.nand_n 2) [ a; b ]
+let nor2 env a b = gate env (Tt.nor_n 2) [ a; b ]
+let mux2 env ~sel ~t ~e = gate env Tt.mux2 [ sel; t; e ]
+
+let reduce_and env = function
+  | [] -> const env true
+  | first :: rest -> List.fold_left (and2 env) first rest
+
+(* ---------- expression elaboration ---------- *)
+
+let signal_bits env nm =
+  match Hashtbl.find_opt env.bits nm with
+  | Some ids -> ids
+  | None -> fail "unknown signal %s" nm
+
+(* Indices, slice bounds and generate ranges must be compile-time
+   constants: integer literals, generate variables, and +/- over them. *)
+let rec const_int env e =
+  match e with
+  | Int_lit v -> v
+  | Name nm -> (
+      match Hashtbl.find_opt env.genvars nm with
+      | Some v -> v
+      | None -> fail "%s is not a constant (index expressions must be)" nm)
+  | Binop (Add, a, b) -> const_int env a + const_int env b
+  | Binop (Sub, a, b) -> const_int env a - const_int env b
+  | _ -> fail "index expression is not constant"
+
+let expr_width env e =
+  let rec w = function
+    | Name nm -> (
+        match Hashtbl.find_opt env.widths nm with
+        | Some width -> width
+        | None ->
+            if Hashtbl.mem env.genvars nm then
+              fail "generate variable %s needs a vector context" nm
+            else fail "unknown signal %s" nm)
+    | Indexed _ -> 1
+    | Slice (_, hi, lo) -> const_int env hi - const_int env lo + 1
+    | Char_lit _ -> 1
+    | String_lit s -> String.length s
+    | Int_lit _ -> fail "integer literal needs a vector context"
+    | Not a -> w a
+    | Aggregate_others _ -> fail "aggregate needs a vector context"
+    | Binop ((Eq | Neq | Lt | Gt | Le | Ge), _, _) -> 1
+    | Binop (_, a, b) -> (
+        match (try Some (w a) with Elab_error _ -> None) with
+        | Some wa -> wa
+        | None -> w b)
+    | Concat (a, b) -> w a + w b
+    | Call (f, _) -> fail "call %s is not valid here" f
+  in
+  w e
+
+(* Elaborate [e] to ids, LSB first.  [want] is the width a context imposes
+   (for integer literals). *)
+let rec elab_expr env ?want e =
+  match e with
+  | Name nm when Hashtbl.mem env.genvars nm ->
+      (* a generate variable used as a value: an integer literal *)
+      elab_expr env ?want (Int_lit (Hashtbl.find env.genvars nm))
+  | Name nm -> Array.copy (signal_bits env nm)
+  | Indexed (nm, ie) ->
+      let i = const_int env ie in
+      let b = signal_bits env nm in
+      if i < 0 || i >= Array.length b then fail "%s(%d) out of range" nm i;
+      [| b.(i) |]
+  | Slice (nm, hie, loe) ->
+      let hi = const_int env hie and lo = const_int env loe in
+      let b = signal_bits env nm in
+      if lo < 0 || hi >= Array.length b || lo > hi then
+        fail "%s(%d downto %d) out of range" nm hi lo;
+      Array.init (hi - lo + 1) (fun k -> b.(lo + k))
+  | Char_lit c -> [| const env (c = '1') |]
+  | String_lit s ->
+      let w = String.length s in
+      (* the string is written MSB first *)
+      Array.init w (fun i -> const env (s.[w - 1 - i] = '1'))
+  | Int_lit v ->
+      let w =
+        match want with
+        | Some w -> w
+        | None -> fail "integer literal %d needs a vector context" v
+      in
+      Array.init w (fun i -> const env ((v lsr i) land 1 = 1))
+  | Aggregate_others c ->
+      let w =
+        match want with
+        | Some w -> w
+        | None -> fail "(others => '%c') needs a vector context" c
+      in
+      Array.make w (const env (c = '1'))
+  | Not a -> Array.map (inv env) (elab_expr env ?want a)
+  | Concat (a, b) ->
+      let hb = elab_expr env a and lb = elab_expr env b in
+      Array.append lb hb (* b holds the low bits *)
+  | Binop (op, a, b) -> elab_binop env ?want op a b
+  | Call (f, _) -> fail "%s() only allowed as a clock-edge condition" f
+
+and elab_binop env ?want op a b =
+  let bitwise f =
+    let wa = try Some (expr_width env a) with Elab_error _ -> None in
+    let wb = try Some (expr_width env b) with Elab_error _ -> None in
+    let want =
+      match (wa, wb) with
+      | Some w, _ | _, Some w -> Some w
+      | None, None -> want
+    in
+    let va = elab_expr env ?want a and vb = elab_expr env ?want b in
+    if Array.length va <> Array.length vb then
+      fail "width mismatch in %s: %d vs %d" (binop_name op) (Array.length va)
+        (Array.length vb);
+    Array.init (Array.length va) (fun i -> f va.(i) vb.(i))
+  in
+  match op with
+  | And -> bitwise (and2 env)
+  | Or -> bitwise (or2 env)
+  | Xor -> bitwise (xor2 env)
+  | Nand -> bitwise (nand2 env)
+  | Nor -> bitwise (nor2 env)
+  | Xnor -> bitwise (xnor2 env)
+  | Eq | Neq ->
+      let bits = bitwise (xnor2 env) in
+      let eq = reduce_and env (Array.to_list bits) in
+      [| (if op = Eq then eq else inv env eq) |]
+  | Lt | Gt | Le | Ge ->
+      (* unsigned magnitude comparison, MSB first:
+         lt := lt OR (eq AND NOT a_i AND b_i); eq := eq AND (a_i XNOR b_i) *)
+      let wa = try Some (expr_width env a) with Elab_error _ -> None in
+      let wb = try Some (expr_width env b) with Elab_error _ -> None in
+      let w =
+        match (wa, wb) with
+        | Some w, _ | _, Some w -> w
+        | None, None -> fail "cannot infer comparison width"
+      in
+      let va = elab_expr env ~want:w a in
+      let vb = elab_expr env ~want:w b in
+      if Array.length va <> w || Array.length vb <> w then
+        fail "width mismatch in %s" (binop_name op);
+      (* swap operands for Gt/Le so only a-less-than-b is built *)
+      let va, vb = match op with Gt | Le -> (vb, va) | _ -> (va, vb) in
+      let lt = ref (const env false) in
+      let eq = ref (const env true) in
+      for i = w - 1 downto 0 do
+        let ai_lt_bi = and2 env (inv env va.(i)) vb.(i) in
+        lt := or2 env !lt (and2 env !eq ai_lt_bi);
+        eq := and2 env !eq (xnor2 env va.(i) vb.(i))
+      done;
+      (match op with
+      | Lt | Gt -> [| !lt |]
+      | Le | Ge -> [| inv env !lt |]
+      | _ -> assert false)
+  | Add | Sub ->
+      let wa = try Some (expr_width env a) with Elab_error _ -> None in
+      let wb = try Some (expr_width env b) with Elab_error _ -> None in
+      let w =
+        match (wa, wb) with
+        | Some w, _ | _, Some w -> w
+        | None, None -> fail "cannot infer adder width"
+      in
+      let va = elab_expr env ~want:w a in
+      let vb = elab_expr env ~want:w b in
+      if Array.length va <> w || Array.length vb <> w then
+        fail "width mismatch in %s" (binop_name op);
+      let vb = if op = Sub then Array.map (inv env) vb else vb in
+      (* ripple-carry addition; initial carry 1 implements two's-complement
+         subtraction *)
+      let carry = ref (const env (op = Sub)) in
+      Array.init w (fun i ->
+          let s1 = xor2 env va.(i) vb.(i) in
+          let sum = xor2 env s1 !carry in
+          let c_out = or2 env (and2 env va.(i) vb.(i)) (and2 env s1 !carry) in
+          carry := c_out;
+          sum)
+
+(* condition expression -> single bit *)
+let elab_cond env e =
+  let v = elab_expr env e in
+  if Array.length v <> 1 then fail "condition must be a single bit";
+  v.(0)
+
+(* ---------- sequential elaboration ---------- *)
+
+(* Symbolic assignment state: per VHDL bit (name, index) -> logic id. *)
+module Bindings = Map.Make (struct
+  type t = string * int
+
+  let compare = compare
+end)
+
+let target_bits env = function
+  | Name nm ->
+      let w = Array.length (signal_bits env nm) in
+      (nm, Array.init w (fun i -> i))
+  | Indexed (nm, ie) -> (nm, [| const_int env ie |])
+  | Slice (nm, hie, loe) ->
+      let hi = const_int env hie and lo = const_int env loe in
+      (nm, Array.init (hi - lo + 1) (fun k -> lo + k))
+  | _ -> fail "bad assignment target"
+
+(* Reads in a process see earlier sequential assignments: shadow the signal
+   table with the current bindings while elaborating an expression. *)
+let with_bindings env bindings f =
+  let saved = Hashtbl.copy env.bits in
+  Hashtbl.iter
+    (fun nm ids ->
+      let ids' =
+        Array.mapi
+          (fun i id ->
+            match Bindings.find_opt (nm, i) bindings with
+            | Some b -> b
+            | None -> id)
+          ids
+      in
+      Hashtbl.replace env.bits nm ids')
+    saved;
+  let result = f () in
+  Hashtbl.reset env.bits;
+  Hashtbl.iter (fun k v -> Hashtbl.replace env.bits k v) saved;
+  result
+
+(* Execute statements over bindings (last assignment wins).  [on_hold]
+   resolves a bit that one branch assigns but another leaves untouched: in a
+   clocked process it returns the register output (hold); in a combinational
+   process it raises (no implicit latches). *)
+let rec exec_stmts env on_hold bindings stmts =
+  List.fold_left (exec_stmt env on_hold) bindings stmts
+
+and exec_stmt env on_hold bindings = function
+  | Assign (target, value) ->
+      let nm, idxs = target_bits env target in
+      let v =
+        with_bindings env bindings (fun () ->
+            elab_expr env ~want:(Array.length idxs) value)
+      in
+      if Array.length v <> Array.length idxs then
+        fail "width mismatch assigning %s" nm;
+      let b = ref bindings in
+      Array.iteri (fun k i -> b := Bindings.add (nm, i) v.(k) !b) idxs;
+      !b
+  | If (branches, els) ->
+      (* elaborate conditions in the outer binding context *)
+      let rec chain = function
+        | [] -> exec_stmts env on_hold bindings els
+        | (cond, body) :: rest ->
+            let c = elab_cond_in env bindings cond in
+            let then_b = exec_stmts env on_hold bindings body in
+            let else_b = chain rest in
+            merge env on_hold bindings c then_b else_b
+      in
+      chain branches
+  | Case (subject, alternatives) ->
+      (* desugar to an if/elsif chain of equality tests *)
+      let rec chain = function
+        | [] -> bindings
+        | (Others, body) :: _ -> exec_stmts env on_hold bindings body
+        | (Choice e, body) :: rest ->
+            let c = elab_cond_in env bindings (Binop (Eq, subject, e)) in
+            let then_b = exec_stmts env on_hold bindings body in
+            let else_b = chain rest in
+            merge env on_hold bindings c then_b else_b
+      in
+      chain alternatives
+
+and elab_cond_in env bindings cond =
+  with_bindings env bindings (fun () -> elab_cond env cond)
+
+(* Merge two branch outcomes under condition [c]. *)
+and merge env on_hold outer c then_b else_b =
+  let keys =
+    Bindings.fold (fun k _ acc -> k :: acc) then_b []
+    @ Bindings.fold (fun k _ acc -> k :: acc) else_b []
+    |> List.sort_uniq compare
+  in
+  List.fold_left
+    (fun acc key ->
+      let resolve b =
+        match Bindings.find_opt key b with
+        | Some id -> Some id
+        | None -> Bindings.find_opt key outer
+      in
+      let t = resolve then_b and e = resolve else_b in
+      match (t, e) with
+      | Some t, Some e when t = e -> Bindings.add key t acc
+      | Some t, Some e -> Bindings.add key (mux2 env ~sel:c ~t ~e) acc
+      | Some t, None -> Bindings.add key (mux2 env ~sel:c ~t ~e:(on_hold key)) acc
+      | None, Some e -> Bindings.add key (mux2 env ~sel:c ~t:(on_hold key) ~e) acc
+      | None, None -> acc)
+    outer keys
+
+(* ---------- process elaboration ---------- *)
+
+let is_edge_call = function
+  | Call (("rising_edge" | "falling_edge"), [ Name clk ]) -> Some clk
+  | _ -> None
+
+(* All (name, index) pairs assigned anywhere in a statement list. *)
+let rec assigned_bits env stmts =
+  List.concat_map
+    (function
+      | Assign (target, _) ->
+          let nm, idxs = target_bits env target in
+          Array.to_list (Array.map (fun i -> (nm, i)) idxs)
+      | If (branches, els) ->
+          List.concat_map (fun (_, body) -> assigned_bits env body) branches
+          @ assigned_bits env els
+      | Case (_, alts) ->
+          List.concat_map (fun (_, body) -> assigned_bits env body) alts)
+    stmts
+
+(* A clocked process: returns (clock, async branches, sync body). *)
+let classify_process body =
+  match body with
+  | [ If (branches, []) ] -> (
+      (* find the rising_edge branch; everything before it is async control *)
+      let rec split acc = function
+        | [] -> None
+        | (cond, stmts) :: rest -> (
+            match is_edge_call cond with
+            | Some clk ->
+                if rest <> [] then None else Some (clk, List.rev acc, stmts)
+            | None -> split ((cond, stmts) :: acc) rest)
+      in
+      match split [] branches with
+      | Some (clk, async, sync) -> `Clocked (clk, async, sync)
+      | None -> `Combinational)
+  | _ -> `Combinational
+
+(* ---------- top level ---------- *)
+
+(* Elaborate one design unit into [env]'s network.
+
+   [prefix] scopes the Logic signal names of internal signals and output
+   ports ("u1/cnt[0]"); [in_bindings] supplies the actual bit vectors for
+   the input ports (the top level passes primary-input signals).  Returns
+   the bit vectors of the output ports.  Instances recurse through
+   [library], guarded against entity recursion by [active]. *)
+let rec elab_design env ~library ~active ~prefix (d : design) ~in_bindings =
+  if List.mem d.entity.entity_name active then
+    fail "recursive instantiation of entity %s" d.entity.entity_name;
+  let active = d.entity.entity_name :: active in
+  let net = env.net in
+  (* fresh scope: save the name tables, restore on exit *)
+  let saved_widths = Hashtbl.copy env.widths in
+  let saved_bits = Hashtbl.copy env.bits in
+  Hashtbl.reset env.widths;
+  Hashtbl.reset env.bits;
+  let declare nm w mk =
+    if Hashtbl.mem env.widths nm then fail "duplicate signal %s" nm;
+    Hashtbl.replace env.widths nm w;
+    Hashtbl.replace env.bits nm (Array.init w (fun i -> mk (bit_name nm w i)))
+  in
+  let placeholder nm w =
+    declare nm w (fun bit ->
+        Logic.add_input net (Logic.fresh_name net (prefix ^ bit)))
+  in
+  (* ports *)
+  List.iter
+    (fun p ->
+      let w = width p.typ in
+      match p.dir with
+      | In -> (
+          match List.assoc_opt p.port_name in_bindings with
+          | Some ids ->
+              if Array.length ids <> w then
+                fail "instance port %s: width %d expected, %d given"
+                  p.port_name w (Array.length ids);
+              Hashtbl.replace env.widths p.port_name w;
+              Hashtbl.replace env.bits p.port_name (Array.copy ids)
+          | None -> fail "input port %s is unconnected" p.port_name)
+      | Out ->
+          (* placeholder signals, re-driven when assigned *)
+          placeholder p.port_name w)
+    d.entity.ports;
+  (* internal signals: placeholders, re-driven on assignment *)
+  List.iter (fun (nm, typ) -> placeholder nm (width typ)) d.arch.signals;
+  let driven = Hashtbl.create 32 in
+  let drive (nm, i) id =
+    let bits = signal_bits env nm in
+    if i < 0 || i >= Array.length bits then
+      fail "assignment to %s[%d] is out of range" nm i;
+    if Hashtbl.mem driven (nm, i) then fail "multiple drivers for %s[%d]" nm i;
+    Hashtbl.replace driven (nm, i) ();
+    let target = bits.(i) in
+    (* the placeholder becomes a buffer of the computed value; the optimiser
+       collapses these *)
+    Logic.set_driver net target (Logic.Gate { tt = Tt.buf; fanins = [| id |] })
+  in
+  (* concurrent statements *)
+  let rec do_stmt = function
+      | Generate { label; var; lo; hi; body } ->
+          (* unroll: bind the loop variable and elaborate the body once per
+             iteration (shadowing an outer variable of the same name is
+             rejected for clarity) *)
+          if Hashtbl.mem env.genvars var then
+            fail "generate variable %s shadows an outer one" var;
+          let lo = const_int env lo and hi = const_int env hi in
+          ignore label;
+          for k = lo to hi do
+            Hashtbl.replace env.genvars var k;
+            List.iter do_stmt body
+          done;
+          Hashtbl.remove env.genvars var
+      | Cond_assign { target; branches; default } ->
+          let nm, idxs = target_bits env target in
+          let w = Array.length idxs in
+          let rec chain = function
+            | [] -> elab_expr env ~want:w default
+            | (cond, value) :: rest ->
+                let c = elab_cond env cond in
+                let v = elab_expr env ~want:w value in
+                let e = chain rest in
+                if Array.length v <> w || Array.length e <> w then
+                  fail "width mismatch assigning %s" nm;
+                Array.init w (fun k -> mux2 env ~sel:c ~t:v.(k) ~e:e.(k))
+          in
+          let v = chain branches in
+          if Array.length v <> w then fail "width mismatch assigning %s" nm;
+          Array.iteri (fun k i -> drive (nm, i) v.(k)) idxs
+      | Instance { label; component; port_map } ->
+          let sub =
+            match
+              List.find_opt
+                (fun (dd : design) -> dd.entity.entity_name = component)
+                library
+            with
+            | Some dd -> dd
+            | None -> fail "unknown entity %s (instance %s)" component label
+          in
+          (* resolve associations to formal names *)
+          let formals = List.map (fun p -> p.port_name) sub.entity.ports in
+          let assoc =
+            List.mapi
+              (fun idx a ->
+                match a with
+                | Named (formal, actual) ->
+                    if not (List.mem formal formals) then
+                      fail "instance %s: no port %s on %s" label formal
+                        component;
+                    (formal, actual)
+                | Positional actual -> (
+                    match List.nth_opt formals idx with
+                    | Some formal -> (formal, actual)
+                    | None -> fail "instance %s: too many ports" label))
+              port_map
+          in
+          (* input actuals elaborate in this scope *)
+          let in_bindings =
+            List.filter_map
+              (fun p ->
+                if p.dir = In then
+                  match List.assoc_opt p.port_name assoc with
+                  | Some actual ->
+                      Some
+                        ( p.port_name,
+                          elab_expr env ~want:(width p.typ) actual )
+                  | None -> None
+                else None)
+              sub.entity.ports
+          in
+          let outs =
+            elab_design env ~library ~active
+              ~prefix:(prefix ^ label ^ "/")
+              sub ~in_bindings
+          in
+          (* output actuals must be assignable targets in this scope *)
+          List.iter
+            (fun p ->
+              if p.dir = Out then
+                match List.assoc_opt p.port_name assoc with
+                | None -> () (* open output *)
+                | Some actual ->
+                    let nm, idxs = target_bits env actual in
+                    let ids = List.assoc p.port_name outs in
+                    if Array.length ids <> Array.length idxs then
+                      fail "instance %s: width mismatch on %s" label
+                        p.port_name;
+                    Array.iteri (fun k i -> drive (nm, i) ids.(k)) idxs)
+            sub.entity.ports
+      | Process { sensitivity = _; body } -> (
+          match classify_process body with
+          | `Clocked (clk, async, sync) ->
+              if net.Logic.clock = None then net.Logic.clock <- Some clk;
+              let targets = List.sort_uniq compare
+                  (assigned_bits env sync
+                  @ List.concat_map (fun (_, s) -> assigned_bits env s) async)
+              in
+              (* create the latches first so reads see the register outputs *)
+              let latch_ids =
+                List.map
+                  (fun (nm, i) ->
+                    let q = (signal_bits env nm).(i) in
+                    (* the placeholder itself becomes the latch *)
+                    ((nm, i), q))
+                  targets
+              in
+              (* synchronous next-state values; unassigned paths hold Q *)
+              let on_hold (nm, i) = (signal_bits env nm).(i) in
+              let sync_b = exec_stmts env on_hold Bindings.empty sync in
+              (* async controls (evaluated combinationally) *)
+              let final (nm, i) =
+                let q = (signal_bits env nm).(i) in
+                let d_sync =
+                  match Bindings.find_opt (nm, i) sync_b with
+                  | Some id -> id
+                  | None -> q (* hold *)
+                in
+                (* fold async branches (highest priority first); an
+                   asynchronous clear is realised through the CLB's clear in
+                   hardware — in the IR it guards the data input *)
+                List.fold_right
+                  (fun (cond, stmts) acc ->
+                    let c = elab_cond env cond in
+                    let b = exec_stmts env on_hold Bindings.empty stmts in
+                    match Bindings.find_opt (nm, i) b with
+                    | Some v -> mux2 env ~sel:c ~t:v ~e:acc
+                    | None -> acc)
+                  async d_sync
+              in
+              List.iter
+                (fun ((nm, i), q) ->
+                  if Hashtbl.mem driven (nm, i) then
+                    fail "multiple drivers for %s[%d]" nm i;
+                  Hashtbl.replace driven (nm, i) ();
+                  let d = final (nm, i) in
+                  Logic.set_driver net q (Logic.Latch { data = d; init = false }))
+                latch_ids
+          | `Combinational ->
+              let on_hold (nm, i) =
+                fail
+                  "%s[%d] is not assigned on every path (implicit latches \
+                   are not supported)"
+                  nm i
+              in
+              let b = exec_stmts env on_hold Bindings.empty body in
+              let targets = List.sort_uniq compare (assigned_bits env body) in
+              List.iter
+                (fun (nm, i) ->
+                  match Bindings.find_opt (nm, i) b with
+                  | Some id -> drive (nm, i) id
+                  | None ->
+                      fail
+                        "%s[%d] is not assigned on every path (implicit \
+                         latches are not supported)"
+                        nm i)
+                targets)
+  in
+  List.iter do_stmt d.arch.stmts;
+  (* collect output port bits *)
+  let outs =
+    List.filter_map
+      (fun p ->
+        if p.dir = Out then
+          Some (p.port_name, Array.copy (signal_bits env p.port_name))
+        else None)
+      d.entity.ports
+  in
+  (* restore the enclosing scope *)
+  Hashtbl.reset env.widths;
+  Hashtbl.iter (fun k v -> Hashtbl.replace env.widths k v) saved_widths;
+  Hashtbl.reset env.bits;
+  Hashtbl.iter (fun k v -> Hashtbl.replace env.bits k v) saved_bits;
+  outs
+
+(* Elaborate [d] as the top of the hierarchy; instances resolve against
+   [library] (which may include [d]'s own file's other units). *)
+let elaborate ?(library = []) (d : design) =
+  let net = Logic.create ~model:d.entity.entity_name () in
+  let env =
+    {
+      net;
+      widths = Hashtbl.create 32;
+      bits = Hashtbl.create 32;
+      genvars = Hashtbl.create 4;
+      const0 = None;
+      const1 = None;
+      tmp = 0;
+    }
+  in
+  (* top-level input ports are primary inputs *)
+  let in_bindings =
+    List.filter_map
+      (fun p ->
+        if p.dir = In then
+          let w = width p.typ in
+          Some
+            ( p.port_name,
+              Array.init w (fun i -> Logic.add_input net (bit_name p.port_name w i)) )
+        else None)
+      d.entity.ports
+  in
+  let outs = elab_design env ~library ~active:[] ~prefix:"" d ~in_bindings in
+  (* output ports keep their unprefixed names and become primary outputs *)
+  List.iter
+    (fun p ->
+      if p.dir = Out then
+        match List.assoc_opt p.port_name outs with
+        | Some ids ->
+            let w = Array.length ids in
+            Array.iteri
+              (fun i id ->
+                (* ensure the PO carries the expected port name *)
+                let want = bit_name p.port_name w i in
+                if Logic.name net id = want then Logic.set_output net id
+                else begin
+                  let po = Logic.add_gate net (Logic.fresh_name net want) Tt.buf [| id |] in
+                  Logic.set_output net po
+                end)
+              ids
+        | None -> ())
+    d.entity.ports;
+  net

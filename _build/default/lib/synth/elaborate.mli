@@ -1,0 +1,25 @@
+(** VHDL elaboration: AST to bit-level Logic network (the heart of
+    DIVINER).
+
+    Every VHDL signal of width w becomes w Logic bit-signals named
+    ["sig"] (w = 1) or ["sig\[i\]"].  Gates are built strictly from library
+    functions (INV/AND2/OR2/XOR2/XNOR2/MUX2), so the result converts
+    directly to EDIF.
+
+    Process semantics: statements execute sequentially over a symbolic
+    environment (last assignment wins); [if] merges branch environments
+    with multiplexers.  Clocked processes follow the standard shapes
+    (optionally with asynchronous-reset branches ahead of the
+    [rising_edge] branch); unassigned paths hold the register value in
+    clocked processes and are an elaboration error in combinational ones.
+
+    Instances recurse through the design [library]; instance-internal
+    signals get hierarchical names (["u1/cnt\[0\]"]). *)
+
+exception Elab_error of string
+
+val elaborate : ?library:Netlist.Vhdl_ast.design list -> Netlist.Vhdl_ast.design -> Netlist.Logic.t
+(** Elaborate a design as the top of the hierarchy.
+    @raise Elab_error on semantic errors (width mismatches, multiple
+    drivers, implicit latches, unknown/recursive entities, unconnected
+    instance inputs). *)

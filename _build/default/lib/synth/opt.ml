@@ -1,0 +1,200 @@
+(* Technology-independent netlist optimisation (the SIS-style cleanup pass
+   DIVINER runs before writing EDIF, and SIS runs again before mapping).
+
+   Passes: constant propagation, non-support fanin pruning, buffer/alias
+   collapsing, common-subexpression elimination and dead-node sweeping.
+   [optimize] iterates them to a fixed point and garbage-collects. *)
+
+open Netlist
+
+(* Rewire every reference of signal [from_] to [to_]; returns whether any
+   reference actually moved (drives the optimisation fixed point). *)
+let rewire (net : Logic.t) ~from_ ~to_ =
+  let moved = ref false in
+  for id = 0 to Logic.signal_count net - 1 do
+    match Logic.driver net id with
+    | Logic.Gate g ->
+        if Array.exists (fun f -> f = from_) g.fanins then begin
+          moved := true;
+          Logic.set_driver net id
+            (Logic.Gate
+               {
+                 g with
+                 fanins = Array.map (fun f -> if f = from_ then to_ else f) g.fanins;
+               })
+        end
+    | Logic.Latch l ->
+        if l.data = from_ then begin
+          moved := true;
+          Logic.set_driver net id (Logic.Latch { l with data = to_ })
+        end
+    | Logic.Input | Logic.Const _ -> ()
+  done;
+  !moved
+
+(* One local simplification round; returns true if anything changed. *)
+let simplify_round (net : Logic.t) =
+  let changed = ref false in
+  for id = 0 to Logic.signal_count net - 1 do
+    match Logic.driver net id with
+    | Logic.Gate { tt; fanins } ->
+        (* fold constant fanins into the table *)
+        let tt = ref tt and fanins = ref fanins in
+        let again = ref true in
+        while !again do
+          again := false;
+          (match
+             Array.to_seq !fanins
+             |> Seq.mapi (fun i f -> (i, f))
+             |> Seq.find_map (fun (i, f) ->
+                    match Logic.driver net f with
+                    | Logic.Const b -> Some (i, b)
+                    | _ -> None)
+           with
+          | Some (i, b) ->
+              let cof = Tt.cofactor !tt i b in
+              (* remove variable i *)
+              let n = Tt.arity cof in
+              let keep =
+                Array.of_list
+                  (List.filter (fun j -> j <> i) (List.init n (fun j -> j)))
+              in
+              tt := Tt.permute cof keep;
+              fanins :=
+                Array.of_list
+                  (List.filteri (fun j _ -> j <> i) (Array.to_list !fanins));
+              again := true;
+              changed := true
+          | None -> ());
+          (* merge duplicate fanins: substitute x_j := x_i *)
+          (let n = Tt.arity !tt in
+           let dup = ref None in
+           for i2 = 0 to n - 1 do
+             for j2 = i2 + 1 to n - 1 do
+               if !dup = None && !fanins.(i2) = !fanins.(j2) then
+                 dup := Some (i2, j2)
+             done
+           done;
+           match !dup with
+           | Some (i2, j2) ->
+               (* rebuild the table with variable j2 tied to i2 *)
+               let bits = ref 0 in
+               for row = 0 to (1 lsl n) - 1 do
+                 let vi = (row lsr i2) land 1 in
+                 let row' =
+                   if vi = 1 then row lor (1 lsl j2)
+                   else row land Stdlib.lnot (1 lsl j2)
+                 in
+                 if Tt.eval !tt row' then bits := !bits lor (1 lsl row)
+               done;
+               tt := Tt.create n !bits;
+               again := true;
+               changed := true
+           | None -> ());
+          (* prune fanins outside the true support *)
+          let sup = Tt.support !tt in
+          if List.length sup <> Tt.arity !tt then begin
+            let perm = Array.of_list sup in
+            tt := Tt.permute !tt perm;
+            fanins := Array.map (fun j -> !fanins.(j)) perm;
+            again := true;
+            changed := true
+          end
+        done;
+        if Tt.arity !tt = 0 then begin
+          Logic.set_driver net id (Logic.Const (Tt.is_const1 !tt));
+          changed := true
+        end
+        else Logic.set_driver net id (Logic.Gate { tt = !tt; fanins = !fanins })
+    | Logic.Input | Logic.Const _ | Logic.Latch _ -> ()
+  done;
+  !changed
+
+(* Collapse buffers: a gate computing identity of its single fanin is
+   replaced by its fanin everywhere.  Output signals keep their own node (a
+   named output may not disappear), unless the fanin itself can take over. *)
+let collapse_buffers (net : Logic.t) =
+  let changed = ref false in
+  let is_output id = List.mem id (Logic.outputs net) in
+  for id = 0 to Logic.signal_count net - 1 do
+    match Logic.driver net id with
+    | Logic.Gate { tt; fanins } when Tt.equal tt Tt.buf && not (is_output id) ->
+        if rewire net ~from_:id ~to_:fanins.(0) then changed := true
+    | _ -> ()
+  done;
+  !changed
+
+(* Structural hashing: identical (tt, fanins) gates are merged. *)
+let cse (net : Logic.t) =
+  let changed = ref false in
+  let seen = Hashtbl.create 64 in
+  let is_output id = List.mem id (Logic.outputs net) in
+  for id = 0 to Logic.signal_count net - 1 do
+    match Logic.driver net id with
+    | Logic.Gate { tt; fanins } ->
+        let key = (Tt.bits tt, Tt.arity tt, Array.to_list fanins) in
+        (match Hashtbl.find_opt seen key with
+        | Some prev when prev <> id && not (is_output id) ->
+            (* leave the duplicate dangling; the sweep removes it *)
+            if rewire net ~from_:id ~to_:prev then changed := true
+        | Some _ -> ()
+        | None -> Hashtbl.replace seen key id)
+    | _ -> ()
+  done;
+  !changed
+
+(* Rebuild the network without unreferenced signals. *)
+let garbage_collect (net : Logic.t) =
+  let live = Array.make (Logic.signal_count net) false in
+  let rec mark id =
+    if not live.(id) then begin
+      live.(id) <- true;
+      List.iter mark (Logic.fanins net id)
+    end
+  in
+  List.iter mark (Logic.outputs net);
+  (* keep all primary inputs: they are part of the interface *)
+  List.iter (fun id -> live.(id) <- true) (Logic.inputs net);
+  (* latches feeding only latches must stay reachable through outputs; any
+     latch not reachable is dead state and goes away with its cone *)
+  let fresh = Logic.create ~model:net.Logic.model () in
+  fresh.Logic.clock <- net.Logic.clock;
+  let map = Array.make (Logic.signal_count net) (-1) in
+  (* create signals in topological order so fanins exist first; latches get
+     placeholders resolved afterwards *)
+  let order = Logic.topo_order net in
+  List.iter
+    (fun id ->
+      if live.(id) then
+        let nm = Logic.name net id in
+        match Logic.driver net id with
+        | Logic.Input -> map.(id) <- Logic.add_input fresh nm
+        | Logic.Const b -> map.(id) <- Logic.add_const fresh nm b
+        | Logic.Latch _ -> map.(id) <- Logic.add_input fresh nm (* placeholder *)
+        | Logic.Gate { tt; fanins } ->
+            map.(id) <-
+              Logic.add_gate fresh nm tt (Array.map (fun f -> map.(f)) fanins))
+    order;
+  (* resolve latches *)
+  List.iter
+    (fun id ->
+      if live.(id) then
+        match Logic.driver net id with
+        | Logic.Latch { data; init } ->
+            Logic.set_driver fresh map.(id)
+              (Logic.Latch { data = map.(data); init })
+        | _ -> ())
+    order;
+  List.iter (fun o -> Logic.set_output fresh map.(o)) (Logic.outputs net);
+  fresh
+
+(* Full optimisation to a fixed point. *)
+let optimize (net : Logic.t) =
+  let continue_ = ref true in
+  while !continue_ do
+    let a = simplify_round net in
+    let b = collapse_buffers net in
+    let c = cse net in
+    continue_ := a || b || c
+  done;
+  garbage_collect net

@@ -1,0 +1,25 @@
+(** Technology-independent netlist optimisation (the SIS-style cleanup
+    DIVINER runs before writing EDIF, and the mapper runs again before
+    LUT mapping).
+
+    Passes: constant propagation, duplicate-fanin merging, non-support
+    fanin pruning, buffer collapsing, structural CSE and dead-node
+    sweeping.  All passes preserve circuit function (property-tested). *)
+
+val rewire : Netlist.Logic.t -> from_:int -> to_:int -> bool
+(** Redirect every reference of one signal to another; returns whether
+    anything actually moved. *)
+
+val simplify_round : Netlist.Logic.t -> bool
+(** One local-simplification sweep (in place); true if anything changed. *)
+
+val collapse_buffers : Netlist.Logic.t -> bool
+
+val cse : Netlist.Logic.t -> bool
+
+val garbage_collect : Netlist.Logic.t -> Netlist.Logic.t
+(** Rebuild without unreferenced signals (primary inputs are kept). *)
+
+val optimize : Netlist.Logic.t -> Netlist.Logic.t
+(** Iterate all passes to a fixed point, then garbage-collect.  The input
+    network is mutated; the returned network is fresh. *)

@@ -1,0 +1,1 @@
+lib/techmap/decompose.ml: Array Hashtbl List Logic Netlist Synth Tt

@@ -1,0 +1,1 @@
+lib/techmap/flowmap.ml: Array Hashtbl List Logic Netlist Queue Synth Tt

@@ -1,0 +1,1 @@
+lib/techmap/flowmap.mli: Netlist

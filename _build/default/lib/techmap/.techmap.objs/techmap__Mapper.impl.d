@@ -1,0 +1,1 @@
+lib/techmap/mapper.ml: Blif Decompose Flowmap Logic Netlist Simcheck Synth

@@ -1,0 +1,1 @@
+lib/techmap/simcheck.ml: Hashtbl List Logic Netlist Util

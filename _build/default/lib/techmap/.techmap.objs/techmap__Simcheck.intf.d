@@ -1,0 +1,1 @@
+lib/techmap/simcheck.mli: Netlist

@@ -1,0 +1,75 @@
+(* Decomposition into two-bounded networks (every gate has at most two
+   fanins) — the canonical starting point for FlowMap, standing in for
+   SIS's technology decomposition. *)
+
+open Netlist
+
+(* Shannon expansion of a gate node into 2-input gates:
+   f = (x AND f1) OR (NOT x AND f0). *)
+let decompose2 (net : Logic.t) =
+  let and2 = Tt.and_n 2 in
+  let or2 = Tt.or_n 2 in
+  (* x AND NOT y as a 2-input table: depends on var order (x = input 0) *)
+  let and_not = Tt.land_ (Tt.var 2 0) (Tt.lnot (Tt.var 2 1)) in
+  let memo = Hashtbl.create 64 in
+  let rec build tt fanins =
+    let key = (Tt.bits tt, Tt.arity tt, Array.to_list fanins) in
+    match Hashtbl.find_opt memo key with
+    | Some id -> id
+    | None ->
+        let id =
+          if Tt.arity tt <= 2 then
+            if Tt.is_const0 tt then
+              Logic.add_const net (Logic.fresh_name net "c0") false
+            else if Tt.is_const1 tt then
+              Logic.add_const net (Logic.fresh_name net "c1") true
+            else Logic.add_gate net (Logic.fresh_name net "d") tt fanins
+          else begin
+            let i = Tt.arity tt - 1 in
+            let sub value =
+              let cof = Tt.cofactor tt i value in
+              let cof, sup = Tt.compact cof in
+              build cof (Array.of_list (List.map (fun j -> fanins.(j)) sup))
+            in
+            let f1 = sub true and f0 = sub false in
+            let a = Logic.add_gate net (Logic.fresh_name net "d") and2
+                [| fanins.(i); f1 |] in
+            let b = Logic.add_gate net (Logic.fresh_name net "d") and_not
+                [| f0; fanins.(i) |] in
+            Logic.add_gate net (Logic.fresh_name net "d") or2 [| a; b |]
+          end
+        in
+        Hashtbl.replace memo key id;
+        id
+  in
+  for id = 0 to Logic.signal_count net - 1 do
+    match Logic.driver net id with
+    | Logic.Gate { tt; fanins } when Tt.arity tt > 2 ->
+        let i = Tt.arity tt - 1 in
+        let sub value =
+          let cof = Tt.cofactor tt i value in
+          let cof, sup = Tt.compact cof in
+          build cof (Array.of_list (List.map (fun j -> fanins.(j)) sup))
+        in
+        let f1 = sub true and f0 = sub false in
+        let a =
+          Logic.add_gate net (Logic.fresh_name net "d") and2 [| fanins.(i); f1 |]
+        in
+        let b =
+          Logic.add_gate net (Logic.fresh_name net "d") and_not
+            [| f0; fanins.(i) |]
+        in
+        Logic.set_driver net id (Logic.Gate { tt = or2; fanins = [| a; b |] })
+    | _ -> ()
+  done;
+  Synth.Opt.garbage_collect net
+
+(* Verify the two-bounded invariant (used by tests and as a FlowMap
+   precondition). *)
+let is_two_bounded (net : Logic.t) =
+  List.for_all
+    (fun id ->
+      match Logic.driver net id with
+      | Logic.Gate { fanins; _ } -> Array.length fanins <= 2
+      | _ -> true)
+    (List.init (Logic.signal_count net) (fun i -> i))

@@ -1,0 +1,9 @@
+(** Decomposition into two-bounded networks (every gate has at most two
+    fanins) — the canonical starting point for FlowMap, standing in for
+    SIS's technology decomposition. *)
+
+val decompose2 : Netlist.Logic.t -> Netlist.Logic.t
+(** Shannon-expand wide gates into 2-input gates.  The input network is
+    mutated; the returned network is fresh and function-equivalent. *)
+
+val is_two_bounded : Netlist.Logic.t -> bool

@@ -1,0 +1,21 @@
+(** The SIS stage of the flow: BLIF in, K-LUT BLIF out.
+
+    optimise -> decompose to two-bounded -> FlowMap -> verify by random
+    simulation against the input network. *)
+
+exception Mapping_changed_function
+(** Raised when verification detects a functional difference (a mapper
+    bug guard; never expected on healthy inputs). *)
+
+type report = {
+  before : Netlist.Logic.stats;
+  after : Netlist.Logic.stats;
+  k : int;
+  predicted_depth : int;
+}
+
+val map_network :
+  ?k:int -> ?verify:bool -> Netlist.Logic.t -> Netlist.Logic.t * report
+(** The input network is left intact (verification uses a pristine copy). *)
+
+val map_blif : ?k:int -> ?verify:bool -> string -> string * report

@@ -1,0 +1,74 @@
+(* Dense LU factorisation with partial pivoting.
+
+   Circuit matrices in this project are small (tens to a few hundred
+   unknowns), so a dense O(n^3) solver is simpler and fast enough; sparsity
+   is not worth the bookkeeping at this scale. *)
+
+exception Singular of int
+(** Raised with the pivot column when a pivot is (numerically) zero. *)
+
+type t = {
+  n : int;
+  lu : float array array; (* combined L (unit diagonal) and U factors *)
+  perm : int array;       (* row permutation applied to right-hand sides *)
+}
+
+let eps = 1e-16
+
+(* Factor [a] in place (a copy is taken; the caller's matrix is preserved). *)
+let factor a =
+  let n = Array.length a in
+  let lu = Array.map Array.copy a in
+  let perm = Array.init n (fun i -> i) in
+  for k = 0 to n - 1 do
+    (* partial pivoting: pick the largest magnitude in column k *)
+    let piv = ref k in
+    for i = k + 1 to n - 1 do
+      if Float.abs lu.(i).(k) > Float.abs lu.(!piv).(k) then piv := i
+    done;
+    if !piv <> k then begin
+      let tmp = lu.(k) in
+      lu.(k) <- lu.(!piv);
+      lu.(!piv) <- tmp;
+      let tp = perm.(k) in
+      perm.(k) <- perm.(!piv);
+      perm.(!piv) <- tp
+    end;
+    let pivot = lu.(k).(k) in
+    if Float.abs pivot < eps then raise (Singular k);
+    for i = k + 1 to n - 1 do
+      let f = lu.(i).(k) /. pivot in
+      lu.(i).(k) <- f;
+      if f <> 0.0 then
+        for j = k + 1 to n - 1 do
+          lu.(i).(j) <- lu.(i).(j) -. (f *. lu.(k).(j))
+        done
+    done
+  done;
+  { n; lu; perm }
+
+(* Solve [t x = b] for one right-hand side. *)
+let solve t b =
+  let n = t.n in
+  if Array.length b <> n then invalid_arg "Lu.solve: dimension mismatch";
+  let x = Array.make n 0.0 in
+  (* forward substitution on the permuted RHS *)
+  for i = 0 to n - 1 do
+    let s = ref b.(t.perm.(i)) in
+    for j = 0 to i - 1 do
+      s := !s -. (t.lu.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !s
+  done;
+  (* back substitution *)
+  for i = n - 1 downto 0 do
+    let s = ref x.(i) in
+    for j = i + 1 to n - 1 do
+      s := !s -. (t.lu.(i).(j) *. x.(j))
+    done;
+    x.(i) <- !s /. t.lu.(i).(i)
+  done;
+  x
+
+(* One-shot convenience: factor then solve. *)
+let solve_system a b = solve (factor a) b

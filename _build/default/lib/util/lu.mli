@@ -1,0 +1,21 @@
+(** Dense LU factorisation with partial pivoting.
+
+    Circuit matrices in this project are small (tens to a few hundred
+    unknowns), so a dense O(n^3) solver is simpler and fast enough. *)
+
+exception Singular of int
+(** Raised with the pivot column index when a pivot is numerically zero. *)
+
+type t
+(** A factorisation, reusable across right-hand sides. *)
+
+val factor : float array array -> t
+(** Factor a square matrix (copied; the argument is preserved).
+    @raise Singular on a (numerically) singular matrix. *)
+
+val solve : t -> float array -> float array
+(** [solve lu b] returns [x] with [A x = b].
+    @raise Invalid_argument on dimension mismatch. *)
+
+val solve_system : float array array -> float array -> float array
+(** One-shot [factor] + [solve]. *)

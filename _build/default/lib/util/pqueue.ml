@@ -1,0 +1,78 @@
+(* Binary-heap priority queue with float priorities (min-heap).
+
+   Used by the PathFinder router (Dijkstra wavefront) and FlowMap.  Stale
+   entries are handled by the caller (decrease-key is emulated by
+   re-insertion, the standard trick for Dijkstra). *)
+
+type 'a t = {
+  mutable prio : float array;
+  mutable data : 'a array;
+  mutable size : int;
+}
+
+let create () = { prio = [||]; data = [||]; size = 0 }
+
+let length t = t.size
+
+let is_empty t = t.size = 0
+
+let clear t = t.size <- 0
+
+let grow t x =
+  let cap = Array.length t.prio in
+  let ncap = if cap = 0 then 16 else 2 * cap in
+  let np = Array.make ncap 0.0 and nd = Array.make ncap x in
+  Array.blit t.prio 0 np 0 t.size;
+  Array.blit t.data 0 nd 0 t.size;
+  t.prio <- np;
+  t.data <- nd
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.prio.(i) < t.prio.(parent) then begin
+      let p = t.prio.(i) and d = t.data.(i) in
+      t.prio.(i) <- t.prio.(parent);
+      t.data.(i) <- t.data.(parent);
+      t.prio.(parent) <- p;
+      t.data.(parent) <- d;
+      sift_up t parent
+    end
+  end
+
+let push t prio x =
+  if t.size >= Array.length t.prio then grow t x;
+  t.prio.(t.size) <- prio;
+  t.data.(t.size) <- x;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && t.prio.(l) < t.prio.(!smallest) then smallest := l;
+  if r < t.size && t.prio.(r) < t.prio.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    let p = t.prio.(i) and d = t.data.(i) in
+    t.prio.(i) <- t.prio.(!smallest);
+    t.data.(i) <- t.data.(!smallest);
+    t.prio.(!smallest) <- p;
+    t.data.(!smallest) <- d;
+    sift_down t !smallest
+  end
+
+(* Remove and return the minimum-priority element with its priority. *)
+let pop t =
+  if t.size = 0 then raise Not_found;
+  let p = t.prio.(0) and x = t.data.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.prio.(0) <- t.prio.(t.size);
+    t.data.(0) <- t.data.(t.size);
+    sift_down t 0
+  end;
+  (p, x)
+
+let peek t =
+  if t.size = 0 then raise Not_found;
+  (t.prio.(0), t.data.(0))

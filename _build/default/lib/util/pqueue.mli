@@ -1,0 +1,27 @@
+(** Binary-heap priority queue with float priorities (min-heap).
+
+    Used by the PathFinder router's Dijkstra wavefront and by FlowMap.
+    Decrease-key is emulated by re-insertion (the standard Dijkstra trick);
+    stale entries are the caller's concern. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val clear : 'a t -> unit
+(** Remove every element (O(1); storage is retained). *)
+
+val push : 'a t -> float -> 'a -> unit
+(** [push q priority x] inserts [x]. *)
+
+val pop : 'a t -> float * 'a
+(** Remove and return the minimum-priority entry.
+    @raise Not_found when empty. *)
+
+val peek : 'a t -> float * 'a
+(** The minimum-priority entry without removing it.
+    @raise Not_found when empty. *)

@@ -1,0 +1,39 @@
+(** Deterministic splitmix64 pseudo-random number generator.
+
+    Every stochastic algorithm in the framework (simulated annealing,
+    random test vectors, workload generation) takes an explicit generator
+    so runs are reproducible and parallel instances never share state. *)
+
+type t
+(** Generator state (mutable). *)
+
+val create : int -> t
+(** [create seed] makes a generator; equal seeds give equal streams. *)
+
+val copy : t -> t
+(** Independent copy continuing from the current state. *)
+
+val next_int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** Uniform draw from [0, 1). *)
+
+val float_range : t -> float -> float -> float
+(** [float_range t lo hi] draws uniformly from [lo, hi). *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli t p] is true with probability [p]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array.
+    @raise Invalid_argument on an empty array. *)

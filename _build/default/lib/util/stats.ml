@@ -1,0 +1,47 @@
+(* Small descriptive-statistics helpers used by reports and benches. *)
+
+let mean a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.mean: empty";
+  Array.fold_left ( +. ) 0.0 a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n < 2 then 0.0
+  else begin
+    let m = mean a in
+    let s = Array.fold_left (fun acc x -> acc +. ((x -. m) ** 2.0)) 0.0 a in
+    s /. float_of_int (n - 1)
+  end
+
+let stddev a = sqrt (variance a)
+
+let min_max a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.min_max: empty";
+  let lo = ref a.(0) and hi = ref a.(0) in
+  for i = 1 to n - 1 do
+    if a.(i) < !lo then lo := a.(i);
+    if a.(i) > !hi then hi := a.(i)
+  done;
+  (!lo, !hi)
+
+(* Geometric mean; all entries must be positive. *)
+let geomean a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.geomean: empty";
+  let s =
+    Array.fold_left
+      (fun acc x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: non-positive entry";
+        acc +. log x)
+      0.0 a
+  in
+  exp (s /. float_of_int n)
+
+let median a =
+  let n = Array.length a in
+  if n = 0 then invalid_arg "Stats.median: empty";
+  let b = Array.copy a in
+  Array.sort compare b;
+  if n mod 2 = 1 then b.(n / 2) else (b.((n / 2) - 1) +. b.(n / 2)) /. 2.0

@@ -1,0 +1,17 @@
+(** Descriptive statistics for reports and benches.
+
+    All functions raise [Invalid_argument] on an empty array. *)
+
+val mean : float array -> float
+
+val variance : float array -> float
+(** Sample (n-1) variance; 0 for fewer than two points. *)
+
+val stddev : float array -> float
+
+val min_max : float array -> float * float
+
+val geomean : float array -> float
+(** Geometric mean; entries must be positive. *)
+
+val median : float array -> float

@@ -1,0 +1,59 @@
+(* ASCII table rendering for experiment reports.
+
+   All benches print their rows through this module so paper-table
+   reproductions share one look. *)
+
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    match align with
+    | Left -> s ^ String.make (width - n) ' '
+    | Right -> String.make (width - n) ' ' ^ s
+
+(* Render [header] and [rows] as an aligned table.  Numeric-looking cells are
+   right-aligned, everything else left-aligned. *)
+let render ?(indent = "") header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let cell r i = try List.nth r i with Failure _ -> "" in
+  let widths =
+    Array.init cols (fun i ->
+        List.fold_left (fun m r -> max m (String.length (cell r i))) 0 all)
+  in
+  let numeric s =
+    s <> ""
+    && String.for_all
+         (fun c ->
+           (c >= '0' && c <= '9')
+           || c = '.' || c = '-' || c = '+' || c = 'e' || c = 'E' || c = 'x'
+           || c = '%')
+         s
+  in
+  let line r =
+    let cells =
+      List.init cols (fun i ->
+          let s = cell r i in
+          let align = if numeric s then Right else Left in
+          pad align widths.(i) s)
+    in
+    indent ^ String.concat "  " cells
+  in
+  let sep =
+    indent
+    ^ String.concat "  "
+        (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  String.concat "\n" (line header :: sep :: List.map line rows)
+
+let print ?indent header rows =
+  print_endline (render ?indent header rows)
+
+(* Format helpers shared by the reports. *)
+let f2 x = Printf.sprintf "%.2f" x
+let f1 x = Printf.sprintf "%.1f" x
+let f3 x = Printf.sprintf "%.3f" x
+let g3 x = Printf.sprintf "%.3g" x
+let pct x = Printf.sprintf "%+.1f%%" (100.0 *. x)

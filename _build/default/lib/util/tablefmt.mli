@@ -1,0 +1,23 @@
+(** ASCII table rendering for experiment reports.
+
+    All benches print their rows through this module so paper-table
+    reproductions share one look: columns aligned, numeric-looking cells
+    right-aligned, a dash rule under the header. *)
+
+type align = Left | Right
+
+val pad : align -> int -> string -> string
+
+val render : ?indent:string -> string list -> string list list -> string
+(** [render header rows] lays out the table as a string. *)
+
+val print : ?indent:string -> string list -> string list list -> unit
+
+(** Formatting helpers shared by the reports: fixed-point with 1/2/3
+    decimals, 3 significant digits, and signed percentage. *)
+
+val f1 : float -> string
+val f2 : float -> string
+val f3 : float -> string
+val g3 : float -> string
+val pct : float -> string

@@ -1,0 +1,19 @@
+(** Union-find with path compression and union by rank.
+
+    Used for connectivity: routing verification and the bitstream fabric
+    model's electrical-net extraction. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton classes [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Representative of the class containing the element. *)
+
+val union : t -> int -> int -> unit
+
+val same : t -> int -> int -> bool
+
+val components : t -> int
+(** Number of distinct classes. *)

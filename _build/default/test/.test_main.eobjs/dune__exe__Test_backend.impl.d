@@ -1,0 +1,1 @@
+test/test_backend.ml: Alcotest Array Bitstream Bytes Char Core Float Fpga_arch Lazy List Logic Netlist Pack Place Power Printf Route Spice Synth Techmap Tt

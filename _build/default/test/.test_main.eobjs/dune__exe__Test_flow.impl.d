@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Bitstream Core Fpga_arch List Netlist Pack Place Power Printexc Synth Techmap

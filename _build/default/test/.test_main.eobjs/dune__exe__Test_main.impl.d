@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_backend Test_flow Test_netlist Test_properties Test_spice Test_synth Test_techmap Test_tools Test_util

@@ -1,0 +1,1 @@
+test/test_netlist.ml: Alcotest Blif Core Edif List Logic Netlist Printf QCheck QCheck_alcotest Qm Sexp Synth Techmap Tt Util Vhdl_ast Vhdl_parser

@@ -1,0 +1,1 @@
+test/test_properties.ml: Array Bitstream Blif Edif Float Fpga_arch List Logic Netlist Pack Place Printf QCheck QCheck_alcotest Qm Route String Techmap Tt Util

@@ -1,0 +1,1 @@
+test/test_spice.ml: Alcotest Array Circuit Clocking Detff Device Ff_bench Float Hashtbl List Measure Printf QCheck QCheck_alcotest Routing_exp Setff Spice Stdcell Tech Transient Waveform

@@ -1,0 +1,1 @@
+test/test_synth.ml: Alcotest Core Edif Gatelib Hashtbl List Logic Netlist Printf String Synth Techmap Tt Vhdl_parser

@@ -1,0 +1,1 @@
+test/test_techmap.ml: Alcotest Array Core List Logic Netlist Printf QCheck QCheck_alcotest Qm Synth Techmap Tt Util

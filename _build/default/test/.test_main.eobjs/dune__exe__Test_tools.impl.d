@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Core Hashtbl Lazy List Logic Netlist Printf Route Spice Str_helpers String Synth Vcd

@@ -1,0 +1,21 @@
+(* Tiny string helpers for the test suite (no Str library dependency). *)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    if i + nn > nh then false
+    else if String.sub haystack i nn = needle then true
+    else go (i + 1)
+  in
+  nn = 0 || go 0
+
+(* Split at the first occurrence of [sep]. *)
+let split_once haystack sep =
+  let nh = String.length haystack and ns = String.length sep in
+  let rec go i =
+    if i + ns > nh then None
+    else if String.sub haystack i ns = sep then
+      Some (String.sub haystack 0 i, String.sub haystack (i + ns) (nh - i - ns))
+    else go (i + 1)
+  in
+  go 0

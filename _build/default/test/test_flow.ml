@@ -1,0 +1,108 @@
+(* Integration tests: the complete VHDL-to-bitstream flow. *)
+
+let test_flow_counter () =
+  let r = Core.Flow.run_vhdl (Core.Bench_circuits.counter 8) in
+  Alcotest.(check bool) "bitstream verified" true r.Core.Flow.bitstream_verified;
+  Alcotest.(check bool) "has clusters" true (r.Core.Flow.n_clusters > 0);
+  Alcotest.(check bool) "power positive" true
+    (r.Core.Flow.power.Power.Model.total_w > 0.0);
+  Alcotest.(check bool) "all stages timed" true
+    (List.length r.Core.Flow.times >= 10)
+
+let test_flow_whole_suite () =
+  List.iter
+    (fun (name, vhdl) ->
+      match Core.Flow.run_vhdl vhdl with
+      | r ->
+          Alcotest.(check bool) (name ^ " verified") true
+            r.Core.Flow.bitstream_verified
+      | exception Core.Flow.Flow_error (stage, e) ->
+          Alcotest.failf "%s failed at %s: %s" name stage (Printexc.to_string e))
+    Core.Bench_circuits.suite
+
+let test_flow_mapped_matches_source () =
+  (* the mapped netlist at the end of the front end still behaves like the
+     original VHDL: synthesize twice, once straight and once via the flow *)
+  let vhdl = Core.Bench_circuits.gray_counter 8 in
+  let direct = Synth.Diviner.synthesize vhdl in
+  (* the flow's DRUID stage sanitises names (g[0] -> g_0_), so compare the
+     reference under the same renaming *)
+  let sanitized = Netlist.Edif.to_logic (Netlist.Edif.of_logic direct) in
+  let r = Core.Flow.run_vhdl vhdl in
+  Alcotest.(check bool) "flow result equivalent to direct synthesis" true
+    (Techmap.Simcheck.is_equivalent sanitized r.Core.Flow.mapped)
+
+let test_flow_error_reporting () =
+  match Core.Flow.run_vhdl "entity broken" with
+  | exception Core.Flow.Flow_error ("vhdl-parser", _) -> ()
+  | exception e -> Alcotest.failf "wrong error: %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "expected a parse failure"
+
+let test_flow_nondefault_architecture () =
+  let params =
+    Fpga_arch.Params.validate
+      {
+        Fpga_arch.Params.amdrel with
+        Fpga_arch.Params.n = 4;
+        i = Fpga_arch.Params.recommended_inputs ~k:4 ~n:4;
+        segment_length = 2;
+      }
+  in
+  let config = { Core.Flow.default_config with Core.Flow.params } in
+  let r = Core.Flow.run_vhdl ~config (Core.Bench_circuits.lfsr 12) in
+  Alcotest.(check bool) "verified on N=4/seg2" true r.Core.Flow.bitstream_verified
+
+let test_flow_timing_driven () =
+  let config = { Core.Flow.default_config with Core.Flow.timing_driven = true } in
+  let r = Core.Flow.run_vhdl ~config (Core.Bench_circuits.alu 8) in
+  Alcotest.(check bool) "td flow verified" true
+    (r.Core.Flow.bitstream_verified && r.Core.Flow.fabric_verified)
+
+let test_td_criticalities_bounded () =
+  let net = Synth.Diviner.synthesize (Core.Bench_circuits.accumulator 12) in
+  let mapped, _ = Techmap.Mapper.map_network ~k:4 ~verify:false net in
+  let packing = Pack.Cluster.pack ~n:5 ~i:12 mapped in
+  let problem = Place.Problem.build packing in
+  let pl = Place.Placement.initial problem in
+  let a =
+    Place.Td_timing.analyze problem ~coords:(Place.Placement.coords pl)
+  in
+  Alcotest.(check bool) "dmax positive" true (a.Place.Td_timing.dmax > 0.0);
+  Array.iter
+    (Array.iter (fun c ->
+         Alcotest.(check bool) "crit in [0,1]" true (c >= 0.0 && c <= 1.0)))
+    a.Place.Td_timing.criticality;
+  (* at least one connection is fully critical *)
+  Alcotest.(check bool) "a critical connection exists" true
+    (Array.exists (Array.exists (fun c -> c > 0.9)) a.Place.Td_timing.criticality)
+
+let test_td_placement_reports_dmax () =
+  let net = Synth.Diviner.synthesize (Core.Bench_circuits.counter 8) in
+  let mapped, _ = Techmap.Mapper.map_network ~k:4 ~verify:false net in
+  let packing = Pack.Cluster.pack ~n:5 ~i:12 mapped in
+  let problem = Place.Problem.build packing in
+  let r = Place.Anneal.run ~timing:Place.Anneal.default_timing problem in
+  (match r.Place.Anneal.estimated_dmax with
+  | Some d -> Alcotest.(check bool) "dmax sane" true (d > 0.0 && d < 100e-9)
+  | None -> Alcotest.fail "expected a dmax estimate");
+  Alcotest.(check bool) "still legal" true
+    (Place.Placement.legal r.Place.Anneal.placement)
+
+let test_flow_deterministic () =
+  let run () = Core.Flow.run_vhdl (Core.Bench_circuits.counter 8) in
+  let a = run () and b = run () in
+  Alcotest.(check string) "same bitstream" a.Core.Flow.bitstream.Bitstream.Dagger.bytes
+    b.Core.Flow.bitstream.Bitstream.Dagger.bytes
+
+let suite =
+  [
+    ("flow counter", `Quick, test_flow_counter);
+    ("flow whole suite", `Slow, test_flow_whole_suite);
+    ("flow equivalence", `Quick, test_flow_mapped_matches_source);
+    ("flow error reporting", `Quick, test_flow_error_reporting);
+    ("flow non-default architecture", `Quick, test_flow_nondefault_architecture);
+    ("flow timing-driven", `Quick, test_flow_timing_driven);
+    ("td criticalities bounded", `Quick, test_td_criticalities_bounded);
+    ("td placement reports dmax", `Quick, test_td_placement_reports_dmax);
+    ("flow deterministic", `Quick, test_flow_deterministic);
+  ]

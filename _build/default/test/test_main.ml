@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "amdrel"
+    [
+      ("util", Test_util.suite);
+      ("spice", Test_spice.suite);
+      ("netlist", Test_netlist.suite);
+      ("synth", Test_synth.suite);
+      ("techmap", Test_techmap.suite);
+      ("backend", Test_backend.suite);
+      ("tools", Test_tools.suite);
+      ("properties", Test_properties.suite);
+      ("flow", Test_flow.suite);
+    ]

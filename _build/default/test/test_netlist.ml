@@ -1,0 +1,364 @@
+(* Tests for truth tables, the logic IR, BLIF, EDIF and the VHDL parser. *)
+
+open Netlist
+
+(* ---------- Tt ---------- *)
+
+let tt_arb =
+  QCheck.make
+    ~print:(fun (n, bits) -> Printf.sprintf "Tt(%d, %x)" n bits)
+    QCheck.Gen.(
+      int_range 1 4 >>= fun n ->
+      int_bound ((1 lsl (1 lsl n)) - 1) >>= fun bits -> return (n, bits))
+
+let test_tt_consts () =
+  Alcotest.(check bool) "const0" true (Tt.is_const0 (Tt.const0 3));
+  Alcotest.(check bool) "const1" true (Tt.is_const1 (Tt.const1 3));
+  Alcotest.(check bool) "not const" false (Tt.is_const0 (Tt.var 3 1))
+
+let test_tt_var_eval () =
+  let v1 = Tt.var 3 1 in
+  Alcotest.(check bool) "var set" true (Tt.eval v1 0b010);
+  Alcotest.(check bool) "var clear" false (Tt.eval v1 0b101)
+
+let test_tt_gates () =
+  let a = Tt.and_n 2 in
+  Alcotest.(check bool) "11" true (Tt.eval a 3);
+  Alcotest.(check bool) "01" false (Tt.eval a 1);
+  let x = Tt.xor_n 2 in
+  Alcotest.(check bool) "xor 01" true (Tt.eval x 1);
+  Alcotest.(check bool) "xor 11" false (Tt.eval x 3);
+  let m = Tt.mux2 in
+  (* inputs (sel, a, b): sel ? a : b *)
+  Alcotest.(check bool) "mux sel=1 a=1" true (Tt.eval m 0b011);
+  Alcotest.(check bool) "mux sel=0 b=1" true (Tt.eval m 0b100);
+  Alcotest.(check bool) "mux sel=0 b=0" false (Tt.eval m 0b010)
+
+let prop_tt_demorgan =
+  QCheck.Test.make ~count:200 ~name:"Tt: De Morgan" (QCheck.pair tt_arb tt_arb)
+    (fun ((n1, b1), (n2, b2)) ->
+      let n = max n1 n2 in
+      let a = Tt.create n b1 and b = Tt.create n b2 in
+      Tt.equal (Tt.lnot (Tt.land_ a b)) (Tt.lor_ (Tt.lnot a) (Tt.lnot b)))
+
+let prop_tt_double_negation =
+  QCheck.Test.make ~count:200 ~name:"Tt: double negation" tt_arb
+    (fun (n, bits) ->
+      let t = Tt.create n bits in
+      Tt.equal t (Tt.lnot (Tt.lnot t)))
+
+let prop_tt_shannon =
+  QCheck.Test.make ~count:200 ~name:"Tt: Shannon expansion" tt_arb
+    (fun (n, bits) ->
+      let t = Tt.create n bits in
+      let i = 0 in
+      let f1 = Tt.cofactor t i true and f0 = Tt.cofactor t i false in
+      let x = Tt.var n i in
+      Tt.equal t (Tt.lor_ (Tt.land_ x f1) (Tt.land_ (Tt.lnot x) f0)))
+
+let prop_tt_cubes_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"Tt: to_cubes/of_cubes round trip" tt_arb
+    (fun (n, bits) ->
+      let t = Tt.create n bits in
+      Tt.equal t (Tt.of_cubes n (Tt.to_cubes t)))
+
+let prop_tt_compact_preserves =
+  QCheck.Test.make ~count:200 ~name:"Tt: compact preserves function" tt_arb
+    (fun (n, bits) ->
+      let t = Tt.create n bits in
+      let small, sup = Tt.compact t in
+      (* evaluate both on all assignments *)
+      List.for_all
+        (fun row ->
+          let small_row =
+            List.fold_left
+              (fun acc (j, i) ->
+                if (row lsr i) land 1 = 1 then acc lor (1 lsl j) else acc)
+              0
+              (List.mapi (fun j i -> (j, i)) sup)
+          in
+          Tt.eval t row = Tt.eval small small_row)
+        (List.init (1 lsl n) (fun r -> r)))
+
+let test_tt_support () =
+  (* f = x0 AND x2 over three vars: support {0, 2} *)
+  let f = Tt.land_ (Tt.var 3 0) (Tt.var 3 2) in
+  Alcotest.(check (list int)) "support" [ 0; 2 ] (Tt.support f)
+
+(* ---------- Logic ---------- *)
+
+let small_net () =
+  let net = Logic.create ~model:"t" () in
+  let a = Logic.add_input net "a" in
+  let b = Logic.add_input net "b" in
+  let g = Logic.add_gate net "g" (Tt.and_n 2) [| a; b |] in
+  let q = Logic.add_latch net "q" ~data:g ~init:false in
+  let o = Logic.add_gate net "o" Tt.inv [| q |] in
+  Logic.set_output net o;
+  net
+
+let test_logic_stats () =
+  let net = small_net () in
+  let s = Logic.stats net in
+  Alcotest.(check int) "inputs" 2 s.Logic.n_inputs;
+  Alcotest.(check int) "gates" 2 s.Logic.n_gates;
+  Alcotest.(check int) "latches" 1 s.Logic.n_latches;
+  Alcotest.(check int) "outputs" 1 s.Logic.n_outputs
+
+let test_logic_simulation () =
+  let net = small_net () in
+  let st = Logic.sim_init net in
+  let input_of = function "a" -> true | "b" -> true | _ -> false in
+  (* cycle 1: latch still 0, output = NOT 0 = 1 *)
+  Logic.sim_eval net st input_of;
+  let o = Logic.find_exn net "o" in
+  Alcotest.(check bool) "before edge" true (Logic.sim_value st o);
+  Logic.sim_step net st;
+  Logic.sim_eval net st input_of;
+  (* latch captured a AND b = 1; output = 0 *)
+  Alcotest.(check bool) "after edge" false (Logic.sim_value st o)
+
+let test_logic_cycle_detection () =
+  let net = Logic.create () in
+  let a = Logic.add_input net "a" in
+  let g1 = Logic.add_gate net "g1" (Tt.and_n 2) [| a; a |] in
+  let g2 = Logic.add_gate net "g2" (Tt.or_n 2) [| g1; g1 |] in
+  (* close a combinational loop *)
+  Logic.set_driver net g1 (Logic.Gate { tt = Tt.and_n 2; fanins = [| a; g2 |] });
+  Alcotest.check_raises "cycle" (Logic.Combinational_cycle "g1") (fun () ->
+      ignore (Logic.topo_order net))
+
+let test_logic_duplicate_name () =
+  let net = Logic.create () in
+  ignore (Logic.add_input net "x");
+  Alcotest.check_raises "duplicate" (Invalid_argument "Logic.add: duplicate x")
+    (fun () -> ignore (Logic.add_input net "x"))
+
+let test_vector_helpers () =
+  let net = Logic.create () in
+  let ids = List.init 4 (fun i -> Logic.add_input net (Printf.sprintf "v[%d]" i)) in
+  ignore ids;
+  let found = Logic.find_vector net "v" in
+  Alcotest.(check int) "four bits" 4 (List.length found);
+  Alcotest.(check (option int)) "sanitised form" (Some 2)
+    (Logic.vector_bit ~base:"v" "v_2_");
+  Alcotest.(check (option int)) "no match" None (Logic.vector_bit ~base:"v" "w[1]")
+
+(* ---------- Blif ---------- *)
+
+let counter_blif =
+  {|# a 2-bit counter
+.model c2
+.inputs en
+.outputs q0 q1
+.latch d0 q0 0
+.latch d1 q1 0
+.names en q0 d0
+10 1
+01 1
+.names en q0 q1 d1
+110 1
+011 1
+-01 1
+0-1 1
+.end
+|}
+
+let test_blif_parse () =
+  let net = Blif.of_string counter_blif in
+  let s = Logic.stats net in
+  Alcotest.(check int) "latches" 2 s.Logic.n_latches;
+  Alcotest.(check int) "gates" 2 s.Logic.n_gates;
+  Alcotest.(check int) "inputs" 1 s.Logic.n_inputs
+
+let test_blif_semantics () =
+  let net = Blif.of_string counter_blif in
+  (* count 3 enabled cycles: q goes 0,1,2,3 *)
+  let st = Logic.sim_init net in
+  let input_of = function "en" -> true | _ -> false in
+  for _ = 1 to 3 do
+    Logic.sim_eval net st input_of;
+    Logic.sim_step net st
+  done;
+  Logic.sim_eval net st input_of;
+  let q0 = Logic.sim_value st (Logic.find_exn net "q0") in
+  let q1 = Logic.sim_value st (Logic.find_exn net "q1") in
+  Alcotest.(check bool) "q0 after 3" true q0;
+  Alcotest.(check bool) "q1 after 3" true q1
+
+let test_blif_roundtrip () =
+  let net = Blif.of_string counter_blif in
+  let net2 = Blif.of_string (Blif.to_string net) in
+  Alcotest.(check bool) "equivalent" true
+    (Techmap.Simcheck.is_equivalent net net2)
+
+let test_blif_off_set () =
+  (* cover given in the off-set: q = NOT a *)
+  let net = Blif.of_string ".model m\n.inputs a\n.outputs q\n.names a q\n1 0\n.end\n" in
+  let out = Logic.simulate_comb net (fun _ -> true) in
+  Alcotest.(check (list (pair string bool))) "off-set" [ ("q", false) ] out
+
+let test_blif_errors () =
+  Alcotest.check_raises "bad directive" (Blif.Parse_error (2, "unsupported directive .bogus"))
+    (fun () -> ignore (Blif.of_string ".model m\n.bogus x\n.end\n"));
+  (match Blif.of_string ".model m\n.inputs a\n.outputs q\n.names a a q\n11 1\n.end\n" with
+  | exception Blif.Parse_error _ -> ()
+  | _net -> () (* duplicate fanins are legal *));
+  Alcotest.check_raises "redefine input"
+    (Blif.Parse_error (4, "a is a declared input")) (fun () ->
+      ignore (Blif.of_string ".model m\n.inputs a\n.outputs q\n.names q a\n1 1\n.end\n"))
+
+(* ---------- Sexp / Edif ---------- *)
+
+let test_sexp_roundtrip () =
+  let text = "(a (b c 12) (d (e \"f g\")) h)" in
+  let s = Sexp.of_string text in
+  let s2 = Sexp.of_string (Sexp.to_string s) in
+  Alcotest.(check bool) "round trip" true (s = s2)
+
+let test_sexp_errors () =
+  Alcotest.check_raises "unterminated" (Sexp.Parse_error (1, "unterminated list"))
+    (fun () -> ignore (Sexp.of_string "(a (b"));
+  Alcotest.check_raises "trailing" (Sexp.Parse_error (1, "trailing characters"))
+    (fun () -> ignore (Sexp.of_string "(a) b"))
+
+let test_edif_roundtrip_equivalence () =
+  let net = Blif.of_string counter_blif in
+  (* express in library gates first *)
+  let lib_net = Synth.Diviner.decompose_to_library (Synth.Opt.optimize net) in
+  let edif = Edif.of_logic lib_net in
+  let parsed = Edif.of_string (Edif.to_string edif) in
+  let back = Edif.to_logic parsed in
+  (* the reference must use the same (sanitised) interface names *)
+  let reference = Edif.to_logic edif in
+  Alcotest.(check bool) "function preserved" true
+    (Techmap.Simcheck.is_equivalent reference back)
+
+let test_edif_structure () =
+  let net = Blif.of_string counter_blif in
+  let lib_net = Synth.Diviner.decompose_to_library (Synth.Opt.optimize net) in
+  let edif = Edif.of_logic lib_net in
+  Alcotest.(check bool) "has instances" true (List.length edif.Edif.instances > 0);
+  Alcotest.(check bool) "has nets" true (List.length edif.Edif.nets > 0);
+  (* every net's portrefs reference declared instances or top ports *)
+  let inst_names =
+    List.map (fun (i : Edif.instance) -> i.Edif.inst_name) edif.Edif.instances
+  in
+  let port_names = List.map fst edif.Edif.ports in
+  List.iter
+    (fun (n : Edif.net) ->
+      List.iter
+        (fun (r : Edif.portref) ->
+          match r.Edif.instance with
+          | Some i ->
+              Alcotest.(check bool) "instance exists" true (List.mem i inst_names)
+          | None ->
+              Alcotest.(check bool) "port exists" true (List.mem r.Edif.port port_names))
+        n.Edif.joined)
+    edif.Edif.nets
+
+let test_druid_rejects_garbage () =
+  Alcotest.check_raises "not edif" (Edif.Invalid_edif "not an EDIF file")
+    (fun () -> ignore (Edif.of_string "(banana)"))
+
+(* ---------- VHDL parser ---------- *)
+
+let test_vhdl_ok () =
+  match Vhdl_parser.check (Core.Bench_circuits.counter 4) with
+  | Vhdl_parser.Ok d ->
+      Alcotest.(check string) "entity" "counter4"
+        d.Vhdl_ast.entity.Vhdl_ast.entity_name
+  | Vhdl_parser.Error (l, m) ->
+      Alcotest.failf "unexpected syntax error at %d: %s" l m
+
+let test_vhdl_error_reported () =
+  match Vhdl_parser.check "entity x is port ( a : in std_logic ; end x;" with
+  | Vhdl_parser.Error (_, _) -> ()
+  | Vhdl_parser.Ok _ -> Alcotest.fail "expected a syntax error"
+
+let test_vhdl_case_insensitive () =
+  let src =
+    "ENTITY t IS PORT ( A : IN STD_LOGIC; Y : OUT STD_LOGIC ); END t;\n\
+     ARCHITECTURE rtl OF t IS BEGIN Y <= NOT A; END rtl;"
+  in
+  match Vhdl_parser.check src with
+  | Vhdl_parser.Ok _ -> ()
+  | Vhdl_parser.Error (l, m) -> Alcotest.failf "line %d: %s" l m
+
+let test_vhdl_comments_and_context () =
+  let src =
+    "-- top comment\nlibrary ieee;\nuse ieee.std_logic_1164.all;\n\
+     entity t is port ( a : in std_logic; y : out std_logic ); end t;\n\
+     architecture rtl of t is begin\n  y <= a; -- passthrough\nend rtl;"
+  in
+  match Vhdl_parser.check src with
+  | Vhdl_parser.Ok _ -> ()
+  | Vhdl_parser.Error (l, m) -> Alcotest.failf "line %d: %s" l m
+
+let test_vhdl_all_suite_parses () =
+  List.iter
+    (fun (name, vhdl) ->
+      match Vhdl_parser.check vhdl with
+      | Vhdl_parser.Ok _ -> ()
+      | Vhdl_parser.Error (l, m) ->
+          Alcotest.failf "%s: line %d: %s" name l m)
+    Core.Bench_circuits.suite
+
+let test_qm_budget_fallback_correct () =
+  (* even when the search budget forces the greedy fallback, the cover is
+     correct; simulate by checking a batch of dense 5-var functions *)
+  let rng = Util.Prng.create 77 in
+  for _ = 1 to 50 do
+    let bits = Util.Prng.int rng max_int in
+    let tt = Tt.create 5 bits in
+    Alcotest.(check bool) "cover correct" true
+      (Tt.equal tt (Qm.cover_function 5 (Qm.min_cover tt)))
+  done
+
+let test_vhdl_relational_token_disambiguation () =
+  (* "<=" is assignment at statement level and less-equal inside an
+     expression; both in one line *)
+  let src =
+    "entity t is port ( a : in std_logic_vector(2 downto 0); y : out \
+     std_logic ); end t;\n\
+     architecture rtl of t is begin y <= '1' when a <= \"011\" else '0'; \
+     end rtl;"
+  in
+  match Vhdl_parser.check src with
+  | Vhdl_parser.Ok _ -> ()
+  | Vhdl_parser.Error (l, m) -> Alcotest.failf "line %d: %s" l m
+
+let suite =
+  [
+    ("tt consts", `Quick, test_tt_consts);
+    ("tt var eval", `Quick, test_tt_var_eval);
+    ("tt gates", `Quick, test_tt_gates);
+    ("tt support", `Quick, test_tt_support);
+    ("logic stats", `Quick, test_logic_stats);
+    ("logic simulation", `Quick, test_logic_simulation);
+    ("logic cycle detection", `Quick, test_logic_cycle_detection);
+    ("logic duplicate name", `Quick, test_logic_duplicate_name);
+    ("vector helpers", `Quick, test_vector_helpers);
+    ("blif parse", `Quick, test_blif_parse);
+    ("blif semantics", `Quick, test_blif_semantics);
+    ("blif roundtrip", `Quick, test_blif_roundtrip);
+    ("blif off-set", `Quick, test_blif_off_set);
+    ("blif errors", `Quick, test_blif_errors);
+    ("sexp roundtrip", `Quick, test_sexp_roundtrip);
+    ("sexp errors", `Quick, test_sexp_errors);
+    ("edif roundtrip equivalence", `Quick, test_edif_roundtrip_equivalence);
+    ("edif structure", `Quick, test_edif_structure);
+    ("edif rejects garbage", `Quick, test_druid_rejects_garbage);
+    ("vhdl ok", `Quick, test_vhdl_ok);
+    ("vhdl error reported", `Quick, test_vhdl_error_reported);
+    ("vhdl case insensitive", `Quick, test_vhdl_case_insensitive);
+    ("vhdl comments and context", `Quick, test_vhdl_comments_and_context);
+    ("vhdl suite parses", `Quick, test_vhdl_all_suite_parses);
+    ("qm budget fallback correct", `Quick, test_qm_budget_fallback_correct);
+    ("vhdl <= disambiguation", `Quick, test_vhdl_relational_token_disambiguation);
+    QCheck_alcotest.to_alcotest prop_tt_demorgan;
+    QCheck_alcotest.to_alcotest prop_tt_double_negation;
+    QCheck_alcotest.to_alcotest prop_tt_shannon;
+    QCheck_alcotest.to_alcotest prop_tt_cubes_roundtrip;
+    QCheck_alcotest.to_alcotest prop_tt_compact_preserves;
+  ]

@@ -1,0 +1,166 @@
+(* Cross-cutting property tests: random circuits pushed through the
+   format round-trips and the flow's invariants. *)
+
+open Netlist
+
+(* Random sequential network generator (gates + latches). *)
+let random_seq_network rng ~n_inputs ~n_gates ~n_latches =
+  let net = Logic.create ~model:"prop" () in
+  let pool = ref [] in
+  for i = 0 to n_inputs - 1 do
+    pool := Logic.add_input net (Printf.sprintf "pi%d" i) :: !pool
+  done;
+  (* latch placeholders first so gates can read registers *)
+  let latch_ids =
+    List.init n_latches (fun i -> Logic.add_input net (Printf.sprintf "r%d" i))
+  in
+  pool := latch_ids @ !pool;
+  for g = 0 to n_gates - 1 do
+    let arity = 1 + Util.Prng.int rng (min 4 (List.length !pool)) in
+    let pool_arr = Array.of_list !pool in
+    let fanins = Array.init arity (fun _ -> Util.Prng.pick rng pool_arr) in
+    let bits = Util.Prng.int rng (1 lsl (1 lsl arity)) in
+    let id =
+      Logic.add_gate net (Printf.sprintf "g%d" g) (Tt.create arity bits) fanins
+    in
+    pool := id :: !pool
+  done;
+  let pool_arr = Array.of_list !pool in
+  (* resolve latches: data from anywhere *)
+  List.iter
+    (fun l ->
+      let data = Util.Prng.pick rng pool_arr in
+      Logic.set_driver net l
+        (Logic.Latch { data; init = Util.Prng.bool rng }))
+    latch_ids;
+  for _ = 0 to 3 do
+    Logic.set_output net (Util.Prng.pick rng pool_arr)
+  done;
+  net
+
+let seed_arb = QCheck.int_bound 100000
+
+let prop_blif_roundtrip_random =
+  QCheck.Test.make ~count:60 ~name:"BLIF round trip on random networks"
+    seed_arb
+    (fun seed ->
+      let rng = Util.Prng.create (seed + 11) in
+      let net = random_seq_network rng ~n_inputs:5 ~n_gates:12 ~n_latches:3 in
+      let net2 = Blif.of_string (Blif.to_string net) in
+      Techmap.Simcheck.is_equivalent net net2)
+
+let prop_blif_double_roundtrip_stable =
+  (* parsing assigns fresh ids in reference order, so statement order can
+     permute across a trip; the CONTENT must be a fixed point *)
+  QCheck.Test.make ~count:40
+    ~name:"BLIF content is a fixed point after one trip" seed_arb
+    (fun seed ->
+      let rng = Util.Prng.create (seed + 23) in
+      let net = random_seq_network rng ~n_inputs:4 ~n_gates:10 ~n_latches:2 in
+      let canon text =
+        String.split_on_char '\n' text |> List.sort compare
+      in
+      let once = Blif.to_string (Blif.of_string (Blif.to_string net)) in
+      let twice = Blif.to_string (Blif.of_string once) in
+      canon once = canon twice)
+
+let prop_netfile_roundtrip_random =
+  QCheck.Test.make ~count:40 ~name:"netfile round trip on random packings"
+    seed_arb
+    (fun seed ->
+      let rng = Util.Prng.create (seed + 31) in
+      let net = random_seq_network rng ~n_inputs:5 ~n_gates:15 ~n_latches:3 in
+      let mapped, _ = Techmap.Mapper.map_network ~k:4 ~verify:false net in
+      let p = Pack.Cluster.pack ~n:5 ~i:12 mapped in
+      let p2 = Pack.Netfile.of_string mapped (Pack.Netfile.to_string p) in
+      Pack.Cluster.check p2
+      && Pack.Cluster.ble_count p = Pack.Cluster.ble_count p2)
+
+let prop_fabric_equivalent_random =
+  QCheck.Test.make ~count:15 ~name:"fabric emulation equivalent on random circuits"
+    seed_arb
+    (fun seed ->
+      let rng = Util.Prng.create (seed + 41) in
+      let net = random_seq_network rng ~n_inputs:5 ~n_gates:15 ~n_latches:3 in
+      let mapped, _ = Techmap.Mapper.map_network ~k:4 ~verify:false net in
+      let packing = Pack.Cluster.pack ~n:5 ~i:12 mapped in
+      let problem = Place.Problem.build packing in
+      let anneal =
+        Place.Anneal.run
+          ~options:{ Place.Anneal.seed = seed + 1; inner_num = 0.3 }
+          problem
+      in
+      let routed =
+        Route.Router.route_min_width Fpga_arch.Params.amdrel
+          anneal.Place.Anneal.placement
+      in
+      let g = Bitstream.Dagger.generate routed in
+      Bitstream.Dagger.verify routed g.Bitstream.Dagger.bytes
+        = Bitstream.Dagger.Verified
+      && Bitstream.Dagger.verify_functional routed g.Bitstream.Dagger.bytes)
+
+let prop_anneal_cost_consistent =
+  QCheck.Test.make ~count:20 ~name:"annealer incremental cost = full recount"
+    seed_arb
+    (fun seed ->
+      let rng = Util.Prng.create (seed + 53) in
+      let net = random_seq_network rng ~n_inputs:6 ~n_gates:20 ~n_latches:4 in
+      let mapped, _ = Techmap.Mapper.map_network ~k:4 ~verify:false net in
+      let packing = Pack.Cluster.pack ~n:5 ~i:12 mapped in
+      let problem = Place.Problem.build packing in
+      let r =
+        Place.Anneal.run
+          ~options:{ Place.Anneal.seed = seed + 2; inner_num = 0.5 }
+          problem
+      in
+      Place.Placement.legal r.Place.Anneal.placement
+      && Float.abs
+           (Place.Placement.total_cost r.Place.Anneal.placement
+           -. r.Place.Anneal.final_cost)
+         < 0.01)
+
+let prop_archfile_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"architecture file round trip"
+    QCheck.(quad (int_range 2 5) (int_range 1 8) (int_range 1 4) (int_range 1 3))
+    (fun (k, n, seg, io_rat) ->
+      let p =
+        {
+          Fpga_arch.Params.amdrel with
+          Fpga_arch.Params.k;
+          n;
+          i = max k (Fpga_arch.Params.recommended_inputs ~k ~n);
+          segment_length = seg;
+          io_rat;
+        }
+      in
+      match Fpga_arch.Params.validate p with
+      | p ->
+          Fpga_arch.Archfile.of_string (Fpga_arch.Archfile.to_string p) = p
+      | exception Fpga_arch.Params.Invalid_params _ -> true)
+
+let prop_edif_sanitize_idempotent =
+  QCheck.Test.make ~count:200 ~name:"EDIF identifier sanitisation idempotent"
+    QCheck.(string_of_size (QCheck.Gen.int_range 1 20))
+    (fun s ->
+      let once = Edif.sanitize_ident s in
+      Edif.sanitize_ident once = once)
+
+let prop_qm_matches_greedy_function =
+  QCheck.Test.make ~count:200 ~name:"QM and greedy covers compute the same function"
+    QCheck.(pair (int_range 1 4) (int_bound 65535))
+    (fun (n, bits) ->
+      let tt = Tt.create n bits in
+      Tt.equal (Qm.cover_function n (Qm.min_cover tt))
+        (Tt.of_cubes n (Tt.to_cubes tt)))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_blif_roundtrip_random;
+    QCheck_alcotest.to_alcotest prop_blif_double_roundtrip_stable;
+    QCheck_alcotest.to_alcotest prop_netfile_roundtrip_random;
+    QCheck_alcotest.to_alcotest prop_fabric_equivalent_random;
+    QCheck_alcotest.to_alcotest prop_anneal_cost_consistent;
+    QCheck_alcotest.to_alcotest prop_archfile_roundtrip;
+    QCheck_alcotest.to_alcotest prop_edif_sanitize_idempotent;
+    QCheck_alcotest.to_alcotest prop_qm_matches_greedy_function;
+  ]

@@ -1,0 +1,424 @@
+(* Tests for the transistor-level circuit simulator.
+
+   The analytic checks pin the MNA/transient engine against closed-form RC
+   behaviour; the cell tests check logic levels and timing sanity of the
+   transistor-level standard cells; the DETFF tests verify dual-edge capture
+   functionally. *)
+
+open Spice
+
+let tech = Tech.stm018
+let vdd_v = tech.Tech.vdd
+
+(* ---------- analytic RC behaviour ---------- *)
+
+let rc_trace () =
+  let c = Circuit.create tech in
+  let a = Circuit.node c "a" and b = Circuit.node c "b" in
+  Circuit.vsource c "vs" ~pos:a ~neg:Circuit.gnd
+    (Waveform.pulse ~v1:1.0 ~delay:0.0 ~rise:1e-15 ~fall:1e-15 ~width:99e-9
+       ~period:200e-9 ());
+  Circuit.resistor c a b 1000.0;
+  Circuit.capacitor c b Circuit.gnd 1e-12;
+  Transient.run ~h:5e-12 ~t_stop:5e-9 ~probes:[ "b" ] c
+
+let test_rc_step_response () =
+  let tr = rc_trace () in
+  let w = Transient.probe tr "b" in
+  (* v(t) = 1 - exp(-t / 1ns); compare at several multiples of tau *)
+  List.iter
+    (fun tau_mult ->
+      let t = tau_mult *. 1e-9 in
+      let i = int_of_float (t /. 5e-12) in
+      let expected = 1.0 -. exp (-.tau_mult) in
+      Alcotest.(check (float 0.02))
+        (Printf.sprintf "v(%g tau)" tau_mult)
+        expected w.(i))
+    [ 0.5; 1.0; 2.0; 3.0 ]
+
+let test_rc_energy_conservation () =
+  (* the source must deliver ~C*V^2 for a full charge: half stored, half
+     dissipated in the resistor *)
+  let tr = rc_trace () in
+  let e = Measure.source_energy ~t0:0.0 ~t1:5e-9 tr "vs" in
+  Alcotest.(check (float 0.05)) "E = C*V^2" 1e-12 e
+
+let test_capacitor_divider () =
+  (* two capacitors in series from a step source: V_mid = C1/(C1+C2) * V *)
+  let c = Circuit.create tech in
+  let a = Circuit.node c "a" and m = Circuit.node c "m" in
+  Circuit.vsource c "vs" ~pos:a ~neg:Circuit.gnd
+    (Waveform.pulse ~v1:1.0 ~delay:0.1e-9 ~rise:10e-12 ~fall:10e-12
+       ~width:50e-9 ~period:100e-9 ());
+  Circuit.capacitor c a m 3e-12;
+  Circuit.capacitor c m Circuit.gnd 1e-12;
+  let tr = Transient.run ~h:5e-12 ~t_stop:2e-9 ~probes:[ "m" ] c in
+  let w = Transient.probe tr "m" in
+  Alcotest.(check (float 0.02)) "cap divider" 0.75 w.(Array.length w - 1)
+
+let test_resistor_divider_dc () =
+  let c = Circuit.create tech in
+  let a = Circuit.node c "a" and m = Circuit.node c "m" in
+  Circuit.vsource c "vs" ~pos:a ~neg:Circuit.gnd (Waveform.dc 2.0);
+  Circuit.resistor c a m 1000.0;
+  Circuit.resistor c m Circuit.gnd 3000.0;
+  let tr = Transient.run ~h:10e-12 ~t_stop:0.5e-9 ~probes:[ "m" ] c in
+  let w = Transient.probe tr "m" in
+  Alcotest.(check (float 0.01)) "R divider" 1.5 w.(0)
+
+let test_unknown_probe_rejected () =
+  let c = Circuit.create tech in
+  let a = Circuit.node c "a" in
+  Circuit.vsource c "vs" ~pos:a ~neg:Circuit.gnd (Waveform.dc 1.0);
+  Alcotest.check_raises "unknown probe"
+    (Invalid_argument "Transient.run: unknown probe node nosuch") (fun () ->
+      ignore (Transient.run ~h:1e-12 ~t_stop:1e-12 ~probes:[ "nosuch" ] c))
+
+(* ---------- device model ---------- *)
+
+let test_mosfet_cutoff () =
+  let m =
+    { Circuit.typ = Circuit.Nmos; d = 1; g = 2; s = 0;
+      w = tech.Tech.w_min; l = tech.Tech.l_min }
+  in
+  let e = Device.eval tech m 1.8 0.0 0.0 in
+  Alcotest.(check (float 1e-12)) "cutoff current" 0.0 e.Device.i
+
+let test_mosfet_saturation_positive () =
+  let m =
+    { Circuit.typ = Circuit.Nmos; d = 1; g = 2; s = 0;
+      w = tech.Tech.w_min; l = tech.Tech.l_min }
+  in
+  let e = Device.eval tech m 1.8 1.8 0.0 in
+  Alcotest.(check bool) "conducts" true (e.Device.i > 1e-5);
+  Alcotest.(check bool) "gm positive" true (e.Device.di_dvg > 0.0)
+
+let test_mosfet_symmetry () =
+  (* swapping drain and source must negate the current *)
+  let m =
+    { Circuit.typ = Circuit.Nmos; d = 1; g = 2; s = 3;
+      w = tech.Tech.w_min; l = tech.Tech.l_min }
+  in
+  let fwd = Device.eval tech m 1.0 1.8 0.2 in
+  let rev = Device.eval tech m 0.2 1.8 1.0 in
+  Alcotest.(check (float 1e-9)) "antisymmetric" (-.fwd.Device.i) rev.Device.i
+
+let test_pmos_mirrors_nmos () =
+  let n =
+    { Circuit.typ = Circuit.Nmos; d = 1; g = 2; s = 0;
+      w = tech.Tech.w_min; l = tech.Tech.l_min }
+  in
+  let p = { n with Circuit.typ = Circuit.Pmos } in
+  let t = { tech with kp_p = tech.kp_n; lambda_p = tech.lambda_n } in
+  let en = Device.eval t n 1.0 1.5 0.0 in
+  let ep = Device.eval t p (-1.0) (-1.5) 0.0 in
+  Alcotest.(check (float 1e-9)) "mirror" (-.en.Device.i) ep.Device.i
+
+let prop_mosfet_derivatives =
+  QCheck.Test.make ~count:200 ~name:"Device: analytic derivatives match finite differences"
+    QCheck.(triple (float_range 0.0 1.8) (float_range 0.0 1.8) (float_range 0.0 1.8))
+    (fun (vd, vg, vs) ->
+      let m =
+        { Circuit.typ = Circuit.Nmos; d = 1; g = 2; s = 3;
+          w = 3.0 *. tech.Tech.w_min; l = tech.Tech.l_min }
+      in
+      let dv = 1e-6 in
+      let e = Device.eval tech m vd vg vs in
+      let num_dd =
+        (Device.eval tech m (vd +. dv) vg vs).Device.i -. e.Device.i in
+      let num_dg =
+        (Device.eval tech m vd (vg +. dv) vs).Device.i -. e.Device.i in
+      let num_ds =
+        (Device.eval tech m vd vg (vs +. dv)).Device.i -. e.Device.i in
+      let close a b =
+        Float.abs (a -. b) < 1e-7 +. (0.05 *. Float.max (Float.abs a) (Float.abs b))
+      in
+      close (num_dd /. dv) e.Device.di_dvd
+      && close (num_dg /. dv) e.Device.di_dvg
+      && close (num_ds /. dv) e.Device.di_dvs)
+
+(* ---------- standard cells ---------- *)
+
+(* Build a cell testbench: input pulse, run, return (trace, out wave). *)
+let cell_bench build =
+  let c = Circuit.create tech in
+  let vdd = Circuit.vdd_rail c in
+  let input = Circuit.node c "in" in
+  Stdcell.driver c "vin" ~node:input
+    (Waveform.pulse ~v1:vdd_v ~delay:0.3e-9 ~rise:50e-12 ~fall:50e-12
+       ~width:0.95e-9 ~period:2e-9 ());
+  let out = Circuit.node c "out" in
+  build c ~vdd ~input ~out;
+  Circuit.capacitor c out Circuit.gnd 5e-15;
+  let tr = Transient.run ~h:1e-12 ~t_stop:2.5e-9 ~probes:[ "in"; "out" ] c in
+  (tr, Transient.probe tr "out")
+
+let sample w t = w.(int_of_float (t /. 1e-12))
+
+let test_inverter_levels () =
+  let _, out =
+    cell_bench (fun c ~vdd ~input ~out ->
+        Stdcell.inverter c ~vdd ~input ~output:out ())
+  in
+  Alcotest.(check (float 0.05)) "out high when in low" vdd_v (sample out 0.2e-9);
+  Alcotest.(check (float 0.05)) "out low when in high" 0.0 (sample out 1.0e-9);
+  Alcotest.(check (float 0.05)) "out recovers" vdd_v (sample out 2.2e-9)
+
+let test_nand2_truth () =
+  (* b tied high: nand acts as inverter; b tied low: output stuck high *)
+  List.iter
+    (fun (b_level, expect_mid) ->
+      let _, out =
+        cell_bench (fun c ~vdd ~input ~out ->
+            let b = Circuit.node c "b" in
+            Circuit.vsource c "vb" ~pos:b ~neg:Circuit.gnd (Waveform.dc b_level);
+            Stdcell.nand2 c ~vdd ~a:input ~b ~output:out ())
+      in
+      Alcotest.(check (float 0.05)) "mid value" expect_mid (sample out 1.0e-9))
+    [ (vdd_v, 0.0); (0.0, vdd_v) ]
+
+let test_nor2_truth () =
+  List.iter
+    (fun (b_level, expect_mid, expect_low_in) ->
+      let _, out =
+        cell_bench (fun c ~vdd ~input ~out ->
+            let b = Circuit.node c "b" in
+            Circuit.vsource c "vb" ~pos:b ~neg:Circuit.gnd (Waveform.dc b_level);
+            Stdcell.nor2 c ~vdd ~a:input ~b ~output:out ())
+      in
+      Alcotest.(check (float 0.05)) "in-high value" expect_mid (sample out 1.0e-9);
+      Alcotest.(check (float 0.05)) "in-low value" expect_low_in (sample out 0.2e-9))
+    [ (0.0, 0.0, vdd_v); (vdd_v, 0.0, 0.0) ]
+
+let test_tgate_passes_and_blocks () =
+  List.iter
+    (fun (en_level, expect_follow) ->
+      let _, out =
+        cell_bench (fun c ~vdd:_ ~input ~out ->
+            let en = Circuit.node c "en" and en_b = Circuit.node c "enb" in
+            Circuit.vsource c "ven" ~pos:en ~neg:Circuit.gnd (Waveform.dc en_level);
+            Circuit.vsource c "venb" ~pos:en_b ~neg:Circuit.gnd
+              (Waveform.dc (vdd_v -. en_level));
+            Stdcell.tgate c ~a:input ~b:out ~en ~en_b ())
+      in
+      if expect_follow then
+        Alcotest.(check (float 0.05)) "follows input" vdd_v (sample out 1.0e-9)
+      else
+        Alcotest.(check (float 0.2)) "blocked stays low" 0.0 (sample out 1.0e-9))
+    [ (vdd_v, true); (0.0, false) ]
+
+let test_c2mos_tristate () =
+  List.iter
+    (fun (en_level, inverts) ->
+      let _, out =
+        cell_bench (fun c ~vdd ~input ~out ->
+            let en = Circuit.node c "en" and en_b = Circuit.node c "enb" in
+            Circuit.vsource c "ven" ~pos:en ~neg:Circuit.gnd (Waveform.dc en_level);
+            Circuit.vsource c "venb" ~pos:en_b ~neg:Circuit.gnd
+              (Waveform.dc (vdd_v -. en_level));
+            Stdcell.c2mos_inverter c ~vdd ~input ~output:out ~en ~en_b ())
+      in
+      if inverts then begin
+        Alcotest.(check (float 0.05)) "inverts high" 0.0 (sample out 1.0e-9);
+        Alcotest.(check (float 0.05)) "inverts low" vdd_v (sample out 0.25e-9)
+      end
+      else
+        (* high-Z: output keeps its initial (DC) level all along *)
+        Alcotest.(check (float 0.2)) "floating held" (sample out 0.05e-9)
+          (sample out 2.0e-9))
+    [ (vdd_v, true); (0.0, false) ]
+
+let test_mux2 () =
+  let _, out =
+    cell_bench (fun c ~vdd ~input ~out ->
+        let b = Circuit.node c "b" in
+        Circuit.vsource c "vb" ~pos:b ~neg:Circuit.gnd (Waveform.dc vdd_v);
+        let sel = Circuit.node c "sel" and sel_b = Circuit.node c "selb" in
+        (* select the pulsing input *)
+        Circuit.vsource c "vsel" ~pos:sel ~neg:Circuit.gnd (Waveform.dc vdd_v);
+        Circuit.vsource c "vselb" ~pos:sel_b ~neg:Circuit.gnd (Waveform.dc 0.0);
+        Stdcell.mux2_tg c ~a:input ~b ~sel ~sel_b ~output:out ();
+        ignore vdd)
+  in
+  Alcotest.(check (float 0.1)) "mux passes selected" vdd_v (sample out 1.0e-9)
+
+let test_inverter_chain_parity () =
+  List.iter
+    (fun (n, expect_mid) ->
+      let _, out =
+        cell_bench (fun c ~vdd ~input ~out ->
+            let last = Stdcell.inverter_chain c ~vdd ~input ~n () in
+            (* tie the chain output to the probe node with a wire (0-ohm
+               equivalent: tiny resistor) *)
+            Circuit.resistor c last out 0.1)
+      in
+      Alcotest.(check (float 0.05)) "parity" expect_mid (sample out 1.2e-9))
+    [ (2, vdd_v); (3, 0.0) ]
+
+(* ---------- DETFF functional behaviour ---------- *)
+
+let detff_capture_test kind () =
+  let c, _ = Ff_bench.build kind in
+  let tr =
+    Transient.run ~h:1e-12 ~t_stop:Ff_bench.t_stop ~probes:[ "clk"; "d"; "q" ] c
+  in
+  let q = Transient.probe tr "q" and d = Transient.probe tr "d" in
+  (* after each clock edge during the toggle phase, q must equal the value d
+     held just before the edge: dual-edge capture *)
+  for k = 1 to 7 do
+    let edge = (float_of_int k *. 0.5e-9) +. 0.5e-9 in
+    let before = int_of_float ((edge -. 0.05e-9) /. 1e-12) in
+    let after = int_of_float ((edge +. 0.35e-9) /. 1e-12) in
+    Alcotest.(check (float 0.15))
+      (Printf.sprintf "edge %d captures D" k)
+      d.(before) q.(after)
+  done
+
+let test_table1_shape () =
+  (* coarse grid keeps the test fast; orderings must already hold *)
+  let results = Ff_bench.table1 ~h:2e-12 () in
+  Alcotest.(check int) "five flip-flops" 5 (List.length results);
+  List.iter
+    (fun (r : Ff_bench.result) ->
+      Alcotest.(check bool) "positive energy" true (r.energy_fj > 0.0);
+      Alcotest.(check bool) "sane delay" true
+        (r.delay_ps > 10.0 && r.delay_ps < 500.0))
+    results;
+  Alcotest.(check bool) "Llopis-1 lowest energy" true
+    (Ff_bench.llopis1_has_lowest_energy results);
+  let edp_min =
+    List.fold_left
+      (fun (best : Ff_bench.result) (r : Ff_bench.result) ->
+        if r.Ff_bench.edp < best.Ff_bench.edp then r else best)
+      (List.hd results) (List.tl results)
+  in
+  Alcotest.(check string) "Chung-2 lowest EDP" "chung2"
+    (Detff.short_name edp_min.kind)
+
+let test_gated_clock_saves_when_idle () =
+  (* the Table 2 headline: a clock-gated idle BLE burns far less energy *)
+  let rows = Clocking.table2 () in
+  match rows with
+  | [ single; en1; en0 ] ->
+      Alcotest.(check bool) "enable=0 saves > 50%" true
+        (en0.Clocking.energy_fj < 0.5 *. single.Clocking.energy_fj);
+      Alcotest.(check bool) "enable=1 costs a little" true
+        (en1.Clocking.energy_fj > single.Clocking.energy_fj
+        && en1.Clocking.energy_fj < 1.3 *. single.Clocking.energy_fj)
+  | _ -> Alcotest.fail "table2 must have three rows"
+
+let test_setff_functional () =
+  (* the SET baseline captures on rising edges only *)
+  let c = Circuit.create tech in
+  let vdd = Circuit.vdd_rail c in
+  let clk = Circuit.node c "clk" in
+  let d = Circuit.node c "d" in
+  Stdcell.driver c "vclk" ~node:clk
+    (Waveform.clock ~vdd:vdd_v ~period:1e-9 ~slew:50e-12 ~delay:0.5e-9);
+  (* data toggles every half clock cycle, like the Table-1 stimulus *)
+  Stdcell.driver c "vd" ~node:d
+    (Waveform.pulse ~v1:vdd_v ~delay:0.75e-9 ~rise:50e-12 ~fall:50e-12
+       ~width:(0.5e-9 -. 50e-12) ~period:1e-9 ());
+  let q = Setff.instantiate c ~vdd ~d ~clk in
+  Hashtbl.replace c.Circuit.names "q" q;
+  let tr = Transient.run ~h:1e-12 ~t_stop:4e-9 ~probes:[ "q"; "d" ] c in
+  let qw = Transient.probe tr "q" in
+  (* rising edges at 1.5ns, 2.5ns...: D just before 1.5 is low (toggled at
+     1.25 to 0? D rises at 0.75, falls at 1.25+0.05... sample D at edge-60ps
+     and compare Q 300ps after *)
+  let dw = Transient.probe tr "d" in
+  List.iter
+    (fun edge ->
+      let before = int_of_float ((edge -. 0.06e-9) /. 1e-12) in
+      let after = int_of_float ((edge +. 0.35e-9) /. 1e-12) in
+      Alcotest.(check (float 0.2))
+        (Printf.sprintf "rising edge at %.1f ns" (edge *. 1e9))
+        dw.(before) qw.(after))
+    [ 1.5e-9; 2.5e-9; 3.5e-9 ]
+
+let test_det_beats_set_when_idle () =
+  (* the platform's motivation: at low data activity the half-rate clock
+     of the DETFF wins *)
+  let p = Ff_bench.det_vs_set_point ~h:2e-12 ~activity:0.0 () in
+  Alcotest.(check bool) "DET cheaper when idle" true
+    (p.Ff_bench.det_energy_fj < p.Ff_bench.set_energy_fj)
+
+let test_routing_point_sanity () =
+  let p =
+    Routing_exp.measure ~h:10e-12 ~wire_length:4 ~width:10.0
+      ~config:Tech.Min_width_double_spacing ~style:Routing_exp.Pass_transistor ()
+  in
+  Alcotest.(check bool) "positive energy" true (p.Routing_exp.energy_j > 0.0);
+  Alcotest.(check bool) "positive delay" true (p.Routing_exp.delay_s > 0.0);
+  Alcotest.(check bool) "positive area" true (p.Routing_exp.area > 0.0)
+
+let test_routing_width_tradeoff () =
+  (* a wider switch must be faster and larger on the same track *)
+  let measure w =
+    Routing_exp.measure ~h:10e-12 ~wire_length:4 ~width:w
+      ~config:Tech.Min_width_min_spacing ~style:Routing_exp.Pass_transistor ()
+  in
+  let narrow = measure 2.0 and wide = measure 32.0 in
+  Alcotest.(check bool) "wide is faster" true
+    (wide.Routing_exp.delay_s < narrow.Routing_exp.delay_s);
+  Alcotest.(check bool) "wide is larger" true
+    (wide.Routing_exp.area > narrow.Routing_exp.area)
+
+let test_waveform_pulse () =
+  let w =
+    Waveform.pulse ~v1:1.8 ~delay:1e-9 ~rise:0.1e-9 ~fall:0.1e-9 ~width:0.4e-9
+      ~period:1e-9 ()
+  in
+  Alcotest.(check (float 1e-9)) "before delay" 0.0 (Waveform.value w 0.5e-9);
+  Alcotest.(check (float 1e-9)) "mid rise" 0.9 (Waveform.value w 1.05e-9);
+  Alcotest.(check (float 1e-9)) "plateau" 1.8 (Waveform.value w 1.3e-9);
+  Alcotest.(check (float 1e-9)) "fallen" 0.0 (Waveform.value w 1.8e-9);
+  Alcotest.(check (float 1e-9)) "periodic" 1.8 (Waveform.value w 2.3e-9)
+
+let test_waveform_pwl () =
+  let w = Waveform.pwl [ (0.0, 0.0); (1.0, 2.0); (3.0, 0.0) ] in
+  Alcotest.(check (float 1e-9)) "interp 1" 1.0 (Waveform.value w 0.5);
+  Alcotest.(check (float 1e-9)) "interp 2" 1.0 (Waveform.value w 2.0);
+  Alcotest.(check (float 1e-9)) "held" 0.0 (Waveform.value w 10.0)
+
+let test_measure_crossings () =
+  let times = Array.init 101 (fun i -> float_of_int i) in
+  let wave = Array.map (fun t -> sin (t /. 5.0)) times in
+  let ups = Measure.crossings ~edge:Measure.Rising ~threshold:0.0 times wave in
+  (* sin crosses zero upward at multiples of 10*pi ~ 31.4, 62.8, 94.2 *)
+  Alcotest.(check int) "three rising crossings" 3 (List.length ups)
+
+let suite =
+  [
+    ("rc step response", `Quick, test_rc_step_response);
+    ("rc energy conservation", `Quick, test_rc_energy_conservation);
+    ("capacitor divider", `Quick, test_capacitor_divider);
+    ("resistor divider dc", `Quick, test_resistor_divider_dc);
+    ("unknown probe rejected", `Quick, test_unknown_probe_rejected);
+    ("mosfet cutoff", `Quick, test_mosfet_cutoff);
+    ("mosfet saturation", `Quick, test_mosfet_saturation_positive);
+    ("mosfet symmetry", `Quick, test_mosfet_symmetry);
+    ("pmos mirrors nmos", `Quick, test_pmos_mirrors_nmos);
+    ("inverter levels", `Quick, test_inverter_levels);
+    ("nand2 truth", `Quick, test_nand2_truth);
+    ("nor2 truth", `Quick, test_nor2_truth);
+    ("tgate pass/block", `Quick, test_tgate_passes_and_blocks);
+    ("c2mos tristate", `Quick, test_c2mos_tristate);
+    ("mux2", `Quick, test_mux2);
+    ("inverter chain parity", `Quick, test_inverter_chain_parity);
+    ("waveform pulse", `Quick, test_waveform_pulse);
+    ("waveform pwl", `Quick, test_waveform_pwl);
+    ("measure crossings", `Quick, test_measure_crossings);
+    ("detff chung1 captures", `Slow, detff_capture_test Detff.Chung1);
+    ("detff chung2 captures", `Slow, detff_capture_test Detff.Chung2);
+    ("detff llopis1 captures", `Slow, detff_capture_test Detff.Llopis1);
+    ("detff llopis2 captures", `Slow, detff_capture_test Detff.Llopis2);
+    ("detff strollo captures", `Slow, detff_capture_test Detff.Strollo);
+    ("table1 shape", `Slow, test_table1_shape);
+    ("gated clock saves when idle", `Slow, test_gated_clock_saves_when_idle);
+    ("setff functional", `Slow, test_setff_functional);
+    ("det beats set when idle", `Slow, test_det_beats_set_when_idle);
+    ("routing point sanity", `Quick, test_routing_point_sanity);
+    ("routing width tradeoff", `Quick, test_routing_width_tradeoff);
+    QCheck_alcotest.to_alcotest prop_mosfet_derivatives;
+  ]

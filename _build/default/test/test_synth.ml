@@ -1,0 +1,518 @@
+(* Tests for elaboration, optimisation and the DIVINER/DRUID/E2FMT chain. *)
+
+open Netlist
+
+let simulate_sequence net ~inputs ~cycles ~read =
+  let st = Logic.sim_init net in
+  let tbl = Hashtbl.create 8 in
+  let input_of nm =
+    match Hashtbl.find_opt tbl nm with Some v -> v | None -> false
+  in
+  let out = ref [] in
+  for cycle = 0 to cycles - 1 do
+    List.iter (fun (nm, f) -> Hashtbl.replace tbl nm (f cycle)) inputs;
+    Logic.sim_eval net st input_of;
+    out := read net st :: !out;
+    Logic.sim_step net st
+  done;
+  List.rev !out
+
+(* ---------- elaboration semantics ---------- *)
+
+let test_counter_counts () =
+  let net = Synth.Diviner.synthesize (Core.Bench_circuits.counter 4) in
+  let values =
+    simulate_sequence net
+      ~inputs:[ ("rst", fun c -> c = 0); ("en", fun _ -> true) ]
+      ~cycles:6
+      ~read:(fun net st -> Logic.read_vector net st "q")
+  in
+  Alcotest.(check (list int)) "counting" [ 0; 0; 1; 2; 3; 4 ] values
+
+let test_counter_enable_holds () =
+  let net = Synth.Diviner.synthesize (Core.Bench_circuits.counter 4) in
+  let values =
+    simulate_sequence net
+      ~inputs:[ ("rst", fun c -> c = 0); ("en", fun c -> c < 3) ]
+      ~cycles:6
+      ~read:(fun net st -> Logic.read_vector net st "q")
+  in
+  (* enabled on cycles 1,2 only (cycle 0 resets) *)
+  Alcotest.(check (list int)) "hold" [ 0; 0; 1; 2; 2; 2 ] values
+
+let test_async_reset_dominates () =
+  let net = Synth.Diviner.synthesize (Core.Bench_circuits.counter 4) in
+  let values =
+    simulate_sequence net
+      ~inputs:[ ("rst", fun c -> c = 0 || c = 3); ("en", fun _ -> true) ]
+      ~cycles:6
+      ~read:(fun net st -> Logic.read_vector net st "q")
+  in
+  Alcotest.(check (list int)) "reset mid-run" [ 0; 0; 1; 2; 0; 1 ] values
+
+let test_adder_widths () =
+  let vhdl =
+    {|entity add3 is
+  port ( a : in std_logic_vector(2 downto 0);
+         b : in std_logic_vector(2 downto 0);
+         s : out std_logic_vector(2 downto 0) );
+end add3;
+architecture rtl of add3 is
+begin
+  s <= a + b;
+end rtl;|}
+  in
+  let net = Synth.Diviner.synthesize vhdl in
+  let tbl = Hashtbl.create 8 in
+  let input_of nm =
+    match Hashtbl.find_opt tbl nm with Some v -> v | None -> false
+  in
+  for a = 0 to 7 do
+    for b = 0 to 7 do
+      Logic.set_vector_inputs net tbl "a" 3 a;
+      Logic.set_vector_inputs net tbl "b" 3 b;
+      let st = Logic.sim_init net in
+      Logic.sim_eval net st input_of;
+      Alcotest.(check int)
+        (Printf.sprintf "%d+%d" a b)
+        ((a + b) land 7)
+        (Logic.read_vector net st "s")
+    done
+  done
+
+let test_subtraction () =
+  let vhdl =
+    {|entity sub4 is
+  port ( a : in std_logic_vector(3 downto 0);
+         b : in std_logic_vector(3 downto 0);
+         d : out std_logic_vector(3 downto 0) );
+end sub4;
+architecture rtl of sub4 is
+begin
+  d <= a - b;
+end rtl;|}
+  in
+  let net = Synth.Diviner.synthesize vhdl in
+  let tbl = Hashtbl.create 8 in
+  let input_of nm =
+    match Hashtbl.find_opt tbl nm with Some v -> v | None -> false
+  in
+  List.iter
+    (fun (a, b) ->
+      Logic.set_vector_inputs net tbl "a" 4 a;
+      Logic.set_vector_inputs net tbl "b" 4 b;
+      let st = Logic.sim_init net in
+      Logic.sim_eval net st input_of;
+      Alcotest.(check int)
+        (Printf.sprintf "%d-%d" a b)
+        ((a - b) land 15)
+        (Logic.read_vector net st "d"))
+    [ (5, 3); (3, 5); (15, 15); (0, 1); (8, 8) ]
+
+let test_concat_and_slice () =
+  let vhdl =
+    {|entity cs is
+  port ( a : in std_logic_vector(3 downto 0);
+         y : out std_logic_vector(3 downto 0) );
+end cs;
+architecture rtl of cs is
+begin
+  y <= a(1 downto 0) & a(3 downto 2);
+end rtl;|}
+  in
+  let net = Synth.Diviner.synthesize vhdl in
+  let tbl = Hashtbl.create 8 in
+  let input_of nm =
+    match Hashtbl.find_opt tbl nm with Some v -> v | None -> false
+  in
+  Logic.set_vector_inputs net tbl "a" 4 0b1001;
+  let st = Logic.sim_init net in
+  Logic.sim_eval net st input_of;
+  (* swap halves: 10|01 -> 01|10 *)
+  Alcotest.(check int) "swapped" 0b0110 (Logic.read_vector net st "y")
+
+let test_when_else_priority () =
+  let vhdl =
+    {|entity we is
+  port ( s1 : in std_logic;
+         s2 : in std_logic;
+         y : out std_logic_vector(1 downto 0) );
+end we;
+architecture rtl of we is
+begin
+  y <= "01" when s1 = '1' else "10" when s2 = '1' else "00";
+end rtl;|}
+  in
+  let net = Synth.Diviner.synthesize vhdl in
+  let eval s1 s2 =
+    let input_of = function "s1" -> s1 | "s2" -> s2 | _ -> false in
+    let st = Logic.sim_init net in
+    Logic.sim_eval net st input_of;
+    Logic.read_vector net st "y"
+  in
+  Alcotest.(check int) "s1 wins" 1 (eval true true);
+  Alcotest.(check int) "s2" 2 (eval false true);
+  Alcotest.(check int) "default" 0 (eval false false)
+
+let test_case_statement () =
+  let net = Synth.Diviner.synthesize (Core.Bench_circuits.decoder 3) in
+  let tbl = Hashtbl.create 8 in
+  let input_of nm =
+    match Hashtbl.find_opt tbl nm with Some v -> v | None -> false
+  in
+  for a = 0 to 7 do
+    Logic.set_vector_inputs net tbl "a" 3 a;
+    let st = Logic.sim_init net in
+    Logic.sim_eval net st input_of;
+    Alcotest.(check int) (Printf.sprintf "decode %d" a) (1 lsl a)
+      (Logic.read_vector net st "y")
+  done
+
+let test_sequential_overwrite_semantics () =
+  (* default assignment then conditional overwrite: the VHDL last-wins rule *)
+  let vhdl =
+    {|entity ow is
+  port ( a : in std_logic; b : in std_logic; y : out std_logic );
+end ow;
+architecture rtl of ow is
+begin
+  process(a, b) begin
+    y <= '0';
+    if a = '1' then
+      y <= b;
+    end if;
+  end process;
+end rtl;|}
+  in
+  let net = Synth.Diviner.synthesize vhdl in
+  let eval a b =
+    let input_of = function "a" -> a | "b" -> b | _ -> false in
+    List.assoc "y" (Logic.simulate_comb net input_of)
+  in
+  Alcotest.(check bool) "a=1 passes b" true (eval true true);
+  Alcotest.(check bool) "a=1 passes b=0" false (eval true false);
+  Alcotest.(check bool) "a=0 default" false (eval false true)
+
+let test_incomplete_comb_assignment_rejected () =
+  let vhdl =
+    {|entity bad is
+  port ( a : in std_logic; y : out std_logic );
+end bad;
+architecture rtl of bad is
+begin
+  process(a) begin
+    if a = '1' then
+      y <= '1';
+    end if;
+  end process;
+end rtl;|}
+  in
+  match Synth.Diviner.synthesize vhdl with
+  | exception Synth.Elaborate.Elab_error _ -> ()
+  | _ -> Alcotest.fail "expected an implicit-latch error"
+
+let test_multiple_drivers_rejected () =
+  let vhdl =
+    {|entity md is
+  port ( a : in std_logic; y : out std_logic );
+end md;
+architecture rtl of md is
+begin
+  y <= a;
+  y <= not a;
+end rtl;|}
+  in
+  match Synth.Diviner.synthesize vhdl with
+  | exception Synth.Elaborate.Elab_error _ -> ()
+  | _ -> Alcotest.fail "expected a multiple-driver error"
+
+let test_relational_operators () =
+  let vhdl =
+    {|entity cmp is
+  port ( a : in std_logic_vector(3 downto 0);
+         b : in std_logic_vector(3 downto 0);
+         lt : out std_logic; gt : out std_logic;
+         le : out std_logic; ge : out std_logic );
+end cmp;
+architecture rtl of cmp is
+begin
+  lt <= '1' when a < b else '0';
+  gt <= '1' when a > b else '0';
+  le <= '1' when a <= b else '0';
+  ge <= '1' when a >= b else '0';
+end rtl;|}
+  in
+  let net = Synth.Diviner.synthesize vhdl in
+  let tbl = Hashtbl.create 8 in
+  let input_of nm =
+    match Hashtbl.find_opt tbl nm with Some v -> v | None -> false
+  in
+  for a = 0 to 15 do
+    for b = 0 to 15 do
+      Logic.set_vector_inputs net tbl "a" 4 a;
+      Logic.set_vector_inputs net tbl "b" 4 b;
+      let st = Logic.sim_init net in
+      Logic.sim_eval net st input_of;
+      let g nm = Logic.sim_value st (Logic.find_exn net nm) in
+      Alcotest.(check bool) (Printf.sprintf "%d<%d" a b) (a < b) (g "lt");
+      Alcotest.(check bool) (Printf.sprintf "%d>%d" a b) (a > b) (g "gt");
+      Alcotest.(check bool) (Printf.sprintf "%d<=%d" a b) (a <= b) (g "le");
+      Alcotest.(check bool) (Printf.sprintf "%d>=%d" a b) (a >= b) (g "ge")
+    done
+  done
+
+let test_others_aggregate () =
+  let vhdl =
+    {|entity agg is
+  port ( sel : in std_logic; y : out std_logic_vector(7 downto 0) );
+end agg;
+architecture rtl of agg is
+begin
+  y <= (others => '1') when sel = '1' else (others => '0');
+end rtl;|}
+  in
+  let net = Synth.Diviner.synthesize vhdl in
+  let eval sel =
+    let input_of = function "sel" -> sel | _ -> false in
+    let st = Logic.sim_init net in
+    Logic.sim_eval net st input_of;
+    Logic.read_vector net st "y"
+  in
+  Alcotest.(check int) "all ones" 255 (eval true);
+  Alcotest.(check int) "all zeros" 0 (eval false)
+
+(* ---------- hierarchy ---------- *)
+
+let test_hierarchy_function () =
+  let net = Synth.Diviner.synthesize (Core.Bench_circuits.datapath 8) in
+  (* the datapath accumulates din every cycle *)
+  let tbl = Hashtbl.create 8 in
+  let input_of nm =
+    match Hashtbl.find_opt tbl nm with Some v -> v | None -> false
+  in
+  Hashtbl.replace tbl "rst" false;
+  Logic.set_vector_inputs net tbl "din" 8 7;
+  let st = Logic.sim_init net in
+  for _ = 1 to 3 do
+    Logic.sim_eval net st input_of;
+    Logic.sim_step net st
+  done;
+  Logic.sim_eval net st input_of;
+  Alcotest.(check int) "acc = 3 * 7" 21 (Logic.read_vector net st "acc")
+
+let test_hierarchy_positional_and_named () =
+  (* mixed association styles in the datapath generator already cover both;
+     verify the instance signal names carry the hierarchy prefix *)
+  let file = Vhdl_parser.file_of_string (Core.Bench_circuits.datapath 4) in
+  let top = List.nth file (List.length file - 1) in
+  let net = Synth.Elaborate.elaborate ~library:file top in
+  Alcotest.(check bool) "prefixed names exist" true
+    (List.exists
+       (fun id ->
+         let nm = Logic.name net id in
+         String.length nm > 6 && String.sub nm 0 6 = "u_reg/")
+       (List.init (Logic.signal_count net) (fun i -> i)))
+
+let test_hierarchy_unknown_entity () =
+  let src =
+    {|entity t is port ( a : in std_logic; y : out std_logic ); end t;
+architecture rtl of t is begin
+  u0 : nosuch port map ( a => a, y => y );
+end rtl;|}
+  in
+  match Synth.Diviner.synthesize src with
+  | exception Synth.Elaborate.Elab_error _ -> ()
+  | _ -> Alcotest.fail "expected unknown-entity error"
+
+let test_hierarchy_recursion_rejected () =
+  let src =
+    {|entity loopy is port ( a : in std_logic; y : out std_logic ); end loopy;
+architecture rtl of loopy is
+begin
+  u0 : loopy port map ( a => a, y => y );
+end rtl;|}
+  in
+  match Synth.Diviner.synthesize src with
+  | exception Synth.Elaborate.Elab_error _ -> ()
+  | _ -> Alcotest.fail "expected recursion error"
+
+let test_hierarchy_unconnected_input_rejected () =
+  let src =
+    {|entity inner is port ( a : in std_logic; y : out std_logic ); end inner;
+architecture rtl of inner is begin y <= not a; end rtl;
+entity outer is port ( x : in std_logic; z : out std_logic ); end outer;
+architecture rtl of outer is
+begin
+  u0 : inner port map ( y => z );
+end rtl;|}
+  in
+  match Synth.Diviner.synthesize src with
+  | exception Synth.Elaborate.Elab_error _ -> ()
+  | _ -> Alcotest.fail "expected unconnected-input error"
+
+let test_generate_structural_adder () =
+  let net = Synth.Diviner.synthesize (Core.Bench_circuits.gen_adder 6) in
+  let tbl = Hashtbl.create 8 in
+  let input_of nm =
+    match Hashtbl.find_opt tbl nm with Some v -> v | None -> false
+  in
+  for a = 0 to 63 do
+    for b = 0 to 63 do
+      Logic.set_vector_inputs net tbl "a" 6 a;
+      Logic.set_vector_inputs net tbl "b" 6 b;
+      let st = Logic.sim_init net in
+      Logic.sim_eval net st input_of;
+      Alcotest.(check int)
+        (Printf.sprintf "%d+%d sum" a b)
+        ((a + b) land 63)
+        (Logic.read_vector net st "s");
+      Alcotest.(check bool)
+        (Printf.sprintf "%d+%d carry" a b)
+        (a + b > 63)
+        (Logic.sim_value st (Logic.find_exn net "cout"))
+    done
+  done
+
+let test_generate_variable_scoping () =
+  (* a generate variable must not leak outside its loop *)
+  let src =
+    {|entity gs is port ( a : in std_logic_vector(3 downto 0);
+                          y : out std_logic_vector(3 downto 0) ); end gs;
+architecture rtl of gs is
+begin
+  g : for i in 0 to 3 generate
+    y(i) <= not a(i);
+  end generate;
+end rtl;|}
+  in
+  let net = Synth.Diviner.synthesize src in
+  let tbl = Hashtbl.create 4 in
+  Logic.set_vector_inputs net tbl "a" 4 0b1010;
+  let input_of nm =
+    match Hashtbl.find_opt tbl nm with Some v -> v | None -> false
+  in
+  let st = Logic.sim_init net in
+  Logic.sim_eval net st input_of;
+  Alcotest.(check int) "bitwise not" 0b0101 (Logic.read_vector net st "y")
+
+let test_generate_bad_range_rejected () =
+  let src =
+    {|entity gb is port ( a : in std_logic; y : out std_logic ); end gb;
+architecture rtl of gb is
+  signal v : std_logic_vector(1 downto 0);
+begin
+  g : for i in 0 to 5 generate
+    v(i) <= a;
+  end generate;
+  y <= v(0);
+end rtl;|}
+  in
+  match Synth.Diviner.synthesize src with
+  | exception Synth.Elaborate.Elab_error _ -> ()
+  | _ -> Alcotest.fail "expected an out-of-range error"
+
+(* ---------- optimisation ---------- *)
+
+let test_opt_preserves_function () =
+  List.iter
+    (fun (name, vhdl) ->
+      let file = Vhdl_parser.file_of_string vhdl in
+      let design = List.nth file (List.length file - 1) in
+      let raw = Synth.Elaborate.elaborate ~library:file design in
+      let reference = Logic.copy raw in
+      let opt = Synth.Opt.optimize raw in
+      Alcotest.(check bool) (name ^ " equivalent") true
+        (Techmap.Simcheck.is_equivalent reference opt))
+    Core.Bench_circuits.suite
+
+let test_opt_removes_constants () =
+  let net = Logic.create () in
+  let a = Logic.add_input net "a" in
+  let c1 = Logic.add_const net "one" true in
+  let g = Logic.add_gate net "g" (Tt.and_n 2) [| a; c1 |] in
+  Logic.set_output net g;
+  let opt = Synth.Opt.optimize net in
+  (* a AND 1 = a: output must be a buffer of the input (or the input) *)
+  Alcotest.(check bool) "no const left" true
+    (List.for_all
+       (fun id ->
+         match Logic.driver opt id with Logic.Const _ -> false | _ -> true)
+       (List.init (Logic.signal_count opt) (fun i -> i)))
+
+let test_opt_cse () =
+  let net = Logic.create () in
+  let a = Logic.add_input net "a" in
+  let b = Logic.add_input net "b" in
+  let g1 = Logic.add_gate net "g1" (Tt.and_n 2) [| a; b |] in
+  let g2 = Logic.add_gate net "g2" (Tt.and_n 2) [| a; b |] in
+  let o = Logic.add_gate net "o" (Tt.xor_n 2) [| g1; g2 |] in
+  Logic.set_output net o;
+  let opt = Synth.Opt.optimize net in
+  (* XOR of identical signals = 0: the whole cone collapses *)
+  let out = List.hd (Logic.outputs opt) in
+  match Logic.driver opt out with
+  | Logic.Const false -> ()
+  | _ ->
+      (* at minimum both ANDs must have merged *)
+      Alcotest.(check bool) "gates reduced" true
+        (List.length (Logic.gates opt) <= 1)
+
+let test_decompose_library_only () =
+  List.iter
+    (fun (name, vhdl) ->
+      let net = Synth.Diviner.synthesize vhdl in
+      List.iter
+        (fun g ->
+          match Logic.driver net g with
+          | Logic.Gate { tt; _ } ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: %s is a library gate" name (Logic.name net g))
+                true
+                (Gatelib.of_tt tt <> None)
+          | _ -> ())
+        (Logic.gates net))
+    Core.Bench_circuits.quick_suite
+
+let test_full_front_end_equivalence () =
+  (* VHDL -> DIVINER -> EDIF -> DRUID -> E2FMT preserves function *)
+  List.iter
+    (fun (name, vhdl) ->
+      let net = Synth.Diviner.synthesize vhdl in
+      let edif = Edif.of_logic net in
+      let normalized = Synth.Druid.normalize edif in
+      let back = Edif.to_logic normalized in
+      (* compare against the identically-renamed direct conversion *)
+      let reference = Edif.to_logic edif in
+      Alcotest.(check bool) (name ^ " front end equivalent") true
+        (Techmap.Simcheck.is_equivalent reference back))
+    Core.Bench_circuits.quick_suite
+
+let suite =
+  [
+    ("counter counts", `Quick, test_counter_counts);
+    ("counter enable holds", `Quick, test_counter_enable_holds);
+    ("async reset dominates", `Quick, test_async_reset_dominates);
+    ("adder exhaustive", `Quick, test_adder_widths);
+    ("subtraction", `Quick, test_subtraction);
+    ("concat and slice", `Quick, test_concat_and_slice);
+    ("when/else priority", `Quick, test_when_else_priority);
+    ("case statement decoder", `Quick, test_case_statement);
+    ("sequential overwrite", `Quick, test_sequential_overwrite_semantics);
+    ("implicit latch rejected", `Quick, test_incomplete_comb_assignment_rejected);
+    ("multiple drivers rejected", `Quick, test_multiple_drivers_rejected);
+    ("relational operators exhaustive", `Quick, test_relational_operators);
+    ("others aggregate", `Quick, test_others_aggregate);
+    ("generate structural adder", `Quick, test_generate_structural_adder);
+    ("generate variable scoping", `Quick, test_generate_variable_scoping);
+    ("generate bad range rejected", `Quick, test_generate_bad_range_rejected);
+    ("hierarchy function", `Quick, test_hierarchy_function);
+    ("hierarchy prefixes", `Quick, test_hierarchy_positional_and_named);
+    ("hierarchy unknown entity", `Quick, test_hierarchy_unknown_entity);
+    ("hierarchy recursion rejected", `Quick, test_hierarchy_recursion_rejected);
+    ("hierarchy unconnected input", `Quick, test_hierarchy_unconnected_input_rejected);
+    ("optimize preserves function", `Slow, test_opt_preserves_function);
+    ("optimize removes constants", `Quick, test_opt_removes_constants);
+    ("optimize cse", `Quick, test_opt_cse);
+    ("decompose to library gates", `Quick, test_decompose_library_only);
+    ("front-end chain equivalence", `Quick, test_full_front_end_equivalence);
+  ]

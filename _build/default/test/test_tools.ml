@@ -1,0 +1,121 @@
+(* Tests for the tooling layer: VCD dumps, SPICE-deck export and the
+   ASCII layout renderer. *)
+
+open Netlist
+
+(* ---------- VCD ---------- *)
+
+let counter_net = lazy (Synth.Diviner.synthesize (Core.Bench_circuits.counter 4))
+
+let run_vcd cycles =
+  let net = Lazy.force counter_net in
+  let st = Logic.sim_init net in
+  let rec_ = Vcd.create net in
+  let tbl = Hashtbl.create 4 in
+  Hashtbl.replace tbl "rst" false;
+  Hashtbl.replace tbl "en" true;
+  let input_of nm =
+    match Hashtbl.find_opt tbl nm with Some v -> v | None -> false
+  in
+  for cycle = 0 to cycles - 1 do
+    Logic.sim_eval net st input_of;
+    Vcd.sample rec_ st ~time:cycle;
+    Logic.sim_step net st
+  done;
+  Vcd.contents rec_
+
+let test_vcd_structure () =
+  let text = run_vcd 8 in
+  Alcotest.(check bool) "has timescale" true
+    (String.length text > 0
+    && Str_helpers.contains text "$timescale"
+    && Str_helpers.contains text "$enddefinitions");
+  (* every declared identifier code is unique *)
+  let lines = String.split_on_char '\n' text in
+  let vars =
+    List.filter_map
+      (fun l ->
+        match String.split_on_char ' ' l with
+        | [ "$var"; "wire"; "1"; code; _name; "$end" ] -> Some code
+        | _ -> None)
+      lines
+  in
+  Alcotest.(check bool) "some vars" true (List.length vars > 3);
+  Alcotest.(check int) "codes unique" (List.length vars)
+    (List.length (List.sort_uniq compare vars))
+
+let test_vcd_changes_only () =
+  let text = run_vcd 4 in
+  (* rst and en are constant after cycle 0: each appears at most twice in
+     the value-change section (initial value only) *)
+  let body =
+    match Str_helpers.split_once text "$enddefinitions $end\n" with
+    | Some (_, b) -> b
+    | None -> ""
+  in
+  let count_timestamps =
+    List.length
+      (List.filter
+         (fun l -> String.length l > 0 && l.[0] = '#')
+         (String.split_on_char '\n' body))
+  in
+  Alcotest.(check bool) "several timestamps" true (count_timestamps >= 3)
+
+(* ---------- SPICE deck ---------- *)
+
+let test_deck_export () =
+  let c = Spice.Circuit.create Spice.Tech.stm018 in
+  let vdd = Spice.Circuit.vdd_rail c in
+  let a = Spice.Circuit.node c "a" and y = Spice.Circuit.node c "y" in
+  Spice.Circuit.vsource c "vin" ~pos:a ~neg:Spice.Circuit.gnd
+    (Spice.Waveform.pulse ~v1:1.8 ~delay:1e-9 ~rise:0.1e-9 ~fall:0.1e-9
+       ~width:2e-9 ~period:5e-9 ());
+  Spice.Stdcell.inverter c ~vdd ~input:a ~output:y ();
+  Spice.Circuit.capacitor c y Spice.Circuit.gnd 10e-15;
+  let deck = Spice.Deck.to_string ~title:"inverter test" c in
+  Alcotest.(check bool) "has models" true
+    (Str_helpers.contains deck ".MODEL NMOS"
+    && Str_helpers.contains deck ".MODEL PMOS");
+  Alcotest.(check bool) "has devices" true
+    (Str_helpers.contains deck "\nM1 " && Str_helpers.contains deck "\nC");
+  Alcotest.(check bool) "has pulse source" true
+    (Str_helpers.contains deck "PULSE(");
+  Alcotest.(check bool) "terminated" true (Str_helpers.contains deck ".end")
+
+let test_deck_detff_exports () =
+  (* every Table-1 candidate exports to a deck with the right device count *)
+  List.iter
+    (fun kind ->
+      let c, ff_transistors = Spice.Ff_bench.build kind in
+      let deck = Spice.Deck.to_string c in
+      let mos_lines =
+        List.filter
+          (fun l -> String.length l > 1 && l.[0] = 'M')
+          (String.split_on_char '\n' deck)
+      in
+      Alcotest.(check bool)
+        (Spice.Detff.short_name kind ^ " device count")
+        true
+        (List.length mos_lines >= ff_transistors))
+    Spice.Detff.kinds
+
+(* ---------- layout renderer ---------- *)
+
+let test_render_layout () =
+  let r = Core.Flow.run_vhdl (Core.Bench_circuits.counter 8) in
+  let text = Route.Render.to_string r.Core.Flow.routed in
+  Alcotest.(check bool) "mentions clusters" true (Str_helpers.contains text "C0");
+  Alcotest.(check bool) "mentions pads" true
+    (Str_helpers.contains text "I" && Str_helpers.contains text "O");
+  Alcotest.(check bool) "mentions width" true
+    (Str_helpers.contains text
+       (Printf.sprintf "of %d" r.Core.Flow.routed.Route.Router.width))
+
+let suite =
+  [
+    ("vcd structure", `Quick, test_vcd_structure);
+    ("vcd changes only", `Quick, test_vcd_changes_only);
+    ("spice deck export", `Quick, test_deck_export);
+    ("spice deck detffs", `Quick, test_deck_detff_exports);
+    ("render layout", `Quick, test_render_layout);
+  ]

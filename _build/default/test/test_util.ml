@@ -1,0 +1,160 @@
+(* Tests for the shared infrastructure library. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+
+(* ---------- Lu ---------- *)
+
+let test_lu_identity () =
+  let a = [| [| 1.0; 0.0 |]; [| 0.0; 1.0 |] |] in
+  let x = Util.Lu.solve_system a [| 3.0; -4.0 |] in
+  check_float "x0" 3.0 x.(0);
+  check_float "x1" (-4.0) x.(1)
+
+let test_lu_known_system () =
+  (* 2x + y = 5; x + 3y = 10 -> x = 1, y = 3 *)
+  let a = [| [| 2.0; 1.0 |]; [| 1.0; 3.0 |] |] in
+  let x = Util.Lu.solve_system a [| 5.0; 10.0 |] in
+  check_float "x" 1.0 x.(0);
+  check_float "y" 3.0 x.(1)
+
+let test_lu_pivoting () =
+  (* zero on the leading diagonal forces a row swap *)
+  let a = [| [| 0.0; 1.0 |]; [| 1.0; 0.0 |] |] in
+  let x = Util.Lu.solve_system a [| 7.0; 9.0 |] in
+  check_float "x" 9.0 x.(0);
+  check_float "y" 7.0 x.(1)
+
+let test_lu_singular () =
+  let a = [| [| 1.0; 2.0 |]; [| 2.0; 4.0 |] |] in
+  Alcotest.check_raises "singular" (Util.Lu.Singular 1) (fun () ->
+      ignore (Util.Lu.solve_system a [| 1.0; 2.0 |]))
+
+let prop_lu_random_solve =
+  QCheck.Test.make ~count:100 ~name:"Lu: A * solve(A, b) = b"
+    QCheck.(pair (int_bound 1000) (int_range 1 8))
+    (fun (seed, n) ->
+      let rng = Util.Prng.create (seed + 1) in
+      let a =
+        Array.init n (fun i ->
+            Array.init n (fun j ->
+                Util.Prng.float_range rng (-1.0) 1.0
+                +. if i = j then 4.0 else 0.0))
+      in
+      let b = Array.init n (fun _ -> Util.Prng.float_range rng (-10.0) 10.0) in
+      let x = Util.Lu.solve_system a b in
+      let residual = ref 0.0 in
+      for i = 0 to n - 1 do
+        let s = ref 0.0 in
+        for j = 0 to n - 1 do
+          s := !s +. (a.(i).(j) *. x.(j))
+        done;
+        residual := Float.max !residual (Float.abs (!s -. b.(i)))
+      done;
+      !residual < 1e-8)
+
+(* ---------- Prng ---------- *)
+
+let test_prng_deterministic () =
+  let a = Util.Prng.create 42 and b = Util.Prng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Util.Prng.int a 1000) (Util.Prng.int b 1000)
+  done
+
+let test_prng_bounds () =
+  let rng = Util.Prng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Util.Prng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17);
+    let f = Util.Prng.float rng in
+    Alcotest.(check bool) "float in [0,1)" true (f >= 0.0 && f < 1.0)
+  done
+
+let test_prng_shuffle_is_permutation () =
+  let rng = Util.Prng.create 3 in
+  let a = Array.init 50 (fun i -> i) in
+  Util.Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 (fun i -> i)) sorted
+
+(* ---------- Pqueue ---------- *)
+
+let test_pqueue_ordering () =
+  let q = Util.Pqueue.create () in
+  List.iter (fun p -> Util.Pqueue.push q p (int_of_float p))
+    [ 5.0; 1.0; 3.0; 2.0; 4.0 ];
+  let order = List.init 5 (fun _ -> snd (Util.Pqueue.pop q)) in
+  Alcotest.(check (list int)) "ascending" [ 1; 2; 3; 4; 5 ] order
+
+let test_pqueue_empty () =
+  let q = Util.Pqueue.create () in
+  Alcotest.(check bool) "empty" true (Util.Pqueue.is_empty q);
+  Alcotest.check_raises "pop empty" Not_found (fun () ->
+      ignore (Util.Pqueue.pop q))
+
+let prop_pqueue_sorts =
+  QCheck.Test.make ~count:100 ~name:"Pqueue: pops come out sorted"
+    QCheck.(list (float_bound_exclusive 1000.0))
+    (fun floats ->
+      let q = Util.Pqueue.create () in
+      List.iteri (fun i p -> Util.Pqueue.push q p i) floats;
+      let rec drain acc =
+        if Util.Pqueue.is_empty q then List.rev acc
+        else drain (fst (Util.Pqueue.pop q) :: acc)
+      in
+      let out = drain [] in
+      out = List.sort compare floats)
+
+(* ---------- Union_find ---------- *)
+
+let test_union_find () =
+  let uf = Util.Union_find.create 10 in
+  Alcotest.(check int) "initial components" 10 (Util.Union_find.components uf);
+  Util.Union_find.union uf 0 1;
+  Util.Union_find.union uf 1 2;
+  Alcotest.(check bool) "0~2" true (Util.Union_find.same uf 0 2);
+  Alcotest.(check bool) "0!~3" false (Util.Union_find.same uf 0 3);
+  Alcotest.(check int) "components" 8 (Util.Union_find.components uf)
+
+(* ---------- Stats ---------- *)
+
+let test_stats () =
+  let a = [| 1.0; 2.0; 3.0; 4.0 |] in
+  check_float "mean" 2.5 (Util.Stats.mean a);
+  check_float "median" 2.5 (Util.Stats.median a);
+  let lo, hi = Util.Stats.min_max a in
+  check_float "min" 1.0 lo;
+  check_float "max" 4.0 hi;
+  check_float "geomean of 2,8" 4.0 (Util.Stats.geomean [| 2.0; 8.0 |]);
+  check_float "variance" (5.0 /. 3.0) (Util.Stats.variance a)
+
+(* ---------- Tablefmt ---------- *)
+
+let test_tablefmt_alignment () =
+  let s = Util.Tablefmt.render [ "name"; "v" ] [ [ "a"; "10" ]; [ "bb"; "5" ] ] in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check int) "rows" 4 (List.length lines);
+  (* numeric column right-aligned: the 5 sits under the 0 of 10 *)
+  Alcotest.(check bool) "right aligned" true
+    (match lines with
+    | [ _; _; r1; r2 ] ->
+        String.length r1 = String.length r2
+    | _ -> false)
+
+let suite =
+  [
+    ("lu identity", `Quick, test_lu_identity);
+    ("lu known system", `Quick, test_lu_known_system);
+    ("lu pivoting", `Quick, test_lu_pivoting);
+    ("lu singular", `Quick, test_lu_singular);
+    ("prng deterministic", `Quick, test_prng_deterministic);
+    ("prng bounds", `Quick, test_prng_bounds);
+    ("prng shuffle permutation", `Quick, test_prng_shuffle_is_permutation);
+    ("pqueue ordering", `Quick, test_pqueue_ordering);
+    ("pqueue empty", `Quick, test_pqueue_empty);
+    ("union find", `Quick, test_union_find);
+    ("stats", `Quick, test_stats);
+    ("tablefmt alignment", `Quick, test_tablefmt_alignment);
+    QCheck_alcotest.to_alcotest prop_lu_random_solve;
+    QCheck_alcotest.to_alcotest prop_pqueue_sorts;
+  ]
