@@ -320,6 +320,9 @@ let stress () =
                 (match r.Core.Flow.route_stats.Route.Router.minimum_width with
                 | Some w -> string_of_int w
                 | None -> "-");
+                string_of_int
+                  r.Core.Flow.route_stats.Route.Router.router_iterations;
+                string_of_int r.Core.Flow.route_stats.Route.Router.heap_pops;
                 Util.Tablefmt.f2
                   (r.Core.Flow.route_stats.Route.Router.critical_path_s *. 1e9);
                 Util.Tablefmt.f2 (r.Core.Flow.power.Power.Model.total_w *. 1e3);
@@ -334,8 +337,8 @@ let stress () =
       circuits
   in
   Util.Tablefmt.print
-    [ "circuit"; "LUTs"; "CLBs"; "grid"; "Wmin"; "crit(ns)"; "P(mW)";
-      "verified"; "CPU(s)" ]
+    [ "circuit"; "LUTs"; "CLBs"; "grid"; "Wmin"; "rt iters"; "heap pops";
+      "crit(ns)"; "P(mW)"; "verified"; "CPU(s)" ]
     rows
 
 (* ---------- Bechamel stage timings ---------- *)

@@ -1,0 +1,65 @@
+(* Router micro-benchmark: times the routing stage alone, at a fixed
+   channel width and through the full min-width search, on the larger
+   bench circuits.  Emits one JSON line per circuit so before/after
+   comparisons are machine-readable.
+
+   Usage: dune exec bench/routebench.exe [-- circuit ...]            *)
+
+let circuits =
+  [
+    ("counter16", Core.Bench_circuits.counter 16);
+    ("alu16", Core.Bench_circuits.alu 16);
+    ("mult12", Core.Bench_circuits.multiplier 12);
+  ]
+
+let place vhdl =
+  let net = Synth.Diviner.synthesize vhdl in
+  let mapped, _ = Techmap.Mapper.map_network ~k:4 ~verify:false net in
+  let packing = Pack.Cluster.pack ~n:5 ~i:12 mapped in
+  let problem = Place.Problem.build packing in
+  (Place.Anneal.run ~options:{ Place.Anneal.seed = 1; inner_num = 1.0 }
+     problem)
+    .Place.Anneal.placement
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map fst circuits
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name circuits with
+      | None -> Printf.eprintf "unknown circuit %s\n" name
+      | Some vhdl ->
+          let placement = place vhdl in
+          (* min-width search first: gives the fixed width used below *)
+          let t0 = Unix.gettimeofday () in
+          let routed =
+            Route.Router.route_min_width Fpga_arch.Params.amdrel placement
+          in
+          let t_search = Unix.gettimeofday () -. t0 in
+          let min_w =
+            match routed.Route.Router.min_width with Some w -> w | None -> 0
+          in
+          (* fixed-width routing at the low-stress width, repeated *)
+          let width = routed.Route.Router.width in
+          let reps = 3 in
+          let t0 = Unix.gettimeofday () in
+          let fixed = ref routed in
+          for _ = 1 to reps do
+            fixed :=
+              Route.Router.route_fixed Fpga_arch.Params.amdrel placement
+                ~width
+          done;
+          let t_fixed = (Unix.gettimeofday () -. t0) /. float_of_int reps in
+          let s = Route.Router.stats !fixed in
+          Printf.printf
+            "{\"circuit\": \"%s\", \"min_width\": %d, \"width\": %d, \
+             \"route_fixed_s\": %.4f, \"min_width_search_s\": %.4f, \
+             \"iterations\": %d, \"nets_rerouted\": %d, \"heap_pops\": %d, \
+             \"peak_overuse\": %d}\n%!"
+            name min_w width t_fixed t_search
+            s.Route.Router.router_iterations s.Route.Router.nets_rerouted
+            s.Route.Router.heap_pops s.Route.Router.peak_overuse)
+    requested

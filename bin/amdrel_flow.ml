@@ -13,6 +13,8 @@ let run input outdir seed fixed_width =
       Core.Flow.default_config with
       Core.Flow.seed;
       search_min_width = fixed_width = None;
+      route_width =
+        (match fixed_width with Some w -> w | None -> 12);
     }
   in
   let t0 = Sys.time () in
@@ -56,7 +58,11 @@ let run input outdir seed fixed_width =
   Printf.printf "total CPU time: %.2f s (stages: %s)\n" elapsed
     (String.concat ", "
        (List.map
-          (fun (nm, t) -> Printf.sprintf "%s %.3fs" nm t)
+          (fun (nm, t) ->
+            (* dotted entries are counters riding in [times], not seconds *)
+            if String.contains nm '.' then
+              Printf.sprintf "%s %.0f" nm t
+            else Printf.sprintf "%s %.3fs" nm t)
           r.Core.Flow.times))
 
 let input_arg =

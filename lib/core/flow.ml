@@ -13,6 +13,7 @@ type config = {
   seed : int;
   io_rat : int;
   search_min_width : bool; (* binary-search the minimum channel width *)
+  route_width : int;       (* channel width when [search_min_width] is off *)
   timing_driven : bool;    (* VPR's path-timing-driven place & route *)
   verify_mapping : bool;   (* random-simulation equivalence after SIS *)
   verify_bitstream : bool; (* DAGGER round-trip check *)
@@ -26,6 +27,7 @@ let default_config =
     seed = 1;
     io_rat = 2;
     search_min_width = true;
+    route_width = 12;
     timing_driven = false;
     verify_mapping = true;
     verify_bitstream = true;
@@ -123,9 +125,21 @@ let run_network ?(config = default_config) (net : Logic.t) =
             anneal.Place.Anneal.placement
         else
           Route.Router.route_fixed ?timing config.params
-            anneal.Place.Anneal.placement ~width:12)
+            anneal.Place.Anneal.placement ~width:config.route_width)
   in
   let route_stats = Route.Router.stats routed in
+  (* router observability rides in [times] next to the stage wall-times,
+     so benches and reports capture the iteration counters with no extra
+     plumbing (entries are counts, not seconds) *)
+  times :=
+    ("vpr-route.peak-overuse",
+     float_of_int route_stats.Route.Router.peak_overuse)
+    :: ("vpr-route.heap-pops", float_of_int route_stats.Route.Router.heap_pops)
+    :: ("vpr-route.nets-rerouted",
+        float_of_int route_stats.Route.Router.nets_rerouted)
+    :: ("vpr-route.iterations",
+        float_of_int route_stats.Route.Router.router_iterations)
+    :: !times;
   (* PowerModel *)
   let power =
     timed times "powermodel" (fun () ->

@@ -11,6 +11,7 @@ type config = {
   seed : int;
   io_rat : int;
   search_min_width : bool; (** binary-search the minimum channel width *)
+  route_width : int;       (** channel width when [search_min_width] is off *)
   timing_driven : bool;    (** VPR's path-timing-driven place & route *)
   verify_mapping : bool;   (** random-simulation equivalence after SIS *)
   verify_bitstream : bool; (** DAGGER structural round-trip *)
@@ -23,7 +24,9 @@ val default_config : config
     routability-driven. *)
 
 type stage_times = (string * float) list
-(** CPU seconds per stage, flow order. *)
+(** CPU seconds per stage, flow order.  Router counters (iterations,
+    nets rerouted, heap pops, peak overuse) ride along as
+    ["vpr-route.*"] entries holding counts rather than seconds. *)
 
 type result = {
   design : string;

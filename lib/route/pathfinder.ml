@@ -1,10 +1,13 @@
 (* PathFinder negotiated-congestion routing (McMurchie & Ebeling), the
    algorithm VPR uses.
 
-   Each iteration rips up and reroutes every net with Dijkstra over node
-   costs  base * (1 + acc_fac * history) * present,  where [present]
-   penalises current overuse and grows geometrically between iterations.
-   Convergence = no node used beyond its capacity. *)
+   Iteration 1 routes every net with A*-directed Dijkstra over node costs
+   base * (1 + acc_fac * history) * present, where [present] penalises
+   current overuse and grows geometrically between iterations.  Later
+   iterations are incremental: only nets whose trees touch an
+   over-capacity node are ripped up and rerouted; legal trees keep their
+   routing and their occupancy.  Convergence = no node used beyond its
+   capacity. *)
 
 type net_spec = {
   index : int;               (* position in the problem's net array *)
@@ -20,11 +23,19 @@ type route_tree = {
   parents : (int * int) list; (* (node, parent-node) edges of the tree *)
 }
 
+type iter_stat = {
+  iteration : int;
+  overused_nodes : int;      (* nodes above capacity after the iteration *)
+  nets_rerouted : int;       (* nets ripped up and rerouted *)
+  heap_pops : int;           (* wavefront size: heap pops this iteration *)
+}
+
 type result = {
   graph : Rrgraph.t;
   trees : route_tree array;
   iterations : int;
   success : bool;
+  iter_stats : iter_stat list; (* chronological, one per iteration *)
 }
 
 type state = {
@@ -40,36 +51,62 @@ let node_cost (g : Rrgraph.t) st n ~extra =
   node.Rrgraph.base_cost *. (1.0 +. st.history.(n)) *. present
 
 (* Timing-driven blend (the VPR router's cost): a critical net weighs node
-   delay, a non-critical net weighs congestion. *)
-let blended_cost (g : Rrgraph.t) st ?node_delay ~crit n =
+   delay, a non-critical net weighs congestion.  [delay_norm] scales the
+   delay term into [0,1]; it is the largest per-node delay of the graph,
+   so the blend is architecture-independent. *)
+let blended_cost (g : Rrgraph.t) st ?node_delay ~delay_norm ~crit n =
   match node_delay with
   | Some delays when crit > 0.0 ->
-      (crit *. delays.(n) /. 1e-11)
+      (crit *. delays.(n) /. delay_norm)
       +. ((1.0 -. crit) *. node_cost g st n ~extra:0)
   | _ -> node_cost g st n ~extra:0
 
-(* Scratch buffers shared across nets within one [route] call. *)
+(* Scratch buffers shared across nets and iterations within one [route]
+   call.  [dist]/[prev] are validated by a generation stamp instead of
+   being re-filled per sink: a slot is live only when [stamp.(v) = epoch],
+   so starting a fresh search is an integer increment, not an O(n) fill. *)
 type scratch = {
   dist : float array;
   prev : int array;
+  stamp : int array;
+  mutable epoch : int;
   in_tree : bool array;
   is_sink : bool array;
   heap : int Util.Pqueue.t;
+  mutable pops : int;        (* heap pops since last reset (observability) *)
 }
 
 let make_scratch n =
   {
     dist = Array.make n infinity;
     prev = Array.make n (-1);
+    stamp = Array.make n 0;
+    epoch = 0;
     in_tree = Array.make n false;
     is_sink = Array.make n false;
     heap = Util.Pqueue.create ();
+    pops = 0;
   }
 
-(* Route one net: grow a tree from the driver OPIN to every sink.
-   [bounds], if given, restricts the search to nodes intersecting the
-   rectangle (VPR's bounding-box routing). *)
-let route_net (g : Rrgraph.t) st sc ?node_delay ?bounds ~crit ~source ~sinks () =
+let dist_of sc v = if sc.stamp.(v) = sc.epoch then sc.dist.(v) else infinity
+
+let set_dist sc v d p =
+  sc.stamp.(v) <- sc.epoch;
+  sc.dist.(v) <- d;
+  sc.prev.(v) <- p
+
+(* Route one net: grow a tree from the driver OPIN to every sink.  Each
+   wavefront expands from the whole current tree and stops at whichever
+   remaining sink is cheapest (the classic PathFinder order); the A*
+   lookahead directs it with the Manhattan gap between a node's extent
+   and the remaining sinks — admissible, since a wire of L tiles costs at
+   least L (base_cost = tiles, congestion multipliers >= 1), so crossing
+   d tiles never costs less than d.  A wire's whole span counts: once
+   paid for, it can be exited at any switch point along it.  [bounds], if
+   given, restricts the search to nodes intersecting the rectangle (VPR's
+   bounding-box routing). *)
+let route_net (g : Rrgraph.t) st sc ?node_delay ?bounds ~delay_norm
+    ~astar_fac ~crit ~source ~sinks () =
   let inside =
     match bounds with
     | None -> fun _ -> true
@@ -78,45 +115,78 @@ let route_net (g : Rrgraph.t) st sc ?node_delay ?bounds ~crit ~source ~sinks () 
           g.Rrgraph.xhi.(v) >= bx0 && g.Rrgraph.xlo.(v) <= bx1
           && g.Rrgraph.yhi.(v) >= by0 && g.Rrgraph.ylo.(v) <= by1
   in
-  let n = Rrgraph.node_count g in
   let tree_nodes = ref [ source ] in
   let tree_parents = ref [] in
   sc.in_tree.(source) <- true;
   List.iter (fun t -> sc.is_sink.(t) <- true) sinks;
-  let n_remaining = ref (List.length sinks) in
+  let remaining = ref sinks in
   let cleanup () =
     List.iter (fun t -> sc.is_sink.(t) <- false) sinks;
     List.iter (fun t -> sc.in_tree.(t) <- false) !tree_nodes
   in
+  let gap lo1 hi1 lo2 hi2 =
+    let d1 = lo2 - hi1 and d2 = lo1 - hi2 in
+    if d1 > 0 then d1 else if d2 > 0 then d2 else 0
+  in
+  (* lookahead to the cheapest-to-reach remaining sink: min over the sinks
+     for small fanout, their bounding hull for large (both admissible) *)
+  let make_lookahead rem =
+    if astar_fac = 0.0 then fun _ -> 0.0
+    else if List.length rem <= 6 then
+      fun v ->
+        let x0 = g.Rrgraph.xlo.(v) and x1 = g.Rrgraph.xhi.(v) in
+        let y0 = g.Rrgraph.ylo.(v) and y1 = g.Rrgraph.yhi.(v) in
+        astar_fac
+        *. float_of_int
+             (List.fold_left
+                (fun m t ->
+                  min m
+                    (gap x0 x1 g.Rrgraph.xlo.(t) g.Rrgraph.xhi.(t)
+                    + gap y0 y1 g.Rrgraph.ylo.(t) g.Rrgraph.yhi.(t)))
+                max_int rem)
+    else begin
+      let hx0 = List.fold_left (fun m t -> min m g.Rrgraph.xlo.(t)) max_int rem in
+      let hx1 = List.fold_left (fun m t -> max m g.Rrgraph.xhi.(t)) min_int rem in
+      let hy0 = List.fold_left (fun m t -> min m g.Rrgraph.ylo.(t)) max_int rem in
+      let hy1 = List.fold_left (fun m t -> max m g.Rrgraph.yhi.(t)) min_int rem in
+      fun v ->
+        astar_fac
+        *. float_of_int
+             (gap g.Rrgraph.xlo.(v) g.Rrgraph.xhi.(v) hx0 hx1
+             + gap g.Rrgraph.ylo.(v) g.Rrgraph.yhi.(v) hy0 hy1)
+    end
+  in
   (try
-     while !n_remaining > 0 do
-       (* multi-source Dijkstra from the current tree *)
-       Array.fill sc.dist 0 n infinity;
-       Array.fill sc.prev 0 n (-1);
+     while !remaining <> [] do
+       (* multi-source directed search from the current tree *)
+       let lookahead = make_lookahead !remaining in
+       sc.epoch <- sc.epoch + 1;
        Util.Pqueue.clear sc.heap;
        List.iter
          (fun t ->
-           sc.dist.(t) <- 0.0;
-           Util.Pqueue.push sc.heap 0.0 t)
+           set_dist sc t 0.0 (-1);
+           Util.Pqueue.push sc.heap (lookahead t) t)
          !tree_nodes;
        let target = ref (-1) in
        (try
           while not (Util.Pqueue.is_empty sc.heap) do
-            let d, u = Util.Pqueue.pop sc.heap in
-            if d <= sc.dist.(u) then begin
+            let f, u = Util.Pqueue.pop sc.heap in
+            sc.pops <- sc.pops + 1;
+            (* stale-entry check: the pushed key was dist + lookahead *)
+            if f <= dist_of sc u +. lookahead u then begin
               if sc.is_sink.(u) then begin
                 target := u;
                 raise Exit
               end;
+              let du = dist_of sc u in
               Array.iter
                 (fun v ->
                   if inside v then begin
-                    let c = blended_cost g st ?node_delay ~crit v in
-                    let nd = d +. c in
-                    if nd < sc.dist.(v) then begin
-                      sc.dist.(v) <- nd;
-                      sc.prev.(v) <- u;
-                      Util.Pqueue.push sc.heap nd v
+                    let c = blended_cost g st ?node_delay ~delay_norm ~crit v in
+                    let nd = du +. c in
+                    if nd < dist_of sc v then begin
+                      set_dist sc v nd u;
+                      Util.Pqueue.push sc.heap (nd +. lookahead v) v
                     end
                   end)
                 g.Rrgraph.edges.(u)
@@ -135,7 +205,7 @@ let route_net (g : Rrgraph.t) st sc ?node_delay ?bounds ~crit ~source ~sinks () 
        in
        back !target;
        sc.is_sink.(!target) <- false;
-       decr n_remaining
+       remaining := List.filter (fun t -> t <> !target) !remaining
      done
    with e -> cleanup (); raise e);
   cleanup ();
@@ -146,9 +216,17 @@ let occupy st nodes = List.iter (fun nd -> st.occ.(nd) <- st.occ.(nd) + 1) nodes
 let release st nodes = List.iter (fun nd -> st.occ.(nd) <- st.occ.(nd) - 1) nodes
 
 let route ?(max_iterations = 30) ?(pres_fac0 = 0.5) ?(pres_mult = 1.6)
-    ?(acc_fac = 0.4) ?node_delay (g : Rrgraph.t) (nets : net_spec array) =
+    ?(acc_fac = 0.4) ?(astar_fac = 1.0) ?(incremental = true) ?node_delay
+    (g : Rrgraph.t) (nets : net_spec array) =
   let n = Rrgraph.node_count g in
   let st = { occ = Array.make n 0; history = Array.make n 0.0; pres_fac = pres_fac0 } in
+  let delay_norm =
+    match node_delay with
+    | Some delays ->
+        let m = Array.fold_left Float.max 0.0 delays in
+        if m > 0.0 then m else 1.0
+    | None -> 1.0
+  in
   let trees =
     Array.map (fun spec -> { net_index = spec.index; nodes = []; parents = [] }) nets
   in
@@ -160,6 +238,8 @@ let route ?(max_iterations = 30) ?(pres_fac0 = 0.5) ?(pres_mult = 1.6)
      converge at this width, so stop burning iterations (VPR does the same) *)
   let best_overuse = ref max_int in
   let since_improvement = ref 0 in
+  let over_hist = ref [] in  (* total overuse per iteration, latest first *)
+  let iter_stats = ref [] in
   let total_overuse () =
     let k = ref 0 in
     Array.iteri
@@ -169,48 +249,115 @@ let route ?(max_iterations = 30) ?(pres_fac0 = 0.5) ?(pres_mult = 1.6)
       st.occ;
     !k
   in
-  let feasible () = total_overuse () = 0 in
+  let overused_count () =
+    let k = ref 0 in
+    Array.iteri
+      (fun i used ->
+        if used > g.Rrgraph.nodes.(i).Rrgraph.capacity then incr k)
+      st.occ;
+    !k
+  in
+  (* a net must reroute when it has no tree yet or its tree touches an
+     over-capacity node (its routing is part of the congestion) *)
+  let congested tr =
+    tr.nodes = []
+    || List.exists
+         (fun nd -> st.occ.(nd) > g.Rrgraph.nodes.(nd).Rrgraph.capacity)
+         tr.nodes
+  in
+  (* incremental rip-up can wedge: legal nets freeze on resources the
+     congested ones need.  When overuse stops improving, fall back to one
+     classic full rip-up iteration to reshuffle the negotiation. *)
+  let force_full = ref false in
   while (not !done_) && (not !hopeless) && !iteration < max_iterations do
     incr iteration;
+    sc.pops <- 0;
+    let full = (not incremental) || !iteration = 1 || !force_full in
+    force_full := false;
+    let rerouted = ref 0 in
     Array.iteri
       (fun idx spec ->
-        release st trees.(idx).nodes;
-        (* bounding box of the net's terminals, expanded by 3 tiles; a net
-           that cannot route inside it retries unrestricted *)
-        let terminals = spec.source :: spec.sinks in
-        let margin = 3 in
-        let bounds =
-          ( List.fold_left (fun m t -> min m g.Rrgraph.xlo.(t)) max_int terminals
-            - margin,
-            List.fold_left (fun m t -> max m g.Rrgraph.xhi.(t)) 0 terminals
-            + margin,
-            List.fold_left (fun m t -> min m g.Rrgraph.ylo.(t)) max_int terminals
-            - margin,
-            List.fold_left (fun m t -> max m g.Rrgraph.yhi.(t)) 0 terminals
-            + margin )
-        in
-        let nodes, parents =
-          match
-            route_net g st sc ?node_delay ~bounds ~crit:spec.crit
-              ~source:spec.source ~sinks:spec.sinks ()
-          with
-          | r -> r
-          | exception Not_found ->
-              route_net g st sc ?node_delay ~crit:spec.crit
-                ~source:spec.source ~sinks:spec.sinks ()
-        in
-        occupy st nodes;
-        trees.(idx) <- { net_index = spec.index; nodes; parents })
+        if full || congested trees.(idx) then begin
+          incr rerouted;
+          release st trees.(idx).nodes;
+          (* bounding box of the net's terminals, expanded by 3 tiles; a net
+             that cannot route inside it retries unrestricted *)
+          let terminals = spec.source :: spec.sinks in
+          let margin = 3 in
+          let bounds =
+            ( List.fold_left (fun m t -> min m g.Rrgraph.xlo.(t)) max_int terminals
+              - margin,
+              List.fold_left (fun m t -> max m g.Rrgraph.xhi.(t)) 0 terminals
+              + margin,
+              List.fold_left (fun m t -> min m g.Rrgraph.ylo.(t)) max_int terminals
+              - margin,
+              List.fold_left (fun m t -> max m g.Rrgraph.yhi.(t)) 0 terminals
+              + margin )
+          in
+          (* per-net jitter on the lookahead strength: breaking cost ties
+             toward the target herds competing nets onto the same
+             corridors, so give each net a slightly different preference
+             (all factors <= 1 keep the lookahead admissible) *)
+          let astar_fac =
+            let phi = Float.rem (float_of_int idx *. 0.6180339887) 1.0 in
+            astar_fac *. (0.7 +. (0.3 *. phi))
+          in
+          let nodes, parents =
+            match
+              route_net g st sc ?node_delay ~bounds ~delay_norm ~astar_fac
+                ~crit:spec.crit ~source:spec.source ~sinks:spec.sinks ()
+            with
+            | r -> r
+            | exception Not_found ->
+                route_net g st sc ?node_delay ~delay_norm ~astar_fac
+                  ~crit:spec.crit ~source:spec.source ~sinks:spec.sinks ()
+          in
+          occupy st nodes;
+          trees.(idx) <- { net_index = spec.index; nodes; parents }
+        end)
       nets;
-    if feasible () then done_ := true
+    let over = total_overuse () in
+    iter_stats :=
+      {
+        iteration = !iteration;
+        overused_nodes = overused_count ();
+        nets_rerouted = !rerouted;
+        heap_pops = sc.pops;
+      }
+      :: !iter_stats;
+    over_hist := over :: !over_hist;
+    if over = 0 then done_ := true
     else begin
-      let over = total_overuse () in
+      (* trend cutoff: a wide infeasible width decays overuse slowly but
+         monotonically enough to dodge the no-improvement counter for the
+         whole iteration budget.  Demand real progress — 25% down vs 8
+         iterations ago — once warmed up, unless overuse is already tiny
+         (the endgame clears a handful of nodes in lumpy steps). *)
+      (if incremental && !iteration >= 16 && over > 12 then
+         match List.nth_opt !over_hist 8 with
+         | Some prev when float_of_int over > 0.75 *. float_of_int prev ->
+             hopeless := true
+         | _ -> ());
       if over < !best_overuse then begin
         best_overuse := over;
         since_improvement := 0
       end
-      else incr since_improvement;
-      if !since_improvement >= 8 then hopeless := true;
+      else begin
+        incr since_improvement;
+        (* near convergence (small overuse) a wedge needs sustained
+           shaking: go full every stagnant iteration.  Far from
+           convergence full rip-ups are expensive and the width is
+           probably infeasible, so only shake periodically. *)
+        if
+          incremental
+          && (if over <= 12 then !since_improvement >= 2
+              else !since_improvement mod 3 = 0)
+        then force_full := true
+      end;
+      (* incremental iterations are cheap, so stagnation gets more
+         patience there (it covers several full-rip-up shake-ups) *)
+      if !since_improvement >= (if incremental then 16 else 8) then
+        hopeless := true;
       (* update history on overused nodes, sharpen the present penalty *)
       Array.iteri
         (fun i used ->
@@ -221,7 +368,13 @@ let route ?(max_iterations = 30) ?(pres_fac0 = 0.5) ?(pres_mult = 1.6)
       st.pres_fac <- st.pres_fac *. pres_mult
     end
   done;
-  { graph = g; trees; iterations = !iteration; success = !done_ }
+  {
+    graph = g;
+    trees;
+    iterations = !iteration;
+    success = !done_;
+    iter_stats = List.rev !iter_stats;
+  }
 
 (* ---------- verification helpers ---------- *)
 
@@ -244,3 +397,30 @@ let tree_connects ~source ~sinks tr =
   member source
   && List.for_all member sinks
   && List.for_all (fun (v, p) -> member v && member p) tr.parents
+
+(* The parent edges form a forest rooted at [source]: every sink's parent
+   chain reaches the source without revisiting a node. *)
+let tree_acyclic ~source ~sinks tr =
+  let parent = Hashtbl.create 16 in
+  let ok = ref true in
+  List.iter
+    (fun (v, p) ->
+      if Hashtbl.mem parent v then ok := false else Hashtbl.add parent v p)
+    tr.parents;
+  (not (Hashtbl.mem parent source))
+  && !ok
+  && List.for_all
+       (fun sink ->
+         let seen = Hashtbl.create 16 in
+         let rec climb v =
+           if v = source then true
+           else if Hashtbl.mem seen v then false
+           else begin
+             Hashtbl.add seen v ();
+             match Hashtbl.find_opt parent v with
+             | Some p -> climb p
+             | None -> false
+           end
+         in
+         climb sink)
+       sinks

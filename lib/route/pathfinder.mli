@@ -1,11 +1,16 @@
 (** PathFinder negotiated-congestion routing (McMurchie & Ebeling), the
     algorithm VPR uses.
 
-    Each iteration rips up and reroutes every net with Dijkstra over node
-    costs base x (1 + acc x history) x present; the present-overuse
-    penalty grows geometrically between iterations.  Convergence = no
-    node used beyond its capacity.  With [node_delay], nets blend in a
-    criticality-weighted delay term (the timing-driven router). *)
+    Iteration 1 routes every net with an A*-directed Dijkstra (the
+    lookahead is the Manhattan gap to the target's extent, admissible
+    because a wire of L tiles costs at least L) over node costs
+    base x (1 + acc x history) x present; the present-overuse penalty
+    grows geometrically between iterations.  Later iterations are
+    incremental: only nets whose trees touch an over-capacity node are
+    ripped up and rerouted, legal trees keep their routing and occupancy.
+    Convergence = no node used beyond its capacity.  With [node_delay],
+    nets blend in a criticality-weighted delay term (the timing-driven
+    router). *)
 
 type net_spec = {
   index : int;     (** position in the problem's net array *)
@@ -20,20 +25,36 @@ type route_tree = {
   parents : (int * int) list; (** (node, parent) edges of the tree *)
 }
 
+type iter_stat = {
+  iteration : int;
+  overused_nodes : int; (** nodes above capacity after the iteration *)
+  nets_rerouted : int;  (** nets ripped up and rerouted *)
+  heap_pops : int;      (** wavefront size: heap pops this iteration *)
+}
+
 type result = {
   graph : Rrgraph.t;
   trees : route_tree array;
   iterations : int;
   success : bool;
+  iter_stats : iter_stat list; (** chronological, one per iteration *)
 }
 
 val route :
   ?max_iterations:int -> ?pres_fac0:float -> ?pres_mult:float ->
-  ?acc_fac:float -> ?node_delay:float array -> Rrgraph.t ->
-  net_spec array -> result
-(** @raise Not_found if some sink is unreachable in the graph. *)
+  ?acc_fac:float -> ?astar_fac:float -> ?incremental:bool ->
+  ?node_delay:float array -> Rrgraph.t -> net_spec array -> result
+(** [astar_fac] scales the directed lookahead (0 = plain Dijkstra,
+    1 = admissible A*, the default; larger trades optimality for speed).
+    [incremental] (default true) enables congested-only rip-up after the
+    first iteration; [false] restores full rip-up every iteration.
+    @raise Not_found if some sink is unreachable in the graph. *)
 
 val no_overuse : result -> bool
 (** Independent capacity re-check (used by tests). *)
 
 val tree_connects : source:int -> sinks:int list -> route_tree -> bool
+
+val tree_acyclic : source:int -> sinks:int list -> route_tree -> bool
+(** The parent edges form a forest rooted at [source] and every sink's
+    parent chain reaches it without revisiting a node (used by tests). *)

@@ -22,11 +22,18 @@ let net_terminals ?criticalities (g : Rrgraph.t) (problem : Place.Problem.t) =
         match problem.Place.Problem.blocks.(net.Place.Problem.driver) with
         | Place.Problem.Cluster_block cid ->
             let cluster = packing.Pack.Cluster.clusters.(cid) in
-            let slot = ref 0 in
+            let slot = ref (-1) in
             List.iteri
               (fun k (b : Pack.Ble.t) ->
                 if b.Pack.Ble.output = net.Place.Problem.signal then slot := k)
               cluster.Pack.Cluster.bles;
+            if !slot < 0 then
+              failwith
+                (Printf.sprintf
+                   "Router.net_terminals: net %d (signal %d) claims driver \
+                    block %d (cluster %d), but no BLE there outputs that \
+                    signal"
+                   ni net.Place.Problem.signal net.Place.Problem.driver cid);
             Hashtbl.find g.Rrgraph.node_of_opin (net.Place.Problem.driver, !slot)
         | Place.Problem.Input_pad _ | Place.Problem.Output_pad _ ->
             Hashtbl.find g.Rrgraph.node_of_opin (net.Place.Problem.driver, 0)
@@ -56,7 +63,7 @@ let node_delays (g : Rrgraph.t) (consts : Timing.constants) =
       | Rrgraph.Sink _ -> 0.0)
     g.Rrgraph.nodes
 
-let try_width ?(max_iterations = 30) ?timing (params : Fpga_arch.Params.t)
+let try_width ?(max_iterations = 60) ?timing (params : Fpga_arch.Params.t)
     (placement : Place.Placement.t) width =
   let problem = placement.Place.Placement.problem in
   let g = Rrgraph.build params problem.Place.Problem.grid placement ~width in
@@ -82,7 +89,7 @@ let try_width ?(max_iterations = 30) ?timing (params : Fpga_arch.Params.t)
   | exception Not_found -> None
 
 (* Route at a fixed width (raises if infeasible). *)
-let route_fixed ?(max_iterations = 40) ?timing (params : Fpga_arch.Params.t)
+let route_fixed ?(max_iterations = 60) ?timing (params : Fpga_arch.Params.t)
     (placement : Place.Placement.t) ~width =
   match try_width ~max_iterations ?timing params placement width with
   | Some (g, r) ->
@@ -99,7 +106,7 @@ let route_fixed ?(max_iterations = 40) ?timing (params : Fpga_arch.Params.t)
 
 (* Find the minimum routable channel width (VPR's headline metric), then
    return the routing at low stress (1.2x the minimum, the usual practice) *)
-let route_min_width ?(max_iterations = 30) ?(start = 6) ?timing
+let route_min_width ?(max_iterations = 60) ?(start = 6) ?timing
     (params : Fpga_arch.Params.t) (placement : Place.Placement.t) =
   (* grow until routable (the width search itself runs congestion-driven) *)
   let rec grow w =
@@ -157,6 +164,10 @@ type stats = {
   total_wire_tiles : int;     (* wirelength in tile units *)
   switches_used : int;
   critical_path_s : float;
+  router_iterations : int;    (* PathFinder iterations of the final routing *)
+  nets_rerouted : int;        (* rip-up/reroute operations, all iterations *)
+  heap_pops : int;            (* wavefront size, all iterations *)
+  peak_overuse : int;         (* worst per-iteration overused-node count *)
 }
 
 let stats (r : routed) =
@@ -173,6 +184,7 @@ let stats (r : routed) =
           | _ -> ())
         tr.Pathfinder.nodes)
     r.result.Pathfinder.trees;
+  let iters = r.result.Pathfinder.iter_stats in
   {
     channel_width = r.width;
     minimum_width = r.min_width;
@@ -180,4 +192,11 @@ let stats (r : routed) =
     switches_used = !switches;
     critical_path_s =
       Timing.critical_path r.problem r.graph r.constants r.result;
+    router_iterations = r.result.Pathfinder.iterations;
+    nets_rerouted =
+      List.fold_left (fun a (s : Pathfinder.iter_stat) -> a + s.Pathfinder.nets_rerouted) 0 iters;
+    heap_pops =
+      List.fold_left (fun a (s : Pathfinder.iter_stat) -> a + s.Pathfinder.heap_pops) 0 iters;
+    peak_overuse =
+      List.fold_left (fun a (s : Pathfinder.iter_stat) -> max a s.Pathfinder.overused_nodes) 0 iters;
   }

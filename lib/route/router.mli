@@ -44,6 +44,10 @@ type stats = {
   total_wire_tiles : int; (** wirelength in tile units *)
   switches_used : int;
   critical_path_s : float;
+  router_iterations : int; (** PathFinder iterations of the final routing *)
+  nets_rerouted : int;     (** rip-up/reroute operations, all iterations *)
+  heap_pops : int;         (** wavefront size, all iterations *)
+  peak_overuse : int;      (** worst per-iteration overused-node count *)
 }
 
 val stats : routed -> stats

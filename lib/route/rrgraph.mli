@@ -30,7 +30,10 @@ type t = {
   width : int;             (** tracks per channel *)
   params : Fpga_arch.Params.t;
   grid : Fpga_arch.Grid.t;
-  xlo : int array;         (** spatial extent per node (bbox routing) *)
+  xlo : int array;
+  (** spatial extent per node: drives the router's bounding-box pruning
+      and the admissible A* lookahead (a wire's whole span counts — once
+      paid for it can be exited at any switch point along it) *)
   xhi : int array;
   ylo : int array;
   yhi : int array;

@@ -1,12 +1,17 @@
 (* Binary-heap priority queue with float priorities (min-heap).
 
-   Used by the PathFinder router (Dijkstra wavefront) and FlowMap.  Stale
-   entries are handled by the caller (decrease-key is emulated by
-   re-insertion, the standard trick for Dijkstra). *)
+   Used by the PathFinder router (Dijkstra/A* wavefront) and FlowMap.
+   Stale entries are handled by the caller (decrease-key is emulated by
+   re-insertion, the standard trick for Dijkstra).
+
+   Elements live in an ['a option] array so that [pop] and [clear] can
+   drop their references: the router reuses one queue across every net
+   of a routing, and retaining popped payloads would keep them reachable
+   for the whole run. *)
 
 type 'a t = {
   mutable prio : float array;
-  mutable data : 'a array;
+  mutable data : 'a option array;
   mutable size : int;
 }
 
@@ -16,12 +21,14 @@ let length t = t.size
 
 let is_empty t = t.size = 0
 
-let clear t = t.size <- 0
+let clear t =
+  Array.fill t.data 0 t.size None;
+  t.size <- 0
 
-let grow t x =
+let grow t =
   let cap = Array.length t.prio in
   let ncap = if cap = 0 then 16 else 2 * cap in
-  let np = Array.make ncap 0.0 and nd = Array.make ncap x in
+  let np = Array.make ncap 0.0 and nd = Array.make ncap None in
   Array.blit t.prio 0 np 0 t.size;
   Array.blit t.data 0 nd 0 t.size;
   t.prio <- np;
@@ -41,9 +48,9 @@ let rec sift_up t i =
   end
 
 let push t prio x =
-  if t.size >= Array.length t.prio then grow t x;
+  if t.size >= Array.length t.prio then grow t;
   t.prio.(t.size) <- prio;
-  t.data.(t.size) <- x;
+  t.data.(t.size) <- Some x;
   t.size <- t.size + 1;
   sift_up t (t.size - 1)
 
@@ -64,15 +71,18 @@ let rec sift_down t i =
 (* Remove and return the minimum-priority element with its priority. *)
 let pop t =
   if t.size = 0 then raise Not_found;
-  let p = t.prio.(0) and x = t.data.(0) in
+  let p = t.prio.(0) in
+  let x = match t.data.(0) with Some x -> x | None -> assert false in
   t.size <- t.size - 1;
   if t.size > 0 then begin
     t.prio.(0) <- t.prio.(t.size);
     t.data.(0) <- t.data.(t.size);
+    t.data.(t.size) <- None;
     sift_down t 0
-  end;
+  end
+  else t.data.(0) <- None;
   (p, x)
 
 let peek t =
   if t.size = 0 then raise Not_found;
-  (t.prio.(0), t.data.(0))
+  match t.data.(0) with Some x -> (t.prio.(0), x) | None -> assert false

@@ -1,8 +1,12 @@
 (** Binary-heap priority queue with float priorities (min-heap).
 
-    Used by the PathFinder router's Dijkstra wavefront and by FlowMap.
+    Used by the PathFinder router's Dijkstra/A* wavefront and by FlowMap.
     Decrease-key is emulated by re-insertion (the standard Dijkstra trick);
-    stale entries are the caller's concern. *)
+    stale entries are the caller's concern.
+
+    [pop] and [clear] drop their references to removed elements, so a
+    queue may be reused across many searches (the router keeps one alive
+    for a whole routing) without retaining popped payloads. *)
 
 type 'a t
 
@@ -13,7 +17,8 @@ val length : 'a t -> int
 val is_empty : 'a t -> bool
 
 val clear : 'a t -> unit
-(** Remove every element (O(1); storage is retained). *)
+(** Remove every element, dropping the references they held
+    (O(length); storage is retained). *)
 
 val push : 'a t -> float -> 'a -> unit
 (** [push q priority x] inserts [x]. *)

@@ -7,6 +7,7 @@ let () =
       ("synth", Test_synth.suite);
       ("techmap", Test_techmap.suite);
       ("backend", Test_backend.suite);
+      ("route", Test_route.suite);
       ("tools", Test_tools.suite);
       ("properties", Test_properties.suite);
       ("flow", Test_flow.suite);

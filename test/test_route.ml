@@ -1,0 +1,167 @@
+(* Router property and regression tests: tree invariants on random
+   placements, and incremental vs full rip-up agreement. *)
+
+let seed_arb = QCheck.int_bound 100000
+
+let place_random seed =
+  let rng = Util.Prng.create (seed + 71) in
+  let net =
+    Test_properties.random_seq_network rng ~n_inputs:5 ~n_gates:14 ~n_latches:3
+  in
+  let mapped, _ = Techmap.Mapper.map_network ~k:4 ~verify:false net in
+  let packing = Pack.Cluster.pack ~n:5 ~i:12 mapped in
+  let problem = Place.Problem.build packing in
+  let anneal =
+    Place.Anneal.run
+      ~options:{ Place.Anneal.seed = seed + 1; inner_num = 0.3 }
+      problem
+  in
+  (problem, anneal.Place.Anneal.placement)
+
+(* Routed trees are acyclic, connect the source to every sink, and the
+   final occupancy respects every node's capacity. *)
+let prop_routed_trees_valid =
+  QCheck.Test.make ~count:10
+    ~name:"routing: trees acyclic, connected, within capacity" seed_arb
+    (fun seed ->
+      let problem, placement = place_random seed in
+      let routed =
+        Route.Router.route_min_width Fpga_arch.Params.amdrel placement
+      in
+      let g = routed.Route.Router.graph in
+      let nets = Route.Router.net_terminals g problem in
+      Route.Pathfinder.no_overuse routed.Route.Router.result
+      && Array.for_all
+           (fun (spec : Route.Pathfinder.net_spec) ->
+             let tr =
+               routed.Route.Router.result.Route.Pathfinder.trees.(spec.Route.Pathfinder.index)
+             in
+             Route.Pathfinder.tree_connects
+               ~source:spec.Route.Pathfinder.source
+               ~sinks:spec.Route.Pathfinder.sinks tr
+             && Route.Pathfinder.tree_acyclic
+                  ~source:spec.Route.Pathfinder.source
+                  ~sinks:spec.Route.Pathfinder.sinks tr)
+           nets)
+
+(* Incremental rip-up (the default) and classic full rip-up must both
+   route the bench circuits at the same channel width. *)
+let test_incremental_matches_full () =
+  List.iter
+    (fun (name, vhdl) ->
+      let net = Synth.Diviner.synthesize vhdl in
+      let mapped, _ = Techmap.Mapper.map_network ~k:4 ~verify:false net in
+      let packing = Pack.Cluster.pack ~n:5 ~i:12 mapped in
+      let problem = Place.Problem.build packing in
+      let placement =
+        (Place.Anneal.run
+           ~options:{ Place.Anneal.seed = 1; inner_num = 0.5 }
+           problem)
+          .Place.Anneal.placement
+      in
+      let routed =
+        Route.Router.route_min_width Fpga_arch.Params.amdrel placement
+      in
+      let width =
+        match routed.Route.Router.min_width with
+        | Some w -> w
+        | None -> routed.Route.Router.width
+      in
+      let g =
+        Route.Rrgraph.build Fpga_arch.Params.amdrel
+          problem.Place.Problem.grid placement ~width
+      in
+      let nets = Route.Router.net_terminals g problem in
+      let incr = Route.Pathfinder.route ~incremental:true g nets in
+      let full = Route.Pathfinder.route ~incremental:false g nets in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: incremental succeeds at width %d" name width)
+        true incr.Route.Pathfinder.success;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: full rip-up succeeds at width %d" name width)
+        true full.Route.Pathfinder.success;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: incremental routing is legal" name)
+        true (Route.Pathfinder.no_overuse incr))
+    [
+      ("counter12", Core.Bench_circuits.counter 12);
+      ("alu8", Core.Bench_circuits.alu 8);
+    ]
+
+(* The per-iteration stats thread through: iteration 1 reroutes every
+   net, later iterations only the congested subset, and the counters are
+   consistent with the result. *)
+let test_iter_stats () =
+  let problem, placement = place_random 7 in
+  let g =
+    Route.Rrgraph.build Fpga_arch.Params.amdrel problem.Place.Problem.grid
+      placement ~width:8
+  in
+  let nets = Route.Router.net_terminals g problem in
+  let r = Route.Pathfinder.route g nets in
+  let stats = r.Route.Pathfinder.iter_stats in
+  Alcotest.(check int) "one stat per iteration"
+    r.Route.Pathfinder.iterations (List.length stats);
+  (match stats with
+  | first :: rest ->
+      Alcotest.(check int) "iteration 1 reroutes every net"
+        (Array.length nets) first.Route.Pathfinder.nets_rerouted;
+      Alcotest.(check bool) "heap pops counted" true
+        (first.Route.Pathfinder.heap_pops > 0);
+      List.iter
+        (fun (s : Route.Pathfinder.iter_stat) ->
+          Alcotest.(check bool) "incremental reroutes a subset" true
+            (s.Route.Pathfinder.nets_rerouted <= Array.length nets))
+        rest
+  | [] -> Alcotest.fail "no iteration stats");
+  if r.Route.Pathfinder.success then
+    match List.rev stats with
+    | last :: _ ->
+        Alcotest.(check int) "no overused nodes at convergence" 0
+          last.Route.Pathfinder.overused_nodes
+    | [] -> ()
+
+(* A net whose driver cluster lost the signal must fail loudly, not
+   route from slot 0 of the wrong BLE. *)
+let test_net_terminals_bad_driver () =
+  let problem, placement = place_random 11 in
+  let g =
+    Route.Rrgraph.build Fpga_arch.Params.amdrel problem.Place.Problem.grid
+      placement ~width:6
+  in
+  (* corrupt one cluster-driven net's signal so no BLE output matches *)
+  let nets = problem.Place.Problem.nets in
+  let victim =
+    Array.to_list nets
+    |> List.find_map (fun (n : Place.Problem.net) ->
+           match problem.Place.Problem.blocks.(n.Place.Problem.driver) with
+           | Place.Problem.Cluster_block _ -> Some n
+           | _ -> None)
+  in
+  match victim with
+  | None -> () (* no cluster-driven net in this placement; nothing to test *)
+  | Some n ->
+      let idx =
+        let found = ref (-1) in
+        Array.iteri (fun i m -> if m == n then found := i) nets;
+        !found
+      in
+      let saved = nets.(idx) in
+      nets.(idx) <- { saved with Place.Problem.signal = max_int };
+      let raised =
+        match Route.Router.net_terminals g problem with
+        | _ -> false
+        | exception Failure _ -> true
+      in
+      nets.(idx) <- saved;
+      Alcotest.(check bool) "bad driver signal raises Failure" true raised
+
+let suite =
+  [
+    Alcotest.test_case "incremental vs full rip-up" `Slow
+      test_incremental_matches_full;
+    Alcotest.test_case "per-iteration router stats" `Quick test_iter_stats;
+    Alcotest.test_case "net_terminals rejects bad driver" `Quick
+      test_net_terminals_bad_driver;
+    QCheck_alcotest.to_alcotest prop_routed_trees_valid;
+  ]

@@ -105,6 +105,55 @@ let prop_pqueue_sorts =
       let out = drain [] in
       out = List.sort compare floats)
 
+(* Interleaved push/pop/peek against a sorted-multiset model: pops come
+   out in priority order with their own payloads, peek agrees with the
+   next pop, length tracks, and popping empty raises.  (Payload =
+   priority, so payload/priority pairing is checked too.) *)
+let prop_pqueue_interleaved =
+  QCheck.Test.make ~count:200 ~name:"Pqueue: interleaved ops match model"
+    QCheck.(list (option (float_bound_exclusive 1000.0)))
+    (fun ops ->
+      let q = Util.Pqueue.create () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some p ->
+              Util.Pqueue.push q p p;
+              model := List.sort compare (p :: !model);
+              Util.Pqueue.length q = List.length !model
+              && fst (Util.Pqueue.peek q) = List.hd !model
+          | None -> (
+              match !model with
+              | [] -> (
+                  match Util.Pqueue.pop q with
+                  | _ -> false
+                  | exception Not_found -> Util.Pqueue.is_empty q)
+              | m :: rest ->
+                  let p, x = Util.Pqueue.pop q in
+                  model := rest;
+                  p = m && x = m))
+        ops)
+
+(* [clear] really empties: the queue drains as if freshly created. *)
+let prop_pqueue_clear =
+  QCheck.Test.make ~count:100 ~name:"Pqueue: clear then reuse is fresh"
+    QCheck.(pair (list (float_bound_exclusive 100.0))
+              (list (float_bound_exclusive 100.0)))
+    (fun (first, second) ->
+      let q = Util.Pqueue.create () in
+      List.iter (fun p -> Util.Pqueue.push q p p) first;
+      Util.Pqueue.clear q;
+      Util.Pqueue.is_empty q
+      && begin
+           List.iter (fun p -> Util.Pqueue.push q p p) second;
+           let rec drain acc =
+             if Util.Pqueue.is_empty q then List.rev acc
+             else drain (fst (Util.Pqueue.pop q) :: acc)
+           in
+           drain [] = List.sort compare second
+         end)
+
 (* ---------- Union_find ---------- *)
 
 let test_union_find () =
@@ -157,4 +206,6 @@ let suite =
     ("tablefmt alignment", `Quick, test_tablefmt_alignment);
     QCheck_alcotest.to_alcotest prop_lu_random_solve;
     QCheck_alcotest.to_alcotest prop_pqueue_sorts;
+    QCheck_alcotest.to_alcotest prop_pqueue_interleaved;
+    QCheck_alcotest.to_alcotest prop_pqueue_clear;
   ]
