@@ -58,8 +58,9 @@ let () =
             "{\"circuit\": \"%s\", \"min_width\": %d, \"width\": %d, \
              \"route_fixed_s\": %.4f, \"min_width_search_s\": %.4f, \
              \"iterations\": %d, \"nets_rerouted\": %d, \"heap_pops\": %d, \
-             \"peak_overuse\": %d}\n%!"
+             \"peak_overuse\": %d, \"jobs\": %d}\n%!"
             name min_w width t_fixed t_search
             s.Route.Router.router_iterations s.Route.Router.nets_rerouted
-            s.Route.Router.heap_pops s.Route.Router.peak_overuse)
+            s.Route.Router.heap_pops s.Route.Router.peak_overuse
+            (Util.Parallel.default_jobs ()))
     requested

@@ -4,7 +4,7 @@
 
 open Cmdliner
 
-let run input outdir seed fixed_width =
+let run input outdir seed fixed_width jobs =
   let text = Tool_common.read_file input in
   (try Sys.mkdir outdir 0o755 with Sys_error _ -> ());
   let base = Filename.concat outdir (Filename.remove_extension (Filename.basename input)) in
@@ -15,11 +15,14 @@ let run input outdir seed fixed_width =
       search_min_width = fixed_width = None;
       route_width =
         (match fixed_width with Some w -> w | None -> 12);
+      jobs;
     }
   in
+  let w0 = Unix.gettimeofday () in
   let t0 = Sys.time () in
   let r = Core.Flow.run_vhdl ~config text in
   let elapsed = Sys.time () -. t0 in
+  let wall = Unix.gettimeofday () -. w0 in
   (* stage products *)
   Tool_common.write_file (base ^ ".edf") r.Core.Flow.edif;
   Tool_common.write_file (base ^ ".blif") r.Core.Flow.blif_mapped;
@@ -55,13 +58,15 @@ let run input outdir seed fixed_width =
     (if r.Core.Flow.bitstream_verified then "verified" else "MISMATCH")
     (if r.Core.Flow.fabric_verified then "equivalent" else "MISMATCH")
     (base ^ ".bit");
-  Printf.printf "total CPU time: %.2f s (stages: %s)\n" elapsed
+  Printf.printf "total: %.2f s wall, %.2f s CPU over %d domain(s) (stages: %s)\n"
+    wall elapsed
+    (Util.Parallel.resolve_jobs ?jobs ())
     (String.concat ", "
        (List.map
           (fun (nm, t) ->
             (* dotted entries are counters riding in [times], not seconds *)
             if String.contains nm '.' then
-              Printf.sprintf "%s %.0f" nm t
+              Printf.sprintf "%s %g" nm t
             else Printf.sprintf "%s %.3fs" nm t)
           r.Core.Flow.times))
 
@@ -81,12 +86,23 @@ let width_arg =
     & opt (some int) None
     & info [ "route-width" ] ~doc:"fixed channel width (skip the search)")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ]
+        ~doc:
+          "Domain pool size for the parallel stages (width search, \
+           multi-start placement).  Default: the AMDREL_JOBS environment \
+           variable or the machine's recommended domain count.  Results \
+           are bit-identical for any value.")
+
 let cmd =
   Cmd.v
     (Cmd.info "amdrel_flow"
        ~doc:"Run the complete VHDL-to-bitstream design flow")
     Term.(
-      const (fun i o s w -> Tool_common.protect (fun () -> run i o s w))
-      $ input_arg $ outdir_arg $ seed_arg $ width_arg)
+      const (fun i o s w j -> Tool_common.protect (fun () -> run i o s w j))
+      $ input_arg $ outdir_arg $ seed_arg $ width_arg $ jobs_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -11,16 +11,22 @@ type sweep_point = {
   avg_utilization : float;
 }
 
-let run_suite ?(config = Flow.default_config) circuits =
-  List.filter_map
+(* Circuits are independent problems, so the suite fans out across a
+   Domain pool; failures are collected with their stage and reported
+   after the join, in suite order, exactly as the sequential loop did. *)
+let run_suite ?(config = Flow.default_config) ?jobs circuits =
+  Util.Parallel.map_list ?jobs
     (fun (name, vhdl) ->
       match Flow.run_vhdl ~config vhdl with
-      | r -> Some r
-      | exception Flow.Flow_error (stage, e) ->
-          Printf.eprintf "explore: %s failed at %s (%s)\n%!" name stage
-            (Printexc.to_string e);
-          None)
+      | r -> Ok r
+      | exception Flow.Flow_error (stage, e) -> Error (name, stage, e))
     circuits
+  |> List.filter_map (function
+       | Ok r -> Some r
+       | Error (name, stage, e) ->
+           Printf.eprintf "explore: %s failed at %s (%s)\n%!" name stage
+             (Printexc.to_string e);
+           None)
 
 let summarize label results =
   let arr f = Array.of_list (List.map f results) in
@@ -42,7 +48,7 @@ let summarize label results =
   }
 
 (* Cluster-size exploration (paper: N = 5 minimises energy). *)
-let cluster_size_sweep ?(ns = [ 2; 3; 4; 5; 6; 8 ]) ?(circuits = Bench_circuits.suite) () =
+let cluster_size_sweep ?(ns = [ 2; 3; 4; 5; 6; 8 ]) ?(circuits = Bench_circuits.suite) ?jobs () =
   List.map
     (fun n ->
       let params =
@@ -54,11 +60,11 @@ let cluster_size_sweep ?(ns = [ 2; 3; 4; 5; 6; 8 ]) ?(circuits = Bench_circuits.
           }
       in
       let config = { Flow.default_config with Flow.params } in
-      summarize (Printf.sprintf "N=%d" n) (run_suite ~config circuits))
+      summarize (Printf.sprintf "N=%d" n) (run_suite ~config ?jobs circuits))
     ns
 
 (* LUT-size exploration (paper cites K = 4 as the energy sweet spot). *)
-let lut_size_sweep ?(ks = [ 2; 3; 4; 5 ]) ?(circuits = Bench_circuits.suite) () =
+let lut_size_sweep ?(ks = [ 2; 3; 4; 5 ]) ?(circuits = Bench_circuits.suite) ?jobs () =
   List.map
     (fun k ->
       let params =
@@ -70,7 +76,7 @@ let lut_size_sweep ?(ks = [ 2; 3; 4; 5 ]) ?(circuits = Bench_circuits.suite) () 
           }
       in
       let config = { Flow.default_config with Flow.params } in
-      summarize (Printf.sprintf "K=%d" k) (run_suite ~config circuits))
+      summarize (Printf.sprintf "K=%d" k) (run_suite ~config ?jobs circuits))
     ks
 
 (* The input-count rule: utilisation versus I (paper: I = (K/2)(N+1) gives
@@ -82,7 +88,7 @@ type input_rule_point = {
   clusters : float;
 }
 
-let input_rule_sweep ?(circuits = Bench_circuits.suite) () =
+let input_rule_sweep ?(circuits = Bench_circuits.suite) ?jobs () =
   let rule = Fpga_arch.Params.recommended_inputs ~k:4 ~n:5 in
   List.map
     (fun i_value ->
@@ -91,7 +97,7 @@ let input_rule_sweep ?(circuits = Bench_circuits.suite) () =
           { Fpga_arch.Params.amdrel with Fpga_arch.Params.i = i_value }
       in
       let config = { Flow.default_config with Flow.params } in
-      let results = run_suite ~config circuits in
+      let results = run_suite ~config ?jobs circuits in
       let s = summarize (Printf.sprintf "I=%d" i_value) results in
       {
         i_value;
@@ -110,8 +116,8 @@ type td_point = {
   timing_driven_wire : int;
 }
 
-let timing_driven_comparison ?(circuits = Bench_circuits.suite) () =
-  List.filter_map
+let timing_driven_comparison ?(circuits = Bench_circuits.suite) ?jobs () =
+  Util.Parallel.map_list ?jobs
     (fun (name, vhdl) ->
       let run td =
         Flow.run_vhdl
@@ -120,7 +126,7 @@ let timing_driven_comparison ?(circuits = Bench_circuits.suite) () =
       in
       match (run false, run true) with
       | a, b ->
-          Some
+          Ok
             {
               circuit = name;
               routability_crit_ns =
@@ -132,11 +138,14 @@ let timing_driven_comparison ?(circuits = Bench_circuits.suite) () =
               timing_driven_wire =
                 b.Flow.route_stats.Route.Router.total_wire_tiles;
             }
-      | exception Flow.Flow_error (stage, e) ->
-          Printf.eprintf "explore: %s failed at %s (%s)\n%!" name stage
-            (Printexc.to_string e);
-          None)
+      | exception Flow.Flow_error (stage, e) -> Error (name, stage, e))
     circuits
+  |> List.filter_map (function
+       | Ok p -> Some p
+       | Error (name, stage, e) ->
+           Printf.eprintf "explore: %s failed at %s (%s)\n%!" name stage
+             (Printexc.to_string e);
+           None)
 
 (* Switch-style comparison at the selected operating point (pass transistor
    vs tri-state buffer pairs, §3.3.2): circuit-level E/D/A. *)

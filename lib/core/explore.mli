@@ -12,18 +12,22 @@ type sweep_point = {
 }
 
 val run_suite :
-  ?config:Flow.config -> (string * string) list -> Flow.result list
-(** Run circuits through the flow, skipping (and reporting) failures. *)
+  ?config:Flow.config -> ?jobs:int -> (string * string) list ->
+  Flow.result list
+(** Run circuits through the flow, skipping (and reporting) failures.
+    Circuits fan out across a Domain pool of [jobs] workers (default
+    {!Util.Parallel.default_jobs}); results and failure reports keep
+    suite order, so the output is identical for any [jobs]. *)
 
 val summarize : string -> Flow.result list -> sweep_point
 
 val cluster_size_sweep :
-  ?ns:int list -> ?circuits:(string * string) list -> unit ->
+  ?ns:int list -> ?circuits:(string * string) list -> ?jobs:int -> unit ->
   sweep_point list
 (** Paper: N = 5 selected. *)
 
 val lut_size_sweep :
-  ?ks:int list -> ?circuits:(string * string) list -> unit ->
+  ?ks:int list -> ?circuits:(string * string) list -> ?jobs:int -> unit ->
   sweep_point list
 (** Paper cites K = 4. *)
 
@@ -35,7 +39,8 @@ type input_rule_point = {
 }
 
 val input_rule_sweep :
-  ?circuits:(string * string) list -> unit -> input_rule_point list
+  ?circuits:(string * string) list -> ?jobs:int -> unit ->
+  input_rule_point list
 (** BLE utilisation versus I; saturates at I = (K/2)(N+1). *)
 
 type td_point = {
@@ -47,7 +52,7 @@ type td_point = {
 }
 
 val timing_driven_comparison :
-  ?circuits:(string * string) list -> unit -> td_point list
+  ?circuits:(string * string) list -> ?jobs:int -> unit -> td_point list
 
 type switch_point = {
   style : Spice.Routing_exp.switch_style;

@@ -19,6 +19,9 @@ type config = {
   verify_bitstream : bool; (* DAGGER round-trip check *)
   verify_fabric : bool;    (* emulate the bitstream on the fabric model *)
   power_options : Power.Model.options;
+  jobs : int option;       (* Domain pool size; None = AMDREL_JOBS or the
+                              recommended domain count *)
+  place_starts : int;      (* independent annealing seeds; best wins *)
 }
 
 let default_config =
@@ -33,6 +36,8 @@ let default_config =
     verify_bitstream = true;
     verify_fabric = true;
     power_options = Power.Model.default_options;
+    jobs = None;
+    place_starts = 1;
   }
 
 type stage_times = (string * float) list (* seconds per stage *)
@@ -73,6 +78,10 @@ let timed times label f =
    the BLIF-based tools share). *)
 let run_network ?(config = default_config) (net : Logic.t) =
   let times = ref [] in
+  (* wall vs CPU clock over the whole run: with parallel stages the CPU
+     clock (Sys.time counts every domain) runs ahead of the wall clock,
+     and their ratio is the effective speedup recorded below *)
+  let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
   let source_stats = Logic.stats net in
   (* DIVINER end: EDIF out; DRUID: normalise; E2FMT: back to BLIF/logic *)
   let edif =
@@ -109,9 +118,9 @@ let run_network ?(config = default_config) (net : Logic.t) =
           if config.timing_driven then Some Place.Anneal.default_timing
           else None
         in
-        Place.Anneal.run
+        Place.Anneal.run_multistart
           ~options:{ Place.Anneal.seed = config.seed; inner_num = 1.0 }
-          ?timing problem)
+          ?timing ?jobs:config.jobs ~starts:config.place_starts problem)
   in
   (* VPR routing *)
   let routed =
@@ -121,8 +130,8 @@ let run_network ?(config = default_config) (net : Logic.t) =
           else None
         in
         if config.search_min_width then
-          Route.Router.route_min_width ?timing config.params
-            anneal.Place.Anneal.placement
+          Route.Router.route_min_width ?timing ?jobs:config.jobs
+            config.params anneal.Place.Anneal.placement
         else
           Route.Router.route_fixed ?timing config.params
             anneal.Place.Anneal.placement ~width:config.route_width)
@@ -160,6 +169,16 @@ let run_network ?(config = default_config) (net : Logic.t) =
            Bitstream.Dagger.verify_functional routed
              bitstream.Bitstream.Dagger.bytes)
   in
+  (* pool observability: the configured worker count and the measured
+     CPU/wall ratio over the whole run (~1.0 sequential, approaches the
+     job count when the parallel stages dominate).  Counters, not
+     seconds, like the vpr-route.* entries above. *)
+  let wall_s = Unix.gettimeofday () -. wall0 and cpu_s = Sys.time () -. cpu0 in
+  times :=
+    ("parallel.speedup", if wall_s > 0.0 then cpu_s /. wall_s else 1.0)
+    :: ("parallel.jobs",
+        float_of_int (Util.Parallel.resolve_jobs ?jobs:config.jobs ()))
+    :: !times;
   {
     design = net.Logic.model;
     source_stats;

@@ -17,16 +17,24 @@ type config = {
   verify_bitstream : bool; (** DAGGER structural round-trip *)
   verify_fabric : bool;    (** emulate the bitstream on the fabric model *)
   power_options : Power.Model.options;
+  jobs : int option;       (** Domain pool size for the parallel stages;
+                               [None] = [AMDREL_JOBS] or the machine's
+                               recommended domain count.  Outputs are
+                               bit-identical for any value. *)
+  place_starts : int;      (** independent annealing seeds; best final
+                               cost wins (1 = single start) *)
 }
 
 val default_config : config
 (** The paper's platform, all verifications on, width search on,
-    routability-driven. *)
+    routability-driven, single placement start, automatic job count. *)
 
 type stage_times = (string * float) list
-(** CPU seconds per stage, flow order.  Router counters (iterations,
-    nets rerouted, heap pops, peak overuse) ride along as
-    ["vpr-route.*"] entries holding counts rather than seconds. *)
+(** CPU seconds per stage, flow order.  Entries whose name contains a
+    dot are observability counters riding along with the timings rather
+    than seconds: the ["vpr-route.*"] router counters (iterations, nets
+    rerouted, heap pops, peak overuse) and the ["parallel.*"] pool
+    metrics (see docs/OBSERVABILITY.md for the full schema). *)
 
 type result = {
   design : string;

@@ -303,3 +303,26 @@ let run ?(options = default_options) ?timing (problem : Problem.t) =
       accepted = !accepted_total;
     }
   end
+
+(* Multi-start annealing: [starts] independent runs on seeds
+   seed, seed+1, ..., the best final bounding-box cost wins.  Each run
+   only reads the shared problem and derives all randomness from its own
+   seed, so the runs parallelise shared-nothing across a Domain pool and
+   the winner — ties broken toward the lowest seed offset, as a
+   sequential scan would — is identical for any [jobs]. *)
+let run_multistart ?(options = default_options) ?timing ?jobs ?(starts = 1)
+    (problem : Problem.t) =
+  if starts <= 1 then run ~options ?timing problem
+  else begin
+    let results =
+      Util.Parallel.map ?jobs
+        (fun k ->
+          run ~options:{ options with seed = options.seed + k } ?timing
+            problem)
+        (Array.init starts Fun.id)
+    in
+    (* strict < keeps the earliest seed on ties *)
+    Array.fold_left
+      (fun best r -> if r.final_cost < best.final_cost then r else best)
+      results.(0) results
+  end

@@ -37,3 +37,14 @@ val apply_move :
     Exposed for testing. *)
 
 val run : ?options:options -> ?timing:timing_options -> Problem.t -> result
+(** One annealing run.  Fully deterministic in [options.seed]: all
+    randomness derives from the explicit {!Util.Prng} stream. *)
+
+val run_multistart :
+  ?options:options -> ?timing:timing_options -> ?jobs:int -> ?starts:int ->
+  Problem.t -> result
+(** [starts] independent runs on seeds [seed, seed+1, ...]; the lowest
+    final bounding-box cost wins, ties broken toward the lowest seed
+    offset.  Runs are shared-nothing and execute on a Domain pool of
+    [jobs] workers (default {!Util.Parallel.default_jobs}); the winner
+    is identical for any [jobs].  [starts <= 1] is exactly {!run}. *)

@@ -8,6 +8,7 @@ type t = {
 }
 
 val location : t -> int -> Fpga_arch.Grid.location
+(** Slot currently holding a block. *)
 
 val coords : t -> int -> int * int
 (** Grid coordinates of a block (pads report their perimeter position). *)
@@ -25,6 +26,7 @@ val net_cost : t -> Problem.net -> float
 (** q(fanout) x half-perimeter. *)
 
 val total_cost : t -> float
+(** Sum of {!net_cost} over every net (the annealer's objective). *)
 
 val legal : t -> bool
 (** Every block on a distinct slot of the right kind (used by tests). *)

@@ -7,3 +7,4 @@ val channel_usage : Router.routed -> (bool * int * int, int) Hashtbl.t
 (** Used tracks per channel position: key (is_chanx, x, y). *)
 
 val to_string : Router.routed -> string
+(** Render the full array (tiles plus channel usage) as ASCII art. *)

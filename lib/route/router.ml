@@ -105,31 +105,99 @@ let route_fixed ?(max_iterations = 60) ?timing (params : Fpga_arch.Params.t)
   | None -> failwith (Printf.sprintf "unroutable at channel width %d" width)
 
 (* Find the minimum routable channel width (VPR's headline metric), then
-   return the routing at low stress (1.2x the minimum, the usual practice) *)
-let route_min_width ?(max_iterations = 60) ?(start = 6) ?timing
+   return the routing at low stress (1.2x the minimum, the usual practice).
+
+   A probe (is width w routable?) is a pure function of (params,
+   placement, w): the RR graph is rebuilt per probe and PathFinder is
+   deterministic.  That makes the search speculatively parallel: with a
+   [jobs]-domain pool we probe, each round, every width the sequential
+   search could possibly need next — the doubling sequence during the
+   grow phase, the frontier of the binary-search decision tree during
+   the shrink phase — memoise the outcomes, and then advance exactly the
+   sequential decision path over the cache.  The returned minimum width
+   (and hence the final routing) is bit-identical for any [jobs]. *)
+let route_min_width ?(max_iterations = 60) ?(start = 6) ?timing ?jobs
     (params : Fpga_arch.Params.t) (placement : Place.Placement.t) =
-  (* grow until routable (the width search itself runs congestion-driven) *)
-  let rec grow w =
-    if w > 128 then failwith "unroutable even at channel width 128"
-    else
-      match try_width ~max_iterations params placement w with
-      | Some ok -> (w, ok)
-      | None -> grow (w * 2)
+  let jobs = Util.Parallel.resolve_jobs ?jobs () in
+  (* width -> routable?; probes are deterministic, so caching loses
+     nothing and speculation never repeats work *)
+  let cache : (int, bool) Hashtbl.t = Hashtbl.create 16 in
+  let probe_batch widths =
+    match List.filter (fun w -> not (Hashtbl.mem cache w)) widths with
+    | [] -> ()
+    | fresh ->
+        let arr = Array.of_list (List.sort_uniq compare fresh) in
+        let res =
+          Util.Parallel.map ~jobs
+            (fun w ->
+              Option.is_some (try_width ~max_iterations params placement w))
+            arr
+        in
+        Array.iteri (fun i w -> Hashtbl.add cache w res.(i)) arr
   in
-  let hi, hi_ok = grow start in
-  (* binary search down; lo = 0 is by definition unroutable, so the whole
-     untested range below [start] is covered *)
-  let rec shrink lo hi hi_ok =
+  let probe w =
+    match Hashtbl.find_opt cache w with
+    | Some b -> b
+    | None ->
+        probe_batch [ w ];
+        Hashtbl.find cache w
+  in
+  (* grow phase: the doubling sequence start, 2*start, ... <= 128 — the
+     sequential probe order; with a pool, the next [jobs] widths of the
+     sequence are probed concurrently before scanning in order *)
+  let rec doubling w = if w > 128 then [] else w :: doubling (2 * w) in
+  let rec grow = function
+    | [] -> failwith "unroutable even at channel width 128"
+    | ws ->
+        let batch = List.filteri (fun i _ -> i < jobs) ws in
+        probe_batch batch;
+        (match List.find_opt probe batch with
+        | Some w -> w
+        | None -> grow (List.filteri (fun i _ -> i >= jobs) ws))
+  in
+  let hi = grow (doubling start) in
+  (* shrink phase: binary search down over (lo, hi]; lo = 0 is by
+     definition unroutable, so the whole untested range below [start] is
+     covered.  [frontier] walks the decision tree from (lo, hi) through
+     the cache and collects, breadth-first, up to [budget] midpoints the
+     sequential search might still need — the immediate midpoint first,
+     then both speculative children of each unknown outcome. *)
+  let frontier lo hi budget =
+    let acc = ref [] and count = ref 0 in
+    let q = Queue.create () in
+    Queue.push (lo, hi) q;
+    while !count < budget && not (Queue.is_empty q) do
+      let l, h = Queue.pop q in
+      if h - l > 1 then begin
+        let mid = (l + h) / 2 in
+        match Hashtbl.find_opt cache mid with
+        | Some true -> Queue.push (l, mid) q
+        | Some false -> Queue.push (mid, h) q
+        | None ->
+            acc := mid :: !acc;
+            incr count;
+            Queue.push (l, mid) q;
+            Queue.push (mid, h) q
+      end
+    done;
+    !acc
+  in
+  let rec shrink lo hi =
     (* invariant: hi routable, lo not (or lo = 0) *)
-    if hi - lo <= 1 then (hi, hi_ok)
+    if hi - lo <= 1 then hi
     else begin
       let mid = (lo + hi) / 2 in
-      match try_width ~max_iterations params placement mid with
-      | Some ok -> shrink lo mid ok
-      | None -> shrink mid hi hi_ok
+      match Hashtbl.find_opt cache mid with
+      | Some true -> shrink lo mid
+      | Some false -> shrink mid hi
+      | None ->
+          (* each round resolves at least [mid], so this terminates *)
+          if jobs > 1 then probe_batch (frontier lo hi jobs)
+          else ignore (probe mid);
+          shrink lo hi
     end
   in
-  let min_w, _ = shrink 0 hi hi_ok in
+  let min_w = shrink 0 hi in
   (* low-stress final routing, timing-driven if requested *)
   let final_w = max min_w (int_of_float (Float.ceil (1.2 *. float_of_int min_w))) in
   let g, r =

@@ -33,9 +33,15 @@ val route_fixed :
 
 val route_min_width :
   ?max_iterations:int -> ?start:int -> ?timing:Place.Td_timing.delay_model ->
-  Fpga_arch.Params.t -> Place.Placement.t -> routed
+  ?jobs:int -> Fpga_arch.Params.t -> Place.Placement.t -> routed
 (** Binary-search the minimum channel width (VPR's headline metric), then
     return a low-stress (1.2x) routing — timing-driven if requested.
+
+    With [jobs] > 1 (default {!Util.Parallel.default_jobs}) the search
+    probes candidate widths speculatively on a Domain pool: each probe
+    is a pure function of the width, so the memoised outcomes replay the
+    sequential decision path exactly and the result is bit-identical to
+    [jobs = 1].
     @raise Failure when unroutable even at width 128. *)
 
 type stats = {

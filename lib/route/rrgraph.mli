@@ -40,7 +40,12 @@ type t = {
 }
 
 val node_count : t -> int
+(** Number of RR nodes in the graph. *)
 
 val build :
   Fpga_arch.Params.t -> Fpga_arch.Grid.t -> Place.Placement.t ->
   width:int -> t
+(** Build the routing-resource graph for a placed design at the given
+    channel [width].  Pure in its inputs: equal parameters, grid,
+    placement and width give a structurally identical graph, which is
+    what makes speculative width probes safe to run concurrently. *)

@@ -1,0 +1,53 @@
+(** Fixed-size Domain work pool for embarrassingly-parallel stages.
+
+    The flow's coarse-grained hot paths (speculative channel-width
+    probes, independent circuits of a benchmark suite, multi-start
+    annealing seeds) are shared-nothing: each task builds its own
+    problem state and only reads immutable inputs.  This module runs
+    such task arrays across OCaml 5 domains while keeping every
+    observable output identical to the sequential path:
+
+    - results come back in input order, regardless of completion order;
+    - an exception raised by a task is re-raised in the caller, and when
+      several tasks fail the one with the {e lowest index} wins, exactly
+      as a sequential loop would have surfaced it;
+    - nested calls degrade to sequential execution (a worker domain
+      never spawns further domains), so composed parallel stages cannot
+      oversubscribe the machine.
+
+    The pool size comes from, in priority order: the [?jobs] argument,
+    the [AMDREL_JOBS] environment variable, then
+    [Domain.recommended_domain_count ()]. *)
+
+val default_jobs : unit -> int
+(** Pool size used when [?jobs] is omitted: [AMDREL_JOBS] when set to a
+    positive integer, otherwise [Domain.recommended_domain_count ()]. *)
+
+val resolve_jobs : ?jobs:int -> unit -> int
+(** The worker count a [map] with the same [?jobs] would use before
+    clamping to the task count: [max 1 jobs], [default_jobs ()] when
+    omitted, and [1] inside a worker domain (nested parallelism runs
+    sequentially).  Exposed so callers can report the effective pool
+    size (e.g. the flow's [parallel.jobs] counter). *)
+
+val in_worker : unit -> bool
+(** True while executing inside a pool worker (nested [map]s then run
+    sequentially). *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** [map ?jobs f xs] is [Array.map f xs] computed on up to [jobs]
+    domains.  Results are in input order; the first (lowest-index) task
+    exception is re-raised with its backtrace.  [jobs <= 1], singleton
+    and empty inputs, and nested calls run sequentially in the calling
+    domain. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map] over a list, preserving order. *)
+
+val map_reduce :
+  ?jobs:int -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> init:'c ->
+  'a array -> 'c
+(** [map_reduce ?jobs ~map ~reduce ~init xs] maps in parallel, then
+    folds the results {e left-to-right in input order} — the fold is
+    sequential and deterministic, so [reduce] need not be associative
+    or commutative. *)

@@ -94,6 +94,33 @@ let test_flow_deterministic () =
   Alcotest.(check string) "same bitstream" a.Core.Flow.bitstream.Bitstream.Dagger.bytes
     b.Core.Flow.bitstream.Bitstream.Dagger.bytes
 
+(* The whole flow at jobs=1 and jobs=4 (with multi-start placement, so
+   every parallel site is exercised) must agree byte for byte: same
+   minimum width, same placement cost, same bitstream. *)
+let test_flow_jobs_deterministic () =
+  let run jobs =
+    Core.Flow.run_vhdl
+      ~config:
+        { Core.Flow.default_config with Core.Flow.jobs = Some jobs;
+          place_starts = 3 }
+      (Core.Bench_circuits.counter 8)
+  in
+  let a = run 1 and b = run 4 in
+  Alcotest.(check (option int)) "same min width"
+    a.Core.Flow.route_stats.Route.Router.minimum_width
+    b.Core.Flow.route_stats.Route.Router.minimum_width;
+  Alcotest.(check (float 0.0)) "same placement cost"
+    a.Core.Flow.placement_cost b.Core.Flow.placement_cost;
+  Alcotest.(check string) "same bitstream"
+    a.Core.Flow.bitstream.Bitstream.Dagger.bytes
+    b.Core.Flow.bitstream.Bitstream.Dagger.bytes;
+  (* the observability surface carries the pool metrics *)
+  Alcotest.(check bool) "parallel.jobs recorded" true
+    (List.mem_assoc "parallel.jobs" a.Core.Flow.times
+    && List.mem_assoc "parallel.speedup" a.Core.Flow.times);
+  Alcotest.(check (float 0.0)) "parallel.jobs value" 4.0
+    (List.assoc "parallel.jobs" b.Core.Flow.times)
+
 let suite =
   [
     ("flow counter", `Quick, test_flow_counter);
@@ -105,4 +132,5 @@ let suite =
     ("td criticalities bounded", `Quick, test_td_criticalities_bounded);
     ("td placement reports dmax", `Quick, test_td_placement_reports_dmax);
     ("flow deterministic", `Quick, test_flow_deterministic);
+    ("flow jobs-deterministic", `Quick, test_flow_jobs_deterministic);
   ]

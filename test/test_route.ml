@@ -156,10 +156,61 @@ let test_net_terminals_bad_driver () =
       nets.(idx) <- saved;
       Alcotest.(check bool) "bad driver signal raises Failure" true raised
 
+(* The speculative parallel width search must replay the sequential
+   decision path exactly: same minimum width, same final width, and the
+   same routing tree for every net. *)
+let test_width_search_jobs_deterministic () =
+  let _, placement = place_random 1234 in
+  let route jobs =
+    Route.Router.route_min_width ~jobs Fpga_arch.Params.amdrel placement
+  in
+  let seq = route 1 and par = route 4 in
+  Alcotest.(check (option int)) "min width" seq.Route.Router.min_width
+    par.Route.Router.min_width;
+  Alcotest.(check int) "final width" seq.Route.Router.width
+    par.Route.Router.width;
+  Alcotest.(check bool) "identical route trees" true
+    (seq.Route.Router.result.Route.Pathfinder.trees
+    = par.Route.Router.result.Route.Pathfinder.trees)
+
+(* Multi-start annealing is seed-deterministic per start, so the winner
+   (and its every block location) must not depend on the pool size. *)
+let test_multistart_jobs_deterministic () =
+  let problem, _ = place_random 99 in
+  let run jobs =
+    Place.Anneal.run_multistart
+      ~options:{ Place.Anneal.seed = 7; inner_num = 0.3 }
+      ~jobs ~starts:4 problem
+  in
+  let a = run 1 and b = run 4 in
+  Alcotest.(check (float 0.0)) "final cost" a.Place.Anneal.final_cost
+    b.Place.Anneal.final_cost;
+  Alcotest.(check bool) "identical block locations" true
+    (a.Place.Anneal.placement.Place.Placement.loc
+    = b.Place.Anneal.placement.Place.Placement.loc)
+
+(* starts = 1 must be exactly the single run (the flow default). *)
+let test_multistart_single_is_run () =
+  let problem, _ = place_random 5 in
+  let options = { Place.Anneal.seed = 3; inner_num = 0.3 } in
+  let single = Place.Anneal.run ~options problem in
+  let multi = Place.Anneal.run_multistart ~options ~jobs:4 ~starts:1 problem in
+  Alcotest.(check (float 0.0)) "final cost" single.Place.Anneal.final_cost
+    multi.Place.Anneal.final_cost;
+  Alcotest.(check bool) "identical block locations" true
+    (single.Place.Anneal.placement.Place.Placement.loc
+    = multi.Place.Anneal.placement.Place.Placement.loc)
+
 let suite =
   [
     Alcotest.test_case "incremental vs full rip-up" `Slow
       test_incremental_matches_full;
+    Alcotest.test_case "width search jobs-deterministic" `Quick
+      test_width_search_jobs_deterministic;
+    Alcotest.test_case "multi-start jobs-deterministic" `Quick
+      test_multistart_jobs_deterministic;
+    Alcotest.test_case "multi-start single = run" `Quick
+      test_multistart_single_is_run;
     Alcotest.test_case "per-iteration router stats" `Quick test_iter_stats;
     Alcotest.test_case "net_terminals rejects bad driver" `Quick
       test_net_terminals_bad_driver;

@@ -190,6 +190,75 @@ let test_tablefmt_alignment () =
         String.length r1 = String.length r2
     | _ -> false)
 
+(* ---------- Parallel ---------- *)
+
+let test_parallel_map_ordering () =
+  let xs = Array.init 100 Fun.id in
+  let expect = Array.map (fun i -> i * i) xs in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d" jobs)
+        expect
+        (Util.Parallel.map ~jobs (fun i -> i * i) xs))
+    [ 1; 2; 4; 7 ]
+
+let test_parallel_empty_and_singleton () =
+  Alcotest.(check (array int)) "empty" [||]
+    (Util.Parallel.map ~jobs:4 (fun i -> i) [||]);
+  Alcotest.(check (array int)) "singleton" [| 9 |]
+    (Util.Parallel.map ~jobs:4 (fun i -> i * 9) [| 1 |])
+
+exception Boom of int
+
+let test_parallel_exception_first_index () =
+  (* several tasks fail; the lowest index must be the one re-raised,
+     exactly as a sequential loop would surface it *)
+  let raised =
+    match
+      Util.Parallel.map ~jobs:4
+        (fun i -> if i mod 3 = 1 then raise (Boom i) else i)
+        (Array.init 32 Fun.id)
+    with
+    | _ -> None
+    | exception Boom i -> Some i
+  in
+  Alcotest.(check (option int)) "lowest failing index" (Some 1) raised
+
+let test_parallel_map_reduce () =
+  let xs = Array.init 50 (fun i -> i + 1) in
+  let total =
+    Util.Parallel.map_reduce ~jobs:4 ~map:(fun i -> i * i) ~reduce:( + )
+      ~init:0 xs
+  in
+  Alcotest.(check int) "sum of squares" (50 * 51 * 101 / 6) total;
+  (* the fold is sequential in input order, so a non-commutative reduce
+     is safe *)
+  let cat =
+    Util.Parallel.map_reduce ~jobs:3 ~map:string_of_int ~reduce:( ^ ) ~init:""
+      (Array.init 12 Fun.id)
+  in
+  Alcotest.(check string) "ordered fold" "01234567891011" cat
+
+let test_parallel_nested_sequential () =
+  (* a map inside a pool worker must not spawn further domains *)
+  let inner =
+    Util.Parallel.map ~jobs:2
+      (fun _ -> Util.Parallel.resolve_jobs ~jobs:8 ())
+      (Array.init 4 Fun.id)
+  in
+  Array.iter (fun j -> Alcotest.(check int) "nested resolves to 1" 1 j) inner;
+  Alcotest.(check bool) "caller left worker mode" false
+    (Util.Parallel.in_worker ())
+
+let prop_parallel_matches_sequential =
+  QCheck.Test.make ~count:50 ~name:"Parallel.map = Array.map for any jobs"
+    QCheck.(pair (int_range 1 8) (int_range 0 40))
+    (fun (jobs, n) ->
+      let xs = Array.init n (fun i -> i * 7 mod 13) in
+      Util.Parallel.map ~jobs (fun x -> (x * x) + 1) xs
+      = Array.map (fun x -> (x * x) + 1) xs)
+
 let suite =
   [
     ("lu identity", `Quick, test_lu_identity);
@@ -204,6 +273,13 @@ let suite =
     ("union find", `Quick, test_union_find);
     ("stats", `Quick, test_stats);
     ("tablefmt alignment", `Quick, test_tablefmt_alignment);
+    ("parallel map ordering", `Quick, test_parallel_map_ordering);
+    ("parallel empty/singleton", `Quick, test_parallel_empty_and_singleton);
+    ("parallel exception propagation", `Quick,
+     test_parallel_exception_first_index);
+    ("parallel map_reduce", `Quick, test_parallel_map_reduce);
+    ("parallel nested sequential", `Quick, test_parallel_nested_sequential);
+    QCheck_alcotest.to_alcotest prop_parallel_matches_sequential;
     QCheck_alcotest.to_alcotest prop_lu_random_solve;
     QCheck_alcotest.to_alcotest prop_pqueue_sorts;
     QCheck_alcotest.to_alcotest prop_pqueue_interleaved;
