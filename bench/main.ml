@@ -358,6 +358,95 @@ let stress () =
   Printf.printf "\ntotal wall time: %.1f s\n"
     (Unix.gettimeofday () -. t_all0)
 
+(* ---------- Unified STA timing report ---------- *)
+
+let timing () =
+  hr "Unified STA: pre-route vs post-route critical paths across the suite";
+  print_endline
+    "(timing-driven place & route; 'legacy' is the standalone Elmore\n\
+     critical-path estimator the unified engine replaces — the delta\n\
+     column is the parity check, expected within 1%)\n";
+  let rows =
+    Util.Parallel.map_list
+      (fun (name, vhdl) ->
+        let config =
+          { Core.Flow.default_config with Core.Flow.timing_driven = true }
+        in
+        match Core.Flow.run_vhdl ~config vhdl with
+        | r ->
+            let pre = r.Core.Flow.sta_pre.Sta.Analysis.dmax in
+            let post = r.Core.Flow.sta_post.Sta.Analysis.dmax in
+            let legacy =
+              r.Core.Flow.route_stats.Route.Router.critical_path_s
+            in
+            Ok
+              ( name,
+                r,
+                [
+                  name;
+                  Util.Tablefmt.f2 (pre *. 1e9);
+                  Util.Tablefmt.f2 (post *. 1e9);
+                  Util.Tablefmt.f2 (legacy *. 1e9);
+                  Util.Tablefmt.pct ((post -. legacy) /. legacy);
+                  string_of_int
+                    (List.length (Sta.Report.paths r.Core.Flow.sta_post));
+                ] )
+        | exception Core.Flow.Flow_error (stage, e) ->
+            Error (name, stage, Printexc.to_string e))
+      Core.Bench_circuits.suite
+  in
+  let ok =
+    List.filter_map
+      (function
+        | Ok row -> Some row
+        | Error (name, stage, e) ->
+            Printf.printf "%s: FAILED at %s (%s)\n" name stage e;
+            None)
+      rows
+  in
+  Util.Tablefmt.print
+    [
+      "circuit"; "pre dmax(ns)"; "post dmax(ns)"; "legacy(ns)"; "delta";
+      "paths";
+    ]
+    (List.map (fun (_, _, row) -> row) ok);
+  (* the worst path of the largest circuit, end to end *)
+  (match
+     List.find_opt (fun (name, _, _) -> name = "mult4") ok
+   with
+  | Some (_, r, _) ->
+      print_newline ();
+      print_string
+        (Sta.Report.to_text ~title:"mult4 post-route critical path"
+           r.Core.Flow.sta_post
+           (Sta.Report.paths ~k:1 r.Core.Flow.sta_post))
+  | None -> ());
+  (* timing-driven vs routability-driven routing, unified-STA measured *)
+  hr "Timing-driven routing (criticality-weighted PathFinder) vs routability";
+  let compare_one (name, vhdl) =
+    let run td =
+      let config =
+        { Core.Flow.default_config with Core.Flow.timing_driven = td }
+      in
+      Core.Flow.run_vhdl ~config vhdl
+    in
+    let rt = run false and td = run true in
+    [
+      name;
+      Util.Tablefmt.f2 (rt.Core.Flow.sta_post.Sta.Analysis.dmax *. 1e9);
+      Util.Tablefmt.f2 (td.Core.Flow.sta_post.Sta.Analysis.dmax *. 1e9);
+      (match rt.Core.Flow.route_stats.Route.Router.minimum_width with
+      | Some w -> string_of_int w
+      | None -> "-");
+      (match td.Core.Flow.route_stats.Route.Router.minimum_width with
+      | Some w -> string_of_int w
+      | None -> "-");
+    ]
+  in
+  Util.Tablefmt.print
+    [ "circuit"; "rt dmax(ns)"; "td dmax(ns)"; "rt Wmin"; "td Wmin" ]
+    (Util.Parallel.map_list compare_one Core.Bench_circuits.quick_suite)
+
 (* ---------- Bechamel stage timings ---------- *)
 
 let stage_timings () =
@@ -438,6 +527,7 @@ let all =
     ("fig9", fig9);
     ("fig10", fig10);
     ("flow", flow_qor);
+    ("timing", timing);
     ("ablate", ablations);
     ("stress", stress);
     ("stages", stage_timings);

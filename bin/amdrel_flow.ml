@@ -4,7 +4,18 @@
 
 open Cmdliner
 
-let run input outdir seed fixed_width jobs =
+(* The path report: pre-route (placement-distance) and post-route
+   (routed-Elmore) critical paths from the unified STA, as text next to
+   the GUI stage reports and as JSON for scripted consumers (schema in
+   docs/OBSERVABILITY.md). *)
+let timing_report_json design (r : Core.Flow.result) =
+  let pre = r.Core.Flow.sta_pre and post = r.Core.Flow.sta_post in
+  Printf.sprintf "{\"design\": \"%s\", \"pre_route\": %s, \"post_route\": %s}\n"
+    design
+    (Sta.Report.to_json pre (Sta.Report.paths pre))
+    (Sta.Report.to_json post (Sta.Report.paths post))
+
+let run input outdir seed fixed_width jobs timing_report period_ns =
   let text = Tool_common.read_file input in
   (try Sys.mkdir outdir 0o755 with Sys_error _ -> ());
   let base = Filename.concat outdir (Filename.remove_extension (Filename.basename input)) in
@@ -15,6 +26,8 @@ let run input outdir seed fixed_width jobs =
       search_min_width = fixed_width = None;
       route_width =
         (match fixed_width with Some w -> w | None -> 12);
+      timing_driven = timing_report || period_ns <> None;
+      clock_period = Option.map (fun ns -> ns *. 1e-9) period_ns;
       jobs;
     }
   in
@@ -51,6 +64,24 @@ let run input outdir seed fixed_width jobs =
     (r.Core.Flow.route_stats.Route.Router.critical_path_s *. 1e9);
   print_endline "\nplaced-and-routed array:";
   print_string (Route.Render.to_string r.Core.Flow.routed);
+  if timing_report then begin
+    let pre = r.Core.Flow.sta_pre and post = r.Core.Flow.sta_post in
+    let text =
+      Sta.Report.to_text ~title:"pre-route timing (placement distance)" pre
+        (Sta.Report.paths pre)
+      ^ "\n"
+      ^ Sta.Report.to_text ~title:"post-route timing (routed Elmore)" post
+          (Sta.Report.paths post)
+    in
+    print_newline ();
+    print_string text;
+    let design = Filename.remove_extension (Filename.basename input) in
+    Tool_common.write_file (base ^ ".timing.txt") text;
+    Tool_common.write_file (base ^ ".timing.json")
+      (timing_report_json design r);
+    Printf.printf "timing report -> %s, %s\n\n" (base ^ ".timing.txt")
+      (base ^ ".timing.json")
+  end;
   Format.printf "=== 6. Power estimation and FPGA program ===@.  %a@."
     Power.Model.pp r.Core.Flow.power;
   Printf.printf "  %s\n" (Bitstream.Dagger.summary r.Core.Flow.bitstream);
@@ -97,12 +128,36 @@ let jobs_arg =
            variable or the machine's recommended domain count.  Results \
            are bit-identical for any value.")
 
+let timing_report_arg =
+  Arg.(
+    value & flag
+    & info [ "timing-report" ]
+        ~doc:
+          "Run the flow timing-driven and write a unified-STA path report \
+           (pre-route and post-route critical paths, slack per endpoint) \
+           as BASE.timing.txt and BASE.timing.json next to the other \
+           products, in addition to printing it.")
+
+let period_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "period" ] ~docv:"NS"
+        ~doc:
+          "Target clock period in nanoseconds for the slack/WNS/TNS \
+           figures (the platform's DETFFs clock on both edges, so half \
+           the period budgets the combinational logic).  Implies \
+           timing-driven place and route.  Without it slacks are \
+           measured against the achieved critical path.")
+
 let cmd =
   Cmd.v
     (Cmd.info "amdrel_flow"
        ~doc:"Run the complete VHDL-to-bitstream design flow")
     Term.(
-      const (fun i o s w j -> Tool_common.protect (fun () -> run i o s w j))
-      $ input_arg $ outdir_arg $ seed_arg $ width_arg $ jobs_arg)
+      const (fun i o s w j tr p ->
+          Tool_common.protect (fun () -> run i o s w j tr p))
+      $ input_arg $ outdir_arg $ seed_arg $ width_arg $ jobs_arg
+      $ timing_report_arg $ period_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -15,6 +15,9 @@ type config = {
   search_min_width : bool; (* binary-search the minimum channel width *)
   route_width : int;       (* channel width when [search_min_width] is off *)
   timing_driven : bool;    (* VPR's path-timing-driven place & route *)
+  clock_period : float option; (* target clock period (seconds) the STA
+                                  checks slack against; None = unconstrained
+                                  (slacks measured against achieved Dmax) *)
   verify_mapping : bool;   (* random-simulation equivalence after SIS *)
   verify_bitstream : bool; (* DAGGER round-trip check *)
   verify_fabric : bool;    (* emulate the bitstream on the fabric model *)
@@ -32,6 +35,7 @@ let default_config =
     search_min_width = true;
     route_width = 12;
     timing_driven = false;
+    clock_period = None;
     verify_mapping = true;
     verify_bitstream = true;
     verify_fabric = true;
@@ -58,6 +62,8 @@ type result = {
   bitstream : Bitstream.Dagger.generated;
   bitstream_verified : bool;
   fabric_verified : bool;   (* bitstream emulated on the fabric model *)
+  sta_pre : Sta.Analysis.t;         (* unified STA at the final placement *)
+  sta_post : Sta.Analysis.t;        (* unified STA over the routed design *)
   edif : string;                    (* intermediate products, for the tools *)
   blif_mapped : string;
   times : stage_times;
@@ -107,15 +113,31 @@ let run_network ?(config = default_config) (net : Logic.t) =
         Pack.Cluster.pack ~n:config.params.Fpga_arch.Params.n
           ~i:config.params.Fpga_arch.Params.i mapped)
   in
-  (* VPR placement *)
-  let problem =
+  (* VPR placement.  vpr-setup also levelises the unified timing graph:
+     it depends only on the packed netlist, so one build serves the
+     annealer's per-temperature refreshes, the router's criticalities and
+     both final analyses. *)
+  let problem, sta_graph =
     timed times "vpr-setup" (fun () ->
-        Place.Problem.build ~io_rat:config.io_rat packing)
+        let problem = Place.Problem.build ~io_rat:config.io_rat packing in
+        (problem, Sta.Graph.build problem))
+  in
+  let sta_constraints =
+    { Sta.Analysis.default_constraints with
+      Sta.Analysis.period = config.clock_period }
+  in
+  let sta_at coords =
+    Sta.Analysis.run ~constraints:sta_constraints sta_graph
+      (Sta.Delays.of_placement problem ~coords)
   in
   let anneal =
     timed times "vpr-place" (fun () ->
         let timing =
-          if config.timing_driven then Some Place.Anneal.default_timing
+          if config.timing_driven then
+            Some
+              { Place.Anneal.default_timing with
+                Place.Anneal.analyze =
+                  Some (fun ~coords -> Sta.Analysis.to_td (sta_at coords)) }
           else None
         in
         Place.Anneal.run_multistart
@@ -148,6 +170,26 @@ let run_network ?(config = default_config) (net : Logic.t) =
         float_of_int route_stats.Route.Router.nets_rerouted)
     :: ("vpr-route.iterations",
         float_of_int route_stats.Route.Router.router_iterations)
+    :: !times;
+  (* Unified STA: the placement-distance analysis at the final placement
+     and the routed-Elmore analysis over the actual route trees, both on
+     the shared timing graph.  Headline figures ride in [times] as
+     counters (sta.* entries are seconds-of-delay/slack, not durations). *)
+  let sta_pre, sta_post =
+    timed times "sta" (fun () ->
+        let pre =
+          sta_at (Place.Placement.coords anneal.Place.Anneal.placement)
+        in
+        let post =
+          Route.Router.sta ~constraints:sta_constraints ~graph:sta_graph
+            routed
+        in
+        (pre, post))
+  in
+  times :=
+    ("sta.tns", sta_post.Sta.Analysis.tns)
+    :: ("sta.wns", sta_post.Sta.Analysis.wns)
+    :: ("sta.dmax", sta_post.Sta.Analysis.dmax)
     :: !times;
   (* PowerModel *)
   let power =
@@ -195,6 +237,8 @@ let run_network ?(config = default_config) (net : Logic.t) =
     bitstream;
     bitstream_verified;
     fabric_verified;
+    sta_pre;
+    sta_post;
     edif = edif_text;
     blif_mapped;
     times = List.rev !times;

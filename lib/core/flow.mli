@@ -12,7 +12,16 @@ type config = {
   io_rat : int;
   search_min_width : bool; (** binary-search the minimum channel width *)
   route_width : int;       (** channel width when [search_min_width] is off *)
-  timing_driven : bool;    (** VPR's path-timing-driven place & route *)
+  timing_driven : bool;    (** VPR's path-timing-driven place & route,
+                               driven by the unified STA engine
+                               ({!Sta.Analysis} over a timing graph
+                               shared across placement, routing and the
+                               final reports) *)
+  clock_period : float option;
+      (** target clock period in seconds for slack/WNS/TNS; [None]
+          measures slack against the achieved critical path instead.
+          The fabric's flip-flops are double-edge-triggered, so a
+          period [p] leaves [p/2] for combinational logic. *)
   verify_mapping : bool;   (** random-simulation equivalence after SIS *)
   verify_bitstream : bool; (** DAGGER structural round-trip *)
   verify_fabric : bool;    (** emulate the bitstream on the fabric model *)
@@ -33,8 +42,9 @@ type stage_times = (string * float) list
 (** CPU seconds per stage, flow order.  Entries whose name contains a
     dot are observability counters riding along with the timings rather
     than seconds: the ["vpr-route.*"] router counters (iterations, nets
-    rerouted, heap pops, peak overuse) and the ["parallel.*"] pool
-    metrics (see docs/OBSERVABILITY.md for the full schema). *)
+    rerouted, heap pops, peak overuse), the ["sta.*"] post-route timing
+    figures (dmax/wns/tns) and the ["parallel.*"] pool metrics (see
+    docs/OBSERVABILITY.md for the full schema). *)
 
 type result = {
   design : string;
@@ -52,6 +62,11 @@ type result = {
   bitstream : Bitstream.Dagger.generated;
   bitstream_verified : bool;
   fabric_verified : bool;
+  sta_pre : Sta.Analysis.t;
+      (** unified STA at the final placement (placement-distance delays) *)
+  sta_post : Sta.Analysis.t;
+      (** unified STA over the routed design (routed-Elmore delays);
+          feed either to {!Sta.Report.paths} for critical-path reports *)
   edif : string;        (** intermediate products, for the tools *)
   blif_mapped : string;
   times : stage_times;

@@ -6,15 +6,18 @@
     half unused. *)
 
 type t = {
-  index : int;
+  index : int;        (** position in the {!form} result *)
   lut : int option;   (** mapped-network signal computed by the LUT *)
   ff : int option;    (** latch signal registered in this BLE *)
   output : int;       (** the signal this BLE drives *)
   inputs : int list;  (** distinct input signals *)
-  name : string;
+  name : string;      (** the output signal's name, for reports *)
 }
 
 val uses_ff : t -> bool
+(** Whether the BLE's flip-flop half is occupied ([ff <> None]). *)
 
 val form : Netlist.Logic.t -> t array
-(** Build BLEs from a K-LUT network. *)
+(** Build BLEs from a K-LUT network: one per LUT and per latch, merged
+    when the single-fanout rule allows.  Order follows the network's
+    gate order (deterministic). *)

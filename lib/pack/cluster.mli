@@ -7,7 +7,7 @@
     — the input-sharing effect the I = (K/2)(N+1) rule builds on. *)
 
 type t = {
-  id : int;
+  id : int;                (** position in {!packing.clusters} *)
   bles : Ble.t list;       (** at most N *)
   input_nets : int list;   (** signals entering the cluster *)
   output_nets : int list;  (** BLE outputs used outside the cluster *)
@@ -28,7 +28,10 @@ val pack : ?n:int -> ?i:int -> Netlist.Logic.t -> packing
 (** Defaults: the platform's N = 5, I = 12. *)
 
 val cluster_count : packing -> int
+(** Number of clusters (the CLB demand placement must satisfy). *)
+
 val ble_count : packing -> int
+(** Total BLEs across all clusters (occupied slots, not capacity). *)
 
 val check : packing -> bool
 (** The N / I / one-cluster-per-BLE invariants (used by tests). *)

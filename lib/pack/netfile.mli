@@ -2,8 +2,13 @@
     VPR, mirroring the role of VPR's .net format. *)
 
 exception Parse_error of string
+(** Malformed netlist file or a reference to a signal the mapped
+    network does not define. *)
 
 val to_string : Cluster.packing -> string
+(** Render a packing in the .net text format (inverse of
+    {!of_string}; the round trip is property-tested). *)
+
 val to_file : string -> Cluster.packing -> unit
 
 val of_string : Netlist.Logic.t -> string -> Cluster.packing

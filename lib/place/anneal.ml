@@ -21,10 +21,14 @@ type timing_options = {
   lambda : float;     (* timing tradeoff; VPR default 0.5 *)
   crit_exp : float;   (* criticality exponent; VPR default 1.0 *)
   model : Td_timing.delay_model;
+  analyze : (coords:(int -> int * int) -> Td_timing.analysis) option;
+      (* external timing analysis (the flow injects lib/sta here);
+         None = the built-in Td_timing distance model *)
 }
 
 let default_timing =
-  { lambda = 0.5; crit_exp = 1.0; model = Td_timing.default_model }
+  { lambda = 0.5; crit_exp = 1.0; model = Td_timing.default_model;
+    analyze = None }
 
 type result = {
   placement : Placement.t;
@@ -68,6 +72,25 @@ let apply_move (pl : Placement.t) b target =
   swap b target occupant from;
   fun () -> swap b from occupant target
 
+(* Reusable per-net costing scratch.  A run fully overwrites the first
+   n_nets slots of both arrays before reading them, so a scratch can be
+   handed to consecutive runs (multi-start seeds executing on the same
+   domain) with no effect on any result — it only saves the per-start
+   allocation. *)
+type scratch = { mutable bb : float array; mutable td : float array }
+
+let create_scratch () = { bb = [||]; td = [||] }
+
+let scratch_arrays scratch n =
+  match scratch with
+  | Some s ->
+      if Array.length s.bb < n then begin
+        s.bb <- Array.make n 0.0;
+        s.td <- Array.make n 0.0
+      end;
+      (s.bb, s.td)
+  | None -> (Array.make n 0.0, Array.make n 0.0)
+
 (* Nets touching a block. *)
 let nets_of_block (problem : Problem.t) =
   let touch = Array.make (Array.length problem.Problem.blocks) [] in
@@ -78,7 +101,7 @@ let nets_of_block (problem : Problem.t) =
     problem.Problem.nets;
   Array.map (List.sort_uniq compare) touch
 
-let run ?(options = default_options) ?timing (problem : Problem.t) =
+let run ?(options = default_options) ?timing ?scratch (problem : Problem.t) =
   let rng = Util.Prng.create options.seed in
   let pl = Placement.initial ~seed:options.seed problem in
   let grid = problem.Problem.grid in
@@ -96,16 +119,32 @@ let run ?(options = default_options) ?timing (problem : Problem.t) =
     }
   else begin
     let touch = nets_of_block problem in
-    (* ---- cost bookkeeping ---- *)
-    let bb_costs = Array.map (Placement.net_cost pl) nets in
-    let bb_total = ref (Array.fold_left ( +. ) 0.0 bb_costs) in
+    (* ---- cost bookkeeping (arrays possibly longer than n_nets when a
+       shared scratch is in use; only the first n_nets slots are live) ---- *)
+    let bb_costs, td_costs = scratch_arrays scratch n_nets in
+    let sum arr =
+      let s = ref 0.0 in
+      for i = 0 to n_nets - 1 do
+        s := !s +. arr.(i)
+      done;
+      !s
+    in
+    for ni = 0 to n_nets - 1 do
+      bb_costs.(ni) <- Placement.net_cost pl nets.(ni)
+    done;
+    let bb_total = ref (sum bb_costs) in
     let initial_cost = !bb_total in
     (* timing-driven state *)
     let coords b = Placement.coords pl b in
+    let analyze_timing t =
+      match t.analyze with
+      | Some f -> f ~coords
+      | None -> Td_timing.analyze ~model:t.model problem ~coords
+    in
     let criticality =
       ref
         (match timing with
-        | Some t -> (Td_timing.analyze ~model:t.model problem ~coords).Td_timing.criticality
+        | Some t -> (analyze_timing t).Td_timing.criticality
         | None -> [||])
     in
     let td_cost_of_net ni =
@@ -128,8 +167,10 @@ let run ?(options = default_options) ?timing (problem : Problem.t) =
             net.Problem.sinks;
           !acc
     in
-    let td_costs = Array.init n_nets td_cost_of_net in
-    let td_total = ref (Array.fold_left ( +. ) 0.0 td_costs) in
+    for ni = 0 to n_nets - 1 do
+      td_costs.(ni) <- td_cost_of_net ni
+    done;
+    let td_total = ref (sum td_costs) in
     (* normalisation scales, refreshed per temperature *)
     let bb_scale = ref 0.0 and td_scale = ref 0.0 in
     let refresh_scales () =
@@ -259,10 +300,11 @@ let run ?(options = default_options) ?timing (problem : Problem.t) =
       (* refresh criticalities and normalisations at each temperature *)
       (match timing with
       | Some t ->
-          criticality :=
-            (Td_timing.analyze ~model:t.model problem ~coords).Td_timing.criticality;
-          Array.iteri (fun ni _ -> td_costs.(ni) <- td_cost_of_net ni) td_costs;
-          td_total := Array.fold_left ( +. ) 0.0 td_costs
+          criticality := (analyze_timing t).Td_timing.criticality;
+          for ni = 0 to n_nets - 1 do
+            td_costs.(ni) <- td_cost_of_net ni
+          done;
+          td_total := sum td_costs
       | None -> ());
       refresh_scales ();
       let accepted_before = !accepted_total in
@@ -290,8 +332,7 @@ let run ?(options = default_options) ?timing (problem : Problem.t) =
     done;
     let estimated_dmax =
       match timing with
-      | Some t ->
-          Some (Td_timing.analyze ~model:t.model problem ~coords).Td_timing.dmax
+      | Some t -> Some (analyze_timing t).Td_timing.dmax
       | None -> None
     in
     {
@@ -309,7 +350,15 @@ let run ?(options = default_options) ?timing (problem : Problem.t) =
    only reads the shared problem and derives all randomness from its own
    seed, so the runs parallelise shared-nothing across a Domain pool and
    the winner — ties broken toward the lowest seed offset, as a
-   sequential scan would — is identical for any [jobs]. *)
+   sequential scan would — is identical for any [jobs].
+
+   The costing scratch is shared across the seeds a domain executes
+   (domain-local storage, so workers never alias each other's arrays):
+   sequentially that is one allocation for all starts instead of one per
+   start, and a run overwrites every live slot before reading it, so the
+   reuse is invisible in the results. *)
+let scratch_key = Domain.DLS.new_key (fun () -> create_scratch ())
+
 let run_multistart ?(options = default_options) ?timing ?jobs ?(starts = 1)
     (problem : Problem.t) =
   if starts <= 1 then run ~options ?timing problem
@@ -318,7 +367,7 @@ let run_multistart ?(options = default_options) ?timing ?jobs ?(starts = 1)
       Util.Parallel.map ?jobs
         (fun k ->
           run ~options:{ options with seed = options.seed + k } ?timing
-            problem)
+            ~scratch:(Domain.DLS.get scratch_key) problem)
         (Array.init starts Fun.id)
     in
     (* strict < keeps the earliest seed on ties *)

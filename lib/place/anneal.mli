@@ -18,9 +18,18 @@ type timing_options = {
   lambda : float;   (** timing tradeoff; VPR default 0.5 *)
   crit_exp : float; (** criticality exponent; VPR default 1.0 *)
   model : Td_timing.delay_model;
+  analyze : (coords:(int -> int * int) -> Td_timing.analysis) option;
+      (** external analysis hook, refreshed at every temperature with the
+          current block coordinates.  [None] falls back to the built-in
+          {!Td_timing} distance model; the flow injects the unified STA
+          engine ([Sta.Analysis] over a shared timing graph) here.  The
+          hook must be pure — multi-start runs call it concurrently from
+          several domains. *)
 }
 
 val default_timing : timing_options
+(** lambda 0.5, crit_exp 1.0, default distance model, no external
+    analysis hook. *)
 
 type result = {
   placement : Placement.t;
@@ -36,9 +45,22 @@ val apply_move :
 (** Move/swap a block to a target slot; returns the undo closure.
     Exposed for testing. *)
 
-val run : ?options:options -> ?timing:timing_options -> Problem.t -> result
+type scratch
+(** Reusable per-net costing buffers (bounding-box and timing cost
+    arrays).  A run overwrites every live slot before reading it, so
+    passing the same scratch to consecutive runs changes nothing but
+    the allocation count. *)
+
+val create_scratch : unit -> scratch
+(** An empty scratch; grows to fit the largest problem it serves. *)
+
+val run :
+  ?options:options -> ?timing:timing_options -> ?scratch:scratch ->
+  Problem.t -> result
 (** One annealing run.  Fully deterministic in [options.seed]: all
-    randomness derives from the explicit {!Util.Prng} stream. *)
+    randomness derives from the explicit {!Util.Prng} stream.
+    [scratch] (optional) reuses costing buffers from a previous run on
+    the same domain instead of allocating fresh ones. *)
 
 val run_multistart :
   ?options:options -> ?timing:timing_options -> ?jobs:int -> ?starts:int ->
@@ -47,4 +69,7 @@ val run_multistart :
     final bounding-box cost wins, ties broken toward the lowest seed
     offset.  Runs are shared-nothing and execute on a Domain pool of
     [jobs] workers (default {!Util.Parallel.default_jobs}); the winner
-    is identical for any [jobs].  [starts <= 1] is exactly {!run}. *)
+    is identical for any [jobs].  [starts <= 1] is exactly {!run}.
+    The costing scratch is shared across the seeds each domain executes
+    (domain-local storage), so a sequential multi-start allocates the
+    cost arrays once instead of once per start. *)

@@ -12,7 +12,8 @@ type t = {
 }
 
 val estimate : ?cycles:int -> ?seed:int -> Netlist.Logic.t -> t
-(** Simulation mode: random vectors over [cycles] clock cycles. *)
+(** Simulation mode: random vectors over [cycles] clock cycles
+    (default 512), deterministic in [seed]. *)
 
 val tt_probability : Netlist.Tt.t -> float array -> float
 (** P(f = 1) under independent input probabilities. *)

@@ -9,11 +9,11 @@
     configuration cell plus per BLE. *)
 
 type report = {
-  dynamic_w : float;
-  clock_w : float;
-  short_circuit_w : float;
-  leakage_w : float;
-  total_w : float;
+  dynamic_w : float;        (** signal-toggling power, routed + local nets *)
+  clock_w : float;          (** clock network at f/2 (DETFF), gating residuals *)
+  short_circuit_w : float;  (** 10 % of dynamic (the model's convention) *)
+  leakage_w : float;        (** per configuration cell + per BLE *)
+  total_w : float;          (** sum of the four components *)
   net_energy_breakdown : (string * float) list;
       (** top consumers, J per cycle *)
 }
@@ -24,8 +24,8 @@ type activity_mode =
 
 type options = {
   frequency : float; (** data rate, Hz *)
-  vdd : float;
-  activity_cycles : int;
+  vdd : float;       (** supply voltage; energies scale as VDD^2 *)
+  activity_cycles : int; (** simulation length for {!Simulated} mode *)
   activity_mode : activity_mode;
 }
 
@@ -33,5 +33,9 @@ val default_options : options
 (** 100 MHz, the process VDD, 512 simulated activity cycles. *)
 
 val estimate : ?options:options -> Route.Router.routed -> report
+(** Power of a placed-and-routed design: activity estimation over the
+    mapped network, then capacitance extraction from the routing trees
+    and cluster crossbars.  Deterministic (fixed activity seed). *)
 
 val pp : Format.formatter -> report -> unit
+(** One line: the four components and the total, in mW. *)

@@ -63,23 +63,31 @@ let node_delays (g : Rrgraph.t) (consts : Timing.constants) =
       | Rrgraph.Sink _ -> 0.0)
     g.Rrgraph.nodes
 
-let try_width ?(max_iterations = 60) ?timing (params : Fpga_arch.Params.t)
+(* Per-net timing weights for the criticality-weighted PathFinder cost:
+   one unified STA pass (placement-distance provider) over the packed
+   netlist.  Criticality is capped so the congestion term never vanishes
+   and PathFinder can still negotiate overuse away (VPR does the same).
+   The weights depend only on the placement, not the channel width, so a
+   width search computes them once for its final timing-driven routing. *)
+let net_criticalities ?(model = Place.Td_timing.default_model)
+    (placement : Place.Placement.t) =
+  let problem = placement.Place.Placement.problem in
+  let graph = Sta.Graph.build problem in
+  let provider =
+    Sta.Delays.of_placement ~model problem
+      ~coords:(Place.Placement.coords placement)
+  in
+  let a = Sta.Analysis.run graph provider in
+  Array.map (Float.min 0.95) a.Sta.Analysis.net_criticality
+
+let try_width ?(max_iterations = 60) ?crit (params : Fpga_arch.Params.t)
     (placement : Place.Placement.t) width =
   let problem = placement.Place.Placement.problem in
   let g = Rrgraph.build params problem.Place.Problem.grid placement ~width in
   let criticalities, node_delay =
-    match timing with
+    match crit with
     | None -> (None, None)
-    | Some model ->
-        let coords b = Place.Placement.coords placement b in
-        let a = Place.Td_timing.analyze ~model problem ~coords in
-        (* cap criticality so the congestion term never vanishes and
-           PathFinder can still negotiate overuse away (VPR does the same) *)
-        let per_net =
-          Array.map
-            (fun crits -> Float.min 0.95 (Array.fold_left Float.max 0.0 crits))
-            a.Place.Td_timing.criticality
-        in
+    | Some per_net ->
         (Some per_net, Some (node_delays g (Timing.default_constants params)))
   in
   let nets = net_terminals ?criticalities g problem in
@@ -91,7 +99,8 @@ let try_width ?(max_iterations = 60) ?timing (params : Fpga_arch.Params.t)
 (* Route at a fixed width (raises if infeasible). *)
 let route_fixed ?(max_iterations = 60) ?timing (params : Fpga_arch.Params.t)
     (placement : Place.Placement.t) ~width =
-  match try_width ~max_iterations ?timing params placement width with
+  let crit = Option.map (fun model -> net_criticalities ~model placement) timing in
+  match try_width ~max_iterations ?crit params placement width with
   | Some (g, r) ->
       {
         problem = placement.Place.Placement.problem;
@@ -198,17 +207,20 @@ let route_min_width ?(max_iterations = 60) ?(start = 6) ?timing ?jobs
     end
   in
   let min_w = shrink 0 hi in
-  (* low-stress final routing, timing-driven if requested *)
+  (* low-stress final routing, timing-driven if requested; width probes
+     above stay congestion-only, so the criticalities are computed once
+     here, for the final routing alone *)
+  let crit = Option.map (fun model -> net_criticalities ~model placement) timing in
   let final_w = max min_w (int_of_float (Float.ceil (1.2 *. float_of_int min_w))) in
   let g, r =
     match
-      try_width ~max_iterations:(2 * max_iterations) ?timing params placement
+      try_width ~max_iterations:(2 * max_iterations) ?crit params placement
         final_w
     with
     | Some ok -> ok
     | None -> (
         match
-          try_width ~max_iterations:(2 * max_iterations) ?timing params
+          try_width ~max_iterations:(2 * max_iterations) ?crit params
             placement (2 * final_w)
         with
         | Some ok -> ok
@@ -223,6 +235,18 @@ let route_min_width ?(max_iterations = 60) ?(start = 6) ?timing ?jobs
     min_width = Some min_w;
     constants = Timing.default_constants params;
   }
+
+(* Unified post-route STA over the actual routing trees: the routed
+   Elmore delays feed the same propagation engine the placer uses, so
+   pre- and post-route figures are directly comparable.  [graph] reuses
+   a previously built timing graph (it depends only on the problem, not
+   the routing). *)
+let sta ?constraints ?graph (r : routed) =
+  let g =
+    match graph with Some g -> g | None -> Sta.Graph.build r.problem
+  in
+  let provider = Sta_provider.routed r.problem r.graph r.constants r.result in
+  Sta.Analysis.run ?constraints g provider
 
 (* ---------- statistics ---------- *)
 

@@ -20,11 +20,20 @@ val net_terminals :
 val node_delays : Rrgraph.t -> Timing.constants -> float array
 (** Per-node delay estimate for the timing-driven router. *)
 
+val net_criticalities :
+  ?model:Place.Td_timing.delay_model -> Place.Placement.t -> float array
+(** Per-net timing weights for the criticality-weighted PathFinder cost:
+    one unified-STA pass ({!Sta.Analysis.run} with the placement-distance
+    provider), capped at 0.95 so the congestion term never vanishes.
+    Index-aligned with the problem's net array. *)
+
 val try_width :
-  ?max_iterations:int -> ?timing:Place.Td_timing.delay_model ->
+  ?max_iterations:int -> ?crit:float array ->
   Fpga_arch.Params.t -> Place.Placement.t -> int ->
   (Rrgraph.t * Pathfinder.result) option
-(** Attempt a routing at the given channel width; None if infeasible. *)
+(** Attempt a routing at the given channel width; None if infeasible.
+    [crit] (per-net, pre-capped — see {!net_criticalities}) enables the
+    timing-driven cost. *)
 
 val route_fixed :
   ?max_iterations:int -> ?timing:Place.Td_timing.delay_model ->
@@ -41,8 +50,18 @@ val route_min_width :
     probes candidate widths speculatively on a Domain pool: each probe
     is a pure function of the width, so the memoised outcomes replay the
     sequential decision path exactly and the result is bit-identical to
-    [jobs = 1].
+    [jobs = 1].  Width probes are congestion-only; the final low-stress
+    routing is timing-driven when [timing] is given (criticalities from
+    one unified-STA pass at the final placement).
     @raise Failure when unroutable even at width 128. *)
+
+val sta :
+  ?constraints:Sta.Analysis.constraints -> ?graph:Sta.Graph.t -> routed ->
+  Sta.Analysis.t
+(** Post-route unified STA: routed-Elmore delays ({!Sta_provider.routed})
+    through {!Sta.Analysis.run}, directly comparable with the pre-route
+    (placement-distance) analysis.  [graph] reuses an already-built
+    timing graph — it depends only on the problem, not the routing. *)
 
 type stats = {
   channel_width : int;

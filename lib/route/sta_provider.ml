@@ -1,0 +1,59 @@
+(* Routed-Elmore delay provider: post-route interconnect delays from
+   the actual routing trees (Timing.elmore over each tree), wrapped as a
+   [Sta.Delays.provider] so the unified STA engine can analyse the
+   routed design with the same propagation it uses pre-route.
+
+   Semantics match the legacy [Timing.critical_path] estimator exactly:
+   same-block connections cost the intra-cluster feedback delay,
+   inter-block connections the Elmore delay of the routed net (falling
+   back to the local delay when no route reaches that block), pad-bound
+   signals the routed delay to the pad (0 when unrouted). *)
+
+let routed (problem : Place.Problem.t) (g : Rrgraph.t)
+    (consts : Timing.constants) (routes : Pathfinder.result) =
+  let block_of = Place.Td_timing.block_of_signal problem in
+  (* routed delays per (signal, sink block) *)
+  let routed_tbl = Hashtbl.create 64 in
+  Array.iter
+    (fun (tr : Pathfinder.route_tree) ->
+      let net = problem.Place.Problem.nets.(tr.Pathfinder.net_index) in
+      let source_node =
+        match
+          List.find_opt
+            (fun nd ->
+              match g.Rrgraph.nodes.(nd).Rrgraph.kind with
+              | Rrgraph.Opin _ -> true
+              | _ -> false)
+            tr.Pathfinder.nodes
+        with
+        | Some s -> s
+        | None -> List.hd tr.Pathfinder.nodes
+      in
+      let ds = Timing.net_delays g consts ~source:source_node tr in
+      Hashtbl.iter
+        (fun sink_block d ->
+          Hashtbl.replace routed_tbl (net.Place.Problem.signal, sink_block) d)
+        ds)
+    routes.Pathfinder.trees;
+  let conn s u =
+    match (Hashtbl.find_opt block_of s, Hashtbl.find_opt block_of u) with
+    | Some a, Some b when a = b -> consts.Timing.t_ble_local
+    | _, Some b -> (
+        match Hashtbl.find_opt routed_tbl (s, b) with
+        | Some d -> d
+        | None -> consts.Timing.t_ble_local)
+    | _ -> consts.Timing.t_ble_local
+  in
+  let pad s block =
+    match Hashtbl.find_opt routed_tbl (s, block) with
+    | Some d -> d
+    | None -> 0.0
+  in
+  {
+    Sta.Delays.name = "routed-elmore";
+    conn;
+    pad;
+    t_logic = consts.Timing.t_lut;
+    t_clk_q = consts.Timing.t_clk_q;
+    t_setup = consts.Timing.t_setup;
+  }

@@ -1,0 +1,11 @@
+(** Routed-Elmore delay provider for the unified STA engine.
+
+    Wraps {!Timing.elmore} over the actual routing trees as a
+    [Sta.Delays.provider], so [Sta.Analysis.run] reports post-route
+    critical paths, slacks and criticalities.  Delay semantics match
+    the legacy {!Timing.critical_path} estimator exactly (the parity the
+    STA tests assert). *)
+
+val routed :
+  Place.Problem.t -> Rrgraph.t -> Timing.constants -> Pathfinder.result ->
+  Sta.Delays.provider

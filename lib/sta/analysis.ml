@@ -1,0 +1,178 @@
+(* Forward/backward static timing over a levelized graph.
+
+   Arrival times propagate level by level from the sources (inputs,
+   constants, latch Q outputs); required times propagate back from the
+   endpoints, anchored at the critical-path delay Dmax so the worst path
+   has zero anchor-slack (VPR's convention — criticality then falls out
+   as 1 - slack / Dmax regardless of the external constraint).  The
+   user-visible slack/WNS/TNS are measured against the effective period:
+   the clock constraint, halved when the platform's double-edge-triggered
+   flip-flops are in use (data must traverse in half a clock cycle), or
+   Dmax itself when unconstrained.
+
+   Wide levels propagate on the [Util.Parallel] Domain pool: nodes of a
+   level depend only on strictly lower levels, so a level maps
+   race-free; narrow levels (the common case inside the annealer's
+   refresh loop) stay sequential to avoid domain-spawn overhead. *)
+
+open Netlist
+
+type constraints = {
+  period : float option;
+  detff : bool;
+}
+
+let default_constraints = { period = None; detff = true }
+
+type t = {
+  graph : Graph.t;
+  provider : Delays.provider;
+  constraints : constraints;
+  arrival : float array;
+  required : float array;
+  endpoint_arrival : float array;
+  dmax : float;
+  budget : float;
+  wns : float;
+  tns : float;
+  criticality : float array array;
+  net_criticality : float array;
+}
+
+(* Levels narrower than this propagate sequentially: a Domain spawn per
+   level costs more than it saves on small circuits (and the annealer's
+   per-temperature refreshes run inside pool workers anyway, where
+   [Util.Parallel.map] already degrades to sequential). *)
+let par_threshold = 512
+
+let map_level ?jobs compute level (dst : float array) =
+  if Array.length level >= par_threshold then begin
+    let vals = Util.Parallel.map ?jobs compute level in
+    Array.iteri (fun i id -> dst.(id) <- vals.(i)) level
+  end
+  else Array.iter (fun id -> dst.(id) <- compute id) level
+
+let clamp01 c = Float.min 1.0 (Float.max 0.0 c)
+
+let run ?(constraints = default_constraints) ?jobs (g : Graph.t)
+    (p : Delays.provider) =
+  let n = g.Graph.n in
+  let net = g.Graph.net in
+  (* ---- forward: arrival times, level by level ---- *)
+  let arrival = Array.make n 0.0 in
+  let arrive id =
+    match Logic.driver net id with
+    | Logic.Input | Logic.Const _ -> 0.0
+    | Logic.Latch _ -> p.Delays.t_clk_q
+    | Logic.Gate { fanins; _ } ->
+        p.Delays.t_logic
+        +. Array.fold_left
+             (fun acc f -> Float.max acc (arrival.(f) +. p.Delays.conn f id))
+             0.0 fanins
+  in
+  Array.iter (fun level -> map_level ?jobs arrive level arrival) g.Graph.levels;
+  (* ---- endpoint arrivals and the critical path ---- *)
+  let endpoint_arrival =
+    Array.map
+      (function
+        | Graph.Reg_data { latch; data } ->
+            arrival.(data) +. p.Delays.conn data latch +. p.Delays.t_setup
+        | Graph.Pad_out { block; signal } ->
+            arrival.(signal) +. p.Delays.pad signal block)
+      g.Graph.endpoints
+  in
+  let dmax = Array.fold_left Float.max 1e-12 endpoint_arrival in
+  (* ---- backward: required times anchored at dmax, pulled level by
+     level from each node's consumers (race-free: a consumer is always
+     at a strictly higher level) ---- *)
+  let ep_contrib = Array.make n infinity in
+  Array.iter
+    (function
+      | Graph.Reg_data { latch; data } ->
+          ep_contrib.(data) <-
+            Float.min ep_contrib.(data)
+              (dmax -. p.Delays.conn data latch -. p.Delays.t_setup)
+      | Graph.Pad_out { block; signal } ->
+          ep_contrib.(signal) <-
+            Float.min ep_contrib.(signal) (dmax -. p.Delays.pad signal block))
+    g.Graph.endpoints;
+  let required = Array.make n infinity in
+  let require id =
+    List.fold_left
+      (fun acc u ->
+        Float.min acc (required.(u) -. p.Delays.t_logic -. p.Delays.conn id u))
+      ep_contrib.(id) g.Graph.consumers.(id)
+  in
+  for l = Array.length g.Graph.levels - 1 downto 0 do
+    map_level ?jobs require g.Graph.levels.(l) required
+  done;
+  (* ---- effective timing budget, WNS / TNS ---- *)
+  let budget =
+    match constraints.period with
+    | None -> dmax
+    | Some period -> if constraints.detff then period /. 2.0 else period
+  in
+  let wns, tns =
+    Array.fold_left
+      (fun (wns, tns) a ->
+        let slack = budget -. a in
+        (Float.min wns slack, tns +. Float.min 0.0 slack))
+      (infinity, 0.0) endpoint_arrival
+  in
+  let wns = if wns = infinity then 0.0 else wns in
+  (* ---- per-connection criticality, mirroring the T-VPlace shape:
+     for each net, for each sink block, the worst criticality over the
+     signals consumed there ---- *)
+  let crit_of_connection s sink_block =
+    let users =
+      Option.value
+        (Hashtbl.find_opt g.Graph.consumers_at (s, sink_block))
+        ~default:[]
+    in
+    List.fold_left
+      (fun acc u ->
+        let slack =
+          required.(u) -. p.Delays.t_logic -. p.Delays.conn s u -. arrival.(s)
+        in
+        let c = 1.0 -. (Float.max 0.0 slack /. dmax) in
+        Float.max acc (clamp01 c))
+      0.0 users
+  in
+  let criticality =
+    Array.map
+      (fun (net : Place.Problem.net) ->
+        Array.map
+          (fun sink_block ->
+            match g.Graph.problem.Place.Problem.blocks.(sink_block) with
+            | Place.Problem.Output_pad _ ->
+                let slack =
+                  required.(net.Place.Problem.signal)
+                  -. arrival.(net.Place.Problem.signal)
+                in
+                clamp01 (1.0 -. (Float.max 0.0 slack /. dmax))
+            | _ -> crit_of_connection net.Place.Problem.signal sink_block)
+          net.Place.Problem.sinks)
+      g.Graph.problem.Place.Problem.nets
+  in
+  let net_criticality =
+    Array.map (Array.fold_left Float.max 0.0) criticality
+  in
+  {
+    graph = g;
+    provider = p;
+    constraints;
+    arrival;
+    required;
+    endpoint_arrival;
+    dmax;
+    budget;
+    wns;
+    tns;
+    criticality;
+    net_criticality;
+  }
+
+let endpoint_slack a i = a.budget -. a.endpoint_arrival.(i)
+
+let to_td (a : t) =
+  { Place.Td_timing.dmax = a.dmax; criticality = a.criticality }

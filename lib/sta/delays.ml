@@ -1,0 +1,57 @@
+(* Pluggable delay providers for the STA engine.
+
+   A provider answers "how long does this connection take?" for every
+   arc of the timing graph; the engine itself is provider-agnostic.  The
+   flow uses two: the placement-distance provider below (pre-route, the
+   linear per-tile model T-VPlace uses) and the routed-Elmore provider
+   built by [Route.Sta_provider] from the actual routing trees. *)
+
+type provider = {
+  name : string;
+  (** provider identity, carried into timing reports *)
+  conn : int -> int -> float;
+  (** [conn src dst]: interconnect delay of the connection from signal
+      [src] to consuming signal [dst], s *)
+  pad : int -> int -> float;
+  (** [pad src block]: delay from signal [src] to the output pad at
+      block index [block], s *)
+  t_logic : float;  (** LUT + local-interconnect delay, s *)
+  t_clk_q : float;  (** flip-flop clock-to-Q, s *)
+  t_setup : float;  (** flip-flop setup, s *)
+}
+
+(* Placement-distance provider: the linear per-tile model of
+   [Place.Td_timing], expressed as a provider.  Connections between
+   signals produced and consumed in the same block cost the local
+   feedback delay; inter-block hops cost a fixed pin/buffer overhead
+   plus a per-Manhattan-tile term.  Signals with no known producing
+   block (LUT outputs folded into a merged BLE) stay local. *)
+let of_placement ?(model = Place.Td_timing.default_model)
+    (problem : Place.Problem.t) ~coords =
+  let {
+    Place.Td_timing.t_local;
+    t_per_tile;
+    t_fixed;
+    t_logic;
+    t_clk_q;
+    t_setup;
+  } =
+    model
+  in
+  let producer = Place.Td_timing.block_of_signal problem in
+  let hop a b =
+    let ax, ay = coords a and bx, by = coords b in
+    t_fixed +. (t_per_tile *. float_of_int (abs (ax - bx) + abs (ay - by)))
+  in
+  let conn src dst =
+    match (Hashtbl.find_opt producer src, Hashtbl.find_opt producer dst) with
+    | Some a, Some b when a = b -> t_local
+    | Some a, Some b -> hop a b
+    | _ -> t_local
+  in
+  let pad src block =
+    match Hashtbl.find_opt producer src with
+    | Some a when a <> block -> hop a block
+    | _ -> t_local
+  in
+  { name = "placement-distance"; conn; pad; t_logic; t_clk_q; t_setup }

@@ -1,0 +1,32 @@
+(** Pluggable delay providers for the STA engine.
+
+    A provider answers "how long does this connection take?" for every
+    arc of the timing graph, which keeps the propagation engine
+    independent of where the delays come from.  Two providers cover the
+    flow: the placement-distance provider here (pre-route) and the
+    routed-Elmore provider built by [Route.Sta_provider] from the actual
+    routing trees (post-route). *)
+
+type provider = {
+  name : string;  (** provider identity, carried into timing reports *)
+  conn : int -> int -> float;
+      (** [conn src dst]: interconnect delay of the connection from
+          signal [src] to consuming signal [dst], s *)
+  pad : int -> int -> float;
+      (** [pad src block]: delay from signal [src] to the output pad at
+          block index [block], s *)
+  t_logic : float;  (** LUT + local-interconnect delay, s *)
+  t_clk_q : float;  (** flip-flop clock-to-Q, s *)
+  t_setup : float;  (** flip-flop setup, s *)
+}
+
+val of_placement :
+  ?model:Place.Td_timing.delay_model ->
+  Place.Problem.t ->
+  coords:(int -> int * int) ->
+  provider
+(** The pre-route provider: the linear per-tile distance model of
+    [Place.Td_timing] (same-block connections cost the local feedback
+    delay, inter-block hops a fixed overhead plus a per-Manhattan-tile
+    term), closed over the given block [coords].  Safe to share across
+    domains: it only reads the problem and the coordinates. *)

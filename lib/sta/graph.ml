@@ -1,0 +1,112 @@
+(* Levelized timing graph over the packed netlist.
+
+   Nodes are the signals of the mapped network (every BLE pin carries
+   exactly one signal, so this is the BLE-pin graph of the packing);
+   edges are the combinational arcs (fanin -> gate) plus the sequential
+   endpoint arcs (data -> latch setup, signal -> output pad).  The graph
+   is provider-independent and placement-independent: it is built once
+   per packing and shared by every analysis — pre-route, post-route, and
+   the per-temperature refreshes inside the annealer. *)
+
+open Netlist
+
+type endpoint =
+  | Reg_data of { latch : int; data : int }
+  | Pad_out of { block : int; signal : int }
+
+type t = {
+  problem : Place.Problem.t;
+  net : Logic.t;
+  n : int;
+  levels : int array array;
+  level_of : int array;
+  consumers : int list array;
+  consumers_at : (int * int, int list) Hashtbl.t;
+  block_of : (int, int) Hashtbl.t;
+  endpoints : endpoint array;
+}
+
+let depth g = Array.length g.levels - 1
+
+let endpoint_name g = function
+  | Reg_data { latch; _ } -> Logic.name g.net latch
+  | Pad_out { block; _ } -> Place.Problem.block_name g.problem block
+
+let endpoint_signal = function
+  | Reg_data { data; _ } -> data
+  | Pad_out { signal; _ } -> signal
+
+let build (problem : Place.Problem.t) =
+  let net = problem.Place.Problem.packing.Pack.Cluster.net in
+  let n = Logic.signal_count net in
+  let order = Logic.topo_order net in
+  (* levelization: sources at 0, a gate one past its deepest fanin *)
+  let level_of = Array.make n 0 in
+  List.iter
+    (fun id ->
+      match Logic.driver net id with
+      | Logic.Gate { fanins; _ } ->
+          level_of.(id) <-
+            1 + Array.fold_left (fun acc f -> max acc level_of.(f)) 0 fanins
+      | Logic.Input | Logic.Const _ | Logic.Latch _ -> level_of.(id) <- 0)
+    order;
+  let depth = Array.fold_left max 0 level_of in
+  let buckets = Array.make (depth + 1) [] in
+  for id = n - 1 downto 0 do
+    buckets.(level_of.(id)) <- id :: buckets.(level_of.(id))
+  done;
+  let levels = Array.map Array.of_list buckets in
+  (* combinational consumers, ascending id per signal (the backward pass
+     pulls required times through these) *)
+  let consumers = Array.make n [] in
+  for id = n - 1 downto 0 do
+    match Logic.driver net id with
+    | Logic.Gate { fanins; _ } ->
+        Array.iter (fun f -> consumers.(f) <- id :: consumers.(f)) fanins
+    | _ -> ()
+  done;
+  let block_of = Place.Td_timing.block_of_signal problem in
+  (* (signal, consuming block) -> consuming signal ids, mirroring the
+     construction criticality extraction groups connections by *)
+  let consumers_at = Hashtbl.create 64 in
+  for id = 0 to n - 1 do
+    List.iter
+      (fun f ->
+        match Hashtbl.find_opt block_of id with
+        | Some b ->
+            let key = (f, b) in
+            let cur =
+              Option.value (Hashtbl.find_opt consumers_at key) ~default:[]
+            in
+            Hashtbl.replace consumers_at key (id :: cur)
+        | None -> ())
+      (Logic.fanins net id)
+  done;
+  (* endpoints: latch data pins (declaration order), then output pads
+     (ascending block index) *)
+  let eps = ref [] in
+  Array.iteri
+    (fun bidx kind ->
+      match kind with
+      | Place.Problem.Output_pad s ->
+          eps := Pad_out { block = bidx; signal = s } :: !eps
+      | _ -> ())
+    problem.Place.Problem.blocks;
+  List.iter
+    (fun l ->
+      match Logic.driver net l with
+      | Logic.Latch { data; _ } -> eps := Reg_data { latch = l; data } :: !eps
+      | _ -> ())
+    (List.rev (Logic.latches net));
+  let endpoints = Array.of_list !eps in
+  {
+    problem;
+    net;
+    n;
+    levels;
+    level_of;
+    consumers;
+    consumers_at;
+    block_of;
+    endpoints;
+  }

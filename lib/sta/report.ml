@@ -1,0 +1,167 @@
+(* Timing reports: top-K critical paths with named endpoints, rendered
+   as text and as JSON (the machine-readable half of the schema in
+   docs/OBSERVABILITY.md). *)
+
+open Netlist
+
+type hop = {
+  signal : int;
+  name : string;
+  arrival_s : float;
+  incr_s : float; (* delay added by this hop (interconnect + logic) *)
+}
+
+type path = {
+  rank : int;
+  endpoint : Graph.endpoint;
+  endpoint_name : string;
+  kind : string; (* "reg-setup" or "output-pad" *)
+  arrival_s : float;
+  slack_s : float;
+  hops : hop list; (* startpoint first, endpoint signal last *)
+}
+
+(* Walk back from a signal through the worst-arrival fanin chain. *)
+let trace (a : Analysis.t) last =
+  let g = a.Analysis.graph in
+  let p = a.Analysis.provider in
+  let rec back id acc =
+    let acc = id :: acc in
+    match Logic.driver g.Graph.net id with
+    | Logic.Input | Logic.Const _ | Logic.Latch _ -> acc
+    | Logic.Gate { fanins; _ } ->
+        if Array.length fanins = 0 then acc
+        else begin
+          let best = ref fanins.(0) and best_t = ref neg_infinity in
+          Array.iter
+            (fun f ->
+              let t = a.Analysis.arrival.(f) +. p.Delays.conn f id in
+              if t > !best_t then begin
+                best := f;
+                best_t := t
+              end)
+            fanins;
+          back !best acc
+        end
+  in
+  let chain = back last [] in
+  let _, hops =
+    List.fold_left
+      (fun (prev, acc) id ->
+        let t = a.Analysis.arrival.(id) in
+        let incr = match prev with None -> t | Some pt -> t -. pt in
+        ( Some t,
+          { signal = id; name = Logic.name g.Graph.net id; arrival_s = t;
+            incr_s = incr }
+          :: acc ))
+      (None, []) chain
+  in
+  List.rev hops
+
+let paths ?(k = 5) (a : Analysis.t) =
+  let g = a.Analysis.graph in
+  let order =
+    Array.init (Array.length g.Graph.endpoints) Fun.id |> Array.to_list
+    |> List.sort (fun i j ->
+           compare
+             (a.Analysis.endpoint_arrival.(j), i)
+             (a.Analysis.endpoint_arrival.(i), j))
+  in
+  List.filteri (fun i _ -> i < k) order
+  |> List.mapi (fun rank i ->
+         let ep = g.Graph.endpoints.(i) in
+         {
+           rank = rank + 1;
+           endpoint = ep;
+           endpoint_name = Graph.endpoint_name g ep;
+           kind =
+             (match ep with
+             | Graph.Reg_data _ -> "reg-setup"
+             | Graph.Pad_out _ -> "output-pad");
+           arrival_s = a.Analysis.endpoint_arrival.(i);
+           slack_s = Analysis.endpoint_slack a i;
+           hops = trace a (Graph.endpoint_signal ep);
+         })
+
+(* ---------- text rendering ---------- *)
+
+let ns t = t *. 1e9
+
+let to_text ?(title = "timing report") (a : Analysis.t) ps =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "%s (%s)\n" title a.Analysis.provider.Delays.name;
+  pf "  critical path %.3f ns" (ns a.Analysis.dmax);
+  (match a.Analysis.constraints.Analysis.period with
+  | Some p ->
+      pf ", period %.3f ns (budget %.3f ns%s), wns %.3f ns, tns %.3f ns\n"
+        (ns p) (ns a.Analysis.budget)
+        (if a.Analysis.constraints.Analysis.detff then ", DETFF half-cycle"
+         else "")
+        (ns a.Analysis.wns) (ns a.Analysis.tns)
+  | None -> pf " (unconstrained)\n");
+  List.iter
+    (fun p ->
+      pf "  path %d: %s %s  arrival %.3f ns  slack %.3f ns\n" p.rank p.kind
+        p.endpoint_name (ns p.arrival_s) (ns p.slack_s);
+      List.iter
+        (fun (h : hop) ->
+          pf "    %8.3f ns  +%.3f  %s\n" (ns h.arrival_s) (ns h.incr_s) h.name)
+        p.hops;
+      (* the endpoint arc (interconnect + setup / pad) closes the path *)
+      match p.hops with
+      | [] -> ()
+      | hs ->
+          let last = List.nth hs (List.length hs - 1) in
+          pf "    %8.3f ns  +%.3f  %s (%s)\n" (ns p.arrival_s)
+            (ns (p.arrival_s -. last.arrival_s))
+            p.endpoint_name p.kind)
+    ps;
+  Buffer.contents b
+
+(* ---------- JSON rendering ---------- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json (a : Analysis.t) ps =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  pf "{\"provider\": \"%s\", \"dmax_s\": %.6e, \"budget_s\": %.6e, "
+    (json_escape a.Analysis.provider.Delays.name)
+    a.Analysis.dmax a.Analysis.budget;
+  (match a.Analysis.constraints.Analysis.period with
+  | Some p -> pf "\"period_s\": %.6e, " p
+  | None -> pf "\"period_s\": null, ");
+  pf "\"detff\": %b, \"wns_s\": %.6e, \"tns_s\": %.6e, \"endpoints\": %d, "
+    a.Analysis.constraints.Analysis.detff a.Analysis.wns a.Analysis.tns
+    (Array.length a.Analysis.graph.Graph.endpoints);
+  pf "\"paths\": [";
+  List.iteri
+    (fun i p ->
+      if i > 0 then pf ", ";
+      pf
+        "{\"rank\": %d, \"endpoint\": \"%s\", \"kind\": \"%s\", \
+         \"arrival_s\": %.6e, \"slack_s\": %.6e, \"hops\": ["
+        p.rank (json_escape p.endpoint_name) p.kind p.arrival_s p.slack_s;
+      List.iteri
+        (fun j (h : hop) ->
+          if j > 0 then pf ", ";
+          pf "{\"signal\": \"%s\", \"arrival_s\": %.6e, \"incr_s\": %.6e}"
+            (json_escape h.name) h.arrival_s h.incr_s)
+        p.hops;
+      pf "]}")
+    ps;
+  pf "]}";
+  Buffer.contents b

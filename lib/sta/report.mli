@@ -1,0 +1,37 @@
+(** Timing reports: top-K critical-path enumeration with named
+    endpoints, rendered as text and as JSON.
+
+    The JSON schema is part of the observability contract — see
+    docs/OBSERVABILITY.md ("timing-report JSON"). *)
+
+type hop = {
+  signal : int;
+  name : string;
+  arrival_s : float;
+  incr_s : float;  (** delay this hop added (interconnect + logic), s *)
+}
+
+type path = {
+  rank : int;                (** 1 = most critical *)
+  endpoint : Graph.endpoint;
+  endpoint_name : string;
+  kind : string;             (** ["reg-setup"] or ["output-pad"] *)
+  arrival_s : float;
+  slack_s : float;           (** against the analysis budget *)
+  hops : hop list;           (** startpoint first; the endpoint arc
+                                 (setup / pad) is implicit in
+                                 [arrival_s] minus the last hop *)
+}
+
+val paths : ?k:int -> Analysis.t -> path list
+(** The [k] (default 5) worst endpoints by arrival time, each traced
+    back through its worst-arrival fanin chain.  Ties break toward the
+    lower endpoint index, so the enumeration is deterministic. *)
+
+val to_text : ?title:string -> Analysis.t -> path list -> string
+(** Human-readable report: summary line (dmax, budget, WNS/TNS when
+    constrained) followed by one block per path. *)
+
+val to_json : Analysis.t -> path list -> string
+(** One JSON object: provider, dmax/budget/period/wns/tns, endpoint
+    count and the path list (see docs/OBSERVABILITY.md). *)

@@ -18,4 +18,8 @@ val synthesize : string -> Netlist.Logic.t
     library. *)
 
 val to_edif : string -> Netlist.Edif.t
+(** Synthesize VHDL text straight to the EDIF interchange form (what
+    the standalone [diviner] tool writes). *)
+
 val to_edif_string : string -> string
+(** {!to_edif} rendered as EDIF text. *)

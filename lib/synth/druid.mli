@@ -6,8 +6,12 @@
     trip through the Logic IR with a cleanup in between. *)
 
 exception Druid_error of string
+(** A netlist the flow cannot accept (unknown library cell, unconnected
+    instance, conflicting drivers). *)
 
 val normalize : Netlist.Edif.t -> Netlist.Edif.t
 (** @raise Druid_error on a netlist the flow cannot accept. *)
 
 val normalize_string : string -> string
+(** {!normalize} on EDIF text, returning EDIF text (the standalone
+    [druid] tool's pipe mode). *)

@@ -1,8 +1,11 @@
 (** E2FMT: EDIF to BLIF netlist translation. *)
 
 val to_logic : Netlist.Edif.t -> Netlist.Logic.t
+(** Reconstruct the Logic IR from an EDIF netlist (cell instances back
+    to library gates, net joins back to signal identity). *)
 
 val edif_to_blif : string -> string
 (** EDIF text in, BLIF text out. *)
 
 val file_to_file : edif_path:string -> blif_path:string -> unit
+(** {!edif_to_blif} between files (the standalone [e2fmt] tool). *)

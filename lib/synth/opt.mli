@@ -14,8 +14,12 @@ val simplify_round : Netlist.Logic.t -> bool
 (** One local-simplification sweep (in place); true if anything changed. *)
 
 val collapse_buffers : Netlist.Logic.t -> bool
+(** Rewire fanouts of identity gates (single-input buffers) to the
+    buffer's own fanin; true if anything changed. *)
 
 val cse : Netlist.Logic.t -> bool
+(** Structural common-subexpression elimination: gates with identical
+    function and fanins merge into one; true if anything changed. *)
 
 val garbage_collect : Netlist.Logic.t -> Netlist.Logic.t
 (** Rebuild without unreferenced signals (primary inputs are kept). *)

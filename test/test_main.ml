@@ -10,5 +10,6 @@ let () =
       ("route", Test_route.suite);
       ("tools", Test_tools.suite);
       ("properties", Test_properties.suite);
+      ("sta", Test_sta.suite);
       ("flow", Test_flow.suite);
     ]

@@ -1,0 +1,246 @@
+(* Unified STA engine: parity with the legacy analyses it subsumes,
+   propagation invariants, constraint semantics and report shape. *)
+
+let ( => ) name f = Alcotest.test_case name `Quick f
+
+(* VHDL -> placed problem, deterministic seed *)
+let placed vhdl =
+  let net = Synth.Diviner.synthesize vhdl in
+  let mapped, _ = Techmap.Mapper.map_network ~k:4 ~verify:false net in
+  let packing = Pack.Cluster.pack ~n:5 ~i:12 mapped in
+  let problem = Place.Problem.build packing in
+  let r = Place.Anneal.run problem in
+  (problem, r.Place.Anneal.placement)
+
+let pre_route_analysis problem placement =
+  let graph = Sta.Graph.build problem in
+  let provider =
+    Sta.Delays.of_placement problem ~coords:(Place.Placement.coords placement)
+  in
+  Sta.Analysis.run graph provider
+
+(* The engine's distance-provider analysis must reproduce the legacy
+   Td_timing figures bit for bit: same propagation recurrences, same
+   fold orders. *)
+let test_td_parity () =
+  List.iter
+    (fun (name, vhdl) ->
+      let problem, placement = placed vhdl in
+      let coords = Place.Placement.coords placement in
+      let legacy = Place.Td_timing.analyze problem ~coords in
+      let a = pre_route_analysis problem placement in
+      let td = Sta.Analysis.to_td a in
+      Alcotest.(check (float 0.0))
+        (name ^ " dmax") legacy.Place.Td_timing.dmax
+        td.Place.Td_timing.dmax;
+      Array.iteri
+        (fun ni row ->
+          Array.iteri
+            (fun si c ->
+              Alcotest.(check (float 0.0))
+                (Printf.sprintf "%s crit net %d sink %d" name ni si)
+                c
+                td.Place.Td_timing.criticality.(ni).(si))
+            row)
+        legacy.Place.Td_timing.criticality)
+    Core.Bench_circuits.quick_suite
+
+(* Post-route: Router.sta over the actual route trees must agree with
+   the legacy standalone Elmore critical-path estimator (the acceptance
+   bound is 1%; the recurrences are identical so it is exact). *)
+let test_routed_parity () =
+  List.iter
+    (fun (name, vhdl) ->
+      let _, placement = placed vhdl in
+      let routed =
+        Route.Router.route_min_width Fpga_arch.Params.amdrel placement
+      in
+      let legacy =
+        Route.Timing.critical_path routed.Route.Router.problem
+          routed.Route.Router.graph routed.Route.Router.constants
+          routed.Route.Router.result
+      in
+      let a = Route.Router.sta routed in
+      let tol = 0.01 *. legacy in
+      Alcotest.(check (float tol))
+        (name ^ " routed dmax vs legacy") legacy a.Sta.Analysis.dmax)
+    Core.Bench_circuits.quick_suite
+
+let test_criticality_bounds () =
+  let problem, placement = placed (Core.Bench_circuits.alu 8) in
+  let a = pre_route_analysis problem placement in
+  Array.iter
+    (Array.iter (fun c ->
+         Alcotest.(check bool) "criticality in [0,1]" true
+           (c >= 0.0 && c <= 1.0)))
+    a.Sta.Analysis.criticality;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "net criticality in [0,1]" true
+        (c >= 0.0 && c <= 1.0))
+    a.Sta.Analysis.net_criticality;
+  (* some net must be fully critical: the worst path has zero slack *)
+  Alcotest.(check (float 1e-9)) "worst net criticality is 1" 1.0
+    (Array.fold_left Float.max 0.0 a.Sta.Analysis.net_criticality)
+
+(* Increasing the period can only increase each endpoint's slack. *)
+let test_slack_monotone () =
+  let problem, placement = placed (Core.Bench_circuits.multiplier 4) in
+  let graph = Sta.Graph.build problem in
+  let provider =
+    Sta.Delays.of_placement problem ~coords:(Place.Placement.coords placement)
+  in
+  let at period =
+    Sta.Analysis.run
+      ~constraints:{ Sta.Analysis.period = Some period; detff = true }
+      graph provider
+  in
+  let tight = at 2e-9 and loose = at 8e-9 in
+  Alcotest.(check bool) "same endpoint count" true
+    (Array.length tight.Sta.Analysis.endpoint_arrival
+    = Array.length loose.Sta.Analysis.endpoint_arrival);
+  Array.iteri
+    (fun i _ ->
+      Alcotest.(check bool) "slack grows with the period" true
+        (Sta.Analysis.endpoint_slack loose i
+        >= Sta.Analysis.endpoint_slack tight i))
+    tight.Sta.Analysis.endpoint_arrival;
+  Alcotest.(check bool) "wns grows with the period" true
+    (loose.Sta.Analysis.wns >= tight.Sta.Analysis.wns);
+  Alcotest.(check bool) "tns grows with the period" true
+    (loose.Sta.Analysis.tns >= tight.Sta.Analysis.tns)
+
+(* DETFF clocking halves the combinational budget: period p with DETFF
+   is the same constraint as period p/2 with single-edge capture. *)
+let test_detff_halving () =
+  let problem, placement = placed (Core.Bench_circuits.accumulator 12) in
+  let graph = Sta.Graph.build problem in
+  let provider =
+    Sta.Delays.of_placement problem ~coords:(Place.Placement.coords placement)
+  in
+  let run period detff =
+    Sta.Analysis.run
+      ~constraints:{ Sta.Analysis.period = Some period; detff }
+      graph provider
+  in
+  let det = run 10e-9 true and set = run 5e-9 false in
+  Alcotest.(check (float 0.0)) "budget" set.Sta.Analysis.budget
+    det.Sta.Analysis.budget;
+  Alcotest.(check (float 0.0)) "wns" set.Sta.Analysis.wns
+    det.Sta.Analysis.wns;
+  Alcotest.(check (float 0.0)) "tns" set.Sta.Analysis.tns
+    det.Sta.Analysis.tns
+
+(* Levelized propagation parallelises per level; any jobs count must
+   produce the identical analysis. *)
+let test_jobs_identical () =
+  let problem, placement = placed (Core.Bench_circuits.alu 8) in
+  let graph = Sta.Graph.build problem in
+  let provider =
+    Sta.Delays.of_placement problem ~coords:(Place.Placement.coords placement)
+  in
+  let a1 = Sta.Analysis.run ~jobs:1 graph provider in
+  let a4 = Sta.Analysis.run ~jobs:4 graph provider in
+  Alcotest.(check (float 0.0)) "dmax" a1.Sta.Analysis.dmax
+    a4.Sta.Analysis.dmax;
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 0.0)) "arrival" v a4.Sta.Analysis.arrival.(i))
+    a1.Sta.Analysis.arrival;
+  Array.iteri
+    (fun i v ->
+      Alcotest.(check (float 0.0)) "required" v a4.Sta.Analysis.required.(i))
+    a1.Sta.Analysis.required
+
+(* Top-K report: deterministic, sorted, consistent with the analysis. *)
+let test_report_paths () =
+  let problem, placement = placed (Core.Bench_circuits.multiplier 4) in
+  let a = pre_route_analysis problem placement in
+  let paths = Sta.Report.paths ~k:5 a in
+  Alcotest.(check bool) "non-empty" true (paths <> []);
+  let first = List.hd paths in
+  Alcotest.(check (float 0.0)) "worst path arrival = dmax"
+    a.Sta.Analysis.dmax first.Sta.Report.arrival_s;
+  let rec desc = function
+    | (a : Sta.Report.path) :: (b :: _ as rest) ->
+        Alcotest.(check bool) "arrival descending" true
+          (a.Sta.Report.arrival_s >= b.Sta.Report.arrival_s);
+        desc rest
+    | _ -> ()
+  in
+  desc paths;
+  List.iteri
+    (fun i (p : Sta.Report.path) ->
+      Alcotest.(check int) "rank" (i + 1) p.Sta.Report.rank;
+      Alcotest.(check bool) "has hops" true (p.Sta.Report.hops <> []);
+      (* hop arrivals must be non-decreasing along the path *)
+      let rec hops_ok = function
+        | (h1 : Sta.Report.hop) :: (h2 :: _ as rest) ->
+            Alcotest.(check bool) "hop arrivals non-decreasing" true
+              (h2.Sta.Report.arrival_s >= h1.Sta.Report.arrival_s);
+            hops_ok rest
+        | _ -> ()
+      in
+      hops_ok p.Sta.Report.hops)
+    paths;
+  (* JSON must parse shape-wise: cheap smoke via known substrings *)
+  let json = Sta.Report.to_json a paths in
+  List.iter
+    (fun needle ->
+      let found =
+        let n = String.length needle and m = String.length json in
+        let rec scan i =
+          i + n <= m && (String.sub json i n = needle || scan (i + 1))
+        in
+        scan 0
+      in
+      Alcotest.(check bool) (needle ^ " present") true found)
+    [ "\"provider\""; "\"dmax_s\""; "\"paths\""; "\"hops\""; "\"slack_s\"" ]
+
+(* The flow surfaces the unified figures as sta.* counters. *)
+let test_flow_counters () =
+  let config =
+    { Core.Flow.default_config with Core.Flow.timing_driven = true }
+  in
+  let r = Core.Flow.run_vhdl ~config (Core.Bench_circuits.counter 8) in
+  let counter name = List.assoc name r.Core.Flow.times in
+  Alcotest.(check bool) "sta.dmax positive" true (counter "sta.dmax" > 0.0);
+  Alcotest.(check (float 0.0)) "sta.dmax = post-route analysis dmax"
+    r.Core.Flow.sta_post.Sta.Analysis.dmax (counter "sta.dmax");
+  Alcotest.(check bool) "sta.wns <= 0" true (counter "sta.wns" <= 0.0);
+  Alcotest.(check bool) "sta.tns <= 0" true (counter "sta.tns" <= 0.0);
+  (* pre-route estimate uses the same engine over the same graph *)
+  Alcotest.(check bool) "pre-route dmax positive" true
+    (r.Core.Flow.sta_pre.Sta.Analysis.dmax > 0.0)
+
+(* Scratch reuse must not perturb the annealer: same seed, same result,
+   with or without a shared scratch, including consecutive runs on one
+   scratch. *)
+let test_anneal_scratch () =
+  let net = Synth.Diviner.synthesize (Core.Bench_circuits.lfsr 12) in
+  let mapped, _ = Techmap.Mapper.map_network ~k:4 ~verify:false net in
+  let packing = Pack.Cluster.pack ~n:5 ~i:12 mapped in
+  let problem = Place.Problem.build packing in
+  let fresh = Place.Anneal.run problem in
+  let scratch = Place.Anneal.create_scratch () in
+  let a = Place.Anneal.run ~scratch problem in
+  let b = Place.Anneal.run ~scratch problem in
+  Alcotest.(check (float 0.0)) "cost, fresh vs scratch"
+    fresh.Place.Anneal.final_cost a.Place.Anneal.final_cost;
+  Alcotest.(check (float 0.0)) "cost, scratch reused"
+    fresh.Place.Anneal.final_cost b.Place.Anneal.final_cost;
+  Alcotest.(check int) "moves identical" fresh.Place.Anneal.moves
+    a.Place.Anneal.moves
+
+let suite =
+  [
+    "td parity (distance provider vs legacy)" => test_td_parity;
+    "routed parity (Elmore provider vs legacy)" => test_routed_parity;
+    "criticality bounds" => test_criticality_bounds;
+    "slack monotone in period" => test_slack_monotone;
+    "detff halves the budget" => test_detff_halving;
+    "jobs-identical propagation" => test_jobs_identical;
+    "top-k path report" => test_report_paths;
+    "flow sta counters" => test_flow_counters;
+    "annealer scratch reuse" => test_anneal_scratch;
+  ]
