@@ -58,9 +58,13 @@ let () =
             "{\"circuit\": \"%s\", \"min_width\": %d, \"width\": %d, \
              \"route_fixed_s\": %.4f, \"min_width_search_s\": %.4f, \
              \"iterations\": %d, \"nets_rerouted\": %d, \"heap_pops\": %d, \
-             \"peak_overuse\": %d, \"jobs\": %d}\n%!"
+             \"peak_overuse\": %d, \"par_batches\": %d, \
+             \"par_batch_max\": %d, \"par_serial_frac\": %.4f, \
+             \"jobs\": %d}\n%!"
             name min_w width t_fixed t_search
             s.Route.Router.router_iterations s.Route.Router.nets_rerouted
             s.Route.Router.heap_pops s.Route.Router.peak_overuse
+            s.Route.Router.par_batches s.Route.Router.par_batch_max
+            s.Route.Router.par_serial_frac
             (Util.Parallel.default_jobs ()))
     requested

@@ -4,17 +4,6 @@
 
 open Cmdliner
 
-(* The path report: pre-route (placement-distance) and post-route
-   (routed-Elmore) critical paths from the unified STA, as text next to
-   the GUI stage reports and as JSON for scripted consumers (schema in
-   docs/OBSERVABILITY.md). *)
-let timing_report_json design (r : Core.Flow.result) =
-  let pre = r.Core.Flow.sta_pre and post = r.Core.Flow.sta_post in
-  Printf.sprintf "{\"design\": \"%s\", \"pre_route\": %s, \"post_route\": %s}\n"
-    design
-    (Sta.Report.to_json pre (Sta.Report.paths pre))
-    (Sta.Report.to_json post (Sta.Report.paths post))
-
 let run input outdir seed fixed_width jobs timing_report period_ns =
   let text = Tool_common.read_file input in
   (try Sys.mkdir outdir 0o755 with Sys_error _ -> ());
@@ -78,7 +67,7 @@ let run input outdir seed fixed_width jobs timing_report period_ns =
     let design = Filename.remove_extension (Filename.basename input) in
     Tool_common.write_file (base ^ ".timing.txt") text;
     Tool_common.write_file (base ^ ".timing.json")
-      (timing_report_json design r);
+      (Core.Flow.timing_report_json ~design r);
     Printf.printf "timing report -> %s, %s\n\n" (base ^ ".timing.txt")
       (base ^ ".timing.json")
   end;

@@ -135,9 +135,8 @@ let run_network ?(config = default_config) (net : Logic.t) =
         let timing =
           if config.timing_driven then
             Some
-              { Place.Anneal.default_timing with
-                Place.Anneal.analyze =
-                  Some (fun ~coords -> Sta.Analysis.to_td (sta_at coords)) }
+              (Place.Anneal.default_timing
+                 ~analyze:(fun ~coords -> Sta.Analysis.to_td (sta_at coords)))
           else None
         in
         Place.Anneal.run_multistart
@@ -155,22 +154,9 @@ let run_network ?(config = default_config) (net : Logic.t) =
           Route.Router.route_min_width ?timing ?jobs:config.jobs
             config.params anneal.Place.Anneal.placement
         else
-          Route.Router.route_fixed ?timing config.params
+          Route.Router.route_fixed ?timing ?jobs:config.jobs config.params
             anneal.Place.Anneal.placement ~width:config.route_width)
   in
-  let route_stats = Route.Router.stats routed in
-  (* router observability rides in [times] next to the stage wall-times,
-     so benches and reports capture the iteration counters with no extra
-     plumbing (entries are counts, not seconds) *)
-  times :=
-    ("vpr-route.peak-overuse",
-     float_of_int route_stats.Route.Router.peak_overuse)
-    :: ("vpr-route.heap-pops", float_of_int route_stats.Route.Router.heap_pops)
-    :: ("vpr-route.nets-rerouted",
-        float_of_int route_stats.Route.Router.nets_rerouted)
-    :: ("vpr-route.iterations",
-        float_of_int route_stats.Route.Router.router_iterations)
-    :: !times;
   (* Unified STA: the placement-distance analysis at the final placement
      and the routed-Elmore analysis over the actual route trees, both on
      the shared timing graph.  Headline figures ride in [times] as
@@ -190,6 +176,24 @@ let run_network ?(config = default_config) (net : Logic.t) =
     ("sta.tns", sta_post.Sta.Analysis.tns)
     :: ("sta.wns", sta_post.Sta.Analysis.wns)
     :: ("sta.dmax", sta_post.Sta.Analysis.dmax)
+    :: !times;
+  (* [stats] reuses the post-route analysis for its critical path *)
+  let route_stats = Route.Router.stats ~sta:sta_post routed in
+  (* router observability rides in [times] next to the stage wall-times,
+     so benches and reports capture the iteration counters with no extra
+     plumbing (entries are counts, not seconds) *)
+  times :=
+    ("route.par.serial-frac", route_stats.Route.Router.par_serial_frac)
+    :: ("route.par.batch-max",
+        float_of_int route_stats.Route.Router.par_batch_max)
+    :: ("route.par.batches", float_of_int route_stats.Route.Router.par_batches)
+    :: ("vpr-route.peak-overuse",
+        float_of_int route_stats.Route.Router.peak_overuse)
+    :: ("vpr-route.heap-pops", float_of_int route_stats.Route.Router.heap_pops)
+    :: ("vpr-route.nets-rerouted",
+        float_of_int route_stats.Route.Router.nets_rerouted)
+    :: ("vpr-route.iterations",
+        float_of_int route_stats.Route.Router.router_iterations)
     :: !times;
   (* PowerModel *)
   let power =
@@ -262,6 +266,18 @@ let run_vhdl ?(config = default_config) text =
 let run_blif ?(config = default_config) text =
   let net = Netlist.Blif.of_string text in
   run_network ~config net
+
+(* Machine-readable timing report: the pre-route (placement-distance)
+   and post-route (routed-Elmore) analyses side by side, one JSON object
+   per design.  This exact shape is pinned by the golden fixtures under
+   test/fixtures/ — extend it additively. *)
+let timing_report_json ?design (r : result) =
+  let name = match design with Some d -> d | None -> r.design in
+  let pre = r.sta_pre and post = r.sta_post in
+  Printf.sprintf "{\"design\": \"%s\", \"pre_route\": %s, \"post_route\": %s}\n"
+    name
+    (Sta.Report.to_json pre (Sta.Report.paths pre))
+    (Sta.Report.to_json post (Sta.Report.paths post))
 
 (* One-line summary used by reports and the CLI. *)
 let summary r =

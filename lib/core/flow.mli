@@ -42,9 +42,11 @@ type stage_times = (string * float) list
 (** CPU seconds per stage, flow order.  Entries whose name contains a
     dot are observability counters riding along with the timings rather
     than seconds: the ["vpr-route.*"] router counters (iterations, nets
-    rerouted, heap pops, peak overuse), the ["sta.*"] post-route timing
-    figures (dmax/wns/tns) and the ["parallel.*"] pool metrics (see
-    docs/OBSERVABILITY.md for the full schema). *)
+    rerouted, heap pops, peak overuse), the ["route.par.*"] intra-route
+    parallelism counters (batches, batch-max, serial-frac), the
+    ["sta.*"] post-route timing figures (dmax/wns/tns) and the
+    ["parallel.*"] pool metrics (see docs/OBSERVABILITY.md for the full
+    schema). *)
 
 type result = {
   design : string;
@@ -84,6 +86,13 @@ val run_vhdl : ?config:config -> string -> result
     last is the top). *)
 
 val run_blif : ?config:config -> string -> result
+
+val timing_report_json : ?design:string -> result -> string
+(** One JSON object holding the pre-route and post-route
+    {!Sta.Report.to_json} reports side by side ([design] overrides the
+    name recorded in the result; the CLI passes the input's base name).
+    The shape is pinned by the golden fixtures under [test/fixtures/] —
+    extend additively. *)
 
 val summary : result -> string
 (** One line: LUTs/FFs/CLBs/grid/width/critical path/power/bits/verdicts. *)

@@ -21,14 +21,14 @@ type timing_options = {
   lambda : float;     (* timing tradeoff; VPR default 0.5 *)
   crit_exp : float;   (* criticality exponent; VPR default 1.0 *)
   model : Td_timing.delay_model;
-  analyze : (coords:(int -> int * int) -> Td_timing.analysis) option;
-      (* external timing analysis (the flow injects lib/sta here);
-         None = the built-in Td_timing distance model *)
+  analyze : coords:(int -> int * int) -> Td_timing.analysis;
+      (* the timing analysis, called with the current block coordinates;
+         the annealer owns no STA of its own (lib/place cannot depend on
+         lib/sta), so the flow injects the unified engine here *)
 }
 
-let default_timing =
-  { lambda = 0.5; crit_exp = 1.0; model = Td_timing.default_model;
-    analyze = None }
+let default_timing ~analyze =
+  { lambda = 0.5; crit_exp = 1.0; model = Td_timing.default_model; analyze }
 
 type result = {
   placement : Placement.t;
@@ -136,11 +136,7 @@ let run ?(options = default_options) ?timing ?scratch (problem : Problem.t) =
     let initial_cost = !bb_total in
     (* timing-driven state *)
     let coords b = Placement.coords pl b in
-    let analyze_timing t =
-      match t.analyze with
-      | Some f -> f ~coords
-      | None -> Td_timing.analyze ~model:t.model problem ~coords
-    in
+    let analyze_timing t = t.analyze ~coords in
     let criticality =
       ref
         (match timing with
@@ -357,7 +353,8 @@ let run ?(options = default_options) ?timing ?scratch (problem : Problem.t) =
    sequentially that is one allocation for all starts instead of one per
    start, and a run overwrites every live slot before reading it, so the
    reuse is invisible in the results. *)
-let scratch_key = Domain.DLS.new_key (fun () -> create_scratch ())
+let scratch_slot : scratch Util.Parallel.scratch_slot =
+  Util.Parallel.scratch_slot ()
 
 let run_multistart ?(options = default_options) ?timing ?jobs ?(starts = 1)
     (problem : Problem.t) =
@@ -366,8 +363,12 @@ let run_multistart ?(options = default_options) ?timing ?jobs ?(starts = 1)
     let results =
       Util.Parallel.map ?jobs
         (fun k ->
+          let scratch =
+            Util.Parallel.scratch scratch_slot ~valid:(fun _ -> true)
+              ~create:create_scratch
+          in
           run ~options:{ options with seed = options.seed + k } ?timing
-            ~scratch:(Domain.DLS.get scratch_key) problem)
+            ~scratch problem)
         (Array.init starts Fun.id)
     in
     (* strict < keeps the earliest seed on ties *)

@@ -18,18 +18,20 @@ type timing_options = {
   lambda : float;   (** timing tradeoff; VPR default 0.5 *)
   crit_exp : float; (** criticality exponent; VPR default 1.0 *)
   model : Td_timing.delay_model;
-  analyze : (coords:(int -> int * int) -> Td_timing.analysis) option;
-      (** external analysis hook, refreshed at every temperature with the
-          current block coordinates.  [None] falls back to the built-in
-          {!Td_timing} distance model; the flow injects the unified STA
-          engine ([Sta.Analysis] over a shared timing graph) here.  The
-          hook must be pure — multi-start runs call it concurrently from
-          several domains. *)
+  analyze : coords:(int -> int * int) -> Td_timing.analysis;
+      (** the timing analysis, refreshed at every temperature with the
+          current block coordinates.  The annealer has no STA of its own
+          (lib/place cannot depend on lib/sta); the flow injects the
+          unified engine ([Sta.Analysis] over a shared timing graph,
+          adapted via [Sta.Analysis.to_td]).  The hook must be pure —
+          multi-start runs call it concurrently from several domains. *)
 }
 
-val default_timing : timing_options
-(** lambda 0.5, crit_exp 1.0, default distance model, no external
-    analysis hook. *)
+val default_timing :
+  analyze:(coords:(int -> int * int) -> Td_timing.analysis) ->
+  timing_options
+(** lambda 0.5, crit_exp 1.0, default distance model, the given
+    analysis. *)
 
 type result = {
   placement : Placement.t;

@@ -5,7 +5,6 @@
    per-connection slacks, and criticality = 1 - slack / Dmax weights the
    placement cost so critical connections pull their endpoints together. *)
 
-open Netlist
 
 type delay_model = {
   t_local : float;    (* intra-cluster connection, s *)
@@ -49,133 +48,3 @@ type analysis = {
   criticality : float array array;
 }
 
-(* Run STA for the given block coordinates. *)
-let analyze ?(model = default_model) (problem : Problem.t) ~coords =
-  let lnet = problem.Problem.packing.Pack.Cluster.net in
-  let producer = block_of_signal problem in
-  let conn_delay src_sig dst_sig =
-    match (Hashtbl.find_opt producer src_sig, Hashtbl.find_opt producer dst_sig) with
-    | Some a, Some b when a = b -> model.t_local
-    | Some a, Some b ->
-        let ax, ay = coords a and bx, by = coords b in
-        model.t_fixed
-        +. (model.t_per_tile *. float_of_int (abs (ax - bx) + abs (ay - by)))
-    | _ -> model.t_local
-  in
-  (* forward: arrival times *)
-  let n = Logic.signal_count lnet in
-  let arrival = Array.make n 0.0 in
-  let order = Logic.topo_order lnet in
-  List.iter
-    (fun id ->
-      match Logic.driver lnet id with
-      | Logic.Input | Logic.Const _ -> arrival.(id) <- 0.0
-      | Logic.Latch _ -> arrival.(id) <- model.t_clk_q
-      | Logic.Gate { fanins; _ } ->
-          arrival.(id) <-
-            model.t_logic
-            +. Array.fold_left
-                 (fun acc f -> Float.max acc (arrival.(f) +. conn_delay f id))
-                 0.0 fanins)
-    order;
-  (* endpoint arrival: latch data (plus setup) and output pads *)
-  let endpoint_delay id extra = arrival.(id) +. extra in
-  let dmax = ref 1e-12 in
-  List.iter
-    (fun l ->
-      match Logic.driver lnet l with
-      | Logic.Latch { data; _ } ->
-          dmax :=
-            Float.max !dmax
-              (endpoint_delay data (conn_delay data l +. model.t_setup))
-      | _ -> ())
-    (Logic.latches lnet);
-  Array.iteri
-    (fun bidx kind ->
-      match kind with
-      | Problem.Output_pad s ->
-          let d =
-            match Hashtbl.find_opt producer s with
-            | Some a when a <> bidx ->
-                let ax, ay = coords a and bx, by = coords bidx in
-                model.t_fixed
-                +. (model.t_per_tile
-                   *. float_of_int (abs (ax - bx) + abs (ay - by)))
-            | _ -> model.t_local
-          in
-          dmax := Float.max !dmax (arrival.(s) +. d)
-      | _ -> ())
-    problem.Problem.blocks;
-  (* backward: required times *)
-  let required = Array.make n infinity in
-  let relax id t = if t < required.(id) then required.(id) <- t in
-  List.iter
-    (fun l ->
-      match Logic.driver lnet l with
-      | Logic.Latch { data; _ } ->
-          relax data (!dmax -. conn_delay data l -. model.t_setup)
-      | _ -> ())
-    (Logic.latches lnet);
-  Array.iteri
-    (fun bidx kind ->
-      match kind with
-      | Problem.Output_pad s ->
-          let d =
-            match Hashtbl.find_opt producer s with
-            | Some a when a <> bidx ->
-                let ax, ay = coords a and bx, by = coords bidx in
-                model.t_fixed
-                +. (model.t_per_tile
-                   *. float_of_int (abs (ax - bx) + abs (ay - by)))
-            | _ -> model.t_local
-          in
-          relax s (!dmax -. d)
-      | _ -> ())
-    problem.Problem.blocks;
-  List.iter
-    (fun id ->
-      match Logic.driver lnet id with
-      | Logic.Gate { fanins; _ } ->
-          let r = required.(id) -. model.t_logic in
-          Array.iter (fun f -> relax f (r -. conn_delay f id)) fanins
-      | _ -> ())
-    (List.rev order);
-  (* criticality per routed connection: for each net, for each sink block,
-     the worst criticality over signals consumed there *)
-  let consumers_at = Hashtbl.create 64 in
-  (* (signal, block) -> consuming signal ids *)
-  List.iter
-    (fun id ->
-      List.iter
-        (fun f ->
-          match Hashtbl.find_opt producer id with
-          | Some b ->
-              let key = (f, b) in
-              let cur = Option.value (Hashtbl.find_opt consumers_at key) ~default:[] in
-              Hashtbl.replace consumers_at key (id :: cur)
-          | None -> ())
-        (Logic.fanins lnet id))
-    (List.init n (fun i -> i));
-  let crit_of_connection s sink_block =
-    let users = Option.value (Hashtbl.find_opt consumers_at (s, sink_block)) ~default:[] in
-    List.fold_left
-      (fun acc u ->
-        let slack = required.(u) -. model.t_logic -. conn_delay s u -. arrival.(s) in
-        let c = 1.0 -. (Float.max 0.0 slack /. !dmax) in
-        Float.max acc (Float.min 1.0 (Float.max 0.0 c)))
-      0.0 users
-  in
-  let criticality =
-    Array.map
-      (fun (net : Problem.net) ->
-        Array.map
-          (fun sink_block ->
-            match problem.Problem.blocks.(sink_block) with
-            | Problem.Output_pad _ ->
-                let slack = required.(net.Problem.signal) -. arrival.(net.Problem.signal) in
-                Float.min 1.0 (Float.max 0.0 (1.0 -. (Float.max 0.0 slack /. !dmax)))
-            | _ -> crit_of_connection net.Problem.signal sink_block)
-          net.Problem.sinks)
-      problem.Problem.nets
-  in
-  { dmax = !dmax; criticality }

@@ -1,9 +1,8 @@
-(** Pre-route static timing for timing-driven placement (T-VPlace style).
-
-    Interconnect delays are estimated from placement distance (a linear
-    per-tile model); a forward/backward pass over the mapped netlist
-    yields per-connection slacks, and criticality = 1 - slack / Dmax
-    weights the placement cost. *)
+(** Pre-route timing-driven placement support (T-VPlace style): the
+    placement-distance delay model, the producing-block map, and the
+    analysis record the annealer's timing hook returns.  The analysis
+    itself runs in the unified STA engine (lib/sta) — criticality =
+    1 - slack / Dmax weights the placement cost. *)
 
 type delay_model = {
   t_local : float;    (** intra-cluster connection, s *)
@@ -24,6 +23,7 @@ type analysis = {
   criticality : float array array;
       (** per (net index, sink position): in [0, 1] *)
 }
-
-val analyze :
-  ?model:delay_model -> Problem.t -> coords:(int -> int * int) -> analysis
+(** The record the annealer's timing hook returns.  The built-in
+    standalone analyzer is retired: analyses come from the unified STA
+    engine ([Sta.Analysis.run] with the placement-distance provider,
+    adapted by [Sta.Analysis.to_td]). *)

@@ -7,7 +7,16 @@
    iterations are incremental: only nets whose trees touch an
    over-capacity node are ripped up and rerouted; legal trees keep their
    routing and their occupancy.  Convergence = no node used beyond its
-   capacity. *)
+   capacity.
+
+   The inner loop is net-parallel: each iteration's reroute list is
+   partitioned into batches of pairwise-disjoint bounding boxes
+   ([partition_batches]); a batch rips up all its nets, routes them
+   concurrently on the [Util.Parallel] Domain pool against the frozen
+   cost state, then commits occupancy and trees in ascending net-id
+   order.  Because every net of a batch sees the identical snapshot and
+   the merge order is fixed, the routing is bit-identical for any [jobs]
+   value — the deterministic-merge contract (docs/OBSERVABILITY.md). *)
 
 type net_spec = {
   index : int;               (* position in the problem's net array *)
@@ -28,6 +37,9 @@ type iter_stat = {
   overused_nodes : int;      (* nodes above capacity after the iteration *)
   nets_rerouted : int;       (* nets ripped up and rerouted *)
   heap_pops : int;           (* wavefront size: heap pops this iteration *)
+  batches : int;             (* bbox-disjoint reroute batches *)
+  batch_max : int;           (* nets in the largest batch *)
+  serial_nets : int;         (* nets that routed in singleton batches *)
 }
 
 type result = {
@@ -87,6 +99,19 @@ let make_scratch n =
     heap = Util.Pqueue.create ();
     pops = 0;
   }
+
+(* One scratch per domain: nets of a batch route concurrently, each
+   worker on its own generation-stamped arrays; the calling domain keeps
+   its scratch across batches, iterations and [route] calls (a slot is
+   live only when stamped with the current epoch, so reuse across graphs
+   of equal node count is invisible). *)
+let scratch_slot : scratch Util.Parallel.scratch_slot =
+  Util.Parallel.scratch_slot ()
+
+let domain_scratch n =
+  Util.Parallel.scratch scratch_slot
+    ~valid:(fun sc -> Array.length sc.dist >= n)
+    ~create:(fun () -> make_scratch n)
 
 let dist_of sc v = if sc.stamp.(v) = sc.epoch then sc.dist.(v) else infinity
 
@@ -215,9 +240,50 @@ let occupy st nodes = List.iter (fun nd -> st.occ.(nd) <- st.occ.(nd) + 1) nodes
 
 let release st nodes = List.iter (fun nd -> st.occ.(nd) <- st.occ.(nd) - 1) nodes
 
+(* ---------- net-parallel batches ---------- *)
+
+(* Two bounding boxes are disjoint when they share no tile in x or in y.
+   Disjoint nets cannot contend for an RR node: every node a bounded
+   search may read or claim intersects the net's box. *)
+let bbox_disjoint (ax0, ax1, ay0, ay1) (bx0, bx1, by0, by1) =
+  ax1 < bx0 || bx1 < ax0 || ay1 < by0 || by1 < ay0
+
+(* Partition a reroute list (ascending net ids, one bounding box each)
+   into batches of pairwise-disjoint boxes: sort by x-start and first-fit
+   each interval into the earliest batch whose x-extents it clears — the
+   classic interval-partitioning sweep, so overlapping nets land in
+   different batches and a fully-overlapping list degrades to singleton
+   batches.  Deterministic: ties sort by net id, batches keep creation
+   order, members come back in ascending net id. *)
+let partition_batches items =
+  let by_x =
+    List.sort
+      (fun (i, (ax0, _, _, _)) (j, (bx0, _, _, _)) -> compare (ax0, i) (bx0, j))
+      items
+  in
+  let batches = ref [] in (* (max-xhi ref, members ref) in creation order *)
+  List.iter
+    (fun ((_, (x0, x1, _, _)) as item) ->
+      let rec place = function
+        | [] -> batches := !batches @ [ (ref x1, ref [ item ]) ]
+        | (hi, members) :: rest ->
+            if x0 > !hi then begin
+              hi := max !hi x1;
+              members := item :: !members
+            end
+            else place rest
+      in
+      place !batches)
+    by_x;
+  List.map
+    (fun (_, members) ->
+      List.sort (fun (i, _) (j, _) -> compare i j) !members)
+    !batches
+
 let route ?(max_iterations = 30) ?(pres_fac0 = 0.5) ?(pres_mult = 1.6)
-    ?(acc_fac = 0.4) ?(astar_fac = 1.0) ?(incremental = true) ?node_delay
-    (g : Rrgraph.t) (nets : net_spec array) =
+    ?(acc_fac = 0.4) ?(astar_fac = 1.0) ?(incremental = true) ?jobs
+    ?node_delay (g : Rrgraph.t) (nets : net_spec array) =
+  let jobs = Util.Parallel.resolve_jobs ?jobs () in
   let n = Rrgraph.node_count g in
   let st = { occ = Array.make n 0; history = Array.make n 0.0; pres_fac = pres_fac0 } in
   let delay_norm =
@@ -230,7 +296,6 @@ let route ?(max_iterations = 30) ?(pres_fac0 = 0.5) ?(pres_mult = 1.6)
   let trees =
     Array.map (fun spec -> { net_index = spec.index; nodes = []; parents = [] }) nets
   in
-  let sc = make_scratch n in
   let iteration = ref 0 in
   let done_ = ref false in
   let hopeless = ref false in
@@ -265,64 +330,129 @@ let route ?(max_iterations = 30) ?(pres_fac0 = 0.5) ?(pres_mult = 1.6)
          (fun nd -> st.occ.(nd) > g.Rrgraph.nodes.(nd).Rrgraph.capacity)
          tr.nodes
   in
+  (* bounding box of a net's terminals, expanded by 3 tiles; a net that
+     cannot route inside it retries unrestricted *)
+  let search_bounds idx =
+    let spec = nets.(idx) in
+    let terminals = spec.source :: spec.sinks in
+    let margin = 3 in
+    ( List.fold_left (fun m t -> min m g.Rrgraph.xlo.(t)) max_int terminals
+      - margin,
+      List.fold_left (fun m t -> max m g.Rrgraph.xhi.(t)) 0 terminals + margin,
+      List.fold_left (fun m t -> min m g.Rrgraph.ylo.(t)) max_int terminals
+      - margin,
+      List.fold_left (fun m t -> max m g.Rrgraph.yhi.(t)) 0 terminals + margin )
+  in
+  (* the batch bbox additionally covers the net's current tree: ripping a
+     batch-mate up must not touch nodes another member's bounded search
+     reads (a tree can stray outside its terminals' box after an
+     unrestricted retry) *)
+  let batch_bbox idx ((bx0, bx1, by0, by1) as bounds) =
+    match trees.(idx).nodes with
+    | [] -> bounds
+    | tree_nodes ->
+        List.fold_left
+          (fun (x0, x1, y0, y1) nd ->
+            ( min x0 g.Rrgraph.xlo.(nd),
+              max x1 g.Rrgraph.xhi.(nd),
+              min y0 g.Rrgraph.ylo.(nd),
+              max y1 g.Rrgraph.yhi.(nd) ))
+          (bx0, bx1, by0, by1) tree_nodes
+  in
+  (* Route one net against the current (frozen) cost state, on this
+     domain's scratch.  Reads [st] and the graph only; all writes land in
+     domain-local scratch, so a batch of these runs race-free. *)
+  let route_one (idx, bounds) =
+    let sc = domain_scratch n in
+    let spec = nets.(idx) in
+    (* per-net jitter on the lookahead strength: breaking cost ties
+       toward the target herds competing nets onto the same corridors,
+       so give each net a slightly different preference (all factors
+       <= 1 keep the lookahead admissible) *)
+    let astar_fac =
+      let phi = Float.rem (float_of_int idx *. 0.6180339887) 1.0 in
+      astar_fac *. (0.7 +. (0.3 *. phi))
+    in
+    let pops0 = sc.pops in
+    let nodes, parents =
+      match
+        route_net g st sc ?node_delay ~bounds ~delay_norm ~astar_fac
+          ~crit:spec.crit ~source:spec.source ~sinks:spec.sinks ()
+      with
+      | r -> r
+      | exception Not_found ->
+          route_net g st sc ?node_delay ~delay_norm ~astar_fac
+            ~crit:spec.crit ~source:spec.source ~sinks:spec.sinks ()
+    in
+    (nodes, parents, sc.pops - pops0)
+  in
   (* incremental rip-up can wedge: legal nets freeze on resources the
      congested ones need.  When overuse stops improving, fall back to one
      classic full rip-up iteration to reshuffle the negotiation. *)
   let force_full = ref false in
   while (not !done_) && (not !hopeless) && !iteration < max_iterations do
     incr iteration;
-    sc.pops <- 0;
     let full = (not incremental) || !iteration = 1 || !force_full in
     force_full := false;
-    let rerouted = ref 0 in
+    (* the iteration's reroute list, ascending net id *)
+    let reroute = ref [] in
     Array.iteri
-      (fun idx spec ->
-        if full || congested trees.(idx) then begin
-          incr rerouted;
-          release st trees.(idx).nodes;
-          (* bounding box of the net's terminals, expanded by 3 tiles; a net
-             that cannot route inside it retries unrestricted *)
-          let terminals = spec.source :: spec.sinks in
-          let margin = 3 in
-          let bounds =
-            ( List.fold_left (fun m t -> min m g.Rrgraph.xlo.(t)) max_int terminals
-              - margin,
-              List.fold_left (fun m t -> max m g.Rrgraph.xhi.(t)) 0 terminals
-              + margin,
-              List.fold_left (fun m t -> min m g.Rrgraph.ylo.(t)) max_int terminals
-              - margin,
-              List.fold_left (fun m t -> max m g.Rrgraph.yhi.(t)) 0 terminals
-              + margin )
-          in
-          (* per-net jitter on the lookahead strength: breaking cost ties
-             toward the target herds competing nets onto the same
-             corridors, so give each net a slightly different preference
-             (all factors <= 1 keep the lookahead admissible) *)
-          let astar_fac =
-            let phi = Float.rem (float_of_int idx *. 0.6180339887) 1.0 in
-            astar_fac *. (0.7 +. (0.3 *. phi))
-          in
-          let nodes, parents =
-            match
-              route_net g st sc ?node_delay ~bounds ~delay_norm ~astar_fac
-                ~crit:spec.crit ~source:spec.source ~sinks:spec.sinks ()
-            with
-            | r -> r
-            | exception Not_found ->
-                route_net g st sc ?node_delay ~delay_norm ~astar_fac
-                  ~crit:spec.crit ~source:spec.source ~sinks:spec.sinks ()
-          in
-          occupy st nodes;
-          trees.(idx) <- { net_index = spec.index; nodes; parents }
-        end)
+      (fun idx _ ->
+        if full || congested trees.(idx) then reroute := idx :: !reroute)
       nets;
+    let reroute = List.rev !reroute in
+    let rerouted = List.length reroute in
+    (* group the list into batches of pairwise-disjoint bounding boxes;
+       batches run in order, and within a batch every net routes against
+       the same frozen cost state, so the result is identical for any
+       [jobs] — the deterministic-merge contract *)
+    let with_bounds =
+      List.map (fun idx -> (idx, search_bounds idx)) reroute
+    in
+    let batches =
+      partition_batches
+        (List.map (fun (idx, b) -> (idx, batch_bbox idx b)) with_bounds)
+    in
+    let bounds_of = Hashtbl.create (max 16 rerouted) in
+    List.iter (fun (idx, b) -> Hashtbl.replace bounds_of idx b) with_bounds;
+    let iter_pops = ref 0 in
+    let iter_batches = ref 0 and iter_batch_max = ref 0 in
+    let iter_serial = ref 0 in
+    List.iter
+      (fun batch ->
+        incr iter_batches;
+        let k = List.length batch in
+        if k > !iter_batch_max then iter_batch_max := k;
+        if k = 1 then incr iter_serial;
+        (* rip up the whole batch, then route against the frozen state *)
+        List.iter (fun (idx, _) -> release st trees.(idx).nodes) batch;
+        let tasks =
+          Array.of_list
+            (List.map (fun (idx, _) -> (idx, Hashtbl.find bounds_of idx)) batch)
+        in
+        let results =
+          if jobs > 1 && k > 1 then Util.Parallel.map ~jobs route_one tasks
+          else Array.map route_one tasks
+        in
+        (* commit occupancy and trees in ascending net-id order *)
+        Array.iteri
+          (fun i (idx, _) ->
+            let nodes, parents, pops = results.(i) in
+            occupy st nodes;
+            trees.(idx) <- { net_index = nets.(idx).index; nodes; parents };
+            iter_pops := !iter_pops + pops)
+          tasks)
+      batches;
     let over = total_overuse () in
     iter_stats :=
       {
         iteration = !iteration;
         overused_nodes = overused_count ();
-        nets_rerouted = !rerouted;
-        heap_pops = sc.pops;
+        nets_rerouted = rerouted;
+        heap_pops = !iter_pops;
+        batches = !iter_batches;
+        batch_max = !iter_batch_max;
+        serial_nets = !iter_serial;
       }
       :: !iter_stats;
     over_hist := over :: !over_hist;

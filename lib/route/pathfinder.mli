@@ -30,6 +30,9 @@ type iter_stat = {
   overused_nodes : int; (** nodes above capacity after the iteration *)
   nets_rerouted : int;  (** nets ripped up and rerouted *)
   heap_pops : int;      (** wavefront size: heap pops this iteration *)
+  batches : int;        (** bbox-disjoint reroute batches this iteration *)
+  batch_max : int;      (** nets in the largest batch *)
+  serial_nets : int;    (** nets that routed in singleton batches *)
 }
 
 type result = {
@@ -43,12 +46,33 @@ type result = {
 val route :
   ?max_iterations:int -> ?pres_fac0:float -> ?pres_mult:float ->
   ?acc_fac:float -> ?astar_fac:float -> ?incremental:bool ->
+  ?jobs:int ->
   ?node_delay:float array -> Rrgraph.t -> net_spec array -> result
 (** [astar_fac] scales the directed lookahead (0 = plain Dijkstra,
     1 = admissible A*, the default; larger trades optimality for speed).
     [incremental] (default true) enables congested-only rip-up after the
     first iteration; [false] restores full rip-up every iteration.
+    [jobs] bounds the Domain pool used to route a batch's nets
+    concurrently; the routed result is bit-identical for every value
+    (defaults to [AMDREL_JOBS] / the machine's core count, see
+    {!Util.Parallel}).
     @raise Not_found if some sink is unreachable in the graph. *)
+
+val bbox_disjoint : int * int * int * int -> int * int * int * int -> bool
+(** [(xlo, xhi, ylo, yhi)] boxes, bounds inclusive: true when the two
+    boxes share no tile. *)
+
+val partition_batches :
+  (int * (int * int * int * int)) list ->
+  (int * (int * int * int * int)) list list
+(** Greedy interval partition of [(id, bbox)] items into batches whose
+    members have pairwise-disjoint bboxes: sweep the items in ascending
+    [(xlo, id)] order and first-fit each into the earliest batch whose
+    running max-xhi it clears (x-disjointness implies bbox-disjointness).
+    Every item lands in exactly one batch, members are in ascending id
+    order, and concatenating the batches' ids sorted ascending recovers
+    the input's ids; fully-overlapping input degrades to singleton
+    batches. *)
 
 val no_overuse : result -> bool
 (** Independent capacity re-check (used by tests). *)

@@ -80,7 +80,7 @@ let net_criticalities ?(model = Place.Td_timing.default_model)
   let a = Sta.Analysis.run graph provider in
   Array.map (Float.min 0.95) a.Sta.Analysis.net_criticality
 
-let try_width ?(max_iterations = 60) ?crit (params : Fpga_arch.Params.t)
+let try_width ?(max_iterations = 60) ?crit ?jobs (params : Fpga_arch.Params.t)
     (placement : Place.Placement.t) width =
   let problem = placement.Place.Placement.problem in
   let g = Rrgraph.build params problem.Place.Problem.grid placement ~width in
@@ -91,16 +91,16 @@ let try_width ?(max_iterations = 60) ?crit (params : Fpga_arch.Params.t)
         (Some per_net, Some (node_delays g (Timing.default_constants params)))
   in
   let nets = net_terminals ?criticalities g problem in
-  match Pathfinder.route ~max_iterations ?node_delay g nets with
+  match Pathfinder.route ~max_iterations ?jobs ?node_delay g nets with
   | r when r.Pathfinder.success -> Some (g, r)
   | _ -> None
   | exception Not_found -> None
 
 (* Route at a fixed width (raises if infeasible). *)
-let route_fixed ?(max_iterations = 60) ?timing (params : Fpga_arch.Params.t)
-    (placement : Place.Placement.t) ~width =
+let route_fixed ?(max_iterations = 60) ?timing ?jobs
+    (params : Fpga_arch.Params.t) (placement : Place.Placement.t) ~width =
   let crit = Option.map (fun model -> net_criticalities ~model placement) timing in
-  match try_width ~max_iterations ?crit params placement width with
+  match try_width ~max_iterations ?crit ?jobs params placement width with
   | Some (g, r) ->
       {
         problem = placement.Place.Placement.problem;
@@ -214,13 +214,13 @@ let route_min_width ?(max_iterations = 60) ?(start = 6) ?timing ?jobs
   let final_w = max min_w (int_of_float (Float.ceil (1.2 *. float_of_int min_w))) in
   let g, r =
     match
-      try_width ~max_iterations:(2 * max_iterations) ?crit params placement
-        final_w
+      try_width ~max_iterations:(2 * max_iterations) ?crit ~jobs params
+        placement final_w
     with
     | Some ok -> ok
     | None -> (
         match
-          try_width ~max_iterations:(2 * max_iterations) ?crit params
+          try_width ~max_iterations:(2 * max_iterations) ?crit ~jobs params
             placement (2 * final_w)
         with
         | Some ok -> ok
@@ -260,9 +260,12 @@ type stats = {
   nets_rerouted : int;        (* rip-up/reroute operations, all iterations *)
   heap_pops : int;            (* wavefront size, all iterations *)
   peak_overuse : int;         (* worst per-iteration overused-node count *)
+  par_batches : int;          (* bbox-disjoint reroute batches, all iterations *)
+  par_batch_max : int;        (* largest batch seen *)
+  par_serial_frac : float;    (* rerouted nets that ran in singleton batches *)
 }
 
-let stats (r : routed) =
+let stats ?sta:analysis (r : routed) =
   let wire = ref 0 and switches = ref 0 in
   Array.iter
     (fun (tr : Pathfinder.route_tree) ->
@@ -277,18 +280,28 @@ let stats (r : routed) =
         tr.Pathfinder.nodes)
     r.result.Pathfinder.trees;
   let iters = r.result.Pathfinder.iter_stats in
+  let sum f = List.fold_left (fun a (s : Pathfinder.iter_stat) -> a + f s) 0 iters in
+  let rerouted = sum (fun s -> s.Pathfinder.nets_rerouted) in
+  let serial = sum (fun s -> s.Pathfinder.serial_nets) in
+  (* critical path from the unified STA over the routed trees; [?sta]
+     reuses an analysis the caller already ran (the flow's post-route
+     report) instead of rebuilding the timing graph *)
+  let a = match analysis with Some a -> a | None -> sta r in
   {
     channel_width = r.width;
     minimum_width = r.min_width;
     total_wire_tiles = !wire;
     switches_used = !switches;
-    critical_path_s =
-      Timing.critical_path r.problem r.graph r.constants r.result;
+    critical_path_s = a.Sta.Analysis.dmax;
     router_iterations = r.result.Pathfinder.iterations;
-    nets_rerouted =
-      List.fold_left (fun a (s : Pathfinder.iter_stat) -> a + s.Pathfinder.nets_rerouted) 0 iters;
-    heap_pops =
-      List.fold_left (fun a (s : Pathfinder.iter_stat) -> a + s.Pathfinder.heap_pops) 0 iters;
+    nets_rerouted = rerouted;
+    heap_pops = sum (fun s -> s.Pathfinder.heap_pops);
     peak_overuse =
       List.fold_left (fun a (s : Pathfinder.iter_stat) -> max a s.Pathfinder.overused_nodes) 0 iters;
+    par_batches = sum (fun s -> s.Pathfinder.batches);
+    par_batch_max =
+      List.fold_left (fun a (s : Pathfinder.iter_stat) -> max a s.Pathfinder.batch_max) 0 iters;
+    par_serial_frac =
+      (if rerouted = 0 then 0.0
+       else float_of_int serial /. float_of_int rerouted);
   }

@@ -28,15 +28,16 @@ val net_criticalities :
     Index-aligned with the problem's net array. *)
 
 val try_width :
-  ?max_iterations:int -> ?crit:float array ->
+  ?max_iterations:int -> ?crit:float array -> ?jobs:int ->
   Fpga_arch.Params.t -> Place.Placement.t -> int ->
   (Rrgraph.t * Pathfinder.result) option
 (** Attempt a routing at the given channel width; None if infeasible.
     [crit] (per-net, pre-capped — see {!net_criticalities}) enables the
-    timing-driven cost. *)
+    timing-driven cost.  [jobs] bounds the intra-route Domain pool (the
+    routed result is bit-identical for every value). *)
 
 val route_fixed :
-  ?max_iterations:int -> ?timing:Place.Td_timing.delay_model ->
+  ?max_iterations:int -> ?timing:Place.Td_timing.delay_model -> ?jobs:int ->
   Fpga_arch.Params.t -> Place.Placement.t -> width:int -> routed
 (** @raise Failure when unroutable at that width. *)
 
@@ -68,11 +69,16 @@ type stats = {
   minimum_width : int option;
   total_wire_tiles : int; (** wirelength in tile units *)
   switches_used : int;
-  critical_path_s : float;
+  critical_path_s : float; (** post-route {!Sta.Analysis} dmax *)
   router_iterations : int; (** PathFinder iterations of the final routing *)
   nets_rerouted : int;     (** rip-up/reroute operations, all iterations *)
   heap_pops : int;         (** wavefront size, all iterations *)
   peak_overuse : int;      (** worst per-iteration overused-node count *)
+  par_batches : int;       (** bbox-disjoint reroute batches, all iterations *)
+  par_batch_max : int;     (** largest batch seen *)
+  par_serial_frac : float; (** fraction of rerouted nets in singleton batches *)
 }
 
-val stats : routed -> stats
+val stats : ?sta:Sta.Analysis.t -> routed -> stats
+(** [sta] reuses a post-route analysis the caller already ran for the
+    [critical_path_s] figure; omitted, one is computed via {!sta}. *)

@@ -3,8 +3,8 @@
    [Sta.Delays.provider] so the unified STA engine can analyse the
    routed design with the same propagation it uses pre-route.
 
-   Semantics match the legacy [Timing.critical_path] estimator exactly:
-   same-block connections cost the intra-cluster feedback delay,
+   Delay semantics: same-block connections cost the intra-cluster
+   feedback delay,
    inter-block connections the Elmore delay of the routed net (falling
    back to the local delay when no route reaches that block), pad-bound
    signals the routed delay to the pad (0 when unrouted). *)

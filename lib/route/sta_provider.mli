@@ -2,9 +2,9 @@
 
     Wraps {!Timing.elmore} over the actual routing trees as a
     [Sta.Delays.provider], so [Sta.Analysis.run] reports post-route
-    critical paths, slacks and criticalities.  Delay semantics match
-    the legacy {!Timing.critical_path} estimator exactly (the parity the
-    STA tests assert). *)
+    critical paths, slacks and criticalities — the sole post-route
+    timing oracle now that the legacy standalone estimator is retired
+    (golden fixtures under [test/fixtures/] pin its output). *)
 
 val routed :
   Place.Problem.t -> Rrgraph.t -> Timing.constants -> Pathfinder.result ->

@@ -1,11 +1,11 @@
-(* Delay estimation over routed nets: Elmore delay on the routing trees,
-   plus logic delays, giving the post-route critical path.
+(* Delay estimation over routed nets: Elmore delay on the routing trees.
+   [Sta_provider.routed] feeds these per-sink delays into the unified
+   STA engine, which owns the post-route critical-path computation.
 
    Electrical constants derive from the platform's circuit design (§3):
    pass-transistor switches at [switch_width] x minimum, length-1 metal-3
    segments with the min-width/double-spacing RC selected in §3.3. *)
 
-open Netlist
 
 type constants = {
   r_switch : float;   (* routing switch on-resistance, ohm *)
@@ -115,101 +115,3 @@ let net_delays (g : Rrgraph.t) consts ~source (tree : Pathfinder.route_tree) =
     tree.Pathfinder.nodes;
   out
 
-(* ---------- post-route static timing over the mapped netlist ---------- *)
-
-(* Critical path: longest register-to-register / pad-to-pad combinational
-   path.  Signal-level DP over the mapped network; crossing a cluster
-   boundary uses the routed net delay, staying inside costs the local
-   feedback delay. *)
-let critical_path (problem : Place.Problem.t) (g : Rrgraph.t) consts
-    (routes : Pathfinder.result) =
-  let lnet = problem.Place.Problem.packing.Pack.Cluster.net in
-  let packing = problem.Place.Problem.packing in
-  (* block of each produced signal *)
-  let block_of_signal = Hashtbl.create 64 in
-  Array.iteri
-    (fun bidx kind ->
-      match kind with
-      | Place.Problem.Cluster_block cid ->
-          List.iter
-            (fun (b : Pack.Ble.t) ->
-              Hashtbl.replace block_of_signal b.Pack.Ble.output bidx)
-            packing.Pack.Cluster.clusters.(cid).Pack.Cluster.bles
-      | Place.Problem.Input_pad s -> Hashtbl.replace block_of_signal s bidx
-      | Place.Problem.Output_pad _ -> ())
-    problem.Place.Problem.blocks;
-  (* routed delays per (signal, sink block) *)
-  let routed = Hashtbl.create 64 in
-  Array.iter
-    (fun (tr : Pathfinder.route_tree) ->
-      let net = problem.Place.Problem.nets.(tr.Pathfinder.net_index) in
-      let source_node =
-        match
-          List.find_opt
-            (fun nd ->
-              match g.Rrgraph.nodes.(nd).Rrgraph.kind with
-              | Rrgraph.Opin _ -> true
-              | _ -> false)
-            tr.Pathfinder.nodes
-        with
-        | Some s -> s
-        | None -> List.hd tr.Pathfinder.nodes
-      in
-      let ds = net_delays g consts ~source:source_node tr in
-      Hashtbl.iter
-        (fun sink_block d ->
-          Hashtbl.replace routed (net.Place.Problem.signal, sink_block) d)
-        ds)
-    routes.Pathfinder.trees;
-  (* interconnect delay for signal s consumed by signal u *)
-  let edge_delay s u =
-    let sb = Hashtbl.find_opt block_of_signal s in
-    let ub = Hashtbl.find_opt block_of_signal u in
-    match (sb, ub) with
-    | Some a, Some b when a = b -> consts.t_ble_local
-    | _, Some b -> (
-        match Hashtbl.find_opt routed (s, b) with
-        | Some d -> d
-        | None -> consts.t_ble_local)
-    | _ -> consts.t_ble_local
-  in
-  (* DP over the combinational network *)
-  let arrival = Array.make (Logic.signal_count lnet) 0.0 in
-  let worst = ref 0.0 in
-  List.iter
-    (fun id ->
-      match Logic.driver lnet id with
-      | Logic.Input -> arrival.(id) <- 0.0
-      | Logic.Const _ -> arrival.(id) <- 0.0
-      | Logic.Latch _ -> arrival.(id) <- consts.t_clk_q
-      | Logic.Gate { fanins; _ } ->
-          let t =
-            Array.fold_left
-              (fun acc f -> Float.max acc (arrival.(f) +. edge_delay f id))
-              0.0 fanins
-          in
-          arrival.(id) <- t +. consts.t_lut)
-    (Logic.topo_order lnet);
-  (* paths ending at latches (plus setup) and at output pads *)
-  List.iter
-    (fun l ->
-      match Logic.driver lnet l with
-      | Logic.Latch { data; _ } ->
-          worst :=
-            Float.max !worst
-              (arrival.(data) +. edge_delay data l +. consts.t_setup)
-      | _ -> ())
-    (Logic.latches lnet);
-  Array.iteri
-    (fun bidx kind ->
-      match kind with
-      | Place.Problem.Output_pad s ->
-          let routed_d =
-            match Hashtbl.find_opt routed (s, bidx) with
-            | Some d -> d
-            | None -> 0.0
-          in
-          worst := Float.max !worst (arrival.(s) +. routed_d)
-      | _ -> ())
-    problem.Place.Problem.blocks;
-  !worst

@@ -1,5 +1,6 @@
-(** Delay estimation over routed nets: Elmore delay on the routing trees
-    plus logic delays, giving the post-route critical path.
+(** Delay estimation over routed nets: Elmore delay on the routing trees.
+    {!Sta_provider.routed} feeds the per-sink delays into the unified
+    STA engine, which owns the post-route critical-path computation.
 
     Electrical constants derive from the platform's circuit design (§3):
     pass-transistor switches at [switch_width] x minimum, length-1
@@ -33,7 +34,6 @@ type net_delays = (int, float) Hashtbl.t
 
 val net_delays :
   Rrgraph.t -> constants -> source:int -> Pathfinder.route_tree -> net_delays
-
-val critical_path :
-  Place.Problem.t -> Rrgraph.t -> constants -> Pathfinder.result -> float
-(** Longest register-to-register / pad-to-pad path, s. *)
+(** Post-route critical-path figures come from {!Sta.Analysis} with the
+    {!Sta_provider.routed} delay provider, which consumes these Elmore
+    delays; the old standalone [critical_path] estimator is gone. *)

@@ -72,5 +72,23 @@ let map ?jobs f xs =
 
 let map_list ?jobs f xs = Array.to_list (map ?jobs f (Array.of_list xs))
 
+(* Per-domain scratch slots: mutable working storage a parallel stage's
+   tasks need (Dijkstra arrays, costing buffers).  Each domain lazily
+   builds its own value, so tasks running on different domains never
+   alias, while tasks that land on the same domain (including the caller,
+   across successive [map] calls) reuse one allocation. *)
+type 'a scratch_slot = 'a option ref Domain.DLS.key
+
+let scratch_slot () : 'a scratch_slot = Domain.DLS.new_key (fun () -> ref None)
+
+let scratch slot ~valid ~create =
+  let cell = Domain.DLS.get slot in
+  match !cell with
+  | Some v when valid v -> v
+  | _ ->
+      let v = create () in
+      cell := Some v;
+      v
+
 let map_reduce ?jobs ~map:f ~reduce ~init xs =
   Array.fold_left reduce init (map ?jobs f xs)

@@ -44,6 +44,25 @@ val map : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
 val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map] over a list, preserving order. *)
 
+type 'a scratch_slot
+(** A per-domain cache of mutable working storage.  Tasks of a parallel
+    stage often need scratch buffers (Dijkstra arrays, costing vectors);
+    a slot gives every domain its own lazily-built copy, so concurrent
+    tasks never alias each other's buffers while tasks executing on the
+    same domain — including the calling domain across successive {!map}
+    calls — reuse one allocation.  Scratch contents must never influence
+    results (validate-by-stamp or overwrite-before-read disciplines), so
+    reuse is invisible to any output. *)
+
+val scratch_slot : unit -> 'a scratch_slot
+(** A fresh slot.  Create once at module level, not per call: each
+    domain's cache lives as long as the slot's key. *)
+
+val scratch : 'a scratch_slot -> valid:('a -> bool) -> create:(unit -> 'a) -> 'a
+(** [scratch slot ~valid ~create] returns this domain's cached value when
+    [valid] accepts it (e.g. the buffer is large enough), otherwise
+    [create]s, caches and returns a replacement. *)
+
 val map_reduce :
   ?jobs:int -> map:('a -> 'b) -> reduce:('c -> 'b -> 'c) -> init:'c ->
   'a array -> 'c

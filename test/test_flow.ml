@@ -64,8 +64,12 @@ let test_td_criticalities_bounded () =
   let packing = Pack.Cluster.pack ~n:5 ~i:12 mapped in
   let problem = Place.Problem.build packing in
   let pl = Place.Placement.initial problem in
+  let graph = Sta.Graph.build problem in
   let a =
-    Place.Td_timing.analyze problem ~coords:(Place.Placement.coords pl)
+    Sta.Analysis.to_td
+      (Sta.Analysis.run graph
+         (Sta.Delays.of_placement problem
+            ~coords:(Place.Placement.coords pl)))
   in
   Alcotest.(check bool) "dmax positive" true (a.Place.Td_timing.dmax > 0.0);
   Array.iter
@@ -81,7 +85,16 @@ let test_td_placement_reports_dmax () =
   let mapped, _ = Techmap.Mapper.map_network ~k:4 ~verify:false net in
   let packing = Pack.Cluster.pack ~n:5 ~i:12 mapped in
   let problem = Place.Problem.build packing in
-  let r = Place.Anneal.run ~timing:Place.Anneal.default_timing problem in
+  (* the annealer's timing hook, as the flow wires it: unified STA on a
+     shared graph, adapted to the Td record *)
+  let graph = Sta.Graph.build problem in
+  let analyze ~coords =
+    Sta.Analysis.to_td
+      (Sta.Analysis.run graph (Sta.Delays.of_placement problem ~coords))
+  in
+  let r =
+    Place.Anneal.run ~timing:(Place.Anneal.default_timing ~analyze) problem
+  in
   (match r.Place.Anneal.estimated_dmax with
   | Some d -> Alcotest.(check bool) "dmax sane" true (d > 0.0 && d < 100e-9)
   | None -> Alcotest.fail "expected a dmax estimate");
@@ -121,6 +134,37 @@ let test_flow_jobs_deterministic () =
   Alcotest.(check (float 0.0)) "parallel.jobs value" 4.0
     (List.assoc "parallel.jobs" b.Core.Flow.times)
 
+(* Intra-route parallelism end to end on the larger circuits: the whole
+   flow (min-width search, routing, bitstream) must agree byte for byte
+   between jobs=1 and jobs=4, and the route.par.* counters must ride in
+   the observability surface. *)
+let flow_intra_route_jobs_identical vhdl () =
+  let run jobs =
+    Core.Flow.run_vhdl
+      ~config:{ Core.Flow.default_config with Core.Flow.jobs = Some jobs }
+      vhdl
+  in
+  let a = run 1 and b = run 4 in
+  Alcotest.(check (option int)) "same min width"
+    a.Core.Flow.route_stats.Route.Router.minimum_width
+    b.Core.Flow.route_stats.Route.Router.minimum_width;
+  Alcotest.(check bool) "identical route trees" true
+    (a.Core.Flow.routed.Route.Router.result.Route.Pathfinder.trees
+    = b.Core.Flow.routed.Route.Router.result.Route.Pathfinder.trees);
+  Alcotest.(check string) "same bitstream"
+    a.Core.Flow.bitstream.Bitstream.Dagger.bytes
+    b.Core.Flow.bitstream.Bitstream.Dagger.bytes;
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) (c ^ " recorded") true
+        (List.mem_assoc c a.Core.Flow.times))
+    [ "route.par.batches"; "route.par.batch-max"; "route.par.serial-frac" ];
+  Alcotest.(check bool) "batches counted" true
+    (List.assoc "route.par.batches" a.Core.Flow.times >= 1.0);
+  Alcotest.(check (float 0.0)) "same batch count"
+    (List.assoc "route.par.batches" a.Core.Flow.times)
+    (List.assoc "route.par.batches" b.Core.Flow.times)
+
 let suite =
   [
     ("flow counter", `Quick, test_flow_counter);
@@ -133,4 +177,10 @@ let suite =
     ("td placement reports dmax", `Quick, test_td_placement_reports_dmax);
     ("flow deterministic", `Quick, test_flow_deterministic);
     ("flow jobs-deterministic", `Quick, test_flow_jobs_deterministic);
+    ( "flow intra-route jobs identical (mult12)",
+      `Slow,
+      flow_intra_route_jobs_identical (Core.Bench_circuits.multiplier 12) );
+    ( "flow intra-route jobs identical (alu16)",
+      `Slow,
+      flow_intra_route_jobs_identical (Core.Bench_circuits.alu 16) );
   ]

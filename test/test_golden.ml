@@ -1,0 +1,106 @@
+(* Golden STA fixtures: the unified engine's full timing report, pinned
+   byte for byte (modulo float tolerance) for five suite circuits.
+
+   The fixtures are the independent reference that let the legacy
+   standalone estimators retire: any change to the STA engine, the delay
+   providers or the report shape shows up here as a diff against a
+   recorded known-good run.
+
+   Regenerate a fixture only for an intended change, with the CLI the
+   fixtures were recorded with:
+
+     dune exec bin/bcgen.exe -- counter8 > /tmp/counter8.vhd
+     dune exec bin/amdrel_flow.exe -- /tmp/counter8.vhd -o /tmp/out \
+       --timing-report
+     cp /tmp/out/counter8.timing.json test/fixtures/
+
+   (default seed 1, min-width search, timing-driven — the same config
+   this test uses). *)
+
+let circuits = [ "counter8"; "lfsr12"; "parity16"; "mult4"; "gray8" ]
+
+(* Token-wise comparison: numbers match within a relative tolerance
+   (absorbing libm differences across platforms), everything else must
+   be byte-identical. *)
+let is_num_char c =
+  (c >= '0' && c <= '9') || c = '.' || c = 'e' || c = 'E' || c = '+'
+  || c = '-'
+
+let num_start s i =
+  i < String.length s
+  &&
+  let c = s.[i] in
+  (c >= '0' && c <= '9')
+  || (c = '-' && i + 1 < String.length s && s.[i + 1] >= '0' && s.[i + 1] <= '9')
+
+let scan_number s i =
+  let n = String.length s in
+  let j = ref i in
+  while !j < n && is_num_char s.[!j] do
+    incr j
+  done;
+  (float_of_string (String.sub s i (!j - i)), !j)
+
+let compare_tolerant ?(tol = 1e-6) expected actual =
+  let ne = String.length expected and na = String.length actual in
+  let rec go i j =
+    if i >= ne && j >= na then Ok ()
+    else if i >= ne || j >= na then
+      Error
+        (Printf.sprintf "length mismatch (expected %d bytes, got %d)" ne na)
+    else if num_start expected i && num_start actual j then begin
+      let ve, i' = scan_number expected i in
+      let va, j' = scan_number actual j in
+      let diff = Float.abs (ve -. va) in
+      let scale = Float.max (Float.abs ve) (Float.abs va) in
+      if diff <= 1e-15 || diff <= tol *. scale then go i' j'
+      else
+        Error
+          (Printf.sprintf "number %.9g <> %.9g at fixture byte %d" ve va i)
+    end
+    else if expected.[i] = actual.[j] then go (i + 1) (j + 1)
+    else
+      Error
+        (Printf.sprintf "byte %d: expected %C, got %C" i expected.[i]
+           actual.[j])
+  in
+  go 0 0
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_golden name () =
+  let vhdl =
+    match List.assoc_opt name Core.Bench_circuits.suite with
+    | Some v -> v
+    | None -> Alcotest.failf "%s is not in the bench suite" name
+  in
+  let config =
+    { Core.Flow.default_config with Core.Flow.timing_driven = true }
+  in
+  let r = Core.Flow.run_vhdl ~config vhdl in
+  let actual = Core.Flow.timing_report_json ~design:name r in
+  let path = Filename.concat "fixtures" (name ^ ".timing.json") in
+  let expected =
+    try read_file path
+    with Sys_error e ->
+      Alcotest.failf "missing golden fixture %s (%s) — see the header of \
+                      test_golden.ml to record one" path e
+  in
+  match compare_tolerant expected actual with
+  | Ok () -> ()
+  | Error msg ->
+      Alcotest.failf
+        "%s drifts from its golden fixture: %s\n\
+         If the change is intended, regenerate the fixture (header of \
+         test_golden.ml)." name msg
+
+let suite =
+  List.map
+    (fun name ->
+      Alcotest.test_case (name ^ " timing report matches fixture") `Slow
+        (test_golden name))
+    circuits

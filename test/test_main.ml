@@ -11,5 +11,6 @@ let () =
       ("tools", Test_tools.suite);
       ("properties", Test_properties.suite);
       ("sta", Test_sta.suite);
+      ("golden", Test_golden.suite);
       ("flow", Test_flow.suite);
     ]

@@ -156,6 +156,106 @@ let test_net_terminals_bad_driver () =
       nets.(idx) <- saved;
       Alcotest.(check bool) "bad driver signal raises Failure" true raised
 
+(* ---------- bbox partitioner properties ---------- *)
+
+(* An ascending-id reroute list with random (possibly degenerate or
+   heavily overlapping) bounding boxes, like an iteration hands the
+   partitioner. *)
+let items_arb =
+  let open QCheck.Gen in
+  let bbox =
+    int_bound 20 >>= fun x0 ->
+    int_bound 20 >>= fun y0 ->
+    int_bound 6 >>= fun w ->
+    int_bound 6 >>= fun h -> return (x0, x0 + w, y0, y0 + h)
+  in
+  QCheck.make
+    ~print:(fun items ->
+      String.concat "; "
+        (List.map
+           (fun (i, (a, b, c, d)) -> Printf.sprintf "%d:(%d,%d,%d,%d)" i a b c d)
+           items))
+    (int_bound 40 >>= fun n ->
+     list_repeat n bbox >|= List.mapi (fun i b -> (i, b)))
+
+let prop_partition_exactly_once =
+  QCheck.Test.make ~count:200
+    ~name:"partition: every net in exactly one batch" items_arb
+    (fun items ->
+      let batches = Route.Pathfinder.partition_batches items in
+      let ids = List.concat_map (List.map fst) batches in
+      List.sort compare ids = List.map fst items)
+
+let prop_partition_batch_disjoint =
+  QCheck.Test.make ~count:200
+    ~name:"partition: batch members pairwise bbox-disjoint" items_arb
+    (fun items ->
+      Route.Pathfinder.partition_batches items
+      |> List.for_all (fun batch ->
+             List.for_all
+               (fun (i, bi) ->
+                 List.for_all
+                   (fun (j, bj) ->
+                     i = j || Route.Pathfinder.bbox_disjoint bi bj)
+                   batch)
+               batch))
+
+let prop_partition_order_preserved =
+  QCheck.Test.make ~count:200
+    ~name:"partition: ascending-id concatenation recovers the input"
+    items_arb
+    (fun items ->
+      let batches = Route.Pathfinder.partition_batches items in
+      (* members ascend within each batch — the commit order contract *)
+      List.for_all
+        (fun batch ->
+          let ids = List.map fst batch in
+          List.sort compare ids = ids)
+        batches
+      && List.sort compare (List.concat batches)
+         = List.sort compare items)
+
+(* ---------- intra-route determinism ---------- *)
+
+(* One routing, any pool size: the batched snapshot semantics are
+   unconditional, so jobs=1 and jobs=4 must agree on every tree, every
+   iteration counter and the batching stats themselves. *)
+let test_intra_route_jobs_deterministic () =
+  let problem, placement = place_random 4321 in
+  let g =
+    Route.Rrgraph.build Fpga_arch.Params.amdrel problem.Place.Problem.grid
+      placement ~width:7
+  in
+  let nets = Route.Router.net_terminals g problem in
+  let crit = Array.make (Array.length nets) 0.3 in
+  let route jobs =
+    Route.Pathfinder.route ~jobs
+      ~node_delay:
+        (Route.Router.node_delays g
+           (Route.Timing.default_constants Fpga_arch.Params.amdrel))
+      g
+      (Route.Router.net_terminals ~criticalities:crit g problem)
+  in
+  let seq = route 1 and par = route 4 in
+  Alcotest.(check bool) "identical route trees" true
+    (seq.Route.Pathfinder.trees = par.Route.Pathfinder.trees);
+  Alcotest.(check bool) "identical iteration stats" true
+    (seq.Route.Pathfinder.iter_stats = par.Route.Pathfinder.iter_stats);
+  Alcotest.(check int) "same iteration count" seq.Route.Pathfinder.iterations
+    par.Route.Pathfinder.iterations;
+  (* the batch counters are live: iteration 1 reroutes every net, so at
+     least one batch exists and no batch exceeds the net count *)
+  match seq.Route.Pathfinder.iter_stats with
+  | first :: _ ->
+      Alcotest.(check bool) "batches counted" true
+        (first.Route.Pathfinder.batches >= 1);
+      Alcotest.(check bool) "batch_max bounded" true
+        (first.Route.Pathfinder.batch_max >= 1
+        && first.Route.Pathfinder.batch_max <= Array.length nets);
+      Alcotest.(check bool) "serial_nets bounded" true
+        (first.Route.Pathfinder.serial_nets <= first.Route.Pathfinder.nets_rerouted)
+  | [] -> Alcotest.fail "no iteration stats"
+
 (* The speculative parallel width search must replay the sequential
    decision path exactly: same minimum width, same final width, and the
    same routing tree for every net. *)
@@ -205,6 +305,8 @@ let suite =
   [
     Alcotest.test_case "incremental vs full rip-up" `Slow
       test_incremental_matches_full;
+    Alcotest.test_case "intra-route jobs-deterministic" `Quick
+      test_intra_route_jobs_deterministic;
     Alcotest.test_case "width search jobs-deterministic" `Quick
       test_width_search_jobs_deterministic;
     Alcotest.test_case "multi-start jobs-deterministic" `Quick
@@ -215,4 +317,7 @@ let suite =
     Alcotest.test_case "net_terminals rejects bad driver" `Quick
       test_net_terminals_bad_driver;
     QCheck_alcotest.to_alcotest prop_routed_trees_valid;
+    QCheck_alcotest.to_alcotest prop_partition_exactly_once;
+    QCheck_alcotest.to_alcotest prop_partition_batch_disjoint;
+    QCheck_alcotest.to_alcotest prop_partition_order_preserved;
   ]

@@ -1,5 +1,7 @@
-(* Unified STA engine: parity with the legacy analyses it subsumes,
-   propagation invariants, constraint semantics and report shape. *)
+(* Unified STA engine: propagation invariants, constraint semantics and
+   report shape.  The engine is the sole timing oracle (the legacy
+   standalone estimators are retired); its absolute output is pinned by
+   the golden fixtures in test_golden.ml. *)
 
 let ( => ) name f = Alcotest.test_case name `Quick f
 
@@ -18,53 +20,6 @@ let pre_route_analysis problem placement =
     Sta.Delays.of_placement problem ~coords:(Place.Placement.coords placement)
   in
   Sta.Analysis.run graph provider
-
-(* The engine's distance-provider analysis must reproduce the legacy
-   Td_timing figures bit for bit: same propagation recurrences, same
-   fold orders. *)
-let test_td_parity () =
-  List.iter
-    (fun (name, vhdl) ->
-      let problem, placement = placed vhdl in
-      let coords = Place.Placement.coords placement in
-      let legacy = Place.Td_timing.analyze problem ~coords in
-      let a = pre_route_analysis problem placement in
-      let td = Sta.Analysis.to_td a in
-      Alcotest.(check (float 0.0))
-        (name ^ " dmax") legacy.Place.Td_timing.dmax
-        td.Place.Td_timing.dmax;
-      Array.iteri
-        (fun ni row ->
-          Array.iteri
-            (fun si c ->
-              Alcotest.(check (float 0.0))
-                (Printf.sprintf "%s crit net %d sink %d" name ni si)
-                c
-                td.Place.Td_timing.criticality.(ni).(si))
-            row)
-        legacy.Place.Td_timing.criticality)
-    Core.Bench_circuits.quick_suite
-
-(* Post-route: Router.sta over the actual route trees must agree with
-   the legacy standalone Elmore critical-path estimator (the acceptance
-   bound is 1%; the recurrences are identical so it is exact). *)
-let test_routed_parity () =
-  List.iter
-    (fun (name, vhdl) ->
-      let _, placement = placed vhdl in
-      let routed =
-        Route.Router.route_min_width Fpga_arch.Params.amdrel placement
-      in
-      let legacy =
-        Route.Timing.critical_path routed.Route.Router.problem
-          routed.Route.Router.graph routed.Route.Router.constants
-          routed.Route.Router.result
-      in
-      let a = Route.Router.sta routed in
-      let tol = 0.01 *. legacy in
-      Alcotest.(check (float tol))
-        (name ^ " routed dmax vs legacy") legacy a.Sta.Analysis.dmax)
-    Core.Bench_circuits.quick_suite
 
 let test_criticality_bounds () =
   let problem, placement = placed (Core.Bench_circuits.alu 8) in
@@ -234,8 +189,6 @@ let test_anneal_scratch () =
 
 let suite =
   [
-    "td parity (distance provider vs legacy)" => test_td_parity;
-    "routed parity (Elmore provider vs legacy)" => test_routed_parity;
     "criticality bounds" => test_criticality_bounds;
     "slack monotone in period" => test_slack_monotone;
     "detff halves the budget" => test_detff_halving;
