@@ -54,17 +54,26 @@ let () =
           done;
           let t_fixed = (Unix.gettimeofday () -. t0) /. float_of_int reps in
           let s = Route.Router.stats !fixed in
-          Printf.printf
-            "{\"circuit\": \"%s\", \"min_width\": %d, \"width\": %d, \
-             \"route_fixed_s\": %.4f, \"min_width_search_s\": %.4f, \
-             \"iterations\": %d, \"nets_rerouted\": %d, \"heap_pops\": %d, \
-             \"peak_overuse\": %d, \"par_batches\": %d, \
-             \"par_batch_max\": %d, \"par_serial_frac\": %.4f, \
-             \"jobs\": %d}\n%!"
-            name min_w width t_fixed t_search
-            s.Route.Router.router_iterations s.Route.Router.nets_rerouted
-            s.Route.Router.heap_pops s.Route.Router.peak_overuse
-            s.Route.Router.par_batches s.Route.Router.par_batch_max
-            s.Route.Router.par_serial_frac
-            (Util.Parallel.default_jobs ()))
+          (* one JSON line per circuit, via the shared Obs.Emit emitter
+             (same field order as the historical hand-rolled printer) *)
+          let line =
+            Obs.Emit.Obj
+              [
+                ("circuit", Obs.Emit.String name);
+                ("min_width", Obs.Emit.Int min_w);
+                ("width", Obs.Emit.Int width);
+                ("route_fixed_s", Obs.Emit.Float t_fixed);
+                ("min_width_search_s", Obs.Emit.Float t_search);
+                ("iterations", Obs.Emit.Int s.Route.Router.router_iterations);
+                ("nets_rerouted", Obs.Emit.Int s.Route.Router.nets_rerouted);
+                ("heap_pops", Obs.Emit.Int s.Route.Router.heap_pops);
+                ("peak_overuse", Obs.Emit.Int s.Route.Router.peak_overuse);
+                ("par_batches", Obs.Emit.Int s.Route.Router.par_batches);
+                ("par_batch_max", Obs.Emit.Int s.Route.Router.par_batch_max);
+                ( "par_serial_frac",
+                  Obs.Emit.Float s.Route.Router.par_serial_frac );
+                ("jobs", Obs.Emit.Int (Util.Parallel.default_jobs ()));
+              ]
+          in
+          Printf.printf "%s\n%!" (Obs.Emit.to_string line))
     requested

@@ -4,7 +4,8 @@
 
 open Cmdliner
 
-let run input outdir seed fixed_width jobs timing_report period_ns =
+let run input outdir seed fixed_width jobs timing_report period_ns
+    metrics_json trace_file =
   let text = Tool_common.read_file input in
   (try Sys.mkdir outdir 0o755 with Sys_error _ -> ());
   let base = Filename.concat outdir (Filename.remove_extension (Filename.basename input)) in
@@ -22,7 +23,12 @@ let run input outdir seed fixed_width jobs timing_report period_ns =
   in
   let w0 = Unix.gettimeofday () in
   let t0 = Sys.time () in
-  let r = Core.Flow.run_vhdl ~config text in
+  let trace = Option.map (fun _ -> Obs.Span.create ()) trace_file in
+  let r =
+    match trace with
+    | Some tr -> Obs.Span.with_trace tr (fun () -> Core.Flow.run_vhdl ~config text)
+    | None -> Core.Flow.run_vhdl ~config text
+  in
   let elapsed = Sys.time () -. t0 in
   let wall = Unix.gettimeofday () -. w0 in
   (* stage products *)
@@ -71,6 +77,25 @@ let run input outdir seed fixed_width jobs timing_report period_ns =
     Printf.printf "timing report -> %s, %s\n\n" (base ^ ".timing.txt")
       (base ^ ".timing.json")
   end;
+  let design = Filename.remove_extension (Filename.basename input) in
+  if metrics_json then begin
+    let path = base ^ ".metrics.json" in
+    Tool_common.write_file path
+      (Obs.Emit.to_string
+         (Obs.Emit.Obj
+            [
+              ("design", Obs.Emit.String design);
+              ( "metrics",
+                Obs.Registry.to_json r.Core.Flow.metrics );
+            ])
+      ^ "\n");
+    Printf.printf "metrics -> %s\n" path
+  end;
+  (match (trace, trace_file) with
+  | Some tr, Some path ->
+      Tool_common.write_file path (Obs.Span.to_chrome_string tr ^ "\n");
+      Printf.printf "trace -> %s (chrome://tracing / Perfetto)\n" path
+  | _ -> ());
   Format.printf "=== 6. Power estimation and FPGA program ===@.  %a@."
     Power.Model.pp r.Core.Flow.power;
   Printf.printf "  %s\n" (Bitstream.Dagger.summary r.Core.Flow.bitstream);
@@ -82,13 +107,20 @@ let run input outdir seed fixed_width jobs timing_report period_ns =
     wall elapsed
     (Util.Parallel.resolve_jobs ?jobs ())
     (String.concat ", "
-       (List.map
-          (fun (nm, t) ->
-            (* dotted entries are counters riding in [times], not seconds *)
-            if String.contains nm '.' then
-              Printf.sprintf "%s %g" nm t
-            else Printf.sprintf "%s %.3fs" nm t)
-          r.Core.Flow.times))
+       (List.concat_map
+          (fun (e : Obs.Registry.entry) ->
+            match e.Obs.Registry.value with
+            | Obs.Registry.Timer { wall_s; cpu_s; _ } ->
+                [
+                  Printf.sprintf "%s %.3fs" e.Obs.Registry.key cpu_s;
+                  Printf.sprintf "%s.wall %.3fs" e.Obs.Registry.key wall_s;
+                ]
+            | Obs.Registry.Counter n ->
+                [ Printf.sprintf "%s %g" e.Obs.Registry.key (float_of_int n) ]
+            | Obs.Registry.Gauge v ->
+                [ Printf.sprintf "%s %g" e.Obs.Registry.key v ]
+            | Obs.Registry.Histogram _ -> [])
+          r.Core.Flow.metrics))
 
 let input_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.vhd")
@@ -139,14 +171,35 @@ let period_arg =
            timing-driven place and route.  Without it slacks are \
            measured against the achieved critical path.")
 
+let metrics_json_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics-json" ]
+        ~doc:
+          "Write the run's full typed metric registry (stage timers with \
+           wall and CPU seconds, counters, gauges, histograms with \
+           p50/p90) as BASE.metrics.json next to the other products.  \
+           The schema is documented in docs/OBSERVABILITY.md.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Write a Chrome trace-event JSON file of the run (nested spans \
+           for every flow stage, PathFinder iteration and batch, \
+           annealer temperature step and STA level sweep), loadable in \
+           chrome://tracing or Perfetto.")
+
 let cmd =
   Cmd.v
     (Cmd.info "amdrel_flow"
        ~doc:"Run the complete VHDL-to-bitstream design flow")
     Term.(
-      const (fun i o s w j tr p ->
-          Tool_common.protect (fun () -> run i o s w j tr p))
+      const (fun i o s w j tr p mj tf ->
+          Tool_common.protect (fun () -> run i o s w j tr p mj tf))
       $ input_arg $ outdir_arg $ seed_arg $ width_arg $ jobs_arg
-      $ timing_report_arg $ period_arg)
+      $ timing_report_arg $ period_arg $ metrics_json_arg $ trace_arg)
 
 let () = exit (Cmd.eval cmd)

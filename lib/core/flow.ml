@@ -7,6 +7,7 @@
    stage can also run standalone through the bin/ executables. *)
 
 open Netlist
+module R = Obs.Registry
 
 type config = {
   params : Fpga_arch.Params.t;
@@ -66,50 +67,44 @@ type result = {
   sta_post : Sta.Analysis.t;        (* unified STA over the routed design *)
   edif : string;                    (* intermediate products, for the tools *)
   blif_mapped : string;
+  metrics : R.snapshot;
   times : stage_times;
 }
 
 exception Flow_error of string * exn
 (** Stage name and underlying failure. *)
 
-let timed times label f =
-  let t0 = Sys.time () in
-  match f () with
-  | v ->
-      times := (label, Sys.time () -. t0) :: !times;
-      v
-  | exception e -> raise (Flow_error (label, e))
+(* Each stage is one registry timer (wall + CPU seconds) and one trace
+   span of the same name.  Nothing is recorded when the stage fails. *)
+let timed obs label f =
+  Obs.Span.with_ ~name:label (fun () ->
+      try R.time obs label f with e -> raise (Flow_error (label, e)))
 
-(* Run from a Logic network already in library-gate form (the entry point
-   the BLIF-based tools share). *)
-let run_network ?(config = default_config) (net : Logic.t) =
-  let times = ref [] in
-  (* wall vs CPU clock over the whole run: with parallel stages the CPU
-     clock (Sys.time counts every domain) runs ahead of the wall clock,
-     and their ratio is the effective speedup recorded below *)
-  let wall0 = Unix.gettimeofday () and cpu0 = Sys.time () in
+(* Shared back half of every entry point: from a Logic network in
+   library-gate form to the bitstream, recording into [obs]. *)
+let run_stages ~config ~obs (net : Logic.t) =
   let source_stats = Logic.stats net in
   (* DIVINER end: EDIF out; DRUID: normalise; E2FMT: back to BLIF/logic *)
   let edif =
-    timed times "diviner-edif" (fun () -> Netlist.Edif.of_logic net)
+    timed obs "diviner-edif" (fun () -> Netlist.Edif.of_logic net)
   in
   let edif_text = Netlist.Edif.to_string edif in
   let normalized =
-    timed times "druid" (fun () -> Synth.Druid.normalize edif)
+    timed obs "druid" (fun () -> Synth.Druid.normalize edif)
   in
   let net2 =
-    timed times "e2fmt" (fun () -> Netlist.Edif.to_logic normalized)
+    timed obs "e2fmt" (fun () -> Netlist.Edif.to_logic normalized)
   in
   (* SIS: LUT mapping *)
   let mapped, _map_report =
-    timed times "sis-flowmap" (fun () ->
+    timed obs "sis-flowmap" (fun () ->
         Techmap.Mapper.map_network ~k:config.params.Fpga_arch.Params.k
           ~verify:config.verify_mapping net2)
   in
   let blif_mapped = Netlist.Blif.to_string mapped in
   (* T-VPack *)
   let packing =
-    timed times "t-vpack" (fun () ->
+    timed obs "t-vpack" (fun () ->
         Pack.Cluster.pack ~n:config.params.Fpga_arch.Params.n
           ~i:config.params.Fpga_arch.Params.i mapped)
   in
@@ -118,7 +113,7 @@ let run_network ?(config = default_config) (net : Logic.t) =
      annealer's per-temperature refreshes, the router's criticalities and
      both final analyses. *)
   let problem, sta_graph =
-    timed times "vpr-setup" (fun () ->
+    timed obs "vpr-setup" (fun () ->
         let problem = Place.Problem.build ~io_rat:config.io_rat packing in
         (problem, Sta.Graph.build problem))
   in
@@ -127,11 +122,11 @@ let run_network ?(config = default_config) (net : Logic.t) =
       Sta.Analysis.period = config.clock_period }
   in
   let sta_at coords =
-    Sta.Analysis.run ~constraints:sta_constraints sta_graph
+    Sta.Analysis.run ~constraints:sta_constraints ~obs sta_graph
       (Sta.Delays.of_placement problem ~coords)
   in
   let anneal =
-    timed times "vpr-place" (fun () ->
+    timed obs "vpr-place" (fun () ->
         let timing =
           if config.timing_driven then
             Some
@@ -141,68 +136,65 @@ let run_network ?(config = default_config) (net : Logic.t) =
         in
         Place.Anneal.run_multistart
           ~options:{ Place.Anneal.seed = config.seed; inner_num = 1.0 }
-          ?timing ?jobs:config.jobs ~starts:config.place_starts problem)
+          ?timing ?jobs:config.jobs ~starts:config.place_starts ~obs problem)
   in
-  (* VPR routing *)
+  (* VPR routing.  Speculative width-search probes stay un-instrumented
+     (the probe set depends on the pool size); only the final routing
+     records, keeping every metric jobs-independent. *)
   let routed =
-    timed times "vpr-route" (fun () ->
+    timed obs "vpr-route" (fun () ->
         let timing =
           if config.timing_driven then Some Place.Td_timing.default_model
           else None
         in
         if config.search_min_width then
-          Route.Router.route_min_width ?timing ?jobs:config.jobs
+          Route.Router.route_min_width ?timing ?jobs:config.jobs ~obs
             config.params anneal.Place.Anneal.placement
         else
-          Route.Router.route_fixed ?timing ?jobs:config.jobs config.params
+          Route.Router.route_fixed ?timing ?jobs:config.jobs ~obs config.params
             anneal.Place.Anneal.placement ~width:config.route_width)
   in
   (* Unified STA: the placement-distance analysis at the final placement
      and the routed-Elmore analysis over the actual route trees, both on
-     the shared timing graph.  Headline figures ride in [times] as
-     counters (sta.* entries are seconds-of-delay/slack, not durations). *)
+     the shared timing graph.  Headline figures ride in the registry as
+     gauges (sta.* entries are seconds-of-delay/slack, not durations). *)
   let sta_pre, sta_post =
-    timed times "sta" (fun () ->
+    timed obs "sta" (fun () ->
         let pre =
           sta_at (Place.Placement.coords anneal.Place.Anneal.placement)
         in
         let post =
-          Route.Router.sta ~constraints:sta_constraints ~graph:sta_graph
+          Route.Router.sta ~constraints:sta_constraints ~graph:sta_graph ~obs
             routed
         in
         (pre, post))
   in
-  times :=
-    ("sta.tns", sta_post.Sta.Analysis.tns)
-    :: ("sta.wns", sta_post.Sta.Analysis.wns)
-    :: ("sta.dmax", sta_post.Sta.Analysis.dmax)
-    :: !times;
+  R.set obs "sta.dmax" sta_post.Sta.Analysis.dmax;
+  R.set obs "sta.wns" sta_post.Sta.Analysis.wns;
+  R.set obs "sta.tns" sta_post.Sta.Analysis.tns;
   (* [stats] reuses the post-route analysis for its critical path *)
   let route_stats = Route.Router.stats ~sta:sta_post routed in
-  (* router observability rides in [times] next to the stage wall-times,
+  (* router observability rides in the registry next to the stage timers,
      so benches and reports capture the iteration counters with no extra
-     plumbing (entries are counts, not seconds) *)
-  times :=
-    ("route.par.serial-frac", route_stats.Route.Router.par_serial_frac)
-    :: ("route.par.batch-max",
-        float_of_int route_stats.Route.Router.par_batch_max)
-    :: ("route.par.batches", float_of_int route_stats.Route.Router.par_batches)
-    :: ("vpr-route.peak-overuse",
-        float_of_int route_stats.Route.Router.peak_overuse)
-    :: ("vpr-route.heap-pops", float_of_int route_stats.Route.Router.heap_pops)
-    :: ("vpr-route.nets-rerouted",
-        float_of_int route_stats.Route.Router.nets_rerouted)
-    :: ("vpr-route.iterations",
-        float_of_int route_stats.Route.Router.router_iterations)
-    :: !times;
+     plumbing *)
+  R.incr ~by:route_stats.Route.Router.router_iterations obs
+    "vpr-route.iterations";
+  R.incr ~by:route_stats.Route.Router.nets_rerouted obs
+    "vpr-route.nets-rerouted";
+  R.incr ~by:route_stats.Route.Router.heap_pops obs "vpr-route.heap-pops";
+  R.incr ~by:route_stats.Route.Router.peak_overuse obs
+    "vpr-route.peak-overuse";
+  R.incr ~by:route_stats.Route.Router.par_batches obs "route.par.batches";
+  R.incr ~by:route_stats.Route.Router.par_batch_max obs "route.par.batch-max";
+  R.set obs "route.par.serial-frac" route_stats.Route.Router.par_serial_frac;
   (* PowerModel *)
   let power =
-    timed times "powermodel" (fun () ->
+    timed obs "powermodel" (fun () ->
         Power.Model.estimate ~options:config.power_options routed)
   in
   (* DAGGER *)
   let bitstream =
-    timed times "dagger" (fun () -> Bitstream.Dagger.generate routed)
+    timed obs "dagger" (fun () -> Bitstream.Dagger.generate routed)
   in
   let bitstream_verified =
     (not config.verify_bitstream)
@@ -211,20 +203,30 @@ let run_network ?(config = default_config) (net : Logic.t) =
   in
   let fabric_verified =
     (not config.verify_fabric)
-    || timed times "fabric-emulation" (fun () ->
+    || timed obs "fabric-emulation" (fun () ->
            Bitstream.Dagger.verify_functional routed
              bitstream.Bitstream.Dagger.bytes)
   in
   (* pool observability: the configured worker count and the measured
-     CPU/wall ratio over the whole run (~1.0 sequential, approaches the
-     job count when the parallel stages dominate).  Counters, not
-     seconds, like the vpr-route.* entries above. *)
-  let wall_s = Unix.gettimeofday () -. wall0 and cpu_s = Sys.time () -. cpu0 in
-  times :=
-    ("parallel.speedup", if wall_s > 0.0 then cpu_s /. wall_s else 1.0)
-    :: ("parallel.jobs",
-        float_of_int (Util.Parallel.resolve_jobs ?jobs:config.jobs ()))
-    :: !times;
+     CPU/wall ratio summed over the stage timers (~1.0 sequential,
+     approaches the job count when the parallel stages dominate).  Both
+     are volatile gauges: time-derived, so excluded from the
+     deterministic metrics view. *)
+  let cpu_sum, wall_sum =
+    List.fold_left
+      (fun (c, w) (e : R.entry) ->
+        match e.R.value with
+        | R.Timer { wall_s; cpu_s; _ } when not (String.contains e.R.key '.')
+          ->
+            (c +. cpu_s, w +. wall_s)
+        | _ -> (c, w))
+      (0.0, 0.0) (R.snapshot obs)
+  in
+  R.set ~volatile:true obs "parallel.jobs"
+    (float_of_int (Util.Parallel.resolve_jobs ?jobs:config.jobs ()));
+  R.set ~volatile:true obs "parallel.speedup"
+    (if wall_sum > 0.0 then cpu_sum /. wall_sum else 1.0);
+  let metrics = R.snapshot obs in
   {
     design = net.Logic.model;
     source_stats;
@@ -245,27 +247,38 @@ let run_network ?(config = default_config) (net : Logic.t) =
     sta_post;
     edif = edif_text;
     blif_mapped;
-    times = List.rev !times;
+    metrics;
+    times = R.to_assoc metrics;
   }
 
+(* Run from a Logic network already in library-gate form (the entry point
+   the BLIF-based tools share). *)
+let run_network ?(config = default_config) ?obs (net : Logic.t) =
+  let obs = match obs with Some o -> o | None -> R.create () in
+  Obs.Span.with_ ~name:"flow"
+    ~args:[ ("design", Obs.Emit.String net.Logic.model) ]
+    (fun () -> run_stages ~config ~obs net)
+
 (* Full flow from VHDL source text. *)
-let run_vhdl ?(config = default_config) text =
-  let times = ref [] in
-  let file =
-    timed times "vhdl-parser" (fun () -> Netlist.Vhdl_parser.file_of_string text)
-  in
-  let top = List.nth file (List.length file - 1) in
-  let net =
-    timed times "diviner-synth" (fun () ->
-        Synth.Diviner.synthesize_ast ~library:file top)
-  in
-  let result = run_network ~config net in
-  { result with times = List.rev !times @ result.times }
+let run_vhdl ?(config = default_config) ?obs text =
+  let obs = match obs with Some o -> o | None -> R.create () in
+  Obs.Span.with_ ~name:"flow" (fun () ->
+      let file =
+        timed obs "vhdl-parser" (fun () ->
+            Netlist.Vhdl_parser.file_of_string text)
+      in
+      let top = List.nth file (List.length file - 1) in
+      let net =
+        timed obs "diviner-synth" (fun () ->
+            Synth.Diviner.synthesize_ast ~library:file top)
+      in
+      Obs.Span.annotate [ ("design", Obs.Emit.String net.Logic.model) ];
+      run_stages ~config ~obs net)
 
 (* Entry from a BLIF netlist (skips the VHDL/EDIF front end). *)
-let run_blif ?(config = default_config) text =
+let run_blif ?(config = default_config) ?obs text =
   let net = Netlist.Blif.of_string text in
-  run_network ~config net
+  run_network ~config ?obs net
 
 (* Machine-readable timing report: the pre-route (placement-distance)
    and post-route (routed-Elmore) analyses side by side, one JSON object
@@ -274,10 +287,14 @@ let run_blif ?(config = default_config) text =
 let timing_report_json ?design (r : result) =
   let name = match design with Some d -> d | None -> r.design in
   let pre = r.sta_pre and post = r.sta_post in
-  Printf.sprintf "{\"design\": \"%s\", \"pre_route\": %s, \"post_route\": %s}\n"
-    name
-    (Sta.Report.to_json pre (Sta.Report.paths pre))
-    (Sta.Report.to_json post (Sta.Report.paths post))
+  Obs.Emit.to_string
+    (Obs.Emit.Obj
+       [
+         ("design", Obs.Emit.String name);
+         ("pre_route", Sta.Report.json pre (Sta.Report.paths pre));
+         ("post_route", Sta.Report.json post (Sta.Report.paths post));
+       ])
+  ^ "\n"
 
 (* One-line summary used by reports and the CLI. *)
 let summary r =

@@ -39,14 +39,17 @@ val default_config : config
     routability-driven, single placement start, automatic job count. *)
 
 type stage_times = (string * float) list
-(** CPU seconds per stage, flow order.  Entries whose name contains a
-    dot are observability counters riding along with the timings rather
-    than seconds: the ["vpr-route.*"] router counters (iterations, nets
+(** The legacy flat view of the metric registry
+    ({!Obs.Registry.to_assoc} of {!result.metrics}): stage timers as
+    [(stage, cpu_seconds)] immediately followed by
+    [(stage ^ ".wall", wall_seconds)], counters and gauges as floats,
+    histograms omitted.  Dotted names are counters/gauges rather than
+    seconds: the ["vpr-route.*"] router counters (iterations, nets
     rerouted, heap pops, peak overuse), the ["route.par.*"] intra-route
     parallelism counters (batches, batch-max, serial-frac), the
-    ["sta.*"] post-route timing figures (dmax/wns/tns) and the
-    ["parallel.*"] pool metrics (see docs/OBSERVABILITY.md for the full
-    schema). *)
+    ["sta.*"] post-route timing figures (dmax/wns/tns), the
+    ["sta.phase.*"] analysis-phase timers and the ["parallel.*"] pool
+    metrics (see docs/OBSERVABILITY.md for the full schema). *)
 
 type result = {
   design : string;
@@ -71,21 +74,28 @@ type result = {
           feed either to {!Sta.Report.paths} for critical-path reports *)
   edif : string;        (** intermediate products, for the tools *)
   blif_mapped : string;
+  metrics : Obs.Registry.snapshot;
+      (** the full typed telemetry of the run: every stage timer
+          (wall + CPU), counter, gauge and histogram, merged across
+          domains (see {!Obs.Registry}).  [times] is derived from this
+          snapshot. *)
   times : stage_times;
 }
 
 exception Flow_error of string * exn
 (** Stage name and the underlying failure. *)
 
-val run_network : ?config:config -> Netlist.Logic.t -> result
+val run_network : ?config:config -> ?obs:Obs.Registry.t -> Netlist.Logic.t -> result
 (** Run from a Logic network already in library-gate form (the entry the
-    BLIF-based tools share). *)
+    BLIF-based tools share).  [?obs] supplies the metric registry to
+    record into (a fresh one is created when omitted); spans are emitted
+    into the ambient {!Obs.Span} trace, if any. *)
 
-val run_vhdl : ?config:config -> string -> result
+val run_vhdl : ?config:config -> ?obs:Obs.Registry.t -> string -> result
 (** The full flow from VHDL source text (possibly several entities; the
     last is the top). *)
 
-val run_blif : ?config:config -> string -> result
+val run_blif : ?config:config -> ?obs:Obs.Registry.t -> string -> result
 
 val timing_report_json : ?design:string -> result -> string
 (** One JSON object holding the pre-route and post-route

@@ -1,0 +1,90 @@
+(** Typed metric registry with domain-safe recording and deterministic
+    merge.
+
+    A registry replaces the flow's previous stringly
+    [times : (string * float) list] accumulation.  Four metric kinds:
+
+    - {b Counter} — monotonic integer ([incr]); merged by summation.
+    - {b Gauge} — a float set point-in-time ([set]); merged
+      last-write-wins by a global sequence number.
+    - {b Timer} — accumulated wall {e and} CPU seconds plus an interval
+      count ([time] / [add_time]); merged by summation.  Timers are
+      always {e volatile}: elapsed time never reproduces across runs, so
+      the deterministic JSON view excludes them.
+    - {b Histogram} — log-bucketed distribution ([observe]) reporting
+      count/min/max/p50/p90.  Buckets are powers of two (frexp
+      exponents, with one bucket for all values [<= 0]); percentiles are
+      bucket upper bounds clamped into [[min, max]].  No sum or mean is
+      exposed — float accumulation order would depend on domain
+      scheduling.
+
+    Recording is domain-safe and lock-free on the hot path: each domain
+    writes to a private buffer (a {!Util.Parallel.scratch_slot} cache);
+    [snapshot] merges all buffers with commutative, order-independent
+    operations, so the merged result is bit-identical at any [jobs]
+    value provided the {e set of recorded values} is itself
+    deterministic.  Snapshot only observes worker-side records that
+    happened before the workers were joined (Util.Parallel.map joins its
+    domains before returning).
+
+    Keys are dotted names following the docs/OBSERVABILITY.md schema.
+    Recording a key with two different kinds raises [Invalid_argument]. *)
+
+type t
+(** A metric registry.  One per flow run. *)
+
+val create : unit -> t
+(** A fresh registry.  The creating domain's first-record key order
+    defines the order of {!snapshot}. *)
+
+val incr : ?by:int -> t -> string -> unit
+(** Add [by] (default 1) to a counter. *)
+
+val set : ?volatile:bool -> t -> string -> float -> unit
+(** Set a gauge.  [~volatile:true] marks the value as run-dependent
+    (e.g. [parallel.speedup]); volatile entries are excluded from the
+    deterministic JSON view. *)
+
+val observe : t -> string -> float -> unit
+(** Record one sample into a histogram. *)
+
+val add_time : t -> string -> wall_s:float -> cpu_s:float -> unit
+(** Accumulate one measured interval into a timer. *)
+
+val time : t -> string -> (unit -> 'a) -> 'a
+(** [time t key f] runs [f ()], recording its wall and CPU seconds into
+    the timer [key].  Nothing is recorded when [f] raises. *)
+
+(** {1 Snapshots} *)
+
+type histogram = { count : int; min : float; max : float; p50 : float; p90 : float }
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Timer of { wall_s : float; cpu_s : float; intervals : int }
+  | Histogram of histogram
+
+type entry = { key : string; value : value; volatile : bool }
+
+type snapshot = entry list
+(** Merged point-in-time view: the creating domain's first-record order
+    first (the flow's stage order), then worker-only keys in ascending
+    key order. *)
+
+val snapshot : t -> snapshot
+(** Merge every domain's buffer.  Safe to call repeatedly; the registry
+    keeps accumulating afterwards. *)
+
+val find : snapshot -> string -> value option
+
+val to_assoc : snapshot -> (string * float) list
+(** The legacy [Flow.times] view: counters and gauges as floats, each
+    timer as [(key, cpu_s)] followed by [(key ^ ".wall", wall_s)],
+    histograms omitted. *)
+
+val to_json : ?deterministic:bool -> snapshot -> Emit.t
+(** JSON object keyed by metric name (ascending key order), each value
+    an object tagged with ["kind"].  [~deterministic:true] drops
+    volatile entries (all timers, volatile gauges) so the output is
+    byte-identical at any [jobs] value. *)

@@ -1,0 +1,96 @@
+(* Span tracing with Chrome trace-event export.
+
+   A trace is an explicit object installed as the ambient trace of the
+   current domain by [with_trace]; [with_ ~name f] is a no-op wrapper
+   (just [f ()]) when no trace is ambient, so instrumented libraries pay
+   one DLS read when tracing is off.  The ambient slot is domain-local:
+   spans opened by pool workers are dropped rather than racing on the
+   shared tree (Util.Parallel.map spawns fresh domains per call, so an
+   ambient trace cannot be pre-installed in them).  Every span site the
+   trace contract promises — flow stages, PathFinder iterations and
+   batches, annealer temperatures, STA level sweeps — runs on the
+   domain that owns the trace. *)
+
+type span = {
+  name : string;
+  t0_us : float;
+  mutable t1_us : float;
+  mutable args : (string * Emit.t) list;
+  mutable children : span list; (* reverse chronological *)
+}
+
+type trace = {
+  epoch : float;
+  mutable roots : span list; (* reverse chronological *)
+  mutable stack : span list; (* innermost open span first *)
+}
+
+let ambient : trace option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let create () = { epoch = Unix.gettimeofday (); roots = []; stack = [] }
+
+let now tr = (Unix.gettimeofday () -. tr.epoch) *. 1e6
+
+let with_trace tr f =
+  let cell = Domain.DLS.get ambient in
+  let saved = !cell in
+  cell := Some tr;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+let active () = Option.is_some !(Domain.DLS.get ambient)
+
+let with_ ?(args = []) ~name f =
+  match !(Domain.DLS.get ambient) with
+  | None -> f ()
+  | Some tr ->
+      let sp = { name; t0_us = now tr; t1_us = 0.0; args; children = [] } in
+      tr.stack <- sp :: tr.stack;
+      Fun.protect f ~finally:(fun () ->
+          sp.t1_us <- now tr;
+          (match tr.stack with
+          | top :: rest when top == sp -> tr.stack <- rest
+          | _ -> () (* unbalanced finally under an exotic exception path *));
+          match tr.stack with
+          | parent :: _ -> parent.children <- sp :: parent.children
+          | [] -> tr.roots <- sp :: tr.roots)
+
+let annotate kvs =
+  match !(Domain.DLS.get ambient) with
+  | Some { stack = sp :: _; _ } -> sp.args <- sp.args @ kvs
+  | _ -> ()
+
+let rec ordered sp = { sp with children = List.rev_map ordered sp.children }
+
+let roots tr = List.rev_map ordered tr.roots
+
+(* Chrome trace-event format: a flat array of B/E duration events with
+   microsecond timestamps, loadable by chrome://tracing and Perfetto.
+   Children are emitted strictly inside their parent's B/E pair, so
+   every E closes the most recent open B (stack discipline). *)
+let to_chrome tr =
+  let events = ref [] in
+  let common name ph ts =
+    [
+      ("name", Emit.String name);
+      ("cat", Emit.String "amdrel");
+      ("ph", Emit.String ph);
+      ("ts", Emit.Float ts);
+      ("pid", Emit.Int 1);
+      ("tid", Emit.Int 1);
+    ]
+  in
+  let rec emit sp =
+    let b = common sp.name "B" sp.t0_us in
+    let b = if sp.args = [] then b else b @ [ ("args", Emit.Obj sp.args) ] in
+    events := Emit.Obj b :: !events;
+    List.iter emit sp.children;
+    events := Emit.Obj (common sp.name "E" sp.t1_us) :: !events
+  in
+  List.iter emit (roots tr);
+  Emit.Obj
+    [
+      ("displayTimeUnit", Emit.String "ms");
+      ("traceEvents", Emit.List (List.rev !events));
+    ]
+
+let to_chrome_string tr = Emit.to_string (to_chrome tr)

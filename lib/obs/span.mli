@@ -1,0 +1,50 @@
+(** Nested span tracing with Chrome trace-event export.
+
+    Usage: create a {!trace}, install it with {!with_trace} around the
+    work to profile, and instrumented code paths wrap themselves in
+    {!with_}.  When no trace is ambient — the default — {!with_} is
+    [f ()] plus one domain-local read, so always-on instrumentation is
+    effectively free.
+
+    The ambient trace is per-domain.  Spans opened on pool worker
+    domains (which are spawned fresh per [Util.Parallel.map] call and
+    have no ambient trace) are silently dropped; all contractual span
+    sites run on the domain that owns the trace. *)
+
+type span = {
+  name : string;
+  t0_us : float;  (** start, microseconds since the trace epoch *)
+  mutable t1_us : float;  (** end, microseconds since the trace epoch *)
+  mutable args : (string * Emit.t) list;
+  mutable children : span list;
+}
+
+type trace
+
+val create : unit -> trace
+(** A fresh trace; its epoch is the creation instant. *)
+
+val with_trace : trace -> (unit -> 'a) -> 'a
+(** [with_trace tr f] runs [f] with [tr] as the current domain's ambient
+    trace, restoring the previous ambient on exit (exceptions
+    included). *)
+
+val active : unit -> bool
+(** True when a trace is ambient on this domain. *)
+
+val with_ : ?args:(string * Emit.t) list -> name:string -> (unit -> 'a) -> 'a
+(** [with_ ~name f] runs [f] inside a new span when a trace is ambient,
+    and is exactly [f ()] otherwise.  Spans nest by dynamic extent. *)
+
+val annotate : (string * Emit.t) list -> unit
+(** Append key/value args to the innermost open span, if any. *)
+
+val roots : trace -> span list
+(** Completed top-level spans in chronological order (children too). *)
+
+val to_chrome : trace -> Emit.t
+(** The trace as a Chrome trace-event JSON object ([traceEvents] array
+    of B/E duration events, µs timestamps) — loadable in
+    [chrome://tracing] and Perfetto. *)
+
+val to_chrome_string : trace -> string

@@ -101,7 +101,8 @@ let nets_of_block (problem : Problem.t) =
     problem.Problem.nets;
   Array.map (List.sort_uniq compare) touch
 
-let run ?(options = default_options) ?timing ?scratch (problem : Problem.t) =
+let run ?(options = default_options) ?timing ?scratch ?obs
+    (problem : Problem.t) =
   let rng = Util.Prng.create options.seed in
   let pl = Placement.initial ~seed:options.seed problem in
   let grid = problem.Problem.grid in
@@ -293,6 +294,12 @@ let run ?(options = default_options) ?timing ?scratch (problem : Problem.t) =
     in
     let stop = ref false in
     while not !stop do
+      (* one temperature step = one trace span; the accept rate feeds the
+         schedule and the place.accept-rate histogram (the sample set is
+         seed-deterministic, so recording is jobs-independent) *)
+      Obs.Span.with_ ~name:"place.temperature"
+        ~args:[ ("T", Obs.Emit.Float !temperature) ]
+      @@ fun () ->
       (* refresh criticalities and normalisations at each temperature *)
       (match timing with
       | Some t ->
@@ -310,6 +317,10 @@ let run ?(options = default_options) ?timing ?scratch (problem : Problem.t) =
       let rate =
         float_of_int (!accepted_total - accepted_before) /. float_of_int inner
       in
+      (match obs with
+      | Some o -> Obs.Registry.observe o "place.accept-rate" rate
+      | None -> ());
+      Obs.Span.annotate [ ("accept_rate", Obs.Emit.Float rate) ];
       let alpha =
         if rate > 0.96 then 0.5
         else if rate > 0.8 then 0.9
@@ -357,8 +368,8 @@ let scratch_slot : scratch Util.Parallel.scratch_slot =
   Util.Parallel.scratch_slot ()
 
 let run_multistart ?(options = default_options) ?timing ?jobs ?(starts = 1)
-    (problem : Problem.t) =
-  if starts <= 1 then run ~options ?timing problem
+    ?obs (problem : Problem.t) =
+  if starts <= 1 then run ~options ?timing ?obs problem
   else begin
     let results =
       Util.Parallel.map ?jobs
@@ -368,7 +379,7 @@ let run_multistart ?(options = default_options) ?timing ?jobs ?(starts = 1)
               ~create:create_scratch
           in
           run ~options:{ options with seed = options.seed + k } ?timing
-            ~scratch problem)
+            ~scratch ?obs problem)
         (Array.init starts Fun.id)
     in
     (* strict < keeps the earliest seed on ties *)

@@ -58,15 +58,18 @@ val create_scratch : unit -> scratch
 
 val run :
   ?options:options -> ?timing:timing_options -> ?scratch:scratch ->
-  Problem.t -> result
+  ?obs:Obs.Registry.t -> Problem.t -> result
 (** One annealing run.  Fully deterministic in [options.seed]: all
     randomness derives from the explicit {!Util.Prng} stream.
     [scratch] (optional) reuses costing buffers from a previous run on
-    the same domain instead of allocating fresh ones. *)
+    the same domain instead of allocating fresh ones.  [obs] records the
+    per-temperature acceptance rate into the ["place.accept-rate"]
+    histogram; each temperature step also emits one
+    ["place.temperature"] span into the ambient {!Obs.Span} trace. *)
 
 val run_multistart :
   ?options:options -> ?timing:timing_options -> ?jobs:int -> ?starts:int ->
-  Problem.t -> result
+  ?obs:Obs.Registry.t -> Problem.t -> result
 (** [starts] independent runs on seeds [seed, seed+1, ...]; the lowest
     final bounding-box cost wins, ties broken toward the lowest seed
     offset.  Runs are shared-nothing and execute on a Domain pool of

@@ -281,9 +281,15 @@ let partition_batches items =
     !batches
 
 let route ?(max_iterations = 30) ?(pres_fac0 = 0.5) ?(pres_mult = 1.6)
-    ?(acc_fac = 0.4) ?(astar_fac = 1.0) ?(incremental = true) ?jobs
+    ?(acc_fac = 0.4) ?(astar_fac = 1.0) ?(incremental = true) ?jobs ?obs
     ?node_delay (g : Rrgraph.t) (nets : net_spec array) =
   let jobs = Util.Parallel.resolve_jobs ?jobs () in
+  (* telemetry: histogram samples go to the caller's registry (if any);
+     both sites below run on the calling domain, and the sample set is
+     the deterministic routing itself, so recording is jobs-independent *)
+  let observe key v =
+    match obs with Some o -> Obs.Registry.observe o key v | None -> ()
+  in
   let n = Rrgraph.node_count g in
   let st = { occ = Array.make n 0; history = Array.make n 0.0; pres_fac = pres_fac0 } in
   let delay_norm =
@@ -392,6 +398,9 @@ let route ?(max_iterations = 30) ?(pres_fac0 = 0.5) ?(pres_mult = 1.6)
   let force_full = ref false in
   while (not !done_) && (not !hopeless) && !iteration < max_iterations do
     incr iteration;
+    Obs.Span.with_ ~name:"route.iteration"
+      ~args:[ ("iteration", Obs.Emit.Int !iteration) ]
+    @@ fun () ->
     let full = (not incremental) || !iteration = 1 || !force_full in
     force_full := false;
     (* the iteration's reroute list, ascending net id *)
@@ -424,6 +433,9 @@ let route ?(max_iterations = 30) ?(pres_fac0 = 0.5) ?(pres_mult = 1.6)
         let k = List.length batch in
         if k > !iter_batch_max then iter_batch_max := k;
         if k = 1 then incr iter_serial;
+        Obs.Span.with_ ~name:"route.batch"
+          ~args:[ ("nets", Obs.Emit.Int k) ]
+        @@ fun () ->
         (* rip up the whole batch, then route against the frozen state *)
         List.iter (fun (idx, _) -> release st trees.(idx).nodes) batch;
         let tasks =
@@ -440,14 +452,23 @@ let route ?(max_iterations = 30) ?(pres_fac0 = 0.5) ?(pres_mult = 1.6)
             let nodes, parents, pops = results.(i) in
             occupy st nodes;
             trees.(idx) <- { net_index = nets.(idx).index; nodes; parents };
+            observe "route.net-heap-pops" (float_of_int pops);
             iter_pops := !iter_pops + pops)
           tasks)
       batches;
     let over = total_overuse () in
+    let overused = overused_count () in
+    observe "route.iter-overuse" (float_of_int overused);
+    Obs.Span.annotate
+      [
+        ("rerouted", Obs.Emit.Int rerouted);
+        ("overused_nodes", Obs.Emit.Int overused);
+        ("heap_pops", Obs.Emit.Int !iter_pops);
+      ];
     iter_stats :=
       {
         iteration = !iteration;
-        overused_nodes = overused_count ();
+        overused_nodes = overused;
         nets_rerouted = rerouted;
         heap_pops = !iter_pops;
         batches = !iter_batches;

@@ -46,7 +46,7 @@ type result = {
 val route :
   ?max_iterations:int -> ?pres_fac0:float -> ?pres_mult:float ->
   ?acc_fac:float -> ?astar_fac:float -> ?incremental:bool ->
-  ?jobs:int ->
+  ?jobs:int -> ?obs:Obs.Registry.t ->
   ?node_delay:float array -> Rrgraph.t -> net_spec array -> result
 (** [astar_fac] scales the directed lookahead (0 = plain Dijkstra,
     1 = admissible A*, the default; larger trades optimality for speed).
@@ -56,6 +56,10 @@ val route :
     concurrently; the routed result is bit-identical for every value
     (defaults to [AMDREL_JOBS] / the machine's core count, see
     {!Util.Parallel}).
+    [obs] records the ["route.net-heap-pops"] (per committed net) and
+    ["route.iter-overuse"] (per iteration) histograms; one
+    ["route.iteration"] span (with a ["route.batch"] child per batch) is
+    emitted into the ambient {!Obs.Span} trace per iteration.
     @raise Not_found if some sink is unreachable in the graph. *)
 
 val bbox_disjoint : int * int * int * int -> int * int * int * int -> bool

@@ -80,8 +80,8 @@ let net_criticalities ?(model = Place.Td_timing.default_model)
   let a = Sta.Analysis.run graph provider in
   Array.map (Float.min 0.95) a.Sta.Analysis.net_criticality
 
-let try_width ?(max_iterations = 60) ?crit ?jobs (params : Fpga_arch.Params.t)
-    (placement : Place.Placement.t) width =
+let try_width ?(max_iterations = 60) ?crit ?jobs ?obs
+    (params : Fpga_arch.Params.t) (placement : Place.Placement.t) width =
   let problem = placement.Place.Placement.problem in
   let g = Rrgraph.build params problem.Place.Problem.grid placement ~width in
   let criticalities, node_delay =
@@ -91,16 +91,16 @@ let try_width ?(max_iterations = 60) ?crit ?jobs (params : Fpga_arch.Params.t)
         (Some per_net, Some (node_delays g (Timing.default_constants params)))
   in
   let nets = net_terminals ?criticalities g problem in
-  match Pathfinder.route ~max_iterations ?jobs ?node_delay g nets with
+  match Pathfinder.route ~max_iterations ?jobs ?obs ?node_delay g nets with
   | r when r.Pathfinder.success -> Some (g, r)
   | _ -> None
   | exception Not_found -> None
 
 (* Route at a fixed width (raises if infeasible). *)
-let route_fixed ?(max_iterations = 60) ?timing ?jobs
+let route_fixed ?(max_iterations = 60) ?timing ?jobs ?obs
     (params : Fpga_arch.Params.t) (placement : Place.Placement.t) ~width =
   let crit = Option.map (fun model -> net_criticalities ~model placement) timing in
-  match try_width ~max_iterations ?crit ?jobs params placement width with
+  match try_width ~max_iterations ?crit ?jobs ?obs params placement width with
   | Some (g, r) ->
       {
         problem = placement.Place.Placement.problem;
@@ -125,7 +125,7 @@ let route_fixed ?(max_iterations = 60) ?timing ?jobs
    the shrink phase — memoise the outcomes, and then advance exactly the
    sequential decision path over the cache.  The returned minimum width
    (and hence the final routing) is bit-identical for any [jobs]. *)
-let route_min_width ?(max_iterations = 60) ?(start = 6) ?timing ?jobs
+let route_min_width ?(max_iterations = 60) ?(start = 6) ?timing ?jobs ?obs
     (params : Fpga_arch.Params.t) (placement : Place.Placement.t) =
   let jobs = Util.Parallel.resolve_jobs ?jobs () in
   (* width -> routable?; probes are deterministic, so caching loses
@@ -208,20 +208,22 @@ let route_min_width ?(max_iterations = 60) ?(start = 6) ?timing ?jobs
   in
   let min_w = shrink 0 hi in
   (* low-stress final routing, timing-driven if requested; width probes
-     above stay congestion-only, so the criticalities are computed once
-     here, for the final routing alone *)
+     above stay congestion-only AND un-instrumented (the probe set
+     depends on the pool size, so only the final routing records into
+     [obs] — metrics stay jobs-independent), so the criticalities are
+     computed once here, for the final routing alone *)
   let crit = Option.map (fun model -> net_criticalities ~model placement) timing in
   let final_w = max min_w (int_of_float (Float.ceil (1.2 *. float_of_int min_w))) in
   let g, r =
     match
-      try_width ~max_iterations:(2 * max_iterations) ?crit ~jobs params
+      try_width ~max_iterations:(2 * max_iterations) ?crit ~jobs ?obs params
         placement final_w
     with
     | Some ok -> ok
     | None -> (
         match
-          try_width ~max_iterations:(2 * max_iterations) ?crit ~jobs params
-            placement (2 * final_w)
+          try_width ~max_iterations:(2 * max_iterations) ?crit ~jobs ?obs
+            params placement (2 * final_w)
         with
         | Some ok -> ok
         | None -> failwith "low-stress routing failed")
@@ -241,12 +243,12 @@ let route_min_width ?(max_iterations = 60) ?(start = 6) ?timing ?jobs
    pre- and post-route figures are directly comparable.  [graph] reuses
    a previously built timing graph (it depends only on the problem, not
    the routing). *)
-let sta ?constraints ?graph (r : routed) =
+let sta ?constraints ?graph ?obs (r : routed) =
   let g =
     match graph with Some g -> g | None -> Sta.Graph.build r.problem
   in
   let provider = Sta_provider.routed r.problem r.graph r.constants r.result in
-  Sta.Analysis.run ?constraints g provider
+  Sta.Analysis.run ?constraints ?obs g provider
 
 (* ---------- statistics ---------- *)
 

@@ -29,21 +29,25 @@ val net_criticalities :
 
 val try_width :
   ?max_iterations:int -> ?crit:float array -> ?jobs:int ->
+  ?obs:Obs.Registry.t ->
   Fpga_arch.Params.t -> Place.Placement.t -> int ->
   (Rrgraph.t * Pathfinder.result) option
 (** Attempt a routing at the given channel width; None if infeasible.
     [crit] (per-net, pre-capped — see {!net_criticalities}) enables the
     timing-driven cost.  [jobs] bounds the intra-route Domain pool (the
-    routed result is bit-identical for every value). *)
+    routed result is bit-identical for every value); [obs] forwards to
+    {!Pathfinder.route}. *)
 
 val route_fixed :
   ?max_iterations:int -> ?timing:Place.Td_timing.delay_model -> ?jobs:int ->
+  ?obs:Obs.Registry.t ->
   Fpga_arch.Params.t -> Place.Placement.t -> width:int -> routed
 (** @raise Failure when unroutable at that width. *)
 
 val route_min_width :
   ?max_iterations:int -> ?start:int -> ?timing:Place.Td_timing.delay_model ->
-  ?jobs:int -> Fpga_arch.Params.t -> Place.Placement.t -> routed
+  ?jobs:int -> ?obs:Obs.Registry.t ->
+  Fpga_arch.Params.t -> Place.Placement.t -> routed
 (** Binary-search the minimum channel width (VPR's headline metric), then
     return a low-stress (1.2x) routing — timing-driven if requested.
 
@@ -53,11 +57,14 @@ val route_min_width :
     sequential decision path exactly and the result is bit-identical to
     [jobs = 1].  Width probes are congestion-only; the final low-stress
     routing is timing-driven when [timing] is given (criticalities from
-    one unified-STA pass at the final placement).
+    one unified-STA pass at the final placement).  Only the final routing
+    records into [obs]: the speculative probe set depends on the pool
+    size, so instrumenting it would make metrics jobs-dependent.
     @raise Failure when unroutable even at width 128. *)
 
 val sta :
-  ?constraints:Sta.Analysis.constraints -> ?graph:Sta.Graph.t -> routed ->
+  ?constraints:Sta.Analysis.constraints -> ?graph:Sta.Graph.t ->
+  ?obs:Obs.Registry.t -> routed ->
   Sta.Analysis.t
 (** Post-route unified STA: routed-Elmore delays ({!Sta_provider.routed})
     through {!Sta.Analysis.run}, directly comparable with the pre-route

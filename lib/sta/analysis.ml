@@ -54,8 +54,18 @@ let map_level ?jobs compute level (dst : float array) =
 
 let clamp01 c = Float.min 1.0 (Float.max 0.0 c)
 
-let run ?(constraints = default_constraints) ?jobs (g : Graph.t)
+let run ?(constraints = default_constraints) ?jobs ?obs (g : Graph.t)
     (p : Delays.provider) =
+  (* phase timers answer ROADMAP's profiling question (where does an
+     analysis spend its time?); they accumulate across the many [run]
+     calls of a flow (annealer refreshes, pre- and post-route) into the
+     sta.phase.* keys of the caller's registry *)
+  let phase key f =
+    match obs with Some o -> Obs.Registry.time o key f | None -> f ()
+  in
+  let observe key v =
+    match obs with Some o -> Obs.Registry.observe o key v | None -> ()
+  in
   let n = g.Graph.n in
   let net = g.Graph.net in
   (* ---- forward: arrival times, level by level ---- *)
@@ -70,42 +80,65 @@ let run ?(constraints = default_constraints) ?jobs (g : Graph.t)
              (fun acc f -> Float.max acc (arrival.(f) +. p.Delays.conn f id))
              0.0 fanins
   in
-  Array.iter (fun level -> map_level ?jobs arrive level arrival) g.Graph.levels;
+  phase "sta.phase.forward" (fun () ->
+      Obs.Span.with_ ~name:"sta.forward" (fun () ->
+          Array.iteri
+            (fun li level ->
+              observe "sta.level-nodes" (float_of_int (Array.length level));
+              Obs.Span.with_ ~name:"sta.level"
+                ~args:
+                  [
+                    ("level", Obs.Emit.Int li);
+                    ("nodes", Obs.Emit.Int (Array.length level));
+                  ]
+                (fun () -> map_level ?jobs arrive level arrival))
+            g.Graph.levels));
   (* ---- endpoint arrivals and the critical path ---- *)
   let endpoint_arrival =
-    Array.map
-      (function
-        | Graph.Reg_data { latch; data } ->
-            arrival.(data) +. p.Delays.conn data latch +. p.Delays.t_setup
-        | Graph.Pad_out { block; signal } ->
-            arrival.(signal) +. p.Delays.pad signal block)
-      g.Graph.endpoints
+    phase "sta.phase.endpoints" (fun () ->
+        Array.map
+          (function
+            | Graph.Reg_data { latch; data } ->
+                arrival.(data) +. p.Delays.conn data latch +. p.Delays.t_setup
+            | Graph.Pad_out { block; signal } ->
+                arrival.(signal) +. p.Delays.pad signal block)
+          g.Graph.endpoints)
   in
   let dmax = Array.fold_left Float.max 1e-12 endpoint_arrival in
   (* ---- backward: required times anchored at dmax, pulled level by
      level from each node's consumers (race-free: a consumer is always
      at a strictly higher level) ---- *)
-  let ep_contrib = Array.make n infinity in
-  Array.iter
-    (function
-      | Graph.Reg_data { latch; data } ->
-          ep_contrib.(data) <-
-            Float.min ep_contrib.(data)
-              (dmax -. p.Delays.conn data latch -. p.Delays.t_setup)
-      | Graph.Pad_out { block; signal } ->
-          ep_contrib.(signal) <-
-            Float.min ep_contrib.(signal) (dmax -. p.Delays.pad signal block))
-    g.Graph.endpoints;
   let required = Array.make n infinity in
-  let require id =
-    List.fold_left
-      (fun acc u ->
-        Float.min acc (required.(u) -. p.Delays.t_logic -. p.Delays.conn id u))
-      ep_contrib.(id) g.Graph.consumers.(id)
-  in
-  for l = Array.length g.Graph.levels - 1 downto 0 do
-    map_level ?jobs require g.Graph.levels.(l) required
-  done;
+  phase "sta.phase.backward" (fun () ->
+      Obs.Span.with_ ~name:"sta.backward" (fun () ->
+          let ep_contrib = Array.make n infinity in
+          Array.iter
+            (function
+              | Graph.Reg_data { latch; data } ->
+                  ep_contrib.(data) <-
+                    Float.min ep_contrib.(data)
+                      (dmax -. p.Delays.conn data latch -. p.Delays.t_setup)
+              | Graph.Pad_out { block; signal } ->
+                  ep_contrib.(signal) <-
+                    Float.min ep_contrib.(signal)
+                      (dmax -. p.Delays.pad signal block))
+            g.Graph.endpoints;
+          let require id =
+            List.fold_left
+              (fun acc u ->
+                Float.min acc
+                  (required.(u) -. p.Delays.t_logic -. p.Delays.conn id u))
+              ep_contrib.(id) g.Graph.consumers.(id)
+          in
+          for l = Array.length g.Graph.levels - 1 downto 0 do
+            Obs.Span.with_ ~name:"sta.level"
+              ~args:
+                [
+                  ("level", Obs.Emit.Int l);
+                  ("nodes", Obs.Emit.Int (Array.length g.Graph.levels.(l)));
+                ]
+              (fun () -> map_level ?jobs require g.Graph.levels.(l) required)
+          done));
   (* ---- effective timing budget, WNS / TNS ---- *)
   let budget =
     match constraints.period with
@@ -113,11 +146,12 @@ let run ?(constraints = default_constraints) ?jobs (g : Graph.t)
     | Some period -> if constraints.detff then period /. 2.0 else period
   in
   let wns, tns =
-    Array.fold_left
-      (fun (wns, tns) a ->
-        let slack = budget -. a in
-        (Float.min wns slack, tns +. Float.min 0.0 slack))
-      (infinity, 0.0) endpoint_arrival
+    phase "sta.phase.endpoints" (fun () ->
+        Array.fold_left
+          (fun (wns, tns) a ->
+            let slack = budget -. a in
+            (Float.min wns slack, tns +. Float.min 0.0 slack))
+          (infinity, 0.0) endpoint_arrival)
   in
   let wns = if wns = infinity then 0.0 else wns in
   (* ---- per-connection criticality, mirroring the T-VPlace shape:
@@ -139,6 +173,7 @@ let run ?(constraints = default_constraints) ?jobs (g : Graph.t)
       0.0 users
   in
   let criticality =
+    phase "sta.phase.criticality" @@ fun () ->
     Array.map
       (fun (net : Place.Problem.net) ->
         Array.map
@@ -155,7 +190,8 @@ let run ?(constraints = default_constraints) ?jobs (g : Graph.t)
       g.Graph.problem.Place.Problem.nets
   in
   let net_criticality =
-    Array.map (Array.fold_left Float.max 0.0) criticality
+    phase "sta.phase.criticality" (fun () ->
+        Array.map (Array.fold_left Float.max 0.0) criticality)
   in
   {
     graph = g;

@@ -48,9 +48,15 @@ type t = {
 }
 
 val run :
-  ?constraints:constraints -> ?jobs:int -> Graph.t -> Delays.provider -> t
+  ?constraints:constraints -> ?jobs:int -> ?obs:Obs.Registry.t ->
+  Graph.t -> Delays.provider -> t
 (** One full analysis.  The graph and provider are only read, so
-    concurrent [run]s on the same graph are safe. *)
+    concurrent [run]s on the same graph are safe.  [obs] accumulates the
+    ["sta.phase.forward"/"backward"/"endpoints"/"criticality"] timers
+    (summed over every [run] a flow performs) and the
+    ["sta.level-nodes"] histogram; the forward and backward sweeps also
+    emit ["sta.forward"]/["sta.backward"] spans with one ["sta.level"]
+    child per level into the ambient {!Obs.Span} trace. *)
 
 val endpoint_slack : t -> int -> float
 (** Slack of endpoint [i] against the effective budget (negative =

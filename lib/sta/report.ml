@@ -121,47 +121,45 @@ let to_text ?(title = "timing report") (a : Analysis.t) ps =
 
 (* ---------- JSON rendering ---------- *)
 
-let json_escape s =
-  let b = Buffer.create (String.length s) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | c when Char.code c < 0x20 ->
-          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+(* The shared Obs.Emit emitter reproduces the separators and string
+   escaping of the original hand-rolled printer byte for byte; float
+   formatting (%.9g vs the old %.6e) is absorbed by the golden harness's
+   tolerant numeric compare. *)
+let json (a : Analysis.t) ps =
+  let open Obs.Emit in
+  let hop_json (h : hop) =
+    Obj
+      [
+        ("signal", String h.name);
+        ("arrival_s", Float h.arrival_s);
+        ("incr_s", Float h.incr_s);
+      ]
+  in
+  let path_json p =
+    Obj
+      [
+        ("rank", Int p.rank);
+        ("endpoint", String p.endpoint_name);
+        ("kind", String p.kind);
+        ("arrival_s", Float p.arrival_s);
+        ("slack_s", Float p.slack_s);
+        ("hops", List (List.map hop_json p.hops));
+      ]
+  in
+  Obj
+    [
+      ("provider", String a.Analysis.provider.Delays.name);
+      ("dmax_s", Float a.Analysis.dmax);
+      ("budget_s", Float a.Analysis.budget);
+      ( "period_s",
+        match a.Analysis.constraints.Analysis.period with
+        | Some p -> Float p
+        | None -> Null );
+      ("detff", Bool a.Analysis.constraints.Analysis.detff);
+      ("wns_s", Float a.Analysis.wns);
+      ("tns_s", Float a.Analysis.tns);
+      ("endpoints", Int (Array.length a.Analysis.graph.Graph.endpoints));
+      ("paths", List (List.map path_json ps));
+    ]
 
-let to_json (a : Analysis.t) ps =
-  let b = Buffer.create 1024 in
-  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-  pf "{\"provider\": \"%s\", \"dmax_s\": %.6e, \"budget_s\": %.6e, "
-    (json_escape a.Analysis.provider.Delays.name)
-    a.Analysis.dmax a.Analysis.budget;
-  (match a.Analysis.constraints.Analysis.period with
-  | Some p -> pf "\"period_s\": %.6e, " p
-  | None -> pf "\"period_s\": null, ");
-  pf "\"detff\": %b, \"wns_s\": %.6e, \"tns_s\": %.6e, \"endpoints\": %d, "
-    a.Analysis.constraints.Analysis.detff a.Analysis.wns a.Analysis.tns
-    (Array.length a.Analysis.graph.Graph.endpoints);
-  pf "\"paths\": [";
-  List.iteri
-    (fun i p ->
-      if i > 0 then pf ", ";
-      pf
-        "{\"rank\": %d, \"endpoint\": \"%s\", \"kind\": \"%s\", \
-         \"arrival_s\": %.6e, \"slack_s\": %.6e, \"hops\": ["
-        p.rank (json_escape p.endpoint_name) p.kind p.arrival_s p.slack_s;
-      List.iteri
-        (fun j (h : hop) ->
-          if j > 0 then pf ", ";
-          pf "{\"signal\": \"%s\", \"arrival_s\": %.6e, \"incr_s\": %.6e}"
-            (json_escape h.name) h.arrival_s h.incr_s)
-        p.hops;
-      pf "]}")
-    ps;
-  pf "]}";
-  Buffer.contents b
+let to_json a ps = Obs.Emit.to_string (json a ps)

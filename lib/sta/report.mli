@@ -32,6 +32,11 @@ val to_text : ?title:string -> Analysis.t -> path list -> string
 (** Human-readable report: summary line (dmax, budget, WNS/TNS when
     constrained) followed by one block per path. *)
 
-val to_json : Analysis.t -> path list -> string
+val json : Analysis.t -> path list -> Obs.Emit.t
 (** One JSON object: provider, dmax/budget/period/wns/tns, endpoint
-    count and the path list (see docs/OBSERVABILITY.md). *)
+    count and the path list (see docs/OBSERVABILITY.md).  Built on the
+    shared {!Obs.Emit} emitter so it can embed in larger documents
+    (e.g. [Flow.timing_report_json]). *)
+
+val to_json : Analysis.t -> path list -> string
+(** [Obs.Emit.to_string] of {!json}. *)

@@ -15,7 +15,10 @@ let test_flow_whole_suite () =
       match Core.Flow.run_vhdl vhdl with
       | r ->
           Alcotest.(check bool) (name ^ " verified") true
-            r.Core.Flow.bitstream_verified
+            r.Core.Flow.bitstream_verified;
+          (* the legacy times list is exactly the registry's assoc view *)
+          Alcotest.(check bool) (name ^ " times = registry view") true
+            (r.Core.Flow.times = Obs.Registry.to_assoc r.Core.Flow.metrics)
       | exception Core.Flow.Flow_error (stage, e) ->
           Alcotest.failf "%s failed at %s: %s" name stage (Printexc.to_string e))
     Core.Bench_circuits.suite

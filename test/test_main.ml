@@ -12,5 +12,6 @@ let () =
       ("properties", Test_properties.suite);
       ("sta", Test_sta.suite);
       ("golden", Test_golden.suite);
+      ("obs", Test_obs.suite);
       ("flow", Test_flow.suite);
     ]
