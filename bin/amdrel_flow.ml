@@ -5,7 +5,7 @@
 open Cmdliner
 
 let run input outdir seed fixed_width jobs timing_report period_ns
-    metrics_json trace_file =
+    metrics_json trace_file no_incremental_sta =
   let text = Tool_common.read_file input in
   (try Sys.mkdir outdir 0o755 with Sys_error _ -> ());
   let base = Filename.concat outdir (Filename.remove_extension (Filename.basename input)) in
@@ -19,6 +19,7 @@ let run input outdir seed fixed_width jobs timing_report period_ns
       timing_driven = timing_report || period_ns <> None;
       clock_period = Option.map (fun ns -> ns *. 1e-9) period_ns;
       jobs;
+      incremental_sta = not no_incremental_sta;
     }
   in
   let w0 = Unix.gettimeofday () in
@@ -192,14 +193,25 @@ let trace_arg =
            annealer temperature step and STA level sweep), loadable in \
            chrome://tracing or Perfetto.")
 
+let no_incremental_sta_arg =
+  Arg.(
+    value & flag
+    & info [ "no-incremental-sta" ]
+        ~doc:
+          "Refresh the annealer's timing with a full STA per temperature \
+           instead of the incremental cone update.  Results are \
+           bit-identical either way; the flag exists to measure the \
+           incremental path's speedup (see docs/EXPERIMENTS.md).")
+
 let cmd =
   Cmd.v
     (Cmd.info "amdrel_flow"
        ~doc:"Run the complete VHDL-to-bitstream design flow")
     Term.(
-      const (fun i o s w j tr p mj tf ->
-          Tool_common.protect (fun () -> run i o s w j tr p mj tf))
+      const (fun i o s w j tr p mj tf ni ->
+          Tool_common.protect (fun () -> run i o s w j tr p mj tf ni))
       $ input_arg $ outdir_arg $ seed_arg $ width_arg $ jobs_arg
-      $ timing_report_arg $ period_arg $ metrics_json_arg $ trace_arg)
+      $ timing_report_arg $ period_arg $ metrics_json_arg $ trace_arg
+      $ no_incremental_sta_arg)
 
 let () = exit (Cmd.eval cmd)

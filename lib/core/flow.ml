@@ -26,6 +26,15 @@ type config = {
   jobs : int option;       (* Domain pool size; None = AMDREL_JOBS or the
                               recommended domain count *)
   place_starts : int;      (* independent annealing seeds; best wins *)
+  incremental_sta : bool;  (* cone-limited STA refreshes in the annealer *)
+  sta_full_refresh_every : int;
+                           (* full-analysis cadence of the incremental
+                              chain (every Kth refresh); <= 0 = always
+                              full *)
+  place_prune_margin : float option;
+                           (* multi-start pruning margin (fraction above
+                              the incumbent); None = run all to the end *)
+  place_prune_interval : int; (* temperature steps between prune points *)
 }
 
 let default_config =
@@ -43,6 +52,10 @@ let default_config =
     power_options = Power.Model.default_options;
     jobs = None;
     place_starts = 1;
+    incremental_sta = true;
+    sta_full_refresh_every = 8;
+    place_prune_margin = Some 0.5;
+    place_prune_interval = 4;
   }
 
 type stage_times = (string * float) list (* seconds per stage *)
@@ -121,9 +134,40 @@ let run_stages ~config ~obs (net : Logic.t) =
     { Sta.Analysis.default_constraints with
       Sta.Analysis.period = config.clock_period }
   in
+  let provider_at coords =
+    (* the graph's producing-block table doubles as the provider's,
+       saving an O(signals) rebuild on every annealing refresh *)
+    Sta.Delays.of_placement ~producer:sta_graph.Sta.Graph.block_of problem
+      ~coords
+  in
   let sta_at coords =
-    Sta.Analysis.run ~constraints:sta_constraints ~obs sta_graph
-      (Sta.Delays.of_placement problem ~coords)
+    Sta.Analysis.run ~constraints:sta_constraints ?jobs:config.jobs ~obs
+      sta_graph (provider_at coords)
+  in
+  (* Incremental analysis chains for the annealer: one per annealing
+     run (the factory is called at each run's initialisation), each
+     holding the previous analysis and re-propagating only the moved
+     blocks' cones, with a full re-analysis every
+     [sta_full_refresh_every]-th refresh as a drift backstop — the
+     incremental update is bit-exact, so the backstop guards the code,
+     not the numbers. *)
+  let make_incremental () =
+    let state = ref None in
+    let calls = ref 0 in
+    fun ~coords ~changed_blocks ->
+      let k = config.sta_full_refresh_every in
+      let a =
+        match !state with
+        | Some prev when k > 0 && !calls mod k <> 0 ->
+            Sta.Analysis.update ?jobs:config.jobs ~obs ~changed_blocks prev
+              (provider_at coords)
+        | _ ->
+            R.incr obs "sta.incr.full-refresh";
+            sta_at coords
+      in
+      incr calls;
+      state := Some a;
+      Sta.Analysis.to_td a
   in
   let anneal =
     timed obs "vpr-place" (fun () ->
@@ -131,13 +175,26 @@ let run_stages ~config ~obs (net : Logic.t) =
           if config.timing_driven then
             Some
               (Place.Anneal.default_timing
-                 ~analyze:(fun ~coords -> Sta.Analysis.to_td (sta_at coords)))
+                 ?make_incremental:
+                   (if config.incremental_sta then Some make_incremental
+                    else None)
+                 ~analyze:(fun ~coords -> Sta.Analysis.to_td (sta_at coords))
+                 ())
           else None
         in
         Place.Anneal.run_multistart
           ~options:{ Place.Anneal.seed = config.seed; inner_num = 1.0 }
-          ?timing ?jobs:config.jobs ~starts:config.place_starts ~obs problem)
+          ?timing ?jobs:config.jobs ~starts:config.place_starts
+          ?prune_margin:config.place_prune_margin
+          ~prune_interval:config.place_prune_interval ~obs problem)
   in
+  (* the exit cost is resummed from exact per-net costs; recording the
+     from-scratch recomputation beside it turns any future drift
+     regression into a metrics diff (CI asserts the two are equal) *)
+  R.set obs "place.final-cost" anneal.Place.Anneal.final_cost;
+  R.set obs "place.final-cost-recomputed"
+    (Place.Placement.total_cost anneal.Place.Anneal.placement);
+  R.incr ~by:anneal.Place.Anneal.moves obs "place.moves";
   (* VPR routing.  Speculative width-search probes stay un-instrumented
      (the probe set depends on the pool size); only the final routing
      records, keeping every metric jobs-independent. *)

@@ -32,6 +32,22 @@ type config = {
                                bit-identical for any value. *)
   place_starts : int;      (** independent annealing seeds; best final
                                cost wins (1 = single start) *)
+  incremental_sta : bool;
+      (** refresh the annealer's timing through {!Sta.Analysis.update}
+          cone re-propagation instead of a full analysis per
+          temperature.  Bit-identical results either way; this is a
+          speed switch (kept as a switch so the equivalence stays
+          testable end to end). *)
+  sta_full_refresh_every : int;
+      (** run a full analysis every Kth refresh of the incremental
+          chain (a drift backstop; [<= 0] makes every refresh full) *)
+  place_prune_margin : float option;
+      (** multi-start budget pruning: abandon starts whose cost trails
+          the incumbent by more than this fraction at each milestone
+          ([None] runs every start to completion).  Deterministic and
+          jobs-independent; see {!Place.Anneal.run_multistart}. *)
+  place_prune_interval : int;
+      (** temperature steps between pruning milestones *)
 }
 
 val default_config : config

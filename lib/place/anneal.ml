@@ -8,7 +8,19 @@
    With [timing] options the annealer runs in VPR's path-timing-driven
    mode: cost = (1 - lambda) * bb/bb_norm + lambda * td/td_norm, where the
    timing cost of a connection is criticality^crit_exp x estimated delay;
-   criticalities and normalisations refresh at every temperature. *)
+   criticalities and normalisations refresh at every temperature (through
+   the incremental hook, when the flow provides one, so the refresh costs
+   a cone update rather than a full re-analysis).
+
+   Move evaluation is incremental end to end: per-net bounding boxes are
+   cached with count-at-boundary bookkeeping ([Placement.bbox_cache]), so
+   a move's wirelength delta costs O(touched nets) with no terminal
+   rescans.  Boxes keep integer extents, so cached costs are bit-identical
+   to [Placement.net_cost] — and both running totals are nevertheless
+   resummed from the per-net arrays at every temperature step and at
+   exit, because a total accumulated incrementally across millions of
+   moves carries unbounded float drift (the bb_total half of this was a
+   real bug: td_total was resummed per temperature, bb_total never). *)
 
 type options = {
   seed : int;
@@ -25,10 +37,25 @@ type timing_options = {
       (* the timing analysis, called with the current block coordinates;
          the annealer owns no STA of its own (lib/place cannot depend on
          lib/sta), so the flow injects the unified engine here *)
+  make_incremental :
+    (unit ->
+    coords:(int -> int * int) -> changed_blocks:int list -> Td_timing.analysis)
+    option;
+      (* factory for a per-run incremental analysis chain: called once
+         per annealing run, the returned hook is then fed the blocks
+         moved since its previous call.  The chain owns its own state
+         (and its own full-refresh cadence), so multi-start runs each
+         get an independent chain and stay shared-nothing. *)
 }
 
-let default_timing ~analyze =
-  { lambda = 0.5; crit_exp = 1.0; model = Td_timing.default_model; analyze }
+let default_timing ?make_incremental ~analyze () =
+  {
+    lambda = 0.5;
+    crit_exp = 1.0;
+    model = Td_timing.default_model;
+    analyze;
+    make_incremental;
+  }
 
 type result = {
   placement : Placement.t;
@@ -76,7 +103,8 @@ let apply_move (pl : Placement.t) b target =
    n_nets slots of both arrays before reading them, so a scratch can be
    handed to consecutive runs (multi-start seeds executing on the same
    domain) with no effect on any result — it only saves the per-start
-   allocation. *)
+   allocation.  Never share a scratch between runs that are suspended
+   concurrently (the pruned multi-start path allocates per state). *)
 type scratch = { mutable bb : float array; mutable td : float array }
 
 let create_scratch () = { bb = [||]; td = [||] }
@@ -101,256 +129,449 @@ let nets_of_block (problem : Problem.t) =
     problem.Problem.nets;
   Array.map (List.sort_uniq compare) touch
 
-let run ?(options = default_options) ?timing ?scratch ?obs
-    (problem : Problem.t) =
+(* ---------------------------------------------------------------- *)
+(* Annealing state.  One run = [init] + [temp_step] until finished +
+   [finalize]; splitting the schedule into resumable temperature steps
+   is what lets the pruned multi-start advance every seed to the same
+   milestone before comparing costs. *)
+
+type state = {
+  pl : Placement.t;
+  rng : Util.Prng.t;
+  problem : Problem.t;
+  options : options;
+  timing : timing_options option;
+  hook :
+    (coords:(int -> int * int) -> changed_blocks:int list -> Td_timing.analysis)
+    option;
+  touch : int list array;              (* block -> net indices *)
+  cache : Placement.bbox_cache;
+  tmp_boxes : Placement.box array;     (* per net, move-evaluation copies *)
+  tmp_settled : bool array;            (* tmp box was rescanned this move *)
+  bb_costs : float array;
+  td_costs : float array;
+  mutable criticality : float array array;
+  mutable bb_total : float;
+  mutable td_total : float;
+  mutable bb_scale : float;
+  mutable td_scale : float;
+  mutable temperature : float;
+  mutable window : float;
+  mutable moves : int;
+  mutable accepted : int;
+  mutable changed : bool array;        (* moved since last timing refresh *)
+  mutable changed_list : int list;
+  mutable last_dmax : float option;
+  mutable steps : int;                 (* completed temperature steps *)
+  mutable finished : bool;
+  initial_cost : float;
+  inner : int;
+  pad_slots : (int * int * int) array;
+  trivial : bool;
+}
+
+let coords st b = Placement.coords st.pl b
+
+let sum_prefix arr n =
+  let s = ref 0.0 in
+  for i = 0 to n - 1 do
+    s := !s +. arr.(i)
+  done;
+  !s
+
+let n_nets st = Array.length st.problem.Problem.nets
+
+let td_cost_of_net st ni =
+  match st.timing with
+  | None -> 0.0
+  | Some t ->
+      let net = st.problem.Problem.nets.(ni) in
+      let dx, dy = coords st net.Problem.driver in
+      let acc = ref 0.0 in
+      Array.iteri
+        (fun si sink ->
+          let sx, sy = coords st sink in
+          let delay =
+            t.model.Td_timing.t_fixed
+            +. (t.model.Td_timing.t_per_tile
+               *. float_of_int (abs (dx - sx) + abs (dy - sy)))
+          in
+          let crit = st.criticality.(ni).(si) ** t.crit_exp in
+          acc := !acc +. (crit *. delay))
+        net.Problem.sinks;
+      !acc
+
+let refresh_scales st =
+  match st.timing with
+  | None ->
+      st.bb_scale <- 1.0;
+      st.td_scale <- 0.0
+  | Some t ->
+      st.bb_scale <- (1.0 -. t.lambda) /. Float.max st.bb_total 1e-9;
+      st.td_scale <- t.lambda /. Float.max st.td_total 1e-12
+
+let propose st =
+  let grid = st.problem.Problem.grid in
+  let b = Util.Prng.int st.rng (Array.length st.problem.Problem.blocks) in
+  let bx, by = coords st b in
+  match st.problem.Problem.blocks.(b) with
+  | Problem.Cluster_block _ ->
+      let d = max 1 (int_of_float st.window) in
+      let x = bx + Util.Prng.int st.rng ((2 * d) + 1) - d in
+      let y = by + Util.Prng.int st.rng ((2 * d) + 1) - d in
+      let x = max 1 (min grid.Fpga_arch.Grid.nx x) in
+      let y = max 1 (min grid.Fpga_arch.Grid.ny y) in
+      if Fpga_arch.Grid.Clb (x, y) = st.pl.Placement.loc.(b) then None
+      else Some (b, Fpga_arch.Grid.Clb (x, y))
+  | Problem.Input_pad _ | Problem.Output_pad _ ->
+      let x, y, s = Util.Prng.pick st.rng st.pad_slots in
+      if Fpga_arch.Grid.Pad (x, y, s) = st.pl.Placement.loc.(b) then None
+      else Some (b, Fpga_arch.Grid.Pad (x, y, s))
+
+let affected_nets st b target =
+  let occ =
+    match target with
+    | Fpga_arch.Grid.Clb (x, y) ->
+        let o = st.pl.Placement.clb_at.(x).(y) in
+        if o >= 0 then Some o else None
+    | Fpga_arch.Grid.Pad (x, y, s) ->
+        Hashtbl.find_opt st.pl.Placement.pad_at (x, y, s)
+  in
+  ( occ,
+    match occ with
+    | Some o -> List.sort_uniq compare (st.touch.(b) @ st.touch.(o))
+    | None -> st.touch.(b) )
+
+(* Shift the move-evaluation copy of every net touching [mover] for its
+   [src] -> [dst] relocation; a box whose boundary emptied is rescanned
+   from the (already fully updated) placement and settles — later movers
+   are already reflected in the rescan, so it takes no further shifts. *)
+let shift_mover st mover ~src ~dst =
+  Array.iter
+    (fun (ni, count) ->
+      if not st.tmp_settled.(ni) then
+        if not (Placement.shift_box st.tmp_boxes.(ni) ~count ~src ~dst) then begin
+          Placement.scan_box st.pl ni st.tmp_boxes.(ni);
+          st.tmp_settled.(ni) <- true
+        end)
+    st.cache.Placement.touch.(mover)
+
+let tmp_box_cost st ni =
+  let b = st.tmp_boxes.(ni) in
+  st.cache.Placement.qs.(ni)
+  *. float_of_int
+       (b.Placement.xmax - b.Placement.xmin
+       + (b.Placement.ymax - b.Placement.ymin))
+
+(* Evaluate a move: apply it, maintain temp boxes for the touched nets,
+   and return the undo closure plus the touched-net costs after.  The
+   caller either commits (copy temp boxes into the cache, update the
+   per-net arrays and totals) or undoes (the cache was never written). *)
+let eval_move st b target =
+  let b_src = coords st b in
+  let occ, nets_touched = affected_nets st b target in
+  let bb_before, td_before =
+    List.fold_left
+      (fun (bb, td) ni -> (bb +. st.bb_costs.(ni), td +. st.td_costs.(ni)))
+      (0.0, 0.0) nets_touched
+  in
+  let occ_src = match occ with Some o -> coords st o | None -> (0, 0) in
+  let undo = apply_move st.pl b target in
+  List.iter
+    (fun ni ->
+      Placement.copy_box ~src:st.cache.Placement.boxes.(ni)
+        ~dst:st.tmp_boxes.(ni);
+      st.tmp_settled.(ni) <- false)
+    nets_touched;
+  shift_mover st b ~src:b_src ~dst:(coords st b);
+  (match occ with
+  | Some o -> shift_mover st o ~src:occ_src ~dst:(coords st o)
+  | None -> ());
+  let bb_after, td_after =
+    List.fold_left
+      (fun (bb, td) ni -> (bb +. tmp_box_cost st ni, td +. td_cost_of_net st ni))
+      (0.0, 0.0) nets_touched
+  in
+  (occ, nets_touched, undo, bb_before, td_before, bb_after, td_after)
+
+let mark_changed st b =
+  if not st.changed.(b) then begin
+    st.changed.(b) <- true;
+    st.changed_list <- b :: st.changed_list
+  end
+
+let try_move st temperature =
+  match propose st with
+  | None -> ()
+  | Some (b, target) ->
+      st.moves <- st.moves + 1;
+      let occ, nets_touched, undo, bb_before, td_before, bb_after, td_after =
+        eval_move st b target
+      in
+      let delta =
+        ((bb_after -. bb_before) *. st.bb_scale)
+        +. ((td_after -. td_before) *. st.td_scale)
+      in
+      let accept =
+        delta <= 0.0
+        || Util.Prng.float st.rng < exp (-.delta /. temperature)
+      in
+      if accept then begin
+        st.accepted <- st.accepted + 1;
+        List.iter
+          (fun ni ->
+            Placement.copy_box ~src:st.tmp_boxes.(ni)
+              ~dst:st.cache.Placement.boxes.(ni);
+            st.bb_total <- st.bb_total -. st.bb_costs.(ni);
+            st.td_total <- st.td_total -. st.td_costs.(ni);
+            st.bb_costs.(ni) <- Placement.box_cost st.cache ni;
+            st.td_costs.(ni) <- td_cost_of_net st ni;
+            st.bb_total <- st.bb_total +. st.bb_costs.(ni);
+            st.td_total <- st.td_total +. st.td_costs.(ni))
+          nets_touched;
+        mark_changed st b;
+        match occ with Some o -> mark_changed st o | None -> ()
+      end
+      else undo ()
+
+let exit_scale st =
+  (* the floor guards degenerate placements whose cost reaches zero
+     (e.g. only pad-to-pad nets): the schedule must still terminate *)
+  Float.max 1e-9
+    (match st.timing with
+    | None -> 0.005 *. st.bb_total /. float_of_int (n_nets st)
+    | Some _ ->
+        (* costs are normalised to ~1 in timing mode *)
+        0.005 /. float_of_int (n_nets st))
+
+let refresh_timing st =
+  match (st.timing, st.hook) with
+  | Some _, Some hook ->
+      let a = hook ~coords:(coords st) ~changed_blocks:st.changed_list in
+      st.last_dmax <- Some a.Td_timing.dmax;
+      st.criticality <- a.Td_timing.criticality;
+      List.iter (fun b -> st.changed.(b) <- false) st.changed_list;
+      st.changed_list <- [];
+      for ni = 0 to n_nets st - 1 do
+        st.td_costs.(ni) <- td_cost_of_net st ni
+      done;
+      st.td_total <- sum_prefix st.td_costs (n_nets st)
+  | _ -> ()
+
+let trivial_state options problem pl =
+  {
+    pl;
+    rng = Util.Prng.create options.seed;
+    problem;
+    options;
+    timing = None;
+    hook = None;
+    touch = [||];
+    cache = { Placement.boxes = [||]; qs = [||]; touch = [||] };
+    tmp_boxes = [||];
+    tmp_settled = [||];
+    bb_costs = [||];
+    td_costs = [||];
+    criticality = [||];
+    bb_total = 0.0;
+    td_total = 0.0;
+    bb_scale = 1.0;
+    td_scale = 0.0;
+    temperature = 0.0;
+    window = 1.0;
+    moves = 0;
+    accepted = 0;
+    changed = [||];
+    changed_list = [];
+    last_dmax = None;
+    steps = 0;
+    finished = true;
+    initial_cost = 0.0;
+    inner = 0;
+    pad_slots = [||];
+    trivial = true;
+  }
+
+let init ?(options = default_options) ?timing ?scratch (problem : Problem.t) =
   let rng = Util.Prng.create options.seed in
   let pl = Placement.initial ~seed:options.seed problem in
   let grid = problem.Problem.grid in
-  let nets = problem.Problem.nets in
   let n_blocks = Array.length problem.Problem.blocks in
-  let n_nets = Array.length nets in
-  if n_nets = 0 || n_blocks <= 1 then
-    {
-      placement = pl;
-      initial_cost = 0.0;
-      final_cost = 0.0;
-      estimated_dmax = None;
-      moves = 0;
-      accepted = 0;
-    }
+  let n_nets = Array.length problem.Problem.nets in
+  if n_nets = 0 || n_blocks <= 1 then trivial_state options problem pl
   else begin
     let touch = nets_of_block problem in
-    (* ---- cost bookkeeping (arrays possibly longer than n_nets when a
-       shared scratch is in use; only the first n_nets slots are live) ---- *)
+    (* arrays possibly longer than n_nets when a shared scratch is in
+       use; only the first n_nets slots are live *)
     let bb_costs, td_costs = scratch_arrays scratch n_nets in
-    let sum arr =
-      let s = ref 0.0 in
-      for i = 0 to n_nets - 1 do
-        s := !s +. arr.(i)
-      done;
-      !s
-    in
+    let cache = Placement.bbox_cache pl in
     for ni = 0 to n_nets - 1 do
-      bb_costs.(ni) <- Placement.net_cost pl nets.(ni)
+      bb_costs.(ni) <- Placement.box_cost cache ni
     done;
-    let bb_total = ref (sum bb_costs) in
-    let initial_cost = !bb_total in
-    (* timing-driven state *)
-    let coords b = Placement.coords pl b in
-    let analyze_timing t = t.analyze ~coords in
-    let criticality =
-      ref
-        (match timing with
-        | Some t -> (analyze_timing t).Td_timing.criticality
-        | None -> [||])
+    let hook =
+      Option.map
+        (fun t ->
+          match t.make_incremental with
+          | Some f -> f ()
+          | None -> fun ~coords ~changed_blocks:_ -> t.analyze ~coords)
+        timing
     in
-    let td_cost_of_net ni =
-      match timing with
-      | None -> 0.0
-      | Some t ->
-          let net = nets.(ni) in
-          let dx, dy = coords net.Problem.driver in
-          let acc = ref 0.0 in
-          Array.iteri
-            (fun si sink ->
-              let sx, sy = coords sink in
-              let delay =
-                t.model.Td_timing.t_fixed
-                +. (t.model.Td_timing.t_per_tile
-                   *. float_of_int (abs (dx - sx) + abs (dy - sy)))
-              in
-              let crit = !criticality.(ni).(si) ** t.crit_exp in
-              acc := !acc +. (crit *. delay))
-            net.Problem.sinks;
-          !acc
+    let st =
+      {
+        pl;
+        rng;
+        problem;
+        options;
+        timing;
+        hook;
+        touch;
+        cache;
+        tmp_boxes = Array.init n_nets (fun _ -> Placement.empty_box ());
+        tmp_settled = Array.make n_nets false;
+        bb_costs;
+        td_costs;
+        criticality = [||];
+        bb_total = sum_prefix bb_costs n_nets;
+        td_total = 0.0;
+        bb_scale = 1.0;
+        td_scale = 0.0;
+        temperature = 0.0;
+        window = float_of_int (max grid.Fpga_arch.Grid.nx 1);
+        moves = 0;
+        accepted = 0;
+        changed = Array.make n_blocks false;
+        changed_list = [];
+        last_dmax = None;
+        steps = 0;
+        finished = false;
+        initial_cost = 0.0;
+        inner =
+          (int_of_float
+             (options.inner_num *. (float_of_int n_blocks ** (4.0 /. 3.0)))
+          |> max 16);
+        pad_slots = Array.of_list (Fpga_arch.Grid.pad_positions grid);
+        trivial = false;
+      }
     in
+    let st = { st with initial_cost = st.bb_total } in
+    (match st.hook with
+    | Some hook ->
+        let a = hook ~coords:(coords st) ~changed_blocks:[] in
+        st.last_dmax <- Some a.Td_timing.dmax;
+        st.criticality <- a.Td_timing.criticality
+    | None -> ());
     for ni = 0 to n_nets - 1 do
-      td_costs.(ni) <- td_cost_of_net ni
+      td_costs.(ni) <- td_cost_of_net st ni
     done;
-    let td_total = ref (sum td_costs) in
-    (* normalisation scales, refreshed per temperature *)
-    let bb_scale = ref 0.0 and td_scale = ref 0.0 in
-    let refresh_scales () =
-      match timing with
-      | None ->
-          bb_scale := 1.0;
-          td_scale := 0.0
-      | Some t ->
-          bb_scale := (1.0 -. t.lambda) /. Float.max !bb_total 1e-9;
-          td_scale := t.lambda /. Float.max !td_total 1e-12
-    in
-    refresh_scales ();
-    let pad_slots = Array.of_list (Fpga_arch.Grid.pad_positions grid) in
-    let moves_total = ref 0 and accepted_total = ref 0 in
-    let window = ref (float_of_int (max grid.Fpga_arch.Grid.nx 1)) in
-    let propose () =
-      let b = Util.Prng.int rng n_blocks in
-      let bx, by = Placement.coords pl b in
-      match problem.Problem.blocks.(b) with
-      | Problem.Cluster_block _ ->
-          let d = max 1 (int_of_float !window) in
-          let x = bx + Util.Prng.int rng ((2 * d) + 1) - d in
-          let y = by + Util.Prng.int rng ((2 * d) + 1) - d in
-          let x = max 1 (min grid.Fpga_arch.Grid.nx x) in
-          let y = max 1 (min grid.Fpga_arch.Grid.ny y) in
-          if Fpga_arch.Grid.Clb (x, y) = pl.Placement.loc.(b) then None
-          else Some (b, Fpga_arch.Grid.Clb (x, y))
-      | Problem.Input_pad _ | Problem.Output_pad _ ->
-          let x, y, s = Util.Prng.pick rng pad_slots in
-          if Fpga_arch.Grid.Pad (x, y, s) = pl.Placement.loc.(b) then None
-          else Some (b, Fpga_arch.Grid.Pad (x, y, s))
-    in
-    let affected_nets b target =
-      let occ =
-        match target with
-        | Fpga_arch.Grid.Clb (x, y) ->
-            let o = pl.Placement.clb_at.(x).(y) in
-            if o >= 0 then Some o else None
-        | Fpga_arch.Grid.Pad (x, y, s) ->
-            Hashtbl.find_opt pl.Placement.pad_at (x, y, s)
-      in
-      match occ with
-      | Some o -> List.sort_uniq compare (touch.(b) @ touch.(o))
-      | None -> touch.(b)
-    in
-    (* combined delta over the touched nets for the current placement *)
-    let eval_nets nets_touched =
-      List.fold_left
-        (fun (bb, td) ni ->
-          (bb +. Placement.net_cost pl nets.(ni), td +. td_cost_of_net ni))
-        (0.0, 0.0) nets_touched
-    in
-    let try_move temperature =
-      match propose () with
-      | None -> ()
-      | Some (b, target) ->
-          incr moves_total;
-          let nets_touched = affected_nets b target in
-          let bb_before, td_before =
-            List.fold_left
-              (fun (bb, td) ni -> (bb +. bb_costs.(ni), td +. td_costs.(ni)))
-              (0.0, 0.0) nets_touched
-          in
-          let undo = apply_move pl b target in
-          let bb_after, td_after = eval_nets nets_touched in
-          let delta =
-            ((bb_after -. bb_before) *. !bb_scale)
-            +. ((td_after -. td_before) *. !td_scale)
-          in
-          let accept =
-            delta <= 0.0
-            || Util.Prng.float rng < exp (-.delta /. temperature)
-          in
-          if accept then begin
-            incr accepted_total;
-            List.iter
-              (fun ni ->
-                bb_total := !bb_total -. bb_costs.(ni);
-                td_total := !td_total -. td_costs.(ni);
-                bb_costs.(ni) <- Placement.net_cost pl nets.(ni);
-                td_costs.(ni) <- td_cost_of_net ni;
-                bb_total := !bb_total +. bb_costs.(ni);
-                td_total := !td_total +. td_costs.(ni))
-              nets_touched
-          end
-          else undo ()
-    in
+    st.td_total <- sum_prefix td_costs n_nets;
+    refresh_scales st;
     (* initial temperature from random-move statistics *)
     let sample_deltas = Array.make (min 200 (20 * n_blocks)) 0.0 in
     Array.iteri
       (fun idx _ ->
-        match propose () with
+        match propose st with
         | None -> ()
         | Some (b, target) ->
-            let nets_touched = affected_nets b target in
-            let bb_before, td_before =
-              List.fold_left
-                (fun (bb, td) ni -> (bb +. bb_costs.(ni), td +. td_costs.(ni)))
-                (0.0, 0.0) nets_touched
+            let _, _, undo, bb_before, td_before, bb_after, td_after =
+              eval_move st b target
             in
-            let undo = apply_move pl b target in
-            let bb_after, td_after = eval_nets nets_touched in
             sample_deltas.(idx) <-
-              ((bb_after -. bb_before) *. !bb_scale)
-              +. ((td_after -. td_before) *. !td_scale);
+              ((bb_after -. bb_before) *. st.bb_scale)
+              +. ((td_after -. td_before) *. st.td_scale);
             undo ())
       sample_deltas;
-    let t0 = 20.0 *. Util.Stats.stddev sample_deltas +. 1e-9 in
-    let temperature = ref t0 in
-    let inner =
-      int_of_float
-        (options.inner_num *. (float_of_int n_blocks ** (4.0 /. 3.0)))
-      |> max 16
+    st.temperature <- (20.0 *. Util.Stats.stddev sample_deltas) +. 1e-9;
+    st
+  end
+
+(* One temperature step: refresh criticalities / normalisations, run the
+   inner move loop, cool and adapt the window, and detect the schedule
+   exit (running the final greedy pass before marking finished). *)
+let temp_step ?obs st =
+  if not st.finished then begin
+    Obs.Span.with_ ~name:"place.temperature"
+      ~args:[ ("T", Obs.Emit.Float st.temperature) ]
+    @@ fun () ->
+    refresh_timing st;
+    (* both totals resum from the exact per-net arrays: incremental
+       accumulation across the inner loops must not survive a
+       temperature boundary (bb_total's missing resum was the drift
+       bug this mirrors td_total's fix onto) *)
+    st.bb_total <- sum_prefix st.bb_costs (n_nets st);
+    refresh_scales st;
+    let accepted_before = st.accepted in
+    let move_loop () =
+      for _ = 1 to st.inner do
+        try_move st st.temperature
+      done
     in
-    let exit_scale () =
-      (* the floor guards degenerate placements whose cost reaches zero
-         (e.g. only pad-to-pad nets): the schedule must still terminate *)
-      Float.max 1e-9
-        (match timing with
-        | None -> 0.005 *. !bb_total /. float_of_int n_nets
-        | Some _ ->
-            (* costs are normalised to ~1 in timing mode *)
-            0.005 /. float_of_int n_nets)
+    (match obs with
+    | Some o -> Obs.Registry.time o "place.move-eval" move_loop
+    | None -> move_loop ());
+    let rate =
+      float_of_int (st.accepted - accepted_before) /. float_of_int st.inner
     in
-    let stop = ref false in
-    while not !stop do
-      (* one temperature step = one trace span; the accept rate feeds the
-         schedule and the place.accept-rate histogram (the sample set is
-         seed-deterministic, so recording is jobs-independent) *)
-      Obs.Span.with_ ~name:"place.temperature"
-        ~args:[ ("T", Obs.Emit.Float !temperature) ]
-      @@ fun () ->
-      (* refresh criticalities and normalisations at each temperature *)
-      (match timing with
-      | Some t ->
-          criticality := (analyze_timing t).Td_timing.criticality;
-          for ni = 0 to n_nets - 1 do
-            td_costs.(ni) <- td_cost_of_net ni
-          done;
-          td_total := sum td_costs
-      | None -> ());
-      refresh_scales ();
-      let accepted_before = !accepted_total in
-      for _ = 1 to inner do
-        try_move !temperature
-      done;
-      let rate =
-        float_of_int (!accepted_total - accepted_before) /. float_of_int inner
+    (match obs with
+    | Some o -> Obs.Registry.observe o "place.accept-rate" rate
+    | None -> ());
+    Obs.Span.annotate [ ("accept_rate", Obs.Emit.Float rate) ];
+    let alpha =
+      if rate > 0.96 then 0.5
+      else if rate > 0.8 then 0.9
+      else if rate > 0.15 then 0.95
+      else 0.8
+    in
+    st.temperature <- st.temperature *. alpha;
+    st.window <- st.window *. (1.0 -. 0.44 +. rate);
+    st.window <-
+      Float.max 1.0
+        (Float.min st.window
+           (float_of_int st.problem.Problem.grid.Fpga_arch.Grid.nx));
+    st.steps <- st.steps + 1;
+    if st.temperature < exit_scale st then begin
+      (* final greedy pass at T ~ 0 *)
+      let greedy () =
+        for _ = 1 to st.inner do
+          try_move st 1e-9
+        done
       in
       (match obs with
-      | Some o -> Obs.Registry.observe o "place.accept-rate" rate
-      | None -> ());
-      Obs.Span.annotate [ ("accept_rate", Obs.Emit.Float rate) ];
-      let alpha =
-        if rate > 0.96 then 0.5
-        else if rate > 0.8 then 0.9
-        else if rate > 0.15 then 0.95
-        else 0.8
-      in
-      temperature := !temperature *. alpha;
-      window := !window *. (1.0 -. 0.44 +. rate);
-      window :=
-        Float.max 1.0 (Float.min !window (float_of_int grid.Fpga_arch.Grid.nx));
-      if !temperature < exit_scale () then stop := true
-    done;
-    (* final greedy pass at T ~ 0 *)
-    for _ = 1 to inner do
-      try_move 1e-9
-    done;
-    let estimated_dmax =
-      match timing with
-      | Some t -> Some (analyze_timing t).Td_timing.dmax
-      | None -> None
-    in
-    {
-      placement = pl;
-      initial_cost;
-      final_cost = !bb_total;
-      estimated_dmax;
-      moves = !moves_total;
-      accepted = !accepted_total;
-    }
+      | Some o -> Obs.Registry.time o "place.move-eval" greedy
+      | None -> greedy ());
+      st.bb_total <- sum_prefix st.bb_costs (n_nets st);
+      st.finished <- true
+    end
   end
+
+let finalize st =
+  let estimated_dmax =
+    if st.trivial then None
+    else
+      match st.hook with
+      | Some hook ->
+          let a = hook ~coords:(coords st) ~changed_blocks:st.changed_list in
+          List.iter (fun b -> st.changed.(b) <- false) st.changed_list;
+          st.changed_list <- [];
+          Some a.Td_timing.dmax
+      | None -> None
+  in
+  (* exact exit cost: resummed from per-net costs, themselves exact *)
+  if not st.trivial then st.bb_total <- sum_prefix st.bb_costs (n_nets st);
+  {
+    placement = st.pl;
+    initial_cost = st.initial_cost;
+    final_cost = st.bb_total;
+    estimated_dmax;
+    moves = st.moves;
+    accepted = st.accepted;
+  }
+
+let run ?options ?timing ?scratch ?obs (problem : Problem.t) =
+  let st = init ?options ?timing ?scratch problem in
+  while not st.finished do
+    temp_step ?obs st
+  done;
+  finalize st
 
 (* Multi-start annealing: [starts] independent runs on seeds
    seed, seed+1, ..., the best final bounding-box cost wins.  Each run
@@ -367,23 +588,94 @@ let run ?(options = default_options) ?timing ?scratch ?obs
 let scratch_slot : scratch Util.Parallel.scratch_slot =
   Util.Parallel.scratch_slot ()
 
-let run_multistart ?(options = default_options) ?timing ?jobs ?(starts = 1)
-    ?obs (problem : Problem.t) =
-  if starts <= 1 then run ~options ?timing ?obs problem
-  else begin
-    let results =
-      Util.Parallel.map ?jobs
-        (fun k ->
-          let scratch =
-            Util.Parallel.scratch scratch_slot ~valid:(fun _ -> true)
-              ~create:create_scratch
-          in
-          run ~options:{ options with seed = options.seed + k } ?timing
-            ~scratch ?obs problem)
-        (Array.init starts Fun.id)
+(* Budget-adaptive pruning: advance every live seed [prune_interval]
+   temperature steps, then compare the merged snapshot of their exact
+   (resummed) bounding-box totals and kill the unfinished seeds trailing
+   the incumbent by more than [margin].  Every comparison happens at a
+   barrier over the same deterministic snapshot and the incumbent is
+   never killed, so the surviving set — and hence the winner — is
+   identical for any [jobs].  States suspend between segments, so each
+   allocates its own costing arrays (never the domain-shared scratch:
+   two suspended states on one domain must not alias). *)
+let run_pruned ~options ~timing ~jobs ~starts ~margin ~interval ~obs problem =
+  let states =
+    Util.Parallel.map ?jobs
+      (fun k ->
+        init ~options:{ options with seed = options.seed + k } ?timing problem)
+      (Array.init starts Fun.id)
+  in
+  let live = Array.make starts true in
+  let running = ref true in
+  while !running do
+    let active =
+      Array.of_list
+        (List.filter
+           (fun i -> live.(i) && not states.(i).finished)
+           (List.init starts Fun.id))
     in
-    (* strict < keeps the earliest seed on ties *)
-    Array.fold_left
-      (fun best r -> if r.final_cost < best.final_cost then r else best)
-      results.(0) results
-  end
+    if Array.length active = 0 then running := false
+    else begin
+      ignore
+        (Util.Parallel.map ?jobs
+           (fun i ->
+             let st = states.(i) in
+             let n = ref 0 in
+             while (not st.finished) && !n < interval do
+               temp_step ?obs st;
+               incr n
+             done)
+           active);
+      (* milestone: exact totals were resummed at each state's last
+         temperature boundary, so the snapshot is drift-free *)
+      let best = ref infinity in
+      Array.iteri
+        (fun i st -> if live.(i) && st.bb_total < !best then best := st.bb_total)
+        states;
+      let cutoff = (1.0 +. margin) *. !best in
+      Array.iteri
+        (fun i st ->
+          if live.(i) && (not st.finished) && st.bb_total > cutoff then
+            live.(i) <- false)
+        states
+    end
+  done;
+  let results =
+    Array.to_list
+      (Array.mapi
+         (fun i st -> if live.(i) && st.finished then Some (finalize st) else None)
+         states)
+    |> List.filter_map Fun.id
+  in
+  match results with
+  | [] -> assert false (* the incumbent is never killed *)
+  | first :: rest ->
+      (* strict < keeps the earliest surviving seed on ties *)
+      List.fold_left
+        (fun best r -> if r.final_cost < best.final_cost then r else best)
+        first rest
+
+let run_multistart ?(options = default_options) ?timing ?jobs ?(starts = 1)
+    ?prune_margin ?(prune_interval = 4) ?obs (problem : Problem.t) =
+  if starts <= 1 then run ~options ?timing ?obs problem
+  else
+    match prune_margin with
+    | Some margin ->
+        run_pruned ~options ~timing ~jobs ~starts ~margin
+          ~interval:(max 1 prune_interval) ~obs problem
+    | None ->
+        let results =
+          Util.Parallel.map ?jobs
+            (fun k ->
+              let scratch =
+                Util.Parallel.scratch scratch_slot ~valid:(fun _ -> true)
+                  ~create:create_scratch
+              in
+              run
+                ~options:{ options with seed = options.seed + k }
+                ?timing ~scratch ?obs problem)
+            (Array.init starts Fun.id)
+        in
+        (* strict < keeps the earliest seed on ties *)
+        Array.fold_left
+          (fun best r -> if r.final_cost < best.final_cost then r else best)
+          results.(0) results

@@ -5,7 +5,15 @@
     With [timing] options the annealer runs in VPR's path-timing-driven
     mode: cost = (1-lambda) x bb/bb_norm + lambda x td/td_norm, where a
     connection's timing cost is criticality^crit_exp x estimated delay;
-    criticalities and normalisations refresh every temperature. *)
+    criticalities and normalisations refresh every temperature.
+
+    Move evaluation is incremental: per-net bounding boxes are cached
+    ({!Placement.bbox_cache}) so a move's wirelength delta costs
+    O(touched nets), and both cost totals are resummed from the exact
+    per-net arrays at every temperature boundary and at exit —
+    [final_cost] equals a from-scratch {!Placement.total_cost} of the
+    returned placement up to the summation order (same ascending net
+    order, hence bit-identical). *)
 
 type options = {
   seed : int;
@@ -25,13 +33,30 @@ type timing_options = {
           unified engine ([Sta.Analysis] over a shared timing graph,
           adapted via [Sta.Analysis.to_td]).  The hook must be pure —
           multi-start runs call it concurrently from several domains. *)
+  make_incremental :
+    (unit ->
+    coords:(int -> int * int) -> changed_blocks:int list -> Td_timing.analysis)
+    option;
+      (** factory for an incremental analysis chain.  When present, each
+          annealing run calls it once at initialisation and then feeds
+          the returned hook the list of blocks moved since its previous
+          call (first call: [[]]); the hook may re-propagate only the
+          affected timing cones ([Sta.Analysis.update]) as long as the
+          result is identical to a fresh analysis.  The chain owns its
+          own state, so multi-start runs stay shared-nothing: the
+          factory must be safe to call from any domain, and each
+          returned hook is only ever used by the run that created it. *)
 }
 
 val default_timing :
+  ?make_incremental:
+    (unit ->
+    coords:(int -> int * int) -> changed_blocks:int list -> Td_timing.analysis) ->
   analyze:(coords:(int -> int * int) -> Td_timing.analysis) ->
+  unit ->
   timing_options
 (** lambda 0.5, crit_exp 1.0, default distance model, the given
-    analysis. *)
+    analysis (and optional incremental factory). *)
 
 type result = {
   placement : Placement.t;
@@ -64,17 +89,28 @@ val run :
     [scratch] (optional) reuses costing buffers from a previous run on
     the same domain instead of allocating fresh ones.  [obs] records the
     per-temperature acceptance rate into the ["place.accept-rate"]
-    histogram; each temperature step also emits one
-    ["place.temperature"] span into the ambient {!Obs.Span} trace. *)
+    histogram and the inner move loops under the ["place.move-eval"]
+    timer; each temperature step also emits one ["place.temperature"]
+    span into the ambient {!Obs.Span} trace. *)
 
 val run_multistart :
   ?options:options -> ?timing:timing_options -> ?jobs:int -> ?starts:int ->
+  ?prune_margin:float -> ?prune_interval:int ->
   ?obs:Obs.Registry.t -> Problem.t -> result
 (** [starts] independent runs on seeds [seed, seed+1, ...]; the lowest
     final bounding-box cost wins, ties broken toward the lowest seed
     offset.  Runs are shared-nothing and execute on a Domain pool of
     [jobs] workers (default {!Util.Parallel.default_jobs}); the winner
     is identical for any [jobs].  [starts <= 1] is exactly {!run}.
-    The costing scratch is shared across the seeds each domain executes
-    (domain-local storage), so a sequential multi-start allocates the
-    cost arrays once instead of once per start. *)
+
+    [prune_margin] enables budget-adaptive pruning: every
+    [prune_interval] (default 4) temperature steps all live starts
+    synchronise, their exact (resummed) bounding-box totals are compared
+    as one merged snapshot, and unfinished starts trailing the incumbent
+    by more than [prune_margin] (a fraction: [0.5] = 50% above the best)
+    are abandoned.  The incumbent is never pruned and every decision
+    happens at a deterministic barrier, so the winner is still identical
+    for any [jobs] — pruning trades exhaustiveness for wall-clock only.
+    Without [prune_margin] every start runs to completion (and each
+    domain reuses one costing scratch across its seeds; pruned states
+    suspend between segments, so there each state owns its arrays). *)

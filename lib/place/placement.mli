@@ -28,5 +28,53 @@ val net_cost : t -> Problem.net -> float
 val total_cost : t -> float
 (** Sum of {!net_cost} over every net (the annealer's objective). *)
 
+(** {1 Incremental bounding boxes}
+
+    VPR-style cached net extents with count-at-boundary bookkeeping, so
+    the annealer evaluates a move's wirelength delta in O(touched nets)
+    instead of rescanning terminals.  Extents are integers: a maintained
+    box yields costs {e bit-identical} to {!net_cost}'s scan. *)
+
+type box = {
+  mutable xmin : int;
+  mutable xmax : int;
+  mutable ymin : int;
+  mutable ymax : int;
+  mutable on_xmin : int;  (** terminals currently at each boundary *)
+  mutable on_xmax : int;
+  mutable on_ymin : int;
+  mutable on_ymax : int;
+}
+
+type bbox_cache = {
+  boxes : box array;  (** per net *)
+  qs : float array;   (** {!q_factor} per net, precomputed *)
+  touch : (int * int) array array;
+      (** per block: (net index, terminal multiplicity) pairs, ascending
+          net index *)
+}
+
+val bbox_cache : t -> bbox_cache
+(** Scan every net of the current placement into a fresh cache. *)
+
+val box_cost : bbox_cache -> int -> float
+(** q x half-perimeter from the cached box; equals {!net_cost} whenever
+    the box matches the placement. *)
+
+val scan_box : t -> int -> box -> unit
+(** Recompute net [ni]'s box from the current placement (the
+    get-from-scratch fallback). *)
+
+val copy_box : src:box -> dst:box -> unit
+
+val empty_box : unit -> box
+
+val shift_box : box -> count:int -> src:int * int -> dst:int * int -> bool
+(** Move [count] terminals of the box from [src] to [dst] coordinates.
+    Returns [false] when a boundary lost its last occupant, leaving the
+    extent unknown — the caller must {!scan_box} (with every mover
+    already at its final location) and apply no further shifts for that
+    net this move. *)
+
 val legal : t -> bool
 (** Every block on a distinct slot of the right kind (used by tests). *)

@@ -32,7 +32,16 @@ type t = {
   arrival : float array;            (** per signal, s *)
   required : float array;
       (** per signal, anchored at {!field-dmax}; [infinity] for signals
-          on no endpoint-bound path *)
+          on no endpoint-bound path.  The derived view
+          [dmax -. downstream]. *)
+  downstream : float array;
+      (** per signal: worst delay from the signal's output to any
+          endpoint ([neg_infinity] when none lies downstream).  The
+          primary backward result; Dmax-independent, which is what lets
+          {!update} confine re-propagation to moved-block cones *)
+  ep_arc : float array;
+      (** per signal: worst endpoint arc leaving it (setup / pad
+          delay); [neg_infinity] for non-endpoint signals *)
   endpoint_arrival : float array;   (** aligned with [graph.endpoints] *)
   dmax : float;                     (** critical-path delay, s *)
   budget : float;
@@ -40,6 +49,10 @@ type t = {
           [dmax] when unconstrained *)
   wns : float;  (** worst negative slack vs [budget] (0 when unconstrained) *)
   tns : float;  (** total negative slack vs [budget], <= 0 *)
+  path_len : float array array;
+      (** per (net index, sink position): worst endpoint-to-endpoint
+          path length through that connection, s; criticality is this
+          over [dmax], cached so {!update} re-extracts only dirty nets *)
   criticality : float array array;
       (** per (net index, sink position), in [0,1] — the same shape
           [Place.Td_timing.analysis] exposes *)
@@ -57,6 +70,25 @@ val run :
     ["sta.level-nodes"] histogram; the forward and backward sweeps also
     emit ["sta.forward"]/["sta.backward"] spans with one ["sta.level"]
     child per level into the ambient {!Obs.Span} trace. *)
+
+val update :
+  ?jobs:int -> ?obs:Obs.Registry.t -> changed_blocks:int list ->
+  t -> Delays.provider -> t
+(** [update ~changed_blocks prev p] re-analyzes after a placement
+    change, assuming [p] differs from [prev.provider] only on arcs
+    incident to [changed_blocks] (the contract the placement-distance
+    provider satisfies when exactly those blocks moved).  Arrival and
+    downstream times re-propagate only through the fan-in/fan-out cones
+    of the moved blocks' signals, stopping where a recomputed value is
+    bit-equal to the stored one; criticality is re-extracted only for
+    dirty nets and rescaled against the new Dmax everywhere.  The
+    result is {e bit-identical} to a fresh {!run} on the same graph and
+    provider, for any [jobs].
+
+    [prev] is consumed: its arrays are reused in place, so only the
+    returned analysis may be used afterwards.  [obs] accumulates the
+    ["sta.incr.cones"] (moved blocks) and ["sta.incr.nodes-touched"]
+    (cone nodes re-evaluated) counters. *)
 
 val endpoint_slack : t -> int -> float
 (** Slack of endpoint [i] against the effective budget (negative =

@@ -26,7 +26,7 @@ type provider = {
    feedback delay; inter-block hops cost a fixed pin/buffer overhead
    plus a per-Manhattan-tile term.  Signals with no known producing
    block (LUT outputs folded into a merged BLE) stay local. *)
-let of_placement ?(model = Place.Td_timing.default_model)
+let of_placement ?(model = Place.Td_timing.default_model) ?producer
     (problem : Place.Problem.t) ~coords =
   let {
     Place.Td_timing.t_local;
@@ -38,7 +38,14 @@ let of_placement ?(model = Place.Td_timing.default_model)
   } =
     model
   in
-  let producer = Place.Td_timing.block_of_signal problem in
+  let producer =
+    (* building the producing-block table is O(signals); callers that
+       refresh the provider every temperature step (the annealer's
+       incremental hook) pass the graph's shared table instead *)
+    match producer with
+    | Some tbl -> tbl
+    | None -> Place.Td_timing.block_of_signal problem
+  in
   let hop a b =
     let ax, ay = coords a and bx, by = coords b in
     t_fixed +. (t_per_tile *. float_of_int (abs (ax - bx) + abs (ay - by)))

@@ -22,6 +22,7 @@ type provider = {
 
 val of_placement :
   ?model:Place.Td_timing.delay_model ->
+  ?producer:(int, int) Hashtbl.t ->
   Place.Problem.t ->
   coords:(int -> int * int) ->
   provider
@@ -29,4 +30,9 @@ val of_placement :
     [Place.Td_timing] (same-block connections cost the local feedback
     delay, inter-block hops a fixed overhead plus a per-Manhattan-tile
     term), closed over the given block [coords].  Safe to share across
-    domains: it only reads the problem and the coordinates. *)
+    domains: it only reads the problem and the coordinates.
+
+    [producer] supplies the signal-to-producing-block table instead of
+    rebuilding it (pass [Sta.Graph.block_of] when a timing graph exists;
+    the table is only read).  Rebuilding per provider is wasteful for
+    callers that refresh delays every annealing temperature. *)

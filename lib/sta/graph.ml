@@ -24,6 +24,12 @@ type t = {
   consumers_at : (int * int, int list) Hashtbl.t;
   block_of : (int, int) Hashtbl.t;
   endpoints : endpoint array;
+  (* incremental-update support: the inverse maps that bound a moved
+     block's fan-in/fan-out cones *)
+  fanins_of : int array array;
+  produced_by : int list array;
+  net_of_signal : int array;
+  nets_of_block : int list array;
 }
 
 let depth g = Array.length g.levels - 1
@@ -99,6 +105,44 @@ let build (problem : Place.Problem.t) =
       | _ -> ())
     (List.rev (Logic.latches net));
   let endpoints = Array.of_list !eps in
+  (* combinational fanins per signal (empty for sources), shared with the
+     Logic network — read-only, like every other table here *)
+  let fanins_of =
+    Array.init n (fun id ->
+        match Logic.driver net id with
+        | Logic.Gate { fanins; _ } -> fanins
+        | _ -> [||])
+  in
+  (* block -> signals it produces (ascending id): the seed set of a moved
+     block's timing cones *)
+  let n_blocks = Array.length problem.Place.Problem.blocks in
+  let produced_by = Array.make n_blocks [] in
+  Hashtbl.iter
+    (fun s b -> produced_by.(b) <- s :: produced_by.(b))
+    block_of;
+  Array.iteri
+    (fun b ss -> produced_by.(b) <- List.sort_uniq compare ss)
+    produced_by;
+  (* signal -> routable net index (-1 when the signal has no net) *)
+  let net_of_signal = Array.make n (-1) in
+  Array.iteri
+    (fun ni (pnet : Place.Problem.net) ->
+      net_of_signal.(pnet.Place.Problem.signal) <- ni)
+    problem.Place.Problem.nets;
+  (* block -> nets touching it (driver or sink), for the lazy
+     criticality refresh of moved blocks *)
+  let nets_of_block = Array.make n_blocks [] in
+  Array.iteri
+    (fun ni (pnet : Place.Problem.net) ->
+      nets_of_block.(pnet.Place.Problem.driver) <-
+        ni :: nets_of_block.(pnet.Place.Problem.driver);
+      Array.iter
+        (fun b -> nets_of_block.(b) <- ni :: nets_of_block.(b))
+        pnet.Place.Problem.sinks)
+    problem.Place.Problem.nets;
+  Array.iteri
+    (fun b ns -> nets_of_block.(b) <- List.sort_uniq compare ns)
+    nets_of_block;
   {
     problem;
     net;
@@ -109,4 +153,8 @@ let build (problem : Place.Problem.t) =
     consumers_at;
     block_of;
     endpoints;
+    fanins_of;
+    produced_by;
+    net_of_signal;
+    nets_of_block;
   }

@@ -33,6 +33,17 @@ type t = {
       (** producing block of every cluster-output / input-pad signal *)
   endpoints : endpoint array; (** pads (ascending block), then latches
                                   (declaration order) *)
+  fanins_of : int array array;
+      (** combinational fanins per signal (empty for sources); the
+          backward cone of {!Analysis.update} walks these *)
+  produced_by : int list array;
+      (** block index -> signals it produces, ascending — the seed set
+          of a moved block's fan-in/fan-out cones *)
+  net_of_signal : int array;
+      (** signal -> index into [problem.nets], or [-1] when the signal
+          has no routable net *)
+  nets_of_block : int list array;
+      (** block index -> nets touching it (driver or sink), ascending *)
 }
 
 val build : Place.Problem.t -> t

@@ -127,8 +127,9 @@ let test_placement_improves () =
   let _, r = Lazy.force placed_counter in
   Alcotest.(check bool) "cost reduced" true
     (r.Place.Anneal.final_cost <= r.Place.Anneal.initial_cost);
-  (* final cost is consistent with a from-scratch evaluation *)
-  Alcotest.(check (float 0.01)) "incremental cost consistent"
+  (* the exit cost is resummed from exact per-net costs in total_cost's
+     order, so the match is bit-exact, not approximate *)
+  Alcotest.(check (float 0.0)) "incremental cost consistent"
     (Place.Placement.total_cost r.Place.Anneal.placement)
     r.Place.Anneal.final_cost
 
@@ -142,6 +143,106 @@ let test_placement_deterministic () =
       .Place.Anneal.final_cost
   in
   Alcotest.(check (float 1e-9)) "same seed, same cost" (run ()) (run ())
+
+(* A degenerate zero-cost placement (only self-nets, so every bounding
+   box is a point) must still terminate: the exit threshold floors at a
+   positive value instead of scaling a zero cost down to 0. *)
+let test_zero_cost_terminates () =
+  let net = Logic.create ~model:"zero" () in
+  let packing =
+    {
+      Pack.Cluster.net;
+      clusters = [||];
+      n = 5;
+      i = 12;
+      cluster_of_ble = Hashtbl.create 1;
+    }
+  in
+  let self b = { Place.Problem.signal = b; driver = b; sinks = [| b |] } in
+  let problem =
+    {
+      Place.Problem.packing;
+      blocks = [| Place.Problem.Input_pad 0; Place.Problem.Input_pad 1 |];
+      nets = [| self 0; self 1 |];
+      grid = Fpga_arch.Grid.size_for ~n_clbs:1 ~n_ios:2 ~io_rat:2;
+    }
+  in
+  let r = Place.Anneal.run problem in
+  Alcotest.(check (float 0.0)) "final cost exactly zero" 0.0
+    r.Place.Anneal.final_cost;
+  Alcotest.(check bool) "schedule actually ran" true (r.Place.Anneal.moves > 0);
+  Alcotest.(check bool) "legal" true
+    (Place.Placement.legal r.Place.Anneal.placement)
+
+(* Incremental bounding boxes, maintained through a long random move
+   sequence with the annealer's shift/settle discipline, must end
+   bit-identical to from-scratch scans of the final placement. *)
+let prop_bbox_incremental =
+  QCheck.Test.make ~count:25
+    ~name:"incremental bboxes = from-scratch scans after random moves"
+    QCheck.(int_bound 100000)
+    (fun seed ->
+      let net = Lazy.force counter_mapped in
+      let p = Pack.Cluster.pack ~n:5 ~i:12 net in
+      let problem = Place.Problem.build p in
+      let pl = Place.Placement.initial ~seed:(seed + 1) problem in
+      let cache = Place.Placement.bbox_cache pl in
+      let rng = Util.Prng.create (seed + 3) in
+      let grid = problem.Place.Problem.grid in
+      let n_blocks = Array.length problem.Place.Problem.blocks in
+      let clb_slots = Array.of_list (Fpga_arch.Grid.clb_positions grid) in
+      let pad_slots = Array.of_list (Fpga_arch.Grid.pad_positions grid) in
+      let settled = Array.make (Array.length problem.Place.Problem.nets) false in
+      for _ = 1 to 300 do
+        let b = Util.Prng.int rng n_blocks in
+        let target =
+          match problem.Place.Problem.blocks.(b) with
+          | Place.Problem.Cluster_block _ ->
+              let x, y = Util.Prng.pick rng clb_slots in
+              Fpga_arch.Grid.Clb (x, y)
+          | Place.Problem.Input_pad _ | Place.Problem.Output_pad _ ->
+              let x, y, s = Util.Prng.pick rng pad_slots in
+              Fpga_arch.Grid.Pad (x, y, s)
+        in
+        if target <> pl.Place.Placement.loc.(b) then begin
+          let before = Array.init n_blocks (Place.Placement.coords pl) in
+          let (_undo : unit -> unit) = Place.Anneal.apply_move pl b target in
+          let movers =
+            List.filter
+              (fun m -> Place.Placement.coords pl m <> before.(m))
+              (List.init n_blocks Fun.id)
+          in
+          List.iter
+            (fun m ->
+              Array.iter
+                (fun (ni, _) -> settled.(ni) <- false)
+                cache.Place.Placement.touch.(m))
+            movers;
+          List.iter
+            (fun m ->
+              Array.iter
+                (fun (ni, count) ->
+                  if not settled.(ni) then
+                    if
+                      not
+                        (Place.Placement.shift_box
+                           cache.Place.Placement.boxes.(ni)
+                           ~count ~src:before.(m)
+                           ~dst:(Place.Placement.coords pl m))
+                    then begin
+                      Place.Placement.scan_box pl ni
+                        cache.Place.Placement.boxes.(ni);
+                      settled.(ni) <- true
+                    end)
+                cache.Place.Placement.touch.(m))
+            movers
+        end
+      done;
+      Array.for_all
+        (fun ni ->
+          Place.Placement.box_cost cache ni
+          = Place.Placement.net_cost pl problem.Place.Problem.nets.(ni))
+        (Array.init (Array.length problem.Place.Problem.nets) Fun.id))
 
 let test_problem_excludes_clock () =
   let net = Lazy.force counter_mapped in
@@ -481,6 +582,8 @@ let suite =
     ("placement legal", `Quick, test_placement_legal);
     ("placement improves", `Quick, test_placement_improves);
     ("placement deterministic", `Quick, test_placement_deterministic);
+    ("zero-cost placement terminates", `Quick, test_zero_cost_terminates);
+    QCheck_alcotest.to_alcotest prop_bbox_incremental;
     ("clock excluded from routing", `Quick, test_problem_excludes_clock);
     ("routing no overuse", `Quick, test_routing_no_overuse);
     ("routing connects all nets", `Quick, test_routing_connects_all_nets);

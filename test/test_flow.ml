@@ -96,7 +96,7 @@ let test_td_placement_reports_dmax () =
       (Sta.Analysis.run graph (Sta.Delays.of_placement problem ~coords))
   in
   let r =
-    Place.Anneal.run ~timing:(Place.Anneal.default_timing ~analyze) problem
+    Place.Anneal.run ~timing:(Place.Anneal.default_timing ~analyze ()) problem
   in
   (match r.Place.Anneal.estimated_dmax with
   | Some d -> Alcotest.(check bool) "dmax sane" true (d > 0.0 && d < 100e-9)
@@ -118,7 +118,7 @@ let test_flow_jobs_deterministic () =
     Core.Flow.run_vhdl
       ~config:
         { Core.Flow.default_config with Core.Flow.jobs = Some jobs;
-          place_starts = 3 }
+          place_starts = 3; timing_driven = true }
       (Core.Bench_circuits.counter 8)
   in
   let a = run 1 and b = run 4 in

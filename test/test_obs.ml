@@ -122,6 +122,63 @@ let prop_hist_order_insensitive =
       let a = json xs in
       a = json (List.rev xs) && a = json (List.sort compare xs))
 
+(* Histogram edge cases around the percentile walk: a single sample and
+   an all-one-bucket population must report exact percentiles (the
+   bucket upper bound clamps into [min, max]), and a count-zero snapshot
+   must serialise to finite numbers, never NaN. *)
+let test_hist_edge_cases () =
+  let module R = Obs.Registry in
+  (* one sample: every percentile is that sample, exactly *)
+  let r = R.create () in
+  R.observe r "one" 0.3;
+  (match R.find (R.snapshot r) "one" with
+  | Some (R.Histogram { count; min; max; p50; p90 }) ->
+      Alcotest.(check int) "count" 1 count;
+      Alcotest.(check (float 0.0)) "min" 0.3 min;
+      Alcotest.(check (float 0.0)) "max" 0.3 max;
+      Alcotest.(check (float 0.0)) "p50 = the sample" 0.3 p50;
+      Alcotest.(check (float 0.0)) "p90 = the sample" 0.3 p90
+  | _ -> Alcotest.fail "histogram missing");
+  (* several samples in one log2 bucket: percentiles clamp to max *)
+  let r = R.create () in
+  List.iter (R.observe r "bucket") [ 5.0; 6.0; 7.5 ];
+  (match R.find (R.snapshot r) "bucket" with
+  | Some (R.Histogram { count; min; max; p50; p90 }) ->
+      Alcotest.(check int) "count" 3 count;
+      Alcotest.(check (float 0.0)) "min" 5.0 min;
+      Alcotest.(check (float 0.0)) "p50 clamps to max" 7.5 p50;
+      Alcotest.(check (float 0.0)) "p90 clamps to max" 7.5 p90;
+      Alcotest.(check (float 0.0)) "max" 7.5 max
+  | _ -> Alcotest.fail "histogram missing");
+  (* non-positive samples land in the <= 0 bucket, whose bound is 0 *)
+  let r = R.create () in
+  List.iter (R.observe r "nonpos") [ -3.0; 0.0 ];
+  (match R.find (R.snapshot r) "nonpos" with
+  | Some (R.Histogram { min; max; p50; p90; _ }) ->
+      Alcotest.(check (float 0.0)) "min" (-3.0) min;
+      Alcotest.(check (float 0.0)) "p50 finite" 0.0 p50;
+      Alcotest.(check (float 0.0)) "p90 finite" 0.0 p90;
+      Alcotest.(check (float 0.0)) "max" 0.0 max
+  | _ -> Alcotest.fail "histogram missing");
+  (* a count-zero histogram is unreachable through observe, but the
+     serialiser must still render one (e.g. from a future merge of
+     empty shards) without NaN *)
+  let synthetic =
+    [
+      {
+        R.key = "empty";
+        value = R.Histogram { count = 0; min = 0.0; max = 0.0; p50 = 0.0; p90 = 0.0 };
+        volatile = false;
+      };
+    ]
+  in
+  let json = Obs.Emit.to_string (R.to_json ~deterministic:true synthetic) in
+  Alcotest.(check bool) "no NaN in empty-histogram JSON" false
+    (let lower = String.lowercase_ascii json in
+     let n = String.length lower in
+     let rec scan i = i + 3 <= n && (String.sub lower i 3 = "nan" || scan (i + 1)) in
+     scan 0)
+
 (* ---------- Cross-domain merge determinism ---------- *)
 
 let test_merge_across_domains () =
@@ -421,6 +478,7 @@ let suite =
     ("registry time", `Quick, test_registry_time_records);
     QCheck_alcotest.to_alcotest prop_hist_invariants;
     QCheck_alcotest.to_alcotest prop_hist_order_insensitive;
+    ("histogram edge cases", `Quick, test_hist_edge_cases);
     ("merge across domains", `Quick, test_merge_across_domains);
     ("span nesting", `Quick, test_span_nesting);
     ("span no-op without trace", `Quick, test_span_noop_without_trace);

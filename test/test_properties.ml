@@ -113,11 +113,11 @@ let prop_anneal_cost_consistent =
           ~options:{ Place.Anneal.seed = seed + 2; inner_num = 0.5 }
           problem
       in
+      (* exact: the exit cost is resummed from per-net costs that are
+         bit-identical to net_cost, in total_cost's summation order *)
       Place.Placement.legal r.Place.Anneal.placement
-      && Float.abs
-           (Place.Placement.total_cost r.Place.Anneal.placement
-           -. r.Place.Anneal.final_cost)
-         < 0.01)
+      && Place.Placement.total_cost r.Place.Anneal.placement
+         = r.Place.Anneal.final_cost)
 
 let prop_archfile_roundtrip =
   QCheck.Test.make ~count:100 ~name:"architecture file round trip"

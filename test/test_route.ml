@@ -289,6 +289,68 @@ let test_multistart_jobs_deterministic () =
     (a.Place.Anneal.placement.Place.Placement.loc
     = b.Place.Anneal.placement.Place.Placement.loc)
 
+(* The multi-start winner must be exactly the best of the individual
+   runs — the per-start resummed exit costs feed selection directly, so
+   no accumulation drift can flip a comparison. *)
+let test_multistart_winner_is_best_run () =
+  let problem, _ = place_random 17 in
+  let seed = 11 in
+  let runs =
+    List.init 4 (fun k ->
+        Place.Anneal.run
+          ~options:{ Place.Anneal.seed = seed + k; inner_num = 0.3 }
+          problem)
+  in
+  let best =
+    List.fold_left
+      (fun (best : Place.Anneal.result) r ->
+        if r.Place.Anneal.final_cost < best.Place.Anneal.final_cost then r
+        else best)
+      (List.hd runs) (List.tl runs)
+  in
+  let multi =
+    Place.Anneal.run_multistart
+      ~options:{ Place.Anneal.seed; inner_num = 0.3 }
+      ~jobs:2 ~starts:4 problem
+  in
+  Alcotest.(check (float 0.0)) "winner cost = best individual cost"
+    best.Place.Anneal.final_cost multi.Place.Anneal.final_cost;
+  Alcotest.(check bool) "winner placement = best individual placement" true
+    (best.Place.Anneal.placement.Place.Placement.loc
+    = multi.Place.Anneal.placement.Place.Placement.loc)
+
+(* Budget-adaptive pruning: kill decisions happen on a merged snapshot
+   at a barrier, so the winner is jobs-independent; a margin too large
+   to ever trigger reproduces the unpruned winner exactly; and pruning
+   can only lose starts, never improve on the full set. *)
+let test_multistart_pruned_deterministic () =
+  let problem, _ = place_random 99 in
+  let options = { Place.Anneal.seed = 7; inner_num = 0.3 } in
+  let pruned jobs =
+    Place.Anneal.run_multistart ~options ~jobs ~starts:4 ~prune_margin:0.3
+      ~prune_interval:2 problem
+  in
+  let p1 = pruned 1 and p4 = pruned 4 in
+  Alcotest.(check (float 0.0)) "pruned winner cost jobs-independent"
+    p1.Place.Anneal.final_cost p4.Place.Anneal.final_cost;
+  Alcotest.(check bool) "pruned winner placement jobs-independent" true
+    (p1.Place.Anneal.placement.Place.Placement.loc
+    = p4.Place.Anneal.placement.Place.Placement.loc);
+  let full =
+    Place.Anneal.run_multistart ~options ~jobs:4 ~starts:4 problem
+  in
+  let never_pruned =
+    Place.Anneal.run_multistart ~options ~jobs:4 ~starts:4 ~prune_margin:1e9
+      problem
+  in
+  Alcotest.(check (float 0.0)) "infinite margin = unpruned winner"
+    full.Place.Anneal.final_cost never_pruned.Place.Anneal.final_cost;
+  Alcotest.(check bool) "infinite margin = unpruned placement" true
+    (full.Place.Anneal.placement.Place.Placement.loc
+    = never_pruned.Place.Anneal.placement.Place.Placement.loc);
+  Alcotest.(check bool) "pruning never beats the full set" true
+    (p4.Place.Anneal.final_cost >= full.Place.Anneal.final_cost)
+
 (* starts = 1 must be exactly the single run (the flow default). *)
 let test_multistart_single_is_run () =
   let problem, _ = place_random 5 in
@@ -311,6 +373,10 @@ let suite =
       test_width_search_jobs_deterministic;
     Alcotest.test_case "multi-start jobs-deterministic" `Quick
       test_multistart_jobs_deterministic;
+    Alcotest.test_case "multi-start winner = best run" `Quick
+      test_multistart_winner_is_best_run;
+    Alcotest.test_case "multi-start pruning deterministic" `Quick
+      test_multistart_pruned_deterministic;
     Alcotest.test_case "multi-start single = run" `Quick
       test_multistart_single_is_run;
     Alcotest.test_case "per-iteration router stats" `Quick test_iter_stats;

@@ -187,9 +187,88 @@ let test_anneal_scratch () =
   Alcotest.(check int) "moves identical" fresh.Place.Anneal.moves
     a.Place.Anneal.moves
 
+(* Incremental update must be bit-identical to a fresh analysis, for any
+   jobs count, across a chain of placement perturbations (the annealer's
+   usage: many updates between full refreshes, prev consumed each time). *)
+let test_incremental_update_exact () =
+  let problem, placement = placed (Core.Bench_circuits.alu 8) in
+  let graph = Sta.Graph.build problem in
+  let grid = problem.Place.Problem.grid in
+  let n_blocks = Array.length problem.Place.Problem.blocks in
+  let coords_arr =
+    Array.init n_blocks (Place.Placement.coords placement)
+  in
+  let provider () =
+    Sta.Delays.of_placement ~producer:graph.Sta.Graph.block_of problem
+      ~coords:(fun b -> coords_arr.(b))
+  in
+  let rng = Util.Prng.create 77 in
+  let chain1 = ref (Sta.Analysis.run ~jobs:1 graph (provider ())) in
+  let chain4 = ref (Sta.Analysis.run ~jobs:4 graph (provider ())) in
+  for round = 1 to 6 do
+    (* perturb 1-3 blocks (the STA does not care about overlap) *)
+    let moved =
+      List.init
+        (1 + Util.Prng.int rng 3)
+        (fun _ ->
+          let b = Util.Prng.int rng n_blocks in
+          coords_arr.(b) <-
+            ( 1 + Util.Prng.int rng grid.Fpga_arch.Grid.nx,
+              1 + Util.Prng.int rng grid.Fpga_arch.Grid.ny );
+          b)
+      |> List.sort_uniq compare
+    in
+    let p = provider () in
+    chain1 := Sta.Analysis.update ~jobs:1 ~changed_blocks:moved !chain1 p;
+    chain4 := Sta.Analysis.update ~jobs:4 ~changed_blocks:moved !chain4 p;
+    let fresh = Sta.Analysis.run graph p in
+    List.iter
+      (fun (label, (a : Sta.Analysis.t)) ->
+        let check name b =
+          Alcotest.(check bool)
+            (Printf.sprintf "round %d %s %s bit-identical" round label name)
+            true b
+        in
+        check "dmax" (a.Sta.Analysis.dmax = fresh.Sta.Analysis.dmax);
+        check "arrival" (a.Sta.Analysis.arrival = fresh.Sta.Analysis.arrival);
+        check "downstream"
+          (a.Sta.Analysis.downstream = fresh.Sta.Analysis.downstream);
+        check "required" (a.Sta.Analysis.required = fresh.Sta.Analysis.required);
+        check "endpoint arrivals"
+          (a.Sta.Analysis.endpoint_arrival
+          = fresh.Sta.Analysis.endpoint_arrival);
+        check "criticality"
+          (a.Sta.Analysis.criticality = fresh.Sta.Analysis.criticality);
+        check "net criticality"
+          (a.Sta.Analysis.net_criticality = fresh.Sta.Analysis.net_criticality);
+        check "wns/tns"
+          (a.Sta.Analysis.wns = fresh.Sta.Analysis.wns
+          && a.Sta.Analysis.tns = fresh.Sta.Analysis.tns))
+      [ ("jobs=1", !chain1); ("jobs=4", !chain4) ]
+  done
+
+(* The incremental counters must surface through the registry. *)
+let test_incremental_counters () =
+  let problem, placement = placed (Core.Bench_circuits.counter 8) in
+  let graph = Sta.Graph.build problem in
+  let provider =
+    Sta.Delays.of_placement problem ~coords:(Place.Placement.coords placement)
+  in
+  let obs = Obs.Registry.create () in
+  let a = Sta.Analysis.run graph provider in
+  let a = Sta.Analysis.update ~obs ~changed_blocks:[ 0; 1 ] a provider in
+  ignore (Sta.Analysis.update ~obs ~changed_blocks:[ 2 ] a provider);
+  let v name = List.assoc name (Obs.Registry.to_assoc (Obs.Registry.snapshot obs)) in
+  Alcotest.(check (float 0.0)) "sta.incr.cones counts moved blocks" 3.0
+    (v "sta.incr.cones");
+  Alcotest.(check bool) "sta.incr.nodes-touched recorded" true
+    (v "sta.incr.nodes-touched" >= 0.0)
+
 let suite =
   [
     "criticality bounds" => test_criticality_bounds;
+    "incremental update bit-exact" => test_incremental_update_exact;
+    "incremental counters" => test_incremental_counters;
     "slack monotone in period" => test_slack_monotone;
     "detff halves the budget" => test_detff_halving;
     "jobs-identical propagation" => test_jobs_identical;
