@@ -1,33 +1,56 @@
 (* The integrated design framework CLI: VHDL in, bitstream out, with every
    intermediate product written next to the output (our substitute for the
-   paper's GUI; the six GUI stages map to the six stage reports below). *)
+   paper's GUI; the six GUI stages map to the six stage reports below).
+
+   Two modes:
+   - single design (default): INPUT.vhd, full stage reports on stdout;
+   - batch (--batch): INPUT is a manifest listing one VHDL path per line;
+     every design compiles over the Domain pool and writes
+     BASE.result.json (QoR figures + full metric registry) next to its
+     bitstream, one summary line each on stdout.
+
+   Both modes memoise stage results in a content-addressed cache
+   (_amdrel_cache/ by default; --cache-dir to move it, --no-cache to
+   disable): a re-run of an unchanged design skips straight to the
+   cached bitstream, an edited design re-runs only the stages whose
+   inputs changed.  See docs/ARCHITECTURE.md. *)
 
 open Cmdliner
 
-let run input outdir seed fixed_width jobs timing_report period_ns
-    metrics_json trace_file no_incremental_sta =
+let make_config seed fixed_width jobs timing_report period_ns
+    no_incremental_sta cache_dir =
+  {
+    Core.Flow.default_config with
+    Core.Flow.seed;
+    search_min_width = fixed_width = None;
+    route_width = (match fixed_width with Some w -> w | None -> 12);
+    timing_driven = timing_report || period_ns <> None;
+    clock_period = Option.map (fun ns -> ns *. 1e-9) period_ns;
+    jobs;
+    incremental_sta = not no_incremental_sta;
+    cache_dir;
+  }
+
+let counter_value metrics key =
+  match Obs.Registry.find metrics key with
+  | Some (Obs.Registry.Counter n) -> n
+  | _ -> 0
+
+(* ---------- single-design mode (the paper's GUI walkthrough) ---------- *)
+
+let run_single input outdir config timing_report metrics_json trace_file jobs =
   let text = Tool_common.read_file input in
-  (try Sys.mkdir outdir 0o755 with Sys_error _ -> ());
-  let base = Filename.concat outdir (Filename.remove_extension (Filename.basename input)) in
-  let config =
-    {
-      Core.Flow.default_config with
-      Core.Flow.seed;
-      search_min_width = fixed_width = None;
-      route_width =
-        (match fixed_width with Some w -> w | None -> 12);
-      timing_driven = timing_report || period_ns <> None;
-      clock_period = Option.map (fun ns -> ns *. 1e-9) period_ns;
-      jobs;
-      incremental_sta = not no_incremental_sta;
-    }
+  let base =
+    Filename.concat outdir
+      (Filename.remove_extension (Filename.basename input))
   in
   let w0 = Unix.gettimeofday () in
   let t0 = Sys.time () in
   let trace = Option.map (fun _ -> Obs.Span.create ()) trace_file in
   let r =
     match trace with
-    | Some tr -> Obs.Span.with_trace tr (fun () -> Core.Flow.run_vhdl ~config text)
+    | Some tr ->
+        Obs.Span.with_trace tr (fun () -> Core.Flow.run_vhdl ~config text)
     | None -> Core.Flow.run_vhdl ~config text
   in
   let elapsed = Sys.time () -. t0 in
@@ -45,7 +68,8 @@ let run input outdir seed fixed_width jobs timing_report period_ns
     Netlist.Logic.pp_stats r.Core.Flow.source_stats (base ^ ".edf");
   Format.printf "=== 3. Format translation (E2FMT + SIS) ===@.  %a -> %s@."
     Netlist.Logic.pp_stats r.Core.Flow.mapped_stats (base ^ ".blif");
-  Printf.printf "=== 4. Packing (T-VPack) ===\n  %d clusters, %.1f%% utilisation -> %s\n"
+  Printf.printf
+    "=== 4. Packing (T-VPack) ===\n  %d clusters, %.1f%% utilisation -> %s\n"
     r.Core.Flow.n_clusters
     (100.0 *. r.Core.Flow.utilization)
     (base ^ ".net");
@@ -53,7 +77,8 @@ let run input outdir seed fixed_width jobs timing_report period_ns
     "=== 5. Placement and routing (VPR) ===\n  %dx%d grid, bb cost %.2f, \
      channel width %d%s, critical path %.3f ns\n"
     r.Core.Flow.grid.Fpga_arch.Grid.nx r.Core.Flow.grid.Fpga_arch.Grid.ny
-    r.Core.Flow.placement_cost r.Core.Flow.route_stats.Route.Router.channel_width
+    r.Core.Flow.placement_cost
+    r.Core.Flow.route_stats.Route.Router.channel_width
     (match r.Core.Flow.route_stats.Route.Router.minimum_width with
     | Some w -> Printf.sprintf " (minimum %d)" w
     | None -> "")
@@ -86,8 +111,7 @@ let run input outdir seed fixed_width jobs timing_report period_ns
          (Obs.Emit.Obj
             [
               ("design", Obs.Emit.String design);
-              ( "metrics",
-                Obs.Registry.to_json r.Core.Flow.metrics );
+              ("metrics", Obs.Registry.to_json r.Core.Flow.metrics);
             ])
       ^ "\n");
     Printf.printf "metrics -> %s\n" path
@@ -104,8 +128,16 @@ let run input outdir seed fixed_width jobs timing_report period_ns
     (if r.Core.Flow.bitstream_verified then "verified" else "MISMATCH")
     (if r.Core.Flow.fabric_verified then "equivalent" else "MISMATCH")
     (base ^ ".bit");
-  Printf.printf "total: %.2f s wall, %.2f s CPU over %d domain(s) (stages: %s)\n"
-    wall elapsed
+  (match config.Core.Flow.cache_dir with
+  | Some dir ->
+      Printf.printf "  cache %s: %d hit, %d miss, %d stored\n" dir
+        (counter_value r.Core.Flow.metrics "cache.hit")
+        (counter_value r.Core.Flow.metrics "cache.miss")
+        (counter_value r.Core.Flow.metrics "cache.store")
+  | None -> ());
+  Printf.printf
+    "total: %.2f s wall, %.2f s CPU over %d domain(s) (stages: %s)\n" wall
+    elapsed
     (Util.Parallel.resolve_jobs ?jobs ())
     (String.concat ", "
        (List.concat_map
@@ -123,8 +155,135 @@ let run input outdir seed fixed_width jobs timing_report period_ns
             | Obs.Registry.Histogram _ -> [])
           r.Core.Flow.metrics))
 
+(* ---------- batch mode ---------- *)
+
+(* One manifest line per design: the VHDL path, relative to the CWD (or
+   to the manifest's directory when not found there).  Blank lines and
+   #-comments are skipped. *)
+let read_manifest path =
+  let dir = Filename.dirname path in
+  Tool_common.read_file path |> String.split_on_char '\n'
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else if Sys.file_exists line then Some line
+         else Some (Filename.concat dir line))
+
+type batch_outcome = {
+  source : string;
+  design : string;
+  line : string; (* printed summary line *)
+  json : string; (* BASE.result.json contents *)
+  ok : bool;
+  hits : int;
+  misses : int;
+}
+
+let compile_one config timing_report outdir source =
+  let design = Filename.remove_extension (Filename.basename source) in
+  let base = Filename.concat outdir design in
+  match
+    let text = Tool_common.read_file source in
+    let r = Core.Flow.run_vhdl ~config text in
+    Bitstream.Dagger.to_file (base ^ ".bit") r.Core.Flow.bitstream;
+    if timing_report then
+      Tool_common.write_file (base ^ ".timing.json")
+        (Core.Flow.timing_report_json ~design r);
+    r
+  with
+  | r ->
+      let json = Core.Flow.result_json ~source r in
+      Tool_common.write_file (base ^ ".result.json") json;
+      {
+        source;
+        design;
+        line = Core.Flow.summary r;
+        json;
+        ok = true;
+        hits = counter_value r.Core.Flow.metrics "cache.hit";
+        misses = counter_value r.Core.Flow.metrics "cache.miss";
+      }
+  | exception e ->
+      let msg =
+        match e with
+        | Core.Flow.Flow_error (stage, e) ->
+            Printf.sprintf "%s: %s" stage (Printexc.to_string e)
+        | e -> Printexc.to_string e
+      in
+      let json =
+        Obs.Emit.to_string
+          (Obs.Emit.Obj
+             [
+               ("design", Obs.Emit.String design);
+               ("ok", Obs.Emit.Bool false);
+               ("source", Obs.Emit.String source);
+               ("error", Obs.Emit.String msg);
+             ])
+        ^ "\n"
+      in
+      Tool_common.write_file (base ^ ".result.json") json;
+      {
+        source;
+        design;
+        line = Printf.sprintf "%-12s FAILED: %s" design msg;
+        json;
+        ok = false;
+        hits = 0;
+        misses = 0;
+      }
+
+let run_batch manifest outdir config timing_report jobs =
+  let sources = read_manifest manifest in
+  if sources = [] then failwith (manifest ^ ": no designs listed");
+  let w0 = Unix.gettimeofday () in
+  (* one design per pool task; the per-design flows' own parallel stages
+     degrade to sequential inside workers (Util.Parallel nesting rule),
+     so the pool is never oversubscribed.  Outputs land in input order. *)
+  let outcomes =
+    Util.Parallel.map ?jobs
+      (compile_one config timing_report outdir)
+      (Array.of_list sources)
+  in
+  let wall = Unix.gettimeofday () -. w0 in
+  Array.iter (fun o -> print_endline o.line) outcomes;
+  let failed =
+    Array.fold_left (fun n o -> if o.ok then n else n + 1) 0 outcomes
+  in
+  let hits = Array.fold_left (fun n o -> n + o.hits) 0 outcomes in
+  let misses = Array.fold_left (fun n o -> n + o.misses) 0 outcomes in
+  Printf.printf
+    "batch: %d design(s), %d failed, %.2f s wall over %d domain(s)%s -> %s\n"
+    (Array.length outcomes) failed wall
+    (Util.Parallel.resolve_jobs ?jobs ())
+    (match config.Core.Flow.cache_dir with
+    | Some dir ->
+        Printf.sprintf ", cache %s: %d hit / %d miss" dir hits misses
+    | None -> "")
+    outdir;
+  if failed > 0 then exit 1
+
+(* ---------- entry ---------- *)
+
+let run input outdir seed fixed_width jobs timing_report period_ns
+    metrics_json trace_file no_incremental_sta batch no_cache cache_dir =
+  let cache_dir = if no_cache then None else Some cache_dir in
+  let config =
+    make_config seed fixed_width jobs timing_report period_ns
+      no_incremental_sta cache_dir
+  in
+  (try Sys.mkdir outdir 0o755 with Sys_error _ -> ());
+  if batch then run_batch input outdir config timing_report jobs
+  else run_single input outdir config timing_report metrics_json trace_file jobs
+
 let input_arg =
-  Arg.(required & pos 0 (some file) None & info [] ~docv:"INPUT.vhd")
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"INPUT"
+        ~doc:
+          "VHDL source to compile, or (with $(b,--batch)) a manifest \
+           listing one VHDL path per line ($(b,#) comments and blank \
+           lines ignored).")
 
 let outdir_arg =
   Arg.(
@@ -146,9 +305,9 @@ let jobs_arg =
     & info [ "j"; "jobs" ]
         ~doc:
           "Domain pool size for the parallel stages (width search, \
-           multi-start placement).  Default: the AMDREL_JOBS environment \
-           variable or the machine's recommended domain count.  Results \
-           are bit-identical for any value.")
+           multi-start placement, batch compilation).  Default: the \
+           AMDREL_JOBS environment variable or the machine's recommended \
+           domain count.  Results are bit-identical for any value.")
 
 let timing_report_arg =
   Arg.(
@@ -158,7 +317,8 @@ let timing_report_arg =
           "Run the flow timing-driven and write a unified-STA path report \
            (pre-route and post-route critical paths, slack per endpoint) \
            as BASE.timing.txt and BASE.timing.json next to the other \
-           products, in addition to printing it.")
+           products, in addition to printing it.  In batch mode, writes \
+           BASE.timing.json per design.")
 
 let period_arg =
   Arg.(
@@ -191,7 +351,8 @@ let trace_arg =
           "Write a Chrome trace-event JSON file of the run (nested spans \
            for every flow stage, PathFinder iteration and batch, \
            annealer temperature step and STA level sweep), loadable in \
-           chrome://tracing or Perfetto.")
+           chrome://tracing or Perfetto.  Stages answered from the cache \
+           run no code, so they are absent from the trace.")
 
 let no_incremental_sta_arg =
   Arg.(
@@ -203,15 +364,52 @@ let no_incremental_sta_arg =
            bit-identical either way; the flag exists to measure the \
            incremental path's speedup (see docs/EXPERIMENTS.md).")
 
+let batch_arg =
+  Arg.(
+    value & flag
+    & info [ "batch" ]
+        ~doc:
+          "Treat INPUT as a manifest of designs (one VHDL path per line) \
+           and compile them all over the Domain pool, writing BASE.bit \
+           and BASE.result.json (QoR summary + full metric registry, \
+           schema in docs/OBSERVABILITY.md) per design into the output \
+           directory, plus one summary line each on stdout.  Exits \
+           non-zero if any design fails; the rest still complete.")
+
+let no_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ]
+        ~doc:
+          "Disable the content-addressed stage cache: every stage \
+           recomputes and nothing is read from or written to the cache \
+           directory.  Outputs are byte-identical with or without the \
+           cache; the flag exists for benchmarking and for pinning \
+           cold-run telemetry.")
+
+let cache_dir_arg =
+  Arg.(
+    value
+    & opt string "_amdrel_cache"
+    & info [ "cache-dir" ] ~docv:"DIR"
+        ~doc:
+          "Directory of the content-addressed stage-result store \
+           (created on demand; safe to share between concurrent runs \
+           and to delete at any time).  See docs/ARCHITECTURE.md for \
+           the entry layout and the cache-key schema.")
+
 let cmd =
   Cmd.v
     (Cmd.info "amdrel_flow"
-       ~doc:"Run the complete VHDL-to-bitstream design flow")
+       ~doc:
+         "Run the complete VHDL-to-bitstream design flow (single design \
+          or --batch manifest), memoising stage results in a \
+          content-addressed cache")
     Term.(
-      const (fun i o s w j tr p mj tf ni ->
-          Tool_common.protect (fun () -> run i o s w j tr p mj tf ni))
+      const (fun i o s w j tr p mj tf ni b nc cd ->
+          Tool_common.protect (fun () -> run i o s w j tr p mj tf ni b nc cd))
       $ input_arg $ outdir_arg $ seed_arg $ width_arg $ jobs_arg
       $ timing_report_arg $ period_arg $ metrics_json_arg $ trace_arg
-      $ no_incremental_sta_arg)
+      $ no_incremental_sta_arg $ batch_arg $ no_cache_arg $ cache_dir_arg)
 
 let () = exit (Cmd.eval cmd)

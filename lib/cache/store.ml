@@ -1,0 +1,81 @@
+(* Content-addressed persistent store: one marshaled file per entry,
+   atomic rename writes, corrupt-tolerant reads.  See store.mli. *)
+
+module R = Obs.Registry
+
+type t = { dir : string; obs : R.t }
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755
+    with Sys_error _ when Sys.is_directory dir -> ()
+    (* lost a creation race to a concurrent opener: the directory is
+       there, which is all we wanted *)
+  end
+
+let open_ ?obs dir =
+  mkdir_p dir;
+  if not (Sys.is_directory dir) then
+    raise (Sys_error (dir ^ ": not a directory"));
+  { dir; obs = (match obs with Some o -> o | None -> R.create ()) }
+
+let dir t = t.dir
+
+let key parts = Digest.to_hex (Digest.string (String.concat "\x00" parts))
+
+let path t k = Filename.concat t.dir k
+
+(* Entries are Marshal of (key, payload): the echoed key lets a read
+   reject a file that was renamed or hash-collided into the wrong slot. *)
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let find t k =
+  match read_all (path t k) with
+  | exception _ ->
+      R.incr t.obs "cache.miss";
+      None
+  | raw -> (
+      match (Marshal.from_string raw 0 : string * _) with
+      | k', v when String.equal k' k ->
+          R.incr t.obs "cache.hit";
+          R.incr ~by:(String.length raw) t.obs "cache.bytes";
+          Some v
+      | _ | (exception _) ->
+          (* truncated, garbled, written by a different binary (closure
+             code pointers fail to resolve), or a foreign file: all read
+             as a miss and the caller recomputes *)
+          R.incr t.obs "cache.corrupt";
+          R.incr t.obs "cache.miss";
+          None)
+
+let store t k v =
+  match
+    let data = Marshal.to_string (k, v) [ Marshal.Closures ] in
+    let tmp, oc =
+      Filename.open_temp_file ~temp_dir:t.dir ~mode:[ Open_binary ]
+        ".part-" ".tmp"
+    in
+    (try
+       Fun.protect
+         ~finally:(fun () -> close_out_noerr oc)
+         (fun () -> output_string oc data)
+     with e ->
+       (try Sys.remove tmp with Sys_error _ -> ());
+       raise e);
+    (* same-directory rename: atomic on POSIX, so readers only ever see
+       complete entries *)
+    Sys.rename tmp (path t k);
+    String.length data
+  with
+  | n ->
+      R.incr t.obs "cache.store";
+      R.incr ~by:n t.obs "cache.bytes"
+  | exception _ -> ()
+(* best-effort: a store that cannot be written (full disk, permissions)
+   degrades to a cache that never hits *)

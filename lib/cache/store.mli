@@ -1,0 +1,81 @@
+(** Content-addressed persistent store for memoised flow-stage results.
+
+    A store is a directory ([_amdrel_cache/] by convention) holding one
+    file per entry, named by the entry's key — the hex digest {!key}
+    derives from the stage name, its code-version tag and the content
+    hashes of everything the stage's output depends on.  The flow wraps
+    each of its stages in a lookup against this store, so a re-run of an
+    unchanged design skips straight to the cached artifacts and an
+    edited source re-runs only the stages whose inputs actually changed
+    (docs/ARCHITECTURE.md documents the stage graph and the full
+    cache-key schema).
+
+    Design points:
+
+    - {b Writes are atomic.}  [store] marshals into a temporary file in
+      the same directory and [Sys.rename]s it over the final name, so
+      concurrent writers (the batch driver's Domain pool, or several
+      CLI invocations sharing one cache) can never expose a
+      half-written entry; the last writer wins with a complete file.
+    - {b Reads are corrupt-tolerant.}  A missing, truncated, garbled or
+      wrong-binary entry is indistinguishable from a miss: [find]
+      returns [None] and the caller recomputes (and re-stores).  A
+      cache can therefore be deleted, truncated or copied between
+      machines at any time without breaking a flow — the worst case is
+      recomputation.
+    - {b Every operation counts into the metric registry} passed at
+      [open_] time, under the [cache.*] keys documented in
+      docs/OBSERVABILITY.md: [cache.hit], [cache.miss], [cache.store],
+      [cache.corrupt] and [cache.bytes] (payload bytes read on hits
+      plus written on stores).
+    - {b Entries are marshaled OCaml values} (with
+      [Marshal.Closures], so stage results that embed functions — the
+      STA analyses carry their delay provider — round-trip within the
+      binary that wrote them).  An entry written by a different binary
+      fails the unmarshal and reads as a miss, which is exactly the
+      recompute-on-code-change behaviour the per-stage code-version
+      tags promise.  The payload type is pinned by the key (stage name
+      and version tag are always part of it); reading a key written at
+      a different type is undefined behaviour, as with [Marshal] —
+      never reuse a key across types without bumping the version tag. *)
+
+type t
+(** An open store rooted at one directory. *)
+
+val open_ : ?obs:Obs.Registry.t -> string -> t
+(** [open_ ?obs dir] opens (creating [dir] and its parents if needed)
+    the store rooted at [dir].  [obs] receives the [cache.*] counters;
+    omitted, the counters go to a private throwaway registry.
+    @raise Sys_error when [dir] cannot be created. *)
+
+val dir : t -> string
+(** The store's root directory. *)
+
+val key : string list -> string
+(** [key parts] is the store key for a stage output whose identity is
+    the ordered list [parts] — by convention
+    [stage-name :: code-version-tag :: content-hashes-and-config].
+    Deterministic across runs and processes; parts are
+    NUL-separated before digesting, so no concatenation of distinct
+    part lists collides textually. *)
+
+val path : t -> string -> string
+(** [path t k] is the file that does (or would) hold entry [k] —
+    exposed for tests and cache inspection tooling. *)
+
+val find : t -> string -> 'a option
+(** [find t k] is the stored value for [k], or [None] when absent or
+    unreadable (any corruption — truncation, garbage, a different
+    writing binary — counts [cache.corrupt] and reads as a miss).
+    Counts [cache.hit] or [cache.miss].
+
+    The result type is pinned by the key, not checked at runtime: only
+    read a key with the type it was stored at (see the module
+    preamble). *)
+
+val store : t -> string -> 'a -> unit
+(** [store t k v] atomically writes [v] under [k] (temp file +
+    rename), replacing any previous entry.  Counts [cache.store] and
+    [cache.bytes].  I/O failures (full disk, read-only directory) are
+    swallowed: caching is an optimisation, never a correctness
+    dependency — the next [find] simply misses. *)

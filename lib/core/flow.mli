@@ -4,7 +4,29 @@
     flow of Fig. 11: VHDL Parser, DIVINER (synthesis), DRUID (EDIF
     fix-up), E2FMT (EDIF to BLIF), SIS (LUT mapping), T-VPack (packing),
     DUTYS (architecture), VPR (place & route), PowerModel and DAGGER.
-    Every stage also runs standalone through the bin/ executables. *)
+    Every stage also runs standalone through the bin/ executables.
+
+    The tools compose into seven {e individually memoisable stages}
+
+    {v synth -> techmap -> pack -> place -> route -> sta -> bitstream v}
+
+    each wrapped, when {!config.cache_dir} is set, in a lookup against a
+    content-addressed store ({!Cache.Store}).  A stage's key digests its
+    stage name, a code-version tag, the content hash of its input
+    artifact and the config fields that influence its output — so a warm
+    re-run of an unchanged design returns every artifact from the store
+    byte-identically (same bitstream bytes, same timing report), while
+    an edited source re-runs only the stages whose inputs actually
+    changed.  Keys hash the {e real} input artifact rather than the
+    upstream stage's key, giving early cutoff: a source edit that
+    synthesises to the same netlist stops recomputing after synth.  On a
+    stage hit the stage's timers and trace spans are skipped along with
+    the work, and the [cache.hit]/[cache.miss]/[cache.store]/
+    [cache.bytes] counters record the traffic; the deterministic
+    counters and gauges derived from cached artifacts ([place.*],
+    [vpr-route.*], [sta.dmax] …) are re-emitted identically either way.
+    docs/ARCHITECTURE.md documents the stage graph, the full key schema
+    and the invalidation rules. *)
 
 type config = {
   params : Fpga_arch.Params.t;
@@ -48,11 +70,24 @@ type config = {
           jobs-independent; see {!Place.Anneal.run_multistart}. *)
   place_prune_interval : int;
       (** temperature steps between pruning milestones *)
+  cache_dir : string option;
+      (** directory of the content-addressed stage-result store
+          ([_amdrel_cache/] by convention; the CLI defaults to it,
+          [--no-cache] maps to [None]).  [None] disables memoisation
+          entirely: every stage recomputes, nothing touches the disk.
+          Safe to share between concurrent runs — entries are written
+          atomically and corrupt entries read as misses.  The speed-only
+          config knobs ([jobs], [incremental_sta],
+          [sta_full_refresh_every]) are excluded from stage keys, so
+          flipping them still hits; every output-affecting field is
+          included (see docs/ARCHITECTURE.md for the field-by-field
+          schema). *)
 }
 
 val default_config : config
 (** The paper's platform, all verifications on, width search on,
-    routability-driven, single placement start, automatic job count. *)
+    routability-driven, single placement start, automatic job count,
+    caching off. *)
 
 type stage_times = (string * float) list
 (** The legacy flat view of the metric registry
@@ -119,6 +154,13 @@ val timing_report_json : ?design:string -> result -> string
     name recorded in the result; the CLI passes the input's base name).
     The shape is pinned by the golden fixtures under [test/fixtures/] —
     extend additively. *)
+
+val result_json : ?source:string -> result -> string
+(** One JSON object per compiled design: the batch driver's per-design
+    record ([BASE.result.json]) — headline QoR figures (LUTs, FFs, CLBs,
+    grid, channel width, critical path, power, bitstream bits, verified
+    verdict) plus the full metric registry under ["metrics"].  [source]
+    records the input path.  Schema in docs/OBSERVABILITY.md. *)
 
 val summary : result -> string
 (** One line: LUTs/FFs/CLBs/grid/width/critical path/power/bits/verdicts. *)

@@ -125,24 +125,34 @@ let route_fixed ?(max_iterations = 60) ?timing ?jobs ?obs
    the shrink phase — memoise the outcomes, and then advance exactly the
    sequential decision path over the cache.  The returned minimum width
    (and hence the final routing) is bit-identical for any [jobs]. *)
-let route_min_width ?(max_iterations = 60) ?(start = 6) ?timing ?jobs ?obs
-    (params : Fpga_arch.Params.t) (placement : Place.Placement.t) =
+let route_min_width ?(max_iterations = 60) ?(start = 6) ?timing ?table ?jobs
+    ?obs (params : Fpga_arch.Params.t) (placement : Place.Placement.t) =
   let jobs = Util.Parallel.resolve_jobs ?jobs () in
   (* width -> routable?; probes are deterministic, so caching loses
-     nothing and speculation never repeats work *)
-  let cache : (int, bool) Hashtbl.t = Hashtbl.create 16 in
+     nothing and speculation never repeats work.  [table], when given,
+     IS the memo: entries seeded by the caller (e.g. from the flow's
+     persistent routability table) are outcomes this search never has
+     to probe for, and the table is mutated in place so the caller can
+     persist whatever this search learned.  Seeding only ever changes
+     which probes run, never their outcomes, so the found minimum (and
+     the final routing) stays bit-identical to an unseeded search. *)
+  let cache : (int, bool) Hashtbl.t =
+    match table with Some t -> t | None -> Hashtbl.create 16
+  in
+  let probes = ref 0 in
   let probe_batch widths =
     match List.filter (fun w -> not (Hashtbl.mem cache w)) widths with
     | [] -> ()
     | fresh ->
         let arr = Array.of_list (List.sort_uniq compare fresh) in
+        probes := !probes + Array.length arr;
         let res =
           Util.Parallel.map ~jobs
             (fun w ->
               Option.is_some (try_width ~max_iterations params placement w))
             arr
         in
-        Array.iteri (fun i w -> Hashtbl.add cache w res.(i)) arr
+        Array.iteri (fun i w -> Hashtbl.replace cache w res.(i)) arr
   in
   let probe w =
     match Hashtbl.find_opt cache w with
@@ -207,6 +217,16 @@ let route_min_width ?(max_iterations = 60) ?(start = 6) ?timing ?jobs ?obs
     end
   in
   let min_w = shrink 0 hi in
+  (* how many probe routings this search actually ran: with a warm
+     seeded [table] it is strictly below the cold count (0 when the
+     table already covers the whole decision path).  Volatile because
+     the probe set also depends on the pool size (speculation), so the
+     deterministic metrics view must exclude it. *)
+  (match obs with
+  | Some o ->
+      Obs.Registry.set ~volatile:true o "route.width-probes"
+        (float_of_int !probes)
+  | None -> ());
   (* low-stress final routing, timing-driven if requested; width probes
      above stay congestion-only AND un-instrumented (the probe set
      depends on the pool size, so only the final routing records into

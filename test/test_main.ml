@@ -13,5 +13,6 @@ let () =
       ("sta", Test_sta.suite);
       ("golden", Test_golden.suite);
       ("obs", Test_obs.suite);
+      ("cache", Test_cache.suite);
       ("flow", Test_flow.suite);
     ]
