@@ -13,7 +13,13 @@
    (_amdrel_cache/ by default; --cache-dir to move it, --no-cache to
    disable): a re-run of an unchanged design skips straight to the
    cached bitstream, an edited design re-runs only the stages whose
-   inputs changed.  See docs/ARCHITECTURE.md. *)
+   inputs changed.  See docs/ARCHITECTURE.md.
+
+   With --remote SOCKET either mode submits to a running amdreld
+   compile-service daemon instead of compiling in-process: the daemon
+   owns the cache and the domain pool, this process just ships sources
+   and writes the returned artifacts (BASE.bit, BASE.result.json,
+   BASE.timing.json) exactly where a local run would. *)
 
 open Cmdliner
 
@@ -157,18 +163,6 @@ let run_single input outdir config timing_report metrics_json trace_file jobs =
 
 (* ---------- batch mode ---------- *)
 
-(* One manifest line per design: the VHDL path, relative to the CWD (or
-   to the manifest's directory when not found there).  Blank lines and
-   #-comments are skipped. *)
-let read_manifest path =
-  let dir = Filename.dirname path in
-  Tool_common.read_file path |> String.split_on_char '\n'
-  |> List.filter_map (fun line ->
-         let line = String.trim line in
-         if line = "" || line.[0] = '#' then None
-         else if Sys.file_exists line then Some line
-         else Some (Filename.concat dir line))
-
 type batch_outcome = {
   source : string;
   design : string;
@@ -233,7 +227,10 @@ let compile_one config timing_report outdir source =
       }
 
 let run_batch manifest outdir config timing_report jobs =
-  let sources = read_manifest manifest in
+  (* Manifest entries resolve against the manifest's own directory
+     (Service.Manifest) — never against the CWD, which used to pick up
+     same-named files from wherever the driver happened to run. *)
+  let sources = Service.Manifest.read manifest in
   if sources = [] then failwith (manifest ^ ": no designs listed");
   let w0 = Unix.gettimeofday () in
   (* one design per pool task; the per-design flows' own parallel stages
@@ -262,18 +259,109 @@ let run_batch manifest outdir config timing_report jobs =
     outdir;
   if failed > 0 then exit 1
 
+(* ---------- remote mode (submission to an amdreld daemon) ---------- *)
+
+module J = Service.Jsonin
+
+let remote_submit client seed fixed_width timing_report period_ns source =
+  let submit =
+    {
+      Service.Protocol.default_submit with
+      Service.Protocol.vhdl = Tool_common.read_file source;
+      seed;
+      route_width = fixed_width;
+      timing_report;
+      period_ns;
+    }
+  in
+  Service.Client.request client (Service.Protocol.Submit submit)
+
+(* Write the same artifacts a local run would: BASE.bit (hex-decoded),
+   BASE.result.json (the embedded per-design record, schema-identical
+   to the batch driver's), BASE.timing.json when the server sent one. *)
+let write_remote_outputs outdir source resp =
+  let design =
+    match Option.bind (J.member "design" resp) J.get_string with
+    | Some d -> d
+    | None -> Filename.remove_extension (Filename.basename source)
+  in
+  let base = Filename.concat outdir design in
+  if not (Service.Client.ok resp) then begin
+    Printf.printf "%-12s FAILED (remote): %s\n" design
+      (Service.Client.error_message resp);
+    false
+  end
+  else begin
+    let result = J.member "result" resp in
+    (match result with
+    | Some r ->
+        Tool_common.write_file (base ^ ".result.json")
+          (Obs.Emit.to_string r ^ "\n")
+    | None -> ());
+    (match Option.bind (J.member "bitstream_hex" resp) J.get_string with
+    | Some hex ->
+        Tool_common.write_file (base ^ ".bit")
+          (Tool_common.or_die (Service.Protocol.hex_decode hex))
+    | None -> ());
+    (match J.member "timing" resp with
+    | Some timing ->
+        Tool_common.write_file (base ^ ".timing.json")
+          (Obs.Emit.to_string timing ^ "\n")
+    | None -> ());
+    let stat name =
+      match Option.bind result (J.member name) with
+      | Some (Obs.Emit.Int n) -> string_of_int n
+      | _ -> "?"
+    in
+    Printf.printf "%-12s ok (remote) %s LUTs %s CLBs W=%s bits=%s -> %s\n"
+      design (stat "luts") (stat "clbs") (stat "width") (stat "bits")
+      (base ^ ".bit");
+    true
+  end
+
+let run_remote socket input outdir seed fixed_width timing_report period_ns
+    batch =
+  let sources = if batch then Service.Manifest.read input else [ input ] in
+  if sources = [] then failwith (input ^ ": no designs listed");
+  let w0 = Unix.gettimeofday () in
+  let failed =
+    Service.Client.with_connection socket (fun client ->
+        List.fold_left
+          (fun failed source ->
+            let resp =
+              remote_submit client seed fixed_width timing_report period_ns
+                source
+            in
+            if write_remote_outputs outdir source resp then failed
+            else failed + 1)
+          0 sources)
+  in
+  Printf.printf "remote: %d design(s), %d failed, %.2f s wall via %s -> %s\n"
+    (List.length sources) failed
+    (Unix.gettimeofday () -. w0)
+    socket outdir;
+  if failed > 0 then exit 1
+
 (* ---------- entry ---------- *)
 
 let run input outdir seed fixed_width jobs timing_report period_ns
-    metrics_json trace_file no_incremental_sta batch no_cache cache_dir =
-  let cache_dir = if no_cache then None else Some cache_dir in
-  let config =
-    make_config seed fixed_width jobs timing_report period_ns
-      no_incremental_sta cache_dir
-  in
+    metrics_json trace_file no_incremental_sta batch no_cache cache_dir
+    remote =
   (try Sys.mkdir outdir 0o755 with Sys_error _ -> ());
-  if batch then run_batch input outdir config timing_report jobs
-  else run_single input outdir config timing_report metrics_json trace_file jobs
+  match remote with
+  | Some socket ->
+      run_remote socket input outdir seed fixed_width timing_report period_ns
+        batch
+  | None ->
+      let cache_dir = if no_cache then None else Some cache_dir in
+      let config =
+        make_config seed fixed_width jobs timing_report period_ns
+          no_incremental_sta cache_dir
+      in
+      if batch then run_batch input outdir config timing_report jobs
+      else
+        run_single input outdir config timing_report metrics_json trace_file
+          jobs
 
 let input_arg =
   Arg.(
@@ -398,18 +486,35 @@ let cache_dir_arg =
            and to delete at any time).  See docs/ARCHITECTURE.md for \
            the entry layout and the cache-key schema.")
 
+let remote_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "remote" ] ~docv:"SOCKET"
+        ~doc:
+          "Submit to the amdreld compile-service daemon listening on the \
+           given Unix-domain socket instead of compiling in-process.  \
+           The daemon owns the stage cache and the domain pool; outputs \
+           (BASE.bit, BASE.result.json, BASE.timing.json with \
+           $(b,--timing-report)) are bit-identical to a local run and \
+           land in the same places.  Works with $(b,--batch); the local \
+           cache and jobs flags are the daemon's business and ignored.")
+
 let cmd =
   Cmd.v
     (Cmd.info "amdrel_flow"
        ~doc:
          "Run the complete VHDL-to-bitstream design flow (single design \
           or --batch manifest), memoising stage results in a \
-          content-addressed cache")
+          content-addressed cache; --remote submits to an amdreld daemon \
+          instead")
     Term.(
-      const (fun i o s w j tr p mj tf ni b nc cd ->
-          Tool_common.protect (fun () -> run i o s w j tr p mj tf ni b nc cd))
+      const (fun i o s w j tr p mj tf ni b nc cd rm ->
+          Tool_common.protect (fun () ->
+              run i o s w j tr p mj tf ni b nc cd rm))
       $ input_arg $ outdir_arg $ seed_arg $ width_arg $ jobs_arg
       $ timing_report_arg $ period_arg $ metrics_json_arg $ trace_arg
-      $ no_incremental_sta_arg $ batch_arg $ no_cache_arg $ cache_dir_arg)
+      $ no_incremental_sta_arg $ batch_arg $ no_cache_arg $ cache_dir_arg
+      $ remote_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -76,6 +76,41 @@ val find : t -> string -> 'a option
 val store : t -> string -> 'a -> unit
 (** [store t k v] atomically writes [v] under [k] (temp file +
     rename), replacing any previous entry.  Counts [cache.store] and
-    [cache.bytes].  I/O failures (full disk, read-only directory) are
-    swallowed: caching is an optimisation, never a correctness
-    dependency — the next [find] simply misses. *)
+    [cache.bytes].  Temp filenames embed the writing (pid, domain id,
+    sequence number), so concurrent writers — several domains of one
+    process or several processes sharing a directory — never collide
+    mid-write; racing stores of the same key both succeed and the last
+    rename wins with a complete entry.  I/O failures (full disk,
+    read-only directory) are swallowed: caching is an optimisation,
+    never a correctness dependency — the next [find] simply misses. *)
+
+(** {1 Lifecycle at service scale}
+
+    A store that lives for days (the compile-service daemon) must not
+    grow without bound.  [gc] is the size-bounded eviction pass: it
+    scans the directory, deletes debris (stale temp files from crashed
+    writers), and — when a byte budget is given — evicts entries until
+    the survivors fit, corrupt entries first (they can only ever read
+    as misses), then least-recently-used.  Recency is the entry file's
+    mtime, which {!find} refreshes on every hit, so hot entries
+    survive.  The pass is safe to run concurrently with readers and
+    writers of the same directory: eviction is [Sys.remove], which an
+    in-flight read either wins or loses wholesale (a lost read is a
+    miss and recomputes). *)
+
+type gc_stats = {
+  entries : int;         (** entries remaining after the pass *)
+  resident_bytes : int;  (** bytes remaining after the pass *)
+  evicted : int;         (** entries deleted (corrupt + LRU) *)
+  evicted_bytes : int;
+  evicted_corrupt : int; (** of [evicted], how many failed the
+                             integrity probe *)
+}
+
+val gc : ?max_bytes:int -> t -> gc_stats
+(** [gc ?max_bytes t] scans the store and, when [max_bytes] is given,
+    evicts down to the budget.  Without [max_bytes] it is a pure size
+    scan (plus stale-temp cleanup): no entry is deleted.  Records
+    [cache.evict] (entries deleted, counter) and [cache.resident-bytes]
+    (volatile gauge) into the store's registry.  Never raises on I/O
+    errors — unreadable files are skipped, undeletable ones stay. *)

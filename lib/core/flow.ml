@@ -543,45 +543,47 @@ let run_blif ?(config = default_config) ?obs text =
    and post-route (routed-Elmore) analyses side by side, one JSON object
    per design.  This exact shape is pinned by the golden fixtures under
    test/fixtures/ — extend it additively. *)
-let timing_report_json ?design (r : result) =
+let timing_report_obj ?design (r : result) =
   let name = match design with Some d -> d | None -> r.design in
   let pre = r.sta_pre and post = r.sta_post in
-  Obs.Emit.to_string
-    (Obs.Emit.Obj
-       [
-         ("design", Obs.Emit.String name);
-         ("pre_route", Sta.Report.json pre (Sta.Report.paths pre));
-         ("post_route", Sta.Report.json post (Sta.Report.paths post));
-       ])
-  ^ "\n"
+  Obs.Emit.Obj
+    [
+      ("design", Obs.Emit.String name);
+      ("pre_route", Sta.Report.json pre (Sta.Report.paths pre));
+      ("post_route", Sta.Report.json post (Sta.Report.paths post));
+    ]
+
+let timing_report_json ?design r =
+  Obs.Emit.to_string (timing_report_obj ?design r) ^ "\n"
 
 (* One result as a JSON object: the batch driver's per-design record
-   (docs/OBSERVABILITY.md documents the schema). *)
-let result_json ?source (r : result) =
+   (docs/OBSERVABILITY.md documents the schema).  The compile service
+   embeds the same object under ["result"] in submit responses, so the
+   two entry points stay schema-identical by construction. *)
+let result_obj ?source (r : result) =
   let open Obs.Emit in
-  to_string
-    (Obj
-       ([ ("design", String r.design); ("ok", Bool true) ]
-       @ (match source with Some s -> [ ("source", String s) ] | None -> [])
-       @ [
-           ("luts", Int r.mapped_stats.Logic.n_gates);
-           ("ffs", Int r.mapped_stats.Logic.n_latches);
-           ("clbs", Int r.n_clusters);
-           ("nx", Int r.grid.Fpga_arch.Grid.nx);
-           ("ny", Int r.grid.Fpga_arch.Grid.ny);
-           ("width", Int r.route_stats.Route.Router.channel_width);
-           ( "min_width",
-             match r.route_stats.Route.Router.minimum_width with
-             | Some w -> Int w
-             | None -> Null );
-           ( "critical_path_s",
-             Float r.route_stats.Route.Router.critical_path_s );
-           ("power_w", Float r.power.Power.Model.total_w);
-           ("bits", Int r.bitstream.Bitstream.Dagger.bits);
-           ("verified", Bool (r.bitstream_verified && r.fabric_verified));
-           ("metrics", R.to_json r.metrics);
-         ]))
-  ^ "\n"
+  Obj
+    ([ ("design", String r.design); ("ok", Bool true) ]
+    @ (match source with Some s -> [ ("source", String s) ] | None -> [])
+    @ [
+        ("luts", Int r.mapped_stats.Logic.n_gates);
+        ("ffs", Int r.mapped_stats.Logic.n_latches);
+        ("clbs", Int r.n_clusters);
+        ("nx", Int r.grid.Fpga_arch.Grid.nx);
+        ("ny", Int r.grid.Fpga_arch.Grid.ny);
+        ("width", Int r.route_stats.Route.Router.channel_width);
+        ( "min_width",
+          match r.route_stats.Route.Router.minimum_width with
+          | Some w -> Int w
+          | None -> Null );
+        ("critical_path_s", Float r.route_stats.Route.Router.critical_path_s);
+        ("power_w", Float r.power.Power.Model.total_w);
+        ("bits", Int r.bitstream.Bitstream.Dagger.bits);
+        ("verified", Bool (r.bitstream_verified && r.fabric_verified));
+        ("metrics", R.to_json r.metrics);
+      ])
+
+let result_json ?source r = Obs.Emit.to_string (result_obj ?source r) ^ "\n"
 
 (* One-line summary used by reports and the CLI. *)
 let summary r =

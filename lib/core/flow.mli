@@ -148,19 +148,27 @@ val run_vhdl : ?config:config -> ?obs:Obs.Registry.t -> string -> result
 
 val run_blif : ?config:config -> ?obs:Obs.Registry.t -> string -> result
 
-val timing_report_json : ?design:string -> result -> string
+val timing_report_obj : ?design:string -> result -> Obs.Emit.t
 (** One JSON object holding the pre-route and post-route
     {!Sta.Report.to_json} reports side by side ([design] overrides the
     name recorded in the result; the CLI passes the input's base name).
     The shape is pinned by the golden fixtures under [test/fixtures/] —
     extend additively. *)
 
-val result_json : ?source:string -> result -> string
+val timing_report_json : ?design:string -> result -> string
+(** [timing_report_obj] rendered compactly, newline-terminated. *)
+
+val result_obj : ?source:string -> result -> Obs.Emit.t
 (** One JSON object per compiled design: the batch driver's per-design
     record ([BASE.result.json]) — headline QoR figures (LUTs, FFs, CLBs,
     grid, channel width, critical path, power, bitstream bits, verified
     verdict) plus the full metric registry under ["metrics"].  [source]
-    records the input path.  Schema in docs/OBSERVABILITY.md. *)
+    records the input path.  The compile service embeds the same object
+    under ["result"] in submit responses.  Schema in
+    docs/OBSERVABILITY.md. *)
+
+val result_json : ?source:string -> result -> string
+(** [result_obj] rendered compactly, newline-terminated. *)
 
 val summary : result -> string
 (** One line: LUTs/FFs/CLBs/grid/width/critical path/power/bits/verdicts. *)

@@ -1,13 +1,26 @@
 (* Typed metric registry with domain-safe recording.
 
-   Each domain that records into a registry gets its own private buffer
-   (via Util.Parallel.scratch_slot, so buffers follow the same
-   per-domain-cache discipline as the Dijkstra/costing scratch).  A
-   buffer is only ever mutated by its owning domain; the registry keeps
+   Each domain that records into a registry gets its own private buffer.
+   A buffer is only ever mutated by its owning domain; the registry keeps
    a mutex-protected list of all buffers purely so [snapshot] can find
    them.  Worker domains spawned by Util.Parallel.map are joined before
    [map] returns, which gives the snapshotting domain a happens-before
    edge over every worker-side record.
+
+   Buffer lookup is a one-entry per-domain cache (a single process-wide
+   Domain.DLS slot holding the last (registry, buffer) pair this domain
+   recorded into) backed by a mutex-protected domain-id -> buffer table
+   in the registry itself.  The hot path — repeated records into the
+   same registry, which is every flow stage — is one DLS read and a
+   physical-equality check, no lock.  Crucially the process-wide
+   footprint of a registry is bounded and collectable: creating one
+   registry per request in a long-running daemon leaves behind nothing
+   but the single cache slot per domain (holding at most the most
+   recent registry), because DLS keys are never allocated per registry.
+   (The previous design allocated a fresh Domain.DLS key per registry;
+   DLS storage is append-only per domain, so a daemon serving millions
+   of requests would have grown every domain's DLS array without
+   bound.)
 
    Merge discipline (the deterministic-merge contract of
    docs/OBSERVABILITY.md): every merge operation is commutative and
@@ -41,33 +54,60 @@ type buffer = {
 }
 
 type t = {
-  slot : buffer Util.Parallel.scratch_slot;
   lock : Mutex.t;
   mutable buffers : buffer list; (* registration order, reversed *)
+  mutable by_domain : (int * buffer) list; (* domain id -> buffer *)
   main : buffer; (* the creating domain's buffer: defines snapshot order *)
   seq : int Atomic.t;
 }
 
 let new_buffer () = { cells = Hashtbl.create 32; order = [] }
 
+(* The process-wide per-domain cache: the last (registry, buffer) pair
+   this domain recorded into.  One DLS key for every registry ever
+   created, so registries are cheap and collectable at daemon scale. *)
+let dls_cache : (t * buffer) option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
 let create () =
-  let slot = Util.Parallel.scratch_slot () in
   let main = new_buffer () in
-  let t = { slot; lock = Mutex.create (); buffers = [ main ]; main; seq = Atomic.make 0 } in
+  let t =
+    {
+      lock = Mutex.create ();
+      buffers = [ main ];
+      by_domain = [ ((Domain.self () :> int), main) ];
+      main;
+      seq = Atomic.make 0;
+    }
+  in
   (* Pre-seed the creating domain's cache with [main] so its records land
-     there; other domains fall into the [create] branch of [buffer]. *)
-  ignore (Util.Parallel.scratch slot ~valid:(fun b -> b == main) ~create:(fun () -> main));
+     there; other domains fall into the slow path of [buffer]. *)
+  Domain.DLS.get dls_cache := Some (t, main);
   t
 
 let buffer t =
-  Util.Parallel.scratch t.slot
-    ~valid:(fun _ -> true)
-    ~create:(fun () ->
-      let b = new_buffer () in
+  let cell = Domain.DLS.get dls_cache in
+  match !cell with
+  | Some (r, b) when r == t -> b
+  | _ ->
+      (* Domain switch (or first record on this domain): find or create
+         this domain's buffer in the registry's table, then cache it.
+         Domain ids are never shared by two live domains, so each buffer
+         keeps a single writer even if an id is ever reused. *)
+      let did = (Domain.self () :> int) in
       Mutex.lock t.lock;
-      t.buffers <- b :: t.buffers;
+      let b =
+        match List.assq_opt did t.by_domain with
+        | Some b -> b
+        | None ->
+            let b = new_buffer () in
+            t.by_domain <- (did, b) :: t.by_domain;
+            t.buffers <- b :: t.buffers;
+            b
+      in
       Mutex.unlock t.lock;
-      b)
+      cell := Some (t, b);
+      b
 
 let kind_name = function
   | CCounter _ -> "counter"

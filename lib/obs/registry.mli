@@ -19,13 +19,22 @@
       scheduling.
 
     Recording is domain-safe and lock-free on the hot path: each domain
-    writes to a private buffer (a {!Util.Parallel.scratch_slot} cache);
-    [snapshot] merges all buffers with commutative, order-independent
-    operations, so the merged result is bit-identical at any [jobs]
-    value provided the {e set of recorded values} is itself
-    deterministic.  Snapshot only observes worker-side records that
-    happened before the workers were joined (Util.Parallel.map joins its
-    domains before returning).
+    writes to a private buffer, found through a one-entry per-domain
+    cache of the last registry this domain recorded into; [snapshot]
+    merges all buffers with commutative, order-independent operations,
+    so the merged result is bit-identical at any [jobs] value provided
+    the {e set of recorded values} is itself deterministic.  Snapshot
+    only observes worker-side records that happened before the workers
+    were joined (Util.Parallel.map joins its domains before returning).
+
+    Registries are {e scoped and cheap}: all of a registry's state is
+    reachable only from the registry value itself (plus the single
+    per-domain cache slot, which holds at most the most recently used
+    registry), so a long-running service can create one registry per
+    request — isolating every request's metrics from every other's —
+    without growing any process-wide structure.  Two back-to-back runs
+    recording into two fresh registries produce byte-identical
+    deterministic JSON to two fresh-process runs.
 
     Keys are dotted names following the docs/OBSERVABILITY.md schema.
     Recording a key with two different kinds raises [Invalid_argument]. *)
@@ -35,7 +44,8 @@ type t
 
 val create : unit -> t
 (** A fresh registry.  The creating domain's first-record key order
-    defines the order of {!snapshot}. *)
+    defines the order of {!snapshot}.  Safe to call from any domain,
+    any number of times per process (see the scoping note above). *)
 
 val incr : ?by:int -> t -> string -> unit
 (** Add [by] (default 1) to a counter. *)

@@ -1,0 +1,53 @@
+(* Blocking compile-service client.  See client.mli. *)
+
+module E = Obs.Emit
+
+type t = { fd : Unix.file_descr; ic : in_channel }
+
+let connect path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd }
+
+let close t = try close_in t.ic (* closes the fd *) with Sys_error _ -> ()
+
+let write_all fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then
+      match Unix.write_substring fd s off (n - off) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | written -> go (off + written)
+  in
+  go 0
+
+let send t req =
+  write_all t.fd (E.to_string (Protocol.request_to_json req) ^ "\n")
+
+let recv t = Jsonin.parse (input_line t.ic)
+
+let request t req =
+  send t req;
+  recv t
+
+let with_connection path f =
+  let t = connect path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+let ok json =
+  match Option.bind (Jsonin.member "ok" json) Jsonin.get_bool with
+  | Some b -> b
+  | None -> false
+
+let error_message json =
+  let str name =
+    Option.bind (Jsonin.member name json) Jsonin.get_string
+  in
+  let msg = Option.value (str "error") ~default:"unknown error" in
+  let tag name =
+    match str name with Some v -> Printf.sprintf " [%s %s]" name v | None -> ""
+  in
+  msg ^ tag "code" ^ tag "stage"

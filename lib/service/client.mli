@@ -1,0 +1,44 @@
+(** Blocking client for the compile service.
+
+    One connection, one request/response at a time: {!request} writes a
+    {!Protocol.request} as one JSON line and blocks until the matching
+    response line arrives (for [submit], that is when the compile
+    finishes — immediate errors like backpressure come straight back).
+    [amdrel_flow --remote] is built on this; tests drive concurrent
+    clients by running one connection per domain. *)
+
+type t
+
+val connect : string -> t
+(** Connect to the daemon's Unix-domain socket.
+    @raise Unix.Unix_error when nobody is listening. *)
+
+val close : t -> unit
+
+val request : t -> Protocol.request -> Obs.Emit.t
+(** Send one request, wait for one response, parse it.
+    @raise End_of_file when the server closes the connection first.
+    @raise Jsonin.Parse_error on a malformed response line. *)
+
+val send : t -> Protocol.request -> unit
+(** Fire a request without waiting.  Pipelined submits get their
+    responses in {e completion} order, not submission order — match
+    them up by ["id"] (immediate errors such as backpressure carry no
+    id and overtake in-flight compiles). *)
+
+val recv : t -> Obs.Emit.t
+(** Block for the next response line.  [request t r] is
+    [send t r; recv t]. *)
+
+val with_connection : string -> (t -> 'a) -> 'a
+(** [with_connection path f] connects, runs [f], and closes — also on
+    exceptions. *)
+
+(** {1 Response accessors} *)
+
+val ok : Obs.Emit.t -> bool
+(** The response's ["ok"] field ([false] when absent). *)
+
+val error_message : Obs.Emit.t -> string
+(** Human-readable failure description: ["error"] plus ["code"] and
+    ["stage"] when present.  Meaningful only when [ok] is [false]. *)

@@ -1,0 +1,20 @@
+(* Batch manifest parsing: one design path per line, resolved against
+   the manifest's own directory.  See manifest.mli. *)
+
+let resolve ~manifest line =
+  if Filename.is_relative line then
+    Filename.concat (Filename.dirname manifest) line
+  else line
+
+let read path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  String.split_on_char '\n' text
+  |> List.filter_map (fun line ->
+         let line = String.trim line in
+         if line = "" || line.[0] = '#' then None
+         else Some (resolve ~manifest:path line))

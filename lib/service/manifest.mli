@@ -1,0 +1,19 @@
+(** Batch manifests: one design source path per line.
+
+    Shared by [amdrel_flow --batch] (local compilation) and
+    [amdrel_flow --batch --remote] (submission to a daemon).  Blank
+    lines and [#] comments are skipped.  Relative paths resolve against
+    the {e manifest file's} directory — not the process working
+    directory — so a manifest can be checked in next to its designs and
+    used from anywhere.  (Resolving against the CWD first, as the batch
+    driver originally did, silently compiled the wrong file when the
+    CWD happened to contain a same-named design.) *)
+
+val resolve : manifest:string -> string -> string
+(** [resolve ~manifest line] is the design path for one manifest entry:
+    [line] itself when absolute, otherwise [dirname manifest / line]. *)
+
+val read : string -> string list
+(** [read path] parses the manifest at [path] into design paths, in
+    file order.
+    @raise Sys_error when the manifest cannot be read. *)

@@ -1,0 +1,62 @@
+(** The compile-service wire protocol: newline-delimited JSON over a
+    Unix-domain socket.
+
+    Each request is one JSON object on one line; each response is one
+    JSON object on one line.  Four verbs:
+
+    - [submit] — compile one design.  Carries the VHDL source text and
+      the output-affecting config the client may choose (seed, fixed
+      channel width, timing report, clock period, placement starts);
+      everything else — cache directory, job budget — is the server's.
+      The response arrives when the compile finishes (or immediately,
+      with [code = "backpressure"], when the admission queue is full).
+    - [status] — queue depth, in-flight count, lifetime counters.
+      Answered immediately.
+    - [metrics] — the server's full metric registry ([service.*] and
+      [cache.*] keys; docs/OBSERVABILITY.md).  Answered immediately.
+    - [shutdown] — begin a graceful drain: stop admitting, finish
+      queued and in-flight work, flush responses, exit.  Equivalent to
+      SIGTERM on the daemon.
+
+    Response schemas are documented in docs/ARCHITECTURE.md (Compile
+    service section).  Every response object carries ["ok"]; failures
+    carry ["error"] and a machine-readable ["code"]
+    ([backpressure] | [draining] | [bad-request] | [compile-error]),
+    and compile errors additionally name the flow ["stage"] that
+    raised.  Success responses to [submit] embed the same per-design
+    record as [amdrel_flow --batch]'s [BASE.result.json]
+    ({!Core.Flow.result_json}) under ["result"], the bitstream bytes
+    hex-encoded under ["bitstream_hex"], and the run's deterministic
+    metric view under ["deterministic_metrics"]. *)
+
+type submit = {
+  vhdl : string;             (** VHDL source text (possibly several
+                                 entities; the last is the top) *)
+  seed : int;                (** placement seed (default 1) *)
+  route_width : int option;  (** fixed channel width; [None] searches
+                                 the minimum *)
+  timing_report : bool;      (** timing-driven + a timing report in the
+                                 response under ["timing"] *)
+  period_ns : float option;  (** target clock period (implies
+                                 timing-driven) *)
+  place_starts : int;        (** independent annealing starts *)
+}
+
+val default_submit : submit
+(** Empty source, seed 1, width search, no timing report, 1 start. *)
+
+type request = Submit of submit | Status | Metrics | Shutdown
+
+val request_to_json : request -> Obs.Emit.t
+
+val request_of_json : Obs.Emit.t -> (request, string) result
+(** Inverse of {!request_to_json}; [Error] describes the malformation.
+    Unknown verbs and missing/mistyped required fields are errors;
+    omitted optional submit fields take {!default_submit}'s values. *)
+
+(** {1 Bitstream transport} *)
+
+val hex_encode : string -> string
+(** Lowercase hex, two characters per byte. *)
+
+val hex_decode : string -> (string, string) result

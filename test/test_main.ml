@@ -14,5 +14,6 @@ let () =
       ("golden", Test_golden.suite);
       ("obs", Test_obs.suite);
       ("cache", Test_cache.suite);
+      ("service", Test_service.suite);
       ("flow", Test_flow.suite);
     ]

@@ -468,6 +468,28 @@ let test_flow_metrics_jobs_identical () =
       "sta.level-nodes";
     ]
 
+(* The long-running-process guarantee the compile service leans on:
+   two back-to-back runs in ONE process, each into a fresh registry,
+   produce byte-identical deterministic metric JSON — i.e. identical to
+   what two fresh processes would produce.  Nothing recorded by the
+   first run (registry state, per-domain buffers, DLS caches) may leak
+   into the second. *)
+let test_back_to_back_runs_identical () =
+  let run () =
+    let obs = Obs.Registry.create () in
+    let r =
+      Core.Flow.run_vhdl
+        ~config:{ Core.Flow.default_config with Core.Flow.jobs = Some 2 }
+        ~obs
+        (Core.Bench_circuits.counter 8)
+    in
+    Obs.Emit.to_string
+      (Obs.Registry.to_json ~deterministic:true r.Core.Flow.metrics)
+  in
+  let first = run () in
+  let second = run () in
+  Alcotest.(check string) "second run byte-identical to first" first second
+
 let suite =
   [
     ("emit structure", `Quick, test_emit_structure);
@@ -486,4 +508,6 @@ let suite =
     ("flow trace", `Slow, test_flow_trace);
     ("flow metrics jobs-identical (mult12)", `Slow,
      test_flow_metrics_jobs_identical);
+    ("back-to-back runs identical (counter8)", `Slow,
+     test_back_to_back_runs_identical);
   ]

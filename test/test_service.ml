@@ -1,0 +1,528 @@
+(* The compile service: JSON parsing, the wire protocol, manifest
+   resolution, concurrent cache writers, size-bounded eviction, and an
+   end-to-end daemon exercise (concurrent submissions bit-identical to
+   standalone runs, backpressure, graceful drain). *)
+
+module E = Obs.Emit
+module R = Obs.Registry
+module J = Service.Jsonin
+module P = Service.Protocol
+
+let counter obs name =
+  match R.find (R.snapshot obs) name with
+  | Some (R.Counter n) -> n
+  | _ -> 0
+
+let fresh_dir () = Filename.temp_dir "amdrel-service-test" ""
+
+(* ---------- Jsonin: parsing back what Emit produces ---------- *)
+
+let test_jsonin_roundtrip () =
+  let samples =
+    [
+      E.Null;
+      E.Bool true;
+      E.Int (-42);
+      E.Float 1.5;
+      E.String "plain";
+      E.String "esc \" \\ \n \t \x01 end";
+      E.List [ E.Int 1; E.List []; E.Obj [] ];
+      E.Obj
+        [
+          ("a", E.Int 0);
+          ("nested", E.Obj [ ("l", E.List [ E.Bool false; E.Null ]) ]);
+        ];
+    ]
+  in
+  List.iter
+    (fun v ->
+      let s = E.to_string v in
+      (* parse . print is the identity on printed JSON: this is what
+         makes byte-comparing re-rendered responses meaningful *)
+      Alcotest.(check string) ("stable: " ^ s) s (E.to_string (J.parse s)))
+    samples
+
+let test_jsonin_values () =
+  let p = J.parse in
+  Alcotest.(check bool) "int" true (p "17" = E.Int 17);
+  Alcotest.(check bool) "negative float" true (p "-2.5" = E.Float (-2.5));
+  Alcotest.(check bool) "exponent is float" true (p "1e2" = E.Float 100.0);
+  Alcotest.(check bool) "unicode escape" true
+    (p {|"Aé"|} = E.String "A\xc3\xa9");
+  Alcotest.(check bool) "surrogate pair" true
+    (p {|"😀"|} = E.String "\xf0\x9f\x98\x80");
+  Alcotest.(check bool) "whitespace tolerated" true
+    (p " { \"k\" : [ 1 , 2 ] } " = E.Obj [ ("k", E.List [ E.Int 1; E.Int 2 ]) ]);
+  List.iter
+    (fun bad ->
+      match J.parse bad with
+      | exception J.Parse_error _ -> ()
+      | _ -> Alcotest.failf "accepted malformed %S" bad)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "\"unterminated"; "1 2"; "{'a':1}" ]
+
+let test_jsonin_accessors () =
+  let o = J.parse {|{"s":"x","b":true,"i":3,"f":2.5,"fi":4.0}|} in
+  Alcotest.(check (option string)) "string" (Some "x")
+    (Option.bind (J.member "s" o) J.get_string);
+  Alcotest.(check (option bool)) "bool" (Some true)
+    (Option.bind (J.member "b" o) J.get_bool);
+  Alcotest.(check (option int)) "int" (Some 3)
+    (Option.bind (J.member "i" o) J.get_int);
+  Alcotest.(check (option int)) "integral float as int" (Some 4)
+    (Option.bind (J.member "fi" o) J.get_int);
+  Alcotest.(check bool) "float" true
+    (Option.bind (J.member "f" o) J.get_float = Some 2.5);
+  Alcotest.(check bool) "int as float" true
+    (Option.bind (J.member "i" o) J.get_float = Some 3.0);
+  Alcotest.(check bool) "absent member" true (J.member "zz" o = None)
+
+(* ---------- the wire protocol ---------- *)
+
+let test_protocol_roundtrip () =
+  let roundtrip r =
+    match P.request_of_json (J.parse (E.to_string (P.request_to_json r))) with
+    | Ok r' -> Alcotest.(check bool) "roundtrips" true (r = r')
+    | Error e -> Alcotest.failf "roundtrip failed: %s" e
+  in
+  roundtrip P.Status;
+  roundtrip P.Metrics;
+  roundtrip P.Shutdown;
+  roundtrip (P.Submit { P.default_submit with P.vhdl = "entity e is end;" });
+  roundtrip
+    (P.Submit
+       {
+         P.vhdl = "x";
+         seed = 7;
+         route_width = Some 10;
+         timing_report = true;
+         period_ns = Some 12.5;
+         place_starts = 3;
+       })
+
+let test_protocol_errors () =
+  let err s =
+    match P.request_of_json (J.parse s) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "accepted %S" s
+  in
+  err {|{"no":"verb"}|};
+  err {|{"verb":"frobnicate"}|};
+  err {|{"verb":"submit"}|} (* vhdl required *);
+  err {|{"verb":"submit","vhdl":3}|};
+  err {|{"verb":"submit","vhdl":"x","seed":"high"}|};
+  (* null optional fields read as absent, not as type errors *)
+  match P.request_of_json (J.parse {|{"verb":"submit","vhdl":"x","route_width":null}|}) with
+  | Ok (P.Submit s) ->
+      Alcotest.(check bool) "null optional = default" true (s.P.route_width = None)
+  | _ -> Alcotest.fail "null optional rejected"
+
+let test_hex_roundtrip () =
+  let all = String.init 256 Char.chr in
+  Alcotest.(check (result string string)) "roundtrip" (Ok all)
+    (P.hex_decode (P.hex_encode all));
+  Alcotest.(check bool) "odd length rejected" true
+    (Result.is_error (P.hex_decode "abc"));
+  Alcotest.(check bool) "non-hex rejected" true
+    (Result.is_error (P.hex_decode "zz"))
+
+(* ---------- manifest resolution (the --batch CWD bug) ---------- *)
+
+let test_manifest_resolution () =
+  let dir = fresh_dir () in
+  let manifest = Filename.concat dir "designs.txt" in
+  let oc = open_out manifest in
+  output_string oc "a.vhd\n\n# a comment\n  sub/b.vhd  \n/abs/c.vhd\n";
+  close_out oc;
+  (* The regression: a same-named file in the CWD must NOT win over the
+     manifest directory.  (The old driver checked Sys.file_exists on the
+     bare line first, silently compiling whatever the CWD held.) *)
+  let decoy = "a.vhd" in
+  let had_decoy = Sys.file_exists decoy in
+  if not had_decoy then begin
+    let oc = open_out decoy in
+    output_string oc "-- decoy: must never be picked up\n";
+    close_out oc
+  end;
+  let paths = Service.Manifest.read manifest in
+  if not had_decoy then Sys.remove decoy;
+  Alcotest.(check (list string)) "resolved against the manifest dir"
+    [
+      Filename.concat dir "a.vhd";
+      Filename.concat dir "sub/b.vhd";
+      "/abs/c.vhd";
+    ]
+    paths;
+  Alcotest.(check string) "resolve: relative"
+    (Filename.concat dir "x.vhd")
+    (Service.Manifest.resolve ~manifest "x.vhd");
+  Alcotest.(check string) "resolve: absolute untouched" "/a/b.vhd"
+    (Service.Manifest.resolve ~manifest "/a/b.vhd")
+
+(* ---------- concurrent writers on one store key ---------- *)
+
+let test_concurrent_store_same_key () =
+  let dir = fresh_dir () in
+  let k = Cache.Store.key [ "hammer"; "v1" ] in
+  let payload tag j = (tag, j, String.make 2048 (Char.chr (65 + tag))) in
+  (* four domains, each with its own handle and registry, all hammering
+     the same key with interleaved stores and reads *)
+  let domains =
+    Array.init 4 (fun tag ->
+        Domain.spawn (fun () ->
+            let obs = R.create () in
+            let s = Cache.Store.open_ ~obs dir in
+            for j = 0 to 149 do
+              Cache.Store.store s k (payload tag j);
+              match (Cache.Store.find s k : (int * int * string) option) with
+              | Some (t, _, body) ->
+                  (* whatever we read is some writer's complete value,
+                     never an interleaving of two *)
+                  if String.length body <> 2048 || body.[0] <> Char.chr (65 + t)
+                  then failwith "torn read"
+              | None -> () (* lost the race to a concurrent rename; fine *)
+            done;
+            counter obs "cache.corrupt"))
+  in
+  let corrupt = Array.fold_left (fun n d -> n + Domain.join d) 0 domains in
+  Alcotest.(check int) "no read ever saw a torn entry" 0 corrupt;
+  (* the survivor is one writer's complete payload *)
+  (match (Cache.Store.find (Cache.Store.open_ dir) k : (int * int * string) option) with
+  | Some (t, _, body) ->
+      Alcotest.(check bool) "final entry complete" true
+        (String.length body = 2048 && body.[0] = Char.chr (65 + t))
+  | None -> Alcotest.fail "entry missing after the hammer");
+  (* every temp file was renamed or belongs to nobody: none left behind *)
+  let temps =
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun n -> Filename.check_suffix n ".tmp")
+  in
+  Alcotest.(check (list string)) "no temp debris" [] temps
+
+(* ---------- size-bounded eviction ---------- *)
+
+let stage_mtime path t = Unix.utimes path t t
+
+let seed_entries s n =
+  (* n entries with distinct keys and strictly increasing staged mtimes
+     (explicit, so filesystem timestamp granularity can't tie) *)
+  List.init n (fun i ->
+      let k = Cache.Store.key [ "gc"; string_of_int i ] in
+      Cache.Store.store s k (i, String.make 1024 'e');
+      stage_mtime (Cache.Store.path s k) (1.0e9 +. float_of_int i);
+      k)
+
+let test_gc_scan_only () =
+  let dir = fresh_dir () in
+  let obs = R.create () in
+  let s = Cache.Store.open_ ~obs dir in
+  let keys = seed_entries s 6 in
+  let g = Cache.Store.gc s in
+  Alcotest.(check int) "all entries counted" 6 g.Cache.Store.entries;
+  Alcotest.(check int) "nothing evicted" 0 g.Cache.Store.evicted;
+  Alcotest.(check bool) "resident bytes counted" true
+    (g.Cache.Store.resident_bytes > 6 * 1024);
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "entry survives a scan" true
+        (Cache.Store.find s k <> (None : (int * string) option)))
+    keys
+
+let test_gc_lru_eviction () =
+  let dir = fresh_dir () in
+  let obs = R.create () in
+  let s = Cache.Store.open_ ~obs dir in
+  let keys = seed_entries s 6 in
+  let total = (Cache.Store.gc s).Cache.Store.resident_bytes in
+  let per_entry = total / 6 in
+  (* budget for three entries: the three oldest must go, oldest first *)
+  let g = Cache.Store.gc ~max_bytes:(3 * per_entry) s in
+  Alcotest.(check int) "three evicted" 3 g.Cache.Store.evicted;
+  Alcotest.(check bool) "under budget" true
+    (g.Cache.Store.resident_bytes <= 3 * per_entry);
+  List.iteri
+    (fun i k ->
+      let present = Cache.Store.find s k <> (None : (int * string) option) in
+      Alcotest.(check bool)
+        (Printf.sprintf "entry %d %s" i (if i < 3 then "evicted" else "kept"))
+        (i >= 3) present)
+    keys;
+  Alcotest.(check int) "cache.evict counted" 3 (counter obs "cache.evict")
+
+let test_gc_hit_refreshes_recency () =
+  let dir = fresh_dir () in
+  let s = Cache.Store.open_ dir in
+  let keys = seed_entries s 3 in
+  let k0 = List.nth keys 0 and k1 = List.nth keys 1 and k2 = List.nth keys 2 in
+  let total = (Cache.Store.gc s).Cache.Store.resident_bytes in
+  (* touch the oldest entry through a hit; now entry 1 is the LRU *)
+  Alcotest.(check bool) "hit" true
+    (Cache.Store.find s k0 <> (None : (int * string) option));
+  let g = Cache.Store.gc ~max_bytes:(2 * (total / 3)) s in
+  Alcotest.(check int) "one evicted" 1 g.Cache.Store.evicted;
+  Alcotest.(check bool) "hit entry survives" true
+    (Cache.Store.find s k0 <> (None : (int * string) option));
+  Alcotest.(check bool) "un-hit LRU evicted" true
+    (Cache.Store.find s k1 = (None : (int * string) option));
+  Alcotest.(check bool) "newest survives" true
+    (Cache.Store.find s k2 <> (None : (int * string) option))
+
+let test_gc_corrupt_first () =
+  let dir = fresh_dir () in
+  let s = Cache.Store.open_ dir in
+  let keys = seed_entries s 3 in
+  (* corrupt the NEWEST entry: under a budget it must still be the first
+     to go — a corrupt entry can only ever read as a miss *)
+  let newest = List.nth keys 2 in
+  let p = Cache.Store.path s newest in
+  let ic = open_in_bin p in
+  let half = really_input_string ic (in_channel_length ic / 2) in
+  close_in ic;
+  let oc = open_out_bin p in
+  output_string oc half;
+  close_out oc;
+  stage_mtime p 2.0e9;
+  let intact_bytes =
+    let st0 = Unix.stat (Cache.Store.path s (List.nth keys 0)) in
+    let st1 = Unix.stat (Cache.Store.path s (List.nth keys 1)) in
+    st0.Unix.st_size + st1.Unix.st_size
+  in
+  let g = Cache.Store.gc ~max_bytes:intact_bytes s in
+  Alcotest.(check int) "one evicted" 1 g.Cache.Store.evicted;
+  Alcotest.(check int) "the corrupt one" 1 g.Cache.Store.evicted_corrupt;
+  Alcotest.(check int) "both intact entries kept" 2 g.Cache.Store.entries;
+  List.iteri
+    (fun i k ->
+      Alcotest.(check bool)
+        (Printf.sprintf "intact entry %d kept" i)
+        true
+        (Cache.Store.find s k <> (None : (int * string) option)))
+    [ List.nth keys 0; List.nth keys 1 ]
+
+let test_gc_removes_stale_temps () =
+  let dir = fresh_dir () in
+  let s = Cache.Store.open_ dir in
+  ignore (seed_entries s 2);
+  let stale = Filename.concat dir ".part-9999-0-0.tmp" in
+  let oc = open_out_bin stale in
+  output_string oc "crashed writer leftovers";
+  close_out oc;
+  stage_mtime stale 1.0e9 (* long past the grace period *);
+  let fresh = Filename.concat dir ".part-9999-0-1.tmp" in
+  let oc = open_out_bin fresh in
+  output_string oc "in-flight write";
+  close_out oc;
+  ignore (Cache.Store.gc s);
+  Alcotest.(check bool) "stale temp removed" false (Sys.file_exists stale);
+  Alcotest.(check bool) "fresh temp untouched" true (Sys.file_exists fresh)
+
+(* ---------- the daemon, end to end ---------- *)
+
+let short_sock () =
+  let p = Filename.temp_file "amdreld" ".sock" in
+  Sys.remove p;
+  p
+
+let quiet_server_config ~sock ~cache ~workers ~queue_depth ~jobs =
+  {
+    Service.Server.socket_path = sock;
+    queue_depth;
+    workers;
+    jobs;
+    cache_max_bytes = None;
+    flow = { Core.Flow.default_config with Core.Flow.cache_dir = Some cache };
+    log = ignore;
+  }
+
+let submit_req vhdl = P.Submit { P.default_submit with P.vhdl }
+
+let member_exn name resp =
+  match J.member name resp with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks %S: %s" name (E.to_string resp)
+
+let test_daemon_e2e () =
+  let designs =
+    [
+      ("counter8", Core.Bench_circuits.counter 8);
+      ("parity16", Core.Bench_circuits.parity 16);
+      ("decoder4", Core.Bench_circuits.decoder 4);
+      ("gray8", Core.Bench_circuits.gray_counter 8);
+    ]
+  in
+  (* standalone references: same effective config as the server will use
+     (cold cache, jobs=1 per request), one fresh cache dir per design *)
+  let reference =
+    List.map
+      (fun (name, vhdl) ->
+        let obs = R.create () in
+        let r =
+          Core.Flow.run_vhdl
+            ~config:
+              {
+                Core.Flow.default_config with
+                Core.Flow.cache_dir = Some (fresh_dir ());
+                jobs = Some 1;
+              }
+            ~obs vhdl
+        in
+        ( name,
+          r.Core.Flow.bitstream.Bitstream.Dagger.bytes,
+          E.to_string (R.to_json ~deterministic:true r.Core.Flow.metrics) ))
+      designs
+  in
+  let sock = short_sock () in
+  let server =
+    Service.Server.create
+      (quiet_server_config ~sock ~cache:(fresh_dir ()) ~workers:2
+         ~queue_depth:8 ~jobs:2)
+  in
+  let server_domain = Domain.spawn (fun () -> Service.Server.run server) in
+  (* four concurrent clients, one connection and one submission each *)
+  let clients =
+    List.map
+      (fun (name, vhdl) ->
+        ( name,
+          Domain.spawn (fun () ->
+              Service.Client.with_connection sock (fun c ->
+                  Service.Client.request c (submit_req vhdl))) ))
+      designs
+  in
+  let responses = List.map (fun (name, d) -> (name, Domain.join d)) clients in
+  List.iter
+    (fun (name, resp) ->
+      Alcotest.(check bool) (name ^ " ok") true (Service.Client.ok resp);
+      let ref_bytes, ref_metrics =
+        let _, b, m = List.find (fun (n, _, _) -> n = name) reference in
+        (b, m)
+      in
+      let hex =
+        match J.get_string (member_exn "bitstream_hex" resp) with
+        | Some h -> h
+        | None -> Alcotest.fail "bitstream_hex not a string"
+      in
+      (match P.hex_decode hex with
+      | Ok bytes ->
+          Alcotest.(check bool)
+            (name ^ " bitstream bytes identical to standalone")
+            true (bytes = ref_bytes)
+      | Error e -> Alcotest.failf "bad hex: %s" e);
+      Alcotest.(check string)
+        (name ^ " deterministic metrics identical to standalone")
+        ref_metrics
+        (E.to_string (member_exn "deterministic_metrics" resp));
+      (* the embedded result record parses and says ok *)
+      let result = member_exn "result" resp in
+      Alcotest.(check (option bool)) (name ^ " result.ok") (Some true)
+        (Option.bind (J.member "ok" result) J.get_bool))
+    responses;
+  (* warm resubmission over the shared cache: every stage hits *)
+  let warm =
+    Service.Client.with_connection sock (fun c ->
+        Service.Client.request c (submit_req (snd (List.hd designs))))
+  in
+  Alcotest.(check bool) "warm ok" true (Service.Client.ok warm);
+  let warm_metrics = member_exn "result" warm |> member_exn "metrics" in
+  let warm_hits =
+    Option.bind (J.member "cache.hit" warm_metrics) (fun e ->
+        Option.bind (J.member "value" e) J.get_int)
+  in
+  Alcotest.(check bool) "warm run hits every stage" true
+    (match warm_hits with Some h -> h >= 7 | None -> false);
+  (* status and drain via the shutdown verb *)
+  Service.Client.with_connection sock (fun c ->
+      let st = Service.Client.request c P.Status in
+      Alcotest.(check (option int)) "all completed" (Some 5)
+        (Option.bind (J.member "completed" st) J.get_int);
+      let bye = Service.Client.request c P.Shutdown in
+      Alcotest.(check bool) "shutdown acked" true (Service.Client.ok bye));
+  Domain.join server_domain;
+  Alcotest.(check bool) "socket unlinked after drain" false
+    (Sys.file_exists sock)
+
+(* Backpressure and drain-with-queued-work: one worker, queue of one.
+   A compiling request holds the worker, a queued request fills the
+   queue, the third submission bounces immediately with a structured
+   error.  A shutdown issued while work is queued completes that work
+   before the server exits. *)
+let test_daemon_backpressure_and_drain () =
+  let sock = short_sock () in
+  let server =
+    Service.Server.create
+      (quiet_server_config ~sock ~cache:(fresh_dir ()) ~workers:1
+         ~queue_depth:1 ~jobs:1)
+  in
+  let server_domain = Domain.spawn (fun () -> Service.Server.run server) in
+  (* two distinct designs so neither compile can answer from the cache *)
+  let slow1 = Core.Bench_circuits.multiplier 4 in
+  let slow2 = Core.Bench_circuits.alu 8 in
+  let submitter = Service.Client.connect sock in
+  let poll = Service.Client.connect sock in
+  let status name =
+    let st = Service.Client.request poll P.Status in
+    Option.value (Option.bind (J.member name st) J.get_int) ~default:(-1)
+  in
+  let wait_for what pred =
+    let rec go n =
+      if n > 2000 then Alcotest.failf "timeout waiting for %s" what
+      else if not (pred ()) then begin
+        Unix.sleepf 0.005;
+        go (n + 1)
+      end
+    in
+    go 0
+  in
+  (* first submit occupies the single worker... *)
+  Service.Client.send submitter (submit_req slow1);
+  wait_for "first compile in flight" (fun () -> status "in_flight" = 1);
+  (* ...second fills the queue of one... *)
+  Service.Client.send submitter (submit_req slow2);
+  wait_for "second compile queued" (fun () -> status "queue_depth" = 1);
+  (* ...third bounces immediately with a structured error, overtaking
+     the in-flight compiles on the wire *)
+  Service.Client.send submitter (submit_req slow2);
+  let bounce = Service.Client.recv submitter in
+  Alcotest.(check bool) "bounced" false (Service.Client.ok bounce);
+  Alcotest.(check (option string)) "backpressure code" (Some "backpressure")
+    (Option.bind (J.member "code" bounce) J.get_string);
+  Alcotest.(check int) "rejection counted" 1 (status "rejected");
+  (* drain with work still queued: the shutdown is acknowledged, both
+     admitted compiles complete ok, then the server exits *)
+  let bye = Service.Client.request poll P.Shutdown in
+  Alcotest.(check bool) "shutdown acked" true (Service.Client.ok bye);
+  let r1 = Service.Client.recv submitter in
+  let r2 = Service.Client.recv submitter in
+  List.iteri
+    (fun i r ->
+      Alcotest.(check bool)
+        (Printf.sprintf "admitted compile %d finished ok" (i + 1))
+        true (Service.Client.ok r);
+      Alcotest.(check (option int))
+        (Printf.sprintf "response %d in FIFO order" (i + 1))
+        (Some (i + 1))
+        (Option.bind (J.member "id" r) J.get_int))
+    [ r1; r2 ];
+  Service.Client.close submitter;
+  Service.Client.close poll;
+  Domain.join server_domain;
+  Alcotest.(check bool) "socket unlinked after drain" false
+    (Sys.file_exists sock)
+
+let suite =
+  [
+    ("jsonin roundtrip", `Quick, test_jsonin_roundtrip);
+    ("jsonin values", `Quick, test_jsonin_values);
+    ("jsonin accessors", `Quick, test_jsonin_accessors);
+    ("protocol roundtrip", `Quick, test_protocol_roundtrip);
+    ("protocol errors", `Quick, test_protocol_errors);
+    ("hex roundtrip", `Quick, test_hex_roundtrip);
+    ("manifest resolution", `Quick, test_manifest_resolution);
+    ("concurrent stores, one key", `Slow, test_concurrent_store_same_key);
+    ("gc scan only", `Quick, test_gc_scan_only);
+    ("gc LRU eviction", `Quick, test_gc_lru_eviction);
+    ("gc hit refreshes recency", `Quick, test_gc_hit_refreshes_recency);
+    ("gc corrupt first", `Quick, test_gc_corrupt_first);
+    ("gc removes stale temps", `Quick, test_gc_removes_stale_temps);
+    ("daemon end to end", `Slow, test_daemon_e2e);
+    ("daemon backpressure and drain", `Slow,
+     test_daemon_backpressure_and_drain);
+  ]
