@@ -23,11 +23,17 @@
 
 open Cmdliner
 
-let make_config seed fixed_width jobs timing_report period_ns
+let make_config arch seed fixed_width jobs timing_report period_ns
     no_incremental_sta cache_dir =
+  let params =
+    match arch with
+    | Some file -> Fpga_arch.Archfile.of_file file
+    | None -> Core.Flow.default_config.Core.Flow.params
+  in
   {
     Core.Flow.default_config with
-    Core.Flow.seed;
+    Core.Flow.params;
+    seed;
     search_min_width = fixed_width = None;
     route_width = (match fixed_width with Some w -> w | None -> 12);
     timing_driven = timing_report || period_ns <> None;
@@ -259,6 +265,61 @@ let run_batch manifest outdir config timing_report jobs =
     outdir;
   if failed > 0 then exit 1
 
+(* ---------- architecture sweep mode ---------- *)
+
+(* Segment-mix x channel-width sweep over the bench suite: the paper's
+   §3.3 wire-length study run through the full CAD flow, one fabric per
+   point, fanned out over the Domain pool.  Per point: minimum channel
+   width, critical path, power, and energy per data cycle. *)
+let run_arch_sweep outdir mixes widths jobs =
+  let mixes = if mixes = [] then Core.Explore.default_mixes else mixes in
+  let w0 = Unix.gettimeofday () in
+  let points = Core.Explore.segment_mix_sweep ~mixes ~widths ?jobs () in
+  Printf.printf "%-22s %6s %8s %9s %10s %6s\n" "mix" "Wmin" "crit/ns"
+    "power/mW" "energy/pJ" "util";
+  List.iter
+    (fun (p : Core.Explore.arch_point) ->
+      Printf.printf "%-22s %6.1f %8.2f %9.2f %10.2f %5.1f%%\n"
+        p.Core.Explore.arch_label p.Core.Explore.point.Core.Explore.avg_min_width
+        p.Core.Explore.point.Core.Explore.avg_crit_ns
+        p.Core.Explore.point.Core.Explore.avg_power_mw
+        p.Core.Explore.avg_energy_pj
+        (100.0 *. p.Core.Explore.point.Core.Explore.avg_utilization))
+    points;
+  let json =
+    Obs.Emit.List
+      (List.map
+         (fun (p : Core.Explore.arch_point) ->
+           Obs.Emit.Obj
+             [
+               ("mix", Obs.Emit.String p.Core.Explore.mix);
+               ( "width",
+                 match p.Core.Explore.fixed_width with
+                 | Some w -> Obs.Emit.Int w
+                 | None -> Obs.Emit.Null );
+               ( "wmin",
+                 Obs.Emit.Float p.Core.Explore.point.Core.Explore.avg_min_width
+               );
+               ( "crit_ns",
+                 Obs.Emit.Float p.Core.Explore.point.Core.Explore.avg_crit_ns );
+               ( "power_mw",
+                 Obs.Emit.Float p.Core.Explore.point.Core.Explore.avg_power_mw
+               );
+               ("energy_pj", Obs.Emit.Float p.Core.Explore.avg_energy_pj);
+               ( "utilization",
+                 Obs.Emit.Float
+                   p.Core.Explore.point.Core.Explore.avg_utilization );
+             ])
+         points)
+  in
+  let path = Filename.concat outdir "arch_sweep.json" in
+  Tool_common.write_file path (Obs.Emit.to_string json ^ "\n");
+  Printf.printf "sweep: %d point(s), %.2f s wall over %d domain(s) -> %s\n"
+    (List.length points)
+    (Unix.gettimeofday () -. w0)
+    (Util.Parallel.resolve_jobs ?jobs ())
+    path
+
 (* ---------- remote mode (submission to an amdreld daemon) ---------- *)
 
 module J = Service.Jsonin
@@ -346,32 +407,39 @@ let run_remote socket input outdir seed fixed_width timing_report period_ns
 
 let run input outdir seed fixed_width jobs timing_report period_ns
     metrics_json trace_file no_incremental_sta batch no_cache cache_dir
-    remote =
+    remote arch arch_sweep sweep_mixes sweep_widths =
   (try Sys.mkdir outdir 0o755 with Sys_error _ -> ());
-  match remote with
-  | Some socket ->
-      run_remote socket input outdir seed fixed_width timing_report period_ns
-        batch
-  | None ->
-      let cache_dir = if no_cache then None else Some cache_dir in
-      let config =
-        make_config seed fixed_width jobs timing_report period_ns
-          no_incremental_sta cache_dir
-      in
-      if batch then run_batch input outdir config timing_report jobs
-      else
-        run_single input outdir config timing_report metrics_json trace_file
-          jobs
+  if arch_sweep then run_arch_sweep outdir sweep_mixes sweep_widths jobs
+  else
+    let input =
+      match input with
+      | Some i -> i
+      | None -> failwith "INPUT is required (unless running --arch-sweep)"
+    in
+    match remote with
+    | Some socket ->
+        run_remote socket input outdir seed fixed_width timing_report period_ns
+          batch
+    | None ->
+        let cache_dir = if no_cache then None else Some cache_dir in
+        let config =
+          make_config arch seed fixed_width jobs timing_report period_ns
+            no_incremental_sta cache_dir
+        in
+        if batch then run_batch input outdir config timing_report jobs
+        else
+          run_single input outdir config timing_report metrics_json trace_file
+            jobs
 
 let input_arg =
   Arg.(
-    required
+    value
     & pos 0 (some file) None
     & info [] ~docv:"INPUT"
         ~doc:
           "VHDL source to compile, or (with $(b,--batch)) a manifest \
            listing one VHDL path per line ($(b,#) comments and blank \
-           lines ignored).")
+           lines ignored).  Not used with $(b,--arch-sweep).")
 
 let outdir_arg =
   Arg.(
@@ -500,6 +568,52 @@ let remote_arg =
            land in the same places.  Works with $(b,--batch); the local \
            cache and jobs flags are the daemon's business and ignored.")
 
+let arch_arg =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "arch" ] ~docv:"FILE"
+        ~doc:
+          "Architecture file describing the target fabric (K, N, I, \
+           channel width and the $(b,segment) mix lines — see the format \
+           header in lib/fpga_arch/archfile.ml).  Default: the built-in \
+           AMDREL platform (uniform length-1 segments).  The segment \
+           spec is part of every route-stage cache key, so switching \
+           architectures never reuses stale routings.")
+
+let arch_sweep_arg =
+  Arg.(
+    value & flag
+    & info [ "arch-sweep" ]
+        ~doc:
+          "Instead of compiling INPUT, sweep segment mixes (x channel \
+           widths with $(b,--sweep-widths)) over the built-in bench \
+           suite: each point runs the full flow on that fabric and \
+           reports minimum channel width, critical path, power and \
+           energy per cycle, as a table on stdout and \
+           $(b,arch_sweep.json) in the output directory.  Points fan \
+           out over the Domain pool; results are identical for any \
+           $(b,--jobs).")
+
+let sweep_mixes_arg =
+  Arg.(
+    value
+    & opt (list string) []
+    & info [ "sweep-mixes" ] ~docv:"MIX,..."
+        ~doc:
+          "Comma-separated segment mixes to sweep (e.g. \
+           $(b,1xL1,2xL1+1xL4)).  Default: L1, L2 and L4 uniform fabrics \
+           plus two mixed ones.")
+
+let sweep_widths_arg =
+  Arg.(
+    value
+    & opt (list int) []
+    & info [ "sweep-widths" ] ~docv:"W,..."
+        ~doc:
+          "Fixed channel widths to pair with every mix; empty (default) \
+           binary-searches the minimum width per point instead.")
+
 let cmd =
   Cmd.v
     (Cmd.info "amdrel_flow"
@@ -507,14 +621,15 @@ let cmd =
          "Run the complete VHDL-to-bitstream design flow (single design \
           or --batch manifest), memoising stage results in a \
           content-addressed cache; --remote submits to an amdreld daemon \
-          instead")
+          instead; --arch-sweep explores segment-mix architectures")
     Term.(
-      const (fun i o s w j tr p mj tf ni b nc cd rm ->
+      const (fun i o s w j tr p mj tf ni b nc cd rm a asw sm sw ->
           Tool_common.protect (fun () ->
-              run i o s w j tr p mj tf ni b nc cd rm))
+              run i o s w j tr p mj tf ni b nc cd rm a asw sm sw))
       $ input_arg $ outdir_arg $ seed_arg $ width_arg $ jobs_arg
       $ timing_report_arg $ period_arg $ metrics_json_arg $ trace_arg
       $ no_incremental_sta_arg $ batch_arg $ no_cache_arg $ cache_dir_arg
-      $ remote_arg)
+      $ remote_arg $ arch_arg $ arch_sweep_arg $ sweep_mixes_arg
+      $ sweep_widths_arg)
 
 let () = exit (Cmd.eval cmd)

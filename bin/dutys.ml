@@ -2,11 +2,16 @@
 
 open Cmdliner
 
-let run output k n i_opt seg width =
+let run output k n i_opt seg segments width =
   let i =
     match i_opt with
     | Some i -> i
     | None -> Fpga_arch.Params.recommended_inputs ~k ~n
+  in
+  let segs =
+    match segments with
+    | Some spec -> Fpga_arch.Params.segments_of_string spec
+    | None -> []
   in
   let params =
     Fpga_arch.Params.validate
@@ -16,12 +21,15 @@ let run output k n i_opt seg width =
         n;
         i;
         segment_length = seg;
+        segments = segs;
         switch_width = width;
       }
   in
   Fpga_arch.Archfile.to_file output params;
-  Printf.printf "%s: K=%d N=%d I=%d seg=%d switch=%gx (%d config bits/CLB)\n"
-    output k n i seg width
+  Printf.printf "%s: K=%d N=%d I=%d seg=%s switch=%gx (%d config bits/CLB)\n"
+    output k n i
+    (Fpga_arch.Params.mix_name params)
+    width
     (Fpga_arch.Params.clb_config_bits params)
 
 let output_arg =
@@ -40,7 +48,22 @@ let i_arg =
     & info [ "i" ] ~doc:"CLB inputs (default: the (K/2)(N+1) rule)")
 
 let seg_arg =
-  Arg.(value & opt int 1 & info [ "segment" ] ~doc:"wire segment length")
+  Arg.(
+    value & opt int 1
+    & info [ "segment" ]
+        ~doc:"uniform wire segment length (ignored with $(b,--segments))")
+
+let segments_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "segments" ] ~docv:"MIX"
+        ~doc:
+          "mixed-length segment spec, e.g. $(b,4xL1+4xL2+2xL4): each \
+           term contributes COUNT tracks of length L to the repeating \
+           per-channel pattern (Fc 1.0, min-width/double-spacing metal; \
+           edit the generated file's $(b,segment) lines for per-type Fc \
+           or metal)")
 
 let width_arg =
   Arg.(
@@ -51,7 +74,9 @@ let cmd =
   Cmd.v
     (Cmd.info "dutys" ~doc:"Generate the FPGA architecture description file")
     Term.(
-      const (fun o k n i s w -> Tool_common.protect (fun () -> run o k n i s w))
-      $ output_arg $ k_arg $ n_arg $ i_arg $ seg_arg $ width_arg)
+      const (fun o k n i s sm w ->
+          Tool_common.protect (fun () -> run o k n i s sm w))
+      $ output_arg $ k_arg $ n_arg $ i_arg $ seg_arg $ segments_arg
+      $ width_arg)
 
 let () = exit (Cmd.eval cmd)

@@ -15,9 +15,114 @@ exception Invalid_configuration of string
 
 let fail fmt = Printf.ksprintf (fun s -> raise (Invalid_configuration s)) fmt
 
+let desc_str (tag, a, b, t, _) =
+  match tag with
+  | 0 -> Printf.sprintf "chanx(%d,%d,t%d)" a b t
+  | 1 -> Printf.sprintf "chany(%d,%d,t%d)" a b t
+  | 2 -> Printf.sprintf "opin(b%d,p%d)" a b
+  | 3 -> Printf.sprintf "ipin(b%d,p%d)" a b
+  | _ -> Printf.sprintf "desc(%d,%d,%d,%d)" tag a b t
+
+(* Device-geometry validation: every configured routing switch must be a
+   real switch point of the target device's segmented fabric.  Wire
+   descriptors must name wires the track plan actually lays out,
+   wire-wire switches may only join two same-track wires where both END
+   (the disjoint Fs = 3 box taps segment endpoints only — a long wire
+   passing over a switch point has no transistor there), and
+   connection-box links must join a pin to a wire running past its
+   block's tile.  A bitstream built for a different segment mix fails
+   here, loudly, instead of configuring nonsense. *)
+let validate_geometry (params : Fpga_arch.Params.t) (cfg : Layout.config) =
+  let width = cfg.Layout.width in
+  let expected = Layout.track_lengths params ~width in
+  if cfg.Layout.track_lengths <> expected then
+    fail "bitstream track table [%s] does not match device segment mix %s"
+      (String.concat ";"
+         (Array.to_list (Array.map string_of_int cfg.Layout.track_lengths)))
+      (Fpga_arch.Params.mix_name params);
+  let spans_x =
+    Array.init width (fun t ->
+        Route.Rrgraph.track_spans params ~width ~extent:cfg.Layout.nx ~track:t)
+  in
+  let spans_y =
+    Array.init width (fun t ->
+        Route.Rrgraph.track_spans params ~width ~extent:cfg.Layout.ny ~track:t)
+  in
+  (* tiles of the wire a descriptor names, None if no such wire *)
+  let wire_tiles = function
+    | 0, xs, _, t, _ when t >= 0 && t < width ->
+        List.assoc_opt xs spans_x.(t)
+    | 1, _, ys, t, _ when t >= 0 && t < width ->
+        List.assoc_opt ys spans_y.(t)
+    | _ -> None
+  in
+  (* the switch points S(x, y) at a wire's two ends *)
+  let endpoints desc =
+    match (wire_tiles desc, desc) with
+    | None, _ -> fail "%s is not a wire of this fabric" (desc_str desc)
+    | Some tiles, (0, xs, y, _, _) -> [ (xs - 1, y); (xs + tiles - 1, y) ]
+    | Some tiles, (_, x, ys, _, _) -> [ (x, ys - 1); (x, ys + tiles - 1) ]
+  in
+  let track (_, _, _, t, _) = t in
+  List.iter
+    (fun (a, b) ->
+      if track a <> track b then
+        fail "switch %s-%s joins different tracks" (desc_str a) (desc_str b);
+      let ea = endpoints a in
+      if not (List.exists (fun p -> List.mem p ea) (endpoints b)) then
+        fail "switch %s-%s does not join segment endpoints" (desc_str a)
+          (desc_str b))
+    cfg.Layout.switches;
+  let block_xy = Hashtbl.create 16 in
+  List.iter
+    (fun (clb : Layout.clb_config) ->
+      Hashtbl.replace block_xy clb.Layout.block (clb.Layout.x, clb.Layout.y))
+    cfg.Layout.clbs;
+  List.iter
+    (fun (p : Layout.pad_config) ->
+      Hashtbl.replace block_xy p.Layout.pad_block (p.Layout.pad_x, p.Layout.pad_y))
+    cfg.Layout.pads;
+  (* the wire the connection box at tile coordinate [v] taps on a track:
+     the same covering-start formula the RR builder uses, including its
+     clamp to the channel (edge pads sit off-channel, so their boxes tap
+     the nearest wire — tile 0 taps the wire starting at 1) *)
+  let segs = Array.of_list (Fpga_arch.Params.effective_segments params) in
+  let plan = Fpga_arch.Params.track_plan params ~width in
+  let covering_start t v =
+    let len = segs.(fst plan.(t)).Fpga_arch.Params.s_length in
+    let offset = snd plan.(t) in
+    let rel = v - (1 - offset) in
+    max 1 (v - (rel mod len))
+  in
+  let adjacent (x, y) desc =
+    match (wire_tiles desc, desc) with
+    | None, _ -> false
+    | Some _, (0, xs, wy, t, _) ->
+        (wy = y - 1 || wy = y) && xs = covering_start t x
+    | Some _, (_, wx, ys, t, _) ->
+        (wx = x - 1 || wx = x) && ys = covering_start t y
+  in
+  List.iter
+    (fun (a, b) ->
+      let tag (t, _, _, _, _) = t in
+      let wire, pin =
+        if tag a <= 1 && tag b >= 2 then (a, b)
+        else if tag b <= 1 && tag a >= 2 then (b, a)
+        else fail "pin link %s-%s is not pin-to-wire" (desc_str a) (desc_str b)
+      in
+      let _, blk, _, _, _ = pin in
+      match Hashtbl.find_opt block_xy blk with
+      | None -> fail "pin link %s references unknown block %d" (desc_str pin) blk
+      | Some xy ->
+          if not (adjacent xy wire) then
+            fail "pin link %s-%s joins a pin to a wire not passing its tile"
+              (desc_str pin) (desc_str wire))
+    cfg.Layout.pin_links
+
 (* Build the configured netlist.  [params] is the device's architecture
    (K, N, I), as a programmer would know it from the architecture file. *)
 let to_logic (params : Fpga_arch.Params.t) (cfg : Layout.config) =
+  validate_geometry params cfg;
   let k = params.Fpga_arch.Params.k in
   let n = params.Fpga_arch.Params.n in
   let i_pins = params.Fpga_arch.Params.i in

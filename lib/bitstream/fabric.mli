@@ -9,12 +9,24 @@
     can be simulated against the original design. *)
 
 exception Invalid_configuration of string
-(** An electrically inconsistent configuration (undriven selected pin,
-    undriven output pad, bad source code). *)
+(** An electrically or geometrically inconsistent configuration
+    (undriven selected pin, undriven output pad, bad source code, a
+    switch descriptor that is not a real switch point of the device's
+    segmented fabric). *)
+
+val validate_geometry : Fpga_arch.Params.t -> Layout.config -> unit
+(** Check the configuration against the device geometry: the track
+    table must match the device's segment mix, every wire descriptor
+    must name a wire the track plan lays out, wire-wire switches may
+    only join two same-track wires at a shared segment endpoint (the
+    disjoint Fs = 3 box taps endpoints only), and connection-box links
+    must join a pin to a wire passing its block's tile.
+    @raise Invalid_configuration otherwise. *)
 
 val to_logic : Fpga_arch.Params.t -> Layout.config -> Netlist.Logic.t
-(** Reconstruct the implemented netlist.  Input pads become primary
-    inputs under their pad names; output pads become primary outputs. *)
+(** Reconstruct the implemented netlist (after {!validate_geometry}).
+    Input pads become primary inputs under their pad names; output pads
+    become primary outputs. *)
 
 val of_bitstream : Fpga_arch.Params.t -> string -> Netlist.Logic.t
 (** Decode and reconstruct in one step.

@@ -1,18 +1,22 @@
 (* Bitstream serialisation: framed binary with a CRC-32 trailer.
 
    Layout:
-     magic "AMD1"
+     magic "AMD2"
      u32 header length | header: design name, nx, ny, width, k, n, i
+     width x u32       | per-track declared segment length (device geometry
+                         the switch descriptors are laid out against)
      u32 clb count     | per CLB: x, y, cluster, N x (lut_bits, flags, K sources)
      u32 pad count     | per pad: block, x, y, sub, direction, name
      u32 switch count  | per switch: two node descriptors (5 x u32 each)
      u32 pin-link count| same encoding
      u32 CRC-32 of everything above
- *)
+
+   AMD2 extends AMD1 with the per-track segment-length table; AMD1
+   streams (uniform length-1 era) are no longer accepted. *)
 
 exception Corrupt of string
 
-let magic = "AMD1"
+let magic = "AMD2"
 
 (* ---------- primitive writers/readers ---------- *)
 
@@ -66,6 +70,13 @@ let encode (params : Fpga_arch.Params.t) (cfg : Layout.config) =
   w32 buf params.Fpga_arch.Params.k;
   w32 buf params.Fpga_arch.Params.n;
   w32 buf params.Fpga_arch.Params.i;
+  if Array.length cfg.Layout.track_lengths <> cfg.Layout.width then
+    raise
+      (Corrupt
+         (Printf.sprintf "track table has %d entries for width %d"
+            (Array.length cfg.Layout.track_lengths)
+            cfg.Layout.width));
+  Array.iter (fun l -> w32 buf l) cfg.Layout.track_lengths;
   w32 buf (List.length cfg.Layout.clbs);
   List.iter
     (fun (clb : Layout.clb_config) ->
@@ -128,6 +139,7 @@ let decode data =
   let k = r32 r in
   let n = r32 r in
   let i = r32 r in
+  let track_lengths = Array.init width (fun _ -> r32 r) in
   let n_clbs = r32 r in
   let clbs =
     List.init n_clbs (fun _ ->
@@ -181,4 +193,5 @@ let decode data =
       (a, b))
   in
   ignore i;
-  { Layout.design; nx; ny; width; clbs; pads; switches; pin_links }
+  { Layout.design; nx; ny; width; track_lengths; clbs; pads; switches;
+    pin_links }

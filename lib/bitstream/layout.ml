@@ -46,11 +46,25 @@ type config = {
   nx : int;
   ny : int;
   width : int;
+  track_lengths : int array; (* declared segment length per track: the
+                                device geometry a programmer needs to
+                                place the switch descriptors — and the
+                                compatibility check [Fabric] enforces *)
   clbs : clb_config list;
   pads : pad_config list;
   switches : (node_desc * node_desc) list;   (* wire-wire pass transistors *)
   pin_links : (node_desc * node_desc) list;  (* pin-wire connection boxes *)
 }
+
+(* Per-track declared segment length, normalised from the segment spec:
+   two specs that lay out the same tracks (e.g. the legacy uniform
+   [segment_length] and an explicit single-entry mix) yield the same
+   table, which keeps their bitstreams byte-identical. *)
+let track_lengths (params : Fpga_arch.Params.t) ~width =
+  let segs = Array.of_list (Fpga_arch.Params.effective_segments params) in
+  Array.map
+    (fun (si, _) -> segs.(si).Fpga_arch.Params.s_length)
+    (Fpga_arch.Params.track_plan params ~width)
 
 let node_desc (g : Route.Rrgraph.t) nd : node_desc =
   match g.Route.Rrgraph.nodes.(nd).Route.Rrgraph.kind with
@@ -238,6 +252,7 @@ let extract (routed : Route.Router.routed) =
     nx = g.Route.Rrgraph.grid.Fpga_arch.Grid.nx;
     ny = g.Route.Rrgraph.grid.Fpga_arch.Grid.ny;
     width = routed.Route.Router.width;
+    track_lengths = track_lengths params ~width:routed.Route.Router.width;
     clbs = List.sort (fun a b -> compare (a.x, a.y) (b.x, b.y)) clbs;
     pads = List.sort compare pads;
     switches = sorted switch_set;

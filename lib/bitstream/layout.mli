@@ -42,11 +42,21 @@ type config = {
   nx : int;
   ny : int;
   width : int;
+  track_lengths : int array;
+      (** declared segment length per track — the device geometry the
+          switch descriptors are laid out against, checked by
+          [Fabric.to_logic] against the target device's segment mix *)
   clbs : clb_config list;
   pads : pad_config list;
   switches : (node_desc * node_desc) list;  (** wire-wire pass transistors *)
   pin_links : (node_desc * node_desc) list; (** pin-wire connection boxes *)
 }
+
+val track_lengths : Fpga_arch.Params.t -> width:int -> int array
+(** Per-track declared segment length, normalised from the segment spec:
+    specs that lay out the same tracks (the legacy uniform
+    [segment_length] and the equivalent explicit mix) give the same
+    table, keeping their bitstreams byte-identical. *)
 
 val node_desc : Route.Rrgraph.t -> int -> node_desc
 

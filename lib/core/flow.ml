@@ -123,9 +123,9 @@ let v_synth = "synth@1"
 and v_techmap = "techmap@1"
 and v_pack = "pack@1"
 and v_place = "place@1"
-and v_route = "route@1"
+and v_route = "route@2" (* @2: mixed-length segmented RR graph *)
 and v_sta = "sta@1"
-and v_bitstream = "bitstream@1"
+and v_bitstream = "bitstream@2" (* @2: AMD2 frames with track table *)
 and v_routability = "routability@1"
 
 (* Content hash of an artifact: digest of its unshared Marshal bytes.
@@ -422,6 +422,8 @@ let run_stages ~ctx (net : Logic.t) =
   R.incr ~by:route_stats.Route.Router.heap_pops obs "vpr-route.heap-pops";
   R.incr ~by:route_stats.Route.Router.peak_overuse obs
     "vpr-route.peak-overuse";
+  R.incr ~by:route_stats.Route.Router.long_wire_nodes obs
+    "vpr-route.long-wires";
   R.incr ~by:route_stats.Route.Router.par_batches obs "route.par.batches";
   R.incr ~by:route_stats.Route.Router.par_batch_max obs "route.par.batch-max";
   R.set obs "route.par.serial-frac" route_stats.Route.Router.par_serial_frac;

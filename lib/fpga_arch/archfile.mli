@@ -1,7 +1,10 @@
 (** Architecture file generation and parsing (the DUTYS tool).
 
     A small keyword format, one entry per line; see {!to_string} output
-    for the exact shape. *)
+    for the exact shape.  Repeatable [segment LENGTH COUNT [FC_IN
+    FC_OUT METAL]] lines accumulate a mixed-length channel spec
+    ({!Params.t.segments}); without any the channel is the legacy
+    uniform [segment_length] architecture. *)
 
 exception Parse_error of string
 

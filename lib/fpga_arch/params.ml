@@ -5,6 +5,37 @@
 
 type switch_kind = Pass_transistor | Tristate_buffer
 
+(* Metal configurations of the routing wires (the three layouts explored
+   in Figs. 8-10).  Mirrored by [Spice.Tech.wire_config]; this library
+   sits below lib/spice, so the electrical translation lives in the
+   consumers (Route.Timing maps these onto the measured per-length RC). *)
+type metal = Metal_min_min | Metal_min_double | Metal_double_double
+
+let metal_name = function
+  | Metal_min_min -> "min_min"
+  | Metal_min_double -> "min_double"
+  | Metal_double_double -> "double_double"
+
+let metal_of_name = function
+  | "min_min" -> Some Metal_min_min
+  | "min_double" -> Some Metal_min_double
+  | "double_double" -> Some Metal_double_double
+  | _ -> None
+
+(* One segment type of a mixed-length channel: [s_count] tracks out of
+   every sum-of-counts tracks carry wires spanning [s_length] tiles, with
+   their own connection-box fractions and metal layout.  A channel
+   declaring [4xL1 + 4xL2 + 2xL4] repeats that 10-track pattern across
+   the channel width (truncated to a prefix when the width is smaller
+   than one repetition). *)
+type segment = {
+  s_length : int;   (* logic-block tiles spanned by one wire *)
+  s_count : int;    (* tracks of this type per pattern repetition *)
+  s_fc_in : float;  (* input-pin connection-box fraction, over this type *)
+  s_fc_out : float; (* output-pin connection-box fraction, over this type *)
+  s_metal : metal;
+}
+
 type t = {
   name : string;
   k : int;                 (* LUT inputs *)
@@ -14,6 +45,8 @@ type t = {
   fc_out : float;          (* fraction of tracks an output pin connects to *)
   fs : int;                (* switch-box fanout per incoming wire *)
   segment_length : int;    (* logic blocks spanned by one wire segment *)
+  segments : segment list; (* mixed-length channel spec; [] = uniform
+                              [segment_length] wires at the global Fc *)
   switch : switch_kind;
   switch_width : float;    (* multiples of the minimum transistor width *)
   io_rat : int;            (* IO pads per perimeter grid position *)
@@ -34,6 +67,7 @@ let amdrel =
     fc_out = 1.0;
     fs = 3;
     segment_length = 1;
+    segments = [];
     switch = Pass_transistor;
     switch_width = 10.0;
     io_rat = 2;
@@ -42,6 +76,44 @@ let amdrel =
   }
 
 exception Invalid_params of string
+
+(* The spec the RR-graph builder actually consumes: the declared mix, or
+   the legacy uniform channel (one type of [segment_length] wires at the
+   global Fc, in the §3.3 min-width/double-spacing metal) when no mix is
+   declared.  Never empty. *)
+let effective_segments p =
+  match p.segments with
+  | [] ->
+      [
+        {
+          s_length = p.segment_length;
+          s_count = 1;
+          s_fc_in = p.fc_in;
+          s_fc_out = p.fc_out;
+          s_metal = Metal_min_double;
+        };
+      ]
+  | segs -> segs
+
+let validate_segment idx (s : segment) =
+  let fail fmt =
+    Printf.ksprintf
+      (fun msg ->
+        raise
+          (Invalid_params (Printf.sprintf "segment %d (L%d): %s" idx s.s_length msg)))
+      fmt
+  in
+  if s.s_length < 1 then
+    fail "length must be a positive tile count (got %d)" s.s_length;
+  if s.s_length > 64 then
+    fail "length %d exceeds the supported maximum of 64 tiles" s.s_length;
+  if s.s_count < 1 then
+    fail "count must be a positive number of tracks per pattern (got %d)"
+      s.s_count;
+  if s.s_fc_in <= 0.0 || s.s_fc_in > 1.0 then
+    fail "Fc_in must be in (0, 1] (got %g)" s.s_fc_in;
+  if s.s_fc_out <= 0.0 || s.s_fc_out > 1.0 then
+    fail "Fc_out must be in (0, 1] (got %g)" s.s_fc_out
 
 let validate p =
   let fail msg = raise (Invalid_params msg) in
@@ -53,9 +125,80 @@ let validate p =
   if p.fc_out <= 0.0 || p.fc_out > 1.0 then fail "Fc_out must be in (0, 1]";
   if p.fs <> 3 then fail "only the disjoint switch box (Fs = 3) is supported";
   if p.segment_length < 1 then fail "segment length must be positive";
+  List.iteri validate_segment p.segments;
   if p.switch_width < 1.0 then fail "switch width below minimum";
   if p.io_rat < 1 then fail "io_rat must be positive";
   p
+
+(* ---------- segment-mix helpers ---------- *)
+
+(* "4xL1+4xL2+2xL4" <-> a segment list (defaults for Fc and metal). *)
+let segments_of_string ?(fc_in = 1.0) ?(fc_out = 1.0)
+    ?(metal = Metal_min_double) text =
+  let fail msg = raise (Invalid_params msg) in
+  let text = String.trim text in
+  if text = "" then fail "segment mix must be non-empty (e.g. \"4xL1+2xL4\")";
+  String.split_on_char '+' text
+  |> List.map (fun term ->
+         let term = String.trim term in
+         let count, rest =
+           match String.index_opt term 'x' with
+           | Some i ->
+               let c =
+                 try int_of_string (String.sub term 0 i)
+                 with _ ->
+                   fail
+                     (Printf.sprintf
+                        "bad segment term %S: expected COUNTxL<len>" term)
+               in
+               (c, String.sub term (i + 1) (String.length term - i - 1))
+           | None -> (1, term)
+         in
+         let len =
+           if String.length rest >= 2 && (rest.[0] = 'L' || rest.[0] = 'l')
+           then
+             try int_of_string (String.sub rest 1 (String.length rest - 1))
+             with _ ->
+               fail (Printf.sprintf "bad segment length in term %S" term)
+           else fail (Printf.sprintf "bad segment term %S: expected L<len>" term)
+         in
+         {
+           s_length = len;
+           s_count = count;
+           s_fc_in = fc_in;
+           s_fc_out = fc_out;
+           s_metal = metal;
+         })
+
+let mix_name p =
+  effective_segments p
+  |> List.map (fun s -> Printf.sprintf "%dxL%d" s.s_count s.s_length)
+  |> String.concat "+"
+
+(* Per-track channel composition: track [t] of a width-[width] channel
+   carries segment type [fst plan.(t)] with stagger offset
+   [snd plan.(t)] (the wire covering tile 1 on that track starts
+   [offset] tiles before the channel, so consecutive tracks of one type
+   break at evenly distributed positions).  For the uniform single-type
+   channel this reduces to offset = t mod length — the legacy stagger. *)
+let track_plan p ~width =
+  let segs = Array.of_list (effective_segments p) in
+  let pattern =
+    Array.concat
+      (List.mapi
+         (fun si (s : segment) -> Array.make s.s_count si)
+         (Array.to_list segs))
+  in
+  let plen = Array.length pattern in
+  let seen = Array.make (Array.length segs) 0 in
+  let plan = Array.make (max width 0) (0, 0) in
+  for t = 0 to width - 1 do
+    let si = pattern.(t mod plen) in
+    let rank = seen.(si) in
+    seen.(si) <- rank + 1;
+    plan.(t) <- (si, rank mod segs.(si).s_length)
+  done;
+  plan
 
 (* Follows the paper's utilisation rule? (informational) *)
 let follows_input_rule p = p.i = recommended_inputs ~k:p.k ~n:p.n

@@ -3,6 +3,30 @@
 
 type switch_kind = Pass_transistor | Tristate_buffer
 
+type metal = Metal_min_min | Metal_min_double | Metal_double_double
+(** Routing-wire metal layout (the three configurations of Figs. 8-10):
+    minimum width / minimum spacing, minimum width / double spacing (the
+    §3.3 selection), double width / double spacing.  Mirrors
+    [Spice.Tech.wire_config]; the electrical translation lives in
+    [Route.Timing] because this library sits below lib/spice. *)
+
+val metal_name : metal -> string
+(** ["min_min"], ["min_double"] or ["double_double"] (archfile keywords). *)
+
+val metal_of_name : string -> metal option
+
+type segment = {
+  s_length : int;   (** logic-block tiles spanned by one wire *)
+  s_count : int;    (** tracks of this type per pattern repetition *)
+  s_fc_in : float;  (** input-pin connection fraction, over this type *)
+  s_fc_out : float; (** output-pin connection fraction, over this type *)
+  s_metal : metal;
+}
+(** One segment type of a mixed-length channel.  A channel declaring
+    [4xL1 + 4xL2 + 2xL4] repeats that 10-track pattern across the
+    channel width (truncated to a prefix when the width is smaller than
+    one repetition). *)
+
 type t = {
   name : string;
   k : int;                 (** LUT inputs *)
@@ -12,6 +36,9 @@ type t = {
   fc_out : float;
   fs : int;                (** switch-box fanout per incoming wire *)
   segment_length : int;    (** logic blocks spanned by one wire segment *)
+  segments : segment list;
+      (** mixed-length channel spec; [[]] = uniform [segment_length]
+          wires at the global Fc (the legacy single-type channel) *)
   switch : switch_kind;
   switch_width : float;    (** multiples of the minimum transistor width *)
   io_rat : int;            (** IO pads per perimeter grid position *)
@@ -29,7 +56,31 @@ val amdrel : t
 exception Invalid_params of string
 
 val validate : t -> t
-(** Identity on valid parameters. @raise Invalid_params otherwise. *)
+(** Identity on valid parameters, including the full segment spec
+    (positive lengths and counts, per-type Fc in (0, 1]).
+    @raise Invalid_params otherwise, with an actionable message. *)
+
+val effective_segments : t -> segment list
+(** The spec the RR-graph builder consumes: the declared [segments]
+    mix, or the legacy uniform channel (one type of [segment_length]
+    wires at the global Fc in the min-width/double-spacing metal) when
+    no mix is declared.  Never empty. *)
+
+val segments_of_string :
+  ?fc_in:float -> ?fc_out:float -> ?metal:metal -> string -> segment list
+(** Parse a mix like ["4xL1+4xL2+2xL4"] (count defaults to 1, so ["L2"]
+    is one track of length 2 per pattern); Fc and metal default per
+    term from the optional arguments.
+    @raise Invalid_params on an empty or malformed mix. *)
+
+val mix_name : t -> string
+(** The effective mix as ["4xL1+4xL2+2xL4"] (reports and sweep labels). *)
+
+val track_plan : t -> width:int -> (int * int) array
+(** Per-track channel composition: track [t] carries segment type
+    [fst plan.(t)] (an index into {!effective_segments}) with stagger
+    offset [snd plan.(t)].  The uniform single-type channel reduces to
+    offset = t mod length — the legacy stagger. *)
 
 val follows_input_rule : t -> bool
 

@@ -89,7 +89,7 @@ let estimate ?(options = default_options) (routed : Route.Router.routed) =
           | Route.Rrgraph.Chanx _ | Route.Rrgraph.Chany _ ->
               cap :=
                 !cap
-                +. (consts.Route.Timing.c_wire_tile
+                +. (Route.Timing.wire_c consts node.Route.Rrgraph.seg
                    *. float_of_int node.Route.Rrgraph.wire_tiles)
                 +. consts.Route.Timing.c_switch
           | Route.Rrgraph.Ipin _ ->

@@ -56,8 +56,10 @@ let node_delays (g : Rrgraph.t) (consts : Timing.constants) =
       match node.Rrgraph.kind with
       | Rrgraph.Chanx _ | Rrgraph.Chany _ ->
           let tiles = float_of_int node.Rrgraph.wire_tiles in
-          (consts.Timing.r_switch +. (consts.Timing.r_wire_tile *. tiles))
-          *. (consts.Timing.c_switch +. (consts.Timing.c_wire_tile *. tiles))
+          let r_tile = Timing.wire_r consts node.Rrgraph.seg in
+          let c_tile = Timing.wire_c consts node.Rrgraph.seg in
+          (consts.Timing.r_switch +. (r_tile *. tiles))
+          *. (consts.Timing.c_switch +. (c_tile *. tiles))
       | Rrgraph.Ipin _ -> consts.Timing.t_ipin /. 10.0
       | Rrgraph.Opin _ -> consts.Timing.r_switch *. consts.Timing.c_switch
       | Rrgraph.Sink _ -> 0.0)
@@ -277,6 +279,7 @@ type stats = {
   minimum_width : int option;
   total_wire_tiles : int;     (* wirelength in tile units *)
   switches_used : int;
+  long_wire_nodes : int;      (* routed wire nodes of declared length > 1 *)
   critical_path_s : float;
   router_iterations : int;    (* PathFinder iterations of the final routing *)
   nets_rerouted : int;        (* rip-up/reroute operations, all iterations *)
@@ -288,7 +291,12 @@ type stats = {
 }
 
 let stats ?sta:analysis (r : routed) =
-  let wire = ref 0 and switches = ref 0 in
+  let seg_len =
+    Fpga_arch.Params.effective_segments r.graph.Rrgraph.params
+    |> List.map (fun (s : Fpga_arch.Params.segment) -> s.Fpga_arch.Params.s_length)
+    |> Array.of_list
+  in
+  let wire = ref 0 and switches = ref 0 and long_wires = ref 0 in
   Array.iter
     (fun (tr : Pathfinder.route_tree) ->
       List.iter
@@ -297,7 +305,11 @@ let stats ?sta:analysis (r : routed) =
           match node.Rrgraph.kind with
           | Rrgraph.Chanx _ | Rrgraph.Chany _ ->
               wire := !wire + node.Rrgraph.wire_tiles;
-              incr switches
+              incr switches;
+              if
+                node.Rrgraph.seg < Array.length seg_len
+                && seg_len.(node.Rrgraph.seg) > 1
+              then incr long_wires
           | _ -> ())
         tr.Pathfinder.nodes)
     r.result.Pathfinder.trees;
@@ -314,6 +326,7 @@ let stats ?sta:analysis (r : routed) =
     minimum_width = r.min_width;
     total_wire_tiles = !wire;
     switches_used = !switches;
+    long_wire_nodes = !long_wires;
     critical_path_s = a.Sta.Analysis.dmax;
     router_iterations = r.result.Pathfinder.iterations;
     nets_rerouted = rerouted;

@@ -91,6 +91,10 @@ type stats = {
   minimum_width : int option;
   total_wire_tiles : int; (** wirelength in tile units *)
   switches_used : int;
+  long_wire_nodes : int;
+      (** routed wire nodes whose segment type has declared length > 1 —
+          0 on a uniform length-1 fabric, so tests can assert a mixed
+          fabric actually routed through its long wires *)
   critical_path_s : float; (** post-route {!Sta.Analysis} dmax *)
   router_iterations : int; (** PathFinder iterations of the final routing *)
   nets_rerouted : int;     (** rip-up/reroute operations, all iterations *)

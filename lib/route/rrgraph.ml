@@ -6,13 +6,19 @@
    - vertical channels chany(x, y) for x in 0..nx, y in 1..ny;
    - the switch box S(x, y) joins chanx(x, y), chanx(x+1, y), chany(x, y)
      and chany(x, y+1) with the disjoint pattern (Fs = 3): track t connects
-     only to track t of the other three channels;
-   - wires span [segment_length] tiles, staggered by track so segment ends
-     distribute evenly; pass-transistor switches join them at their ends;
+     only to track t of the other three channels, and only where wires
+     END — a long wire passing over a switch point is not tapped, so
+     switches sit at segment endpoints exactly;
+   - each channel carries the declared segment mix
+     (Params.effective_segments): track t's type and stagger offset come
+     from Params.track_plan, so ends of one type distribute evenly across
+     its tracks; the uniform single-type channel reduces to the legacy
+     offset = t mod len stagger;
    - every logic block touches the four surrounding channels; pins connect
-     to an Fc fraction of the tracks crossing the tile; each block has one
-     SINK node fed by its input pins (capacity = I), so the router chooses
-     input pins naturally.  Output pins are per-BLE. *)
+     to an Fc fraction of the tracks OF EACH SEGMENT TYPE crossing the
+     tile (per-type Fc_in/Fc_out); each block has one SINK node fed by its
+     input pins (capacity = I), so the router chooses input pins
+     naturally.  Output pins are per-BLE. *)
 
 type node_kind =
   | Opin of int * int (* block index, pin *)
@@ -26,6 +32,8 @@ type node = {
   capacity : int;
   base_cost : float;
   wire_tiles : int; (* tiles spanned; 0 for pins *)
+  seg : int;        (* segment-type index (Params.effective_segments);
+                       0 for pins *)
 }
 
 type t = {
@@ -45,19 +53,47 @@ type t = {
 
 let node_count g = Array.length g.nodes
 
+(* The wires along one track of a channel spanning tiles 1..extent:
+   (start, tiles) per wire, ascending.  A track of length [len] with
+   stagger [offset] breaks at positions 1 - offset + k*len; wires are
+   clipped to the channel, so edge wires can span fewer than [len]
+   tiles. *)
+let spans ~len ~offset ~extent =
+  let out = ref [] in
+  let xs = ref (1 - offset) in
+  while !xs <= extent do
+    let xe = min extent (!xs + len - 1) in
+    let x0 = max 1 !xs in
+    let tiles = xe - x0 + 1 in
+    if tiles > 0 then out := (x0, tiles) :: !out;
+    xs := !xs + len
+  done;
+  List.rev !out
+
+let track_spans (params : Fpga_arch.Params.t) ~width ~extent ~track =
+  if track < 0 || track >= width then
+    invalid_arg "Rrgraph.track_spans: track out of range";
+  let segs = Array.of_list (Fpga_arch.Params.effective_segments params) in
+  let plan = Fpga_arch.Params.track_plan params ~width in
+  let si, offset = plan.(track) in
+  spans ~len:segs.(si).Fpga_arch.Params.s_length ~offset ~extent
+
 (* Wires are described by their start coordinate; a chanx wire starting at
-   (xs, y) covers tiles xs..xs+len-1.  Track t in channel row y starts at
-   positions where (xs - 1 + t) mod len = 0, so ends stagger across tracks. *)
+   (xs, y) covers tiles xs..xs+len-1, clipped to the grid. *)
 let build (params : Fpga_arch.Params.t) (grid : Fpga_arch.Grid.t)
     (placement : Place.Placement.t) ~width =
   let problem = placement.Place.Placement.problem in
   let blocks = problem.Place.Problem.blocks in
   let nx = grid.Fpga_arch.Grid.nx and ny = grid.Fpga_arch.Grid.ny in
-  let len = params.Fpga_arch.Params.segment_length in
+  let segs = Array.of_list (Fpga_arch.Params.effective_segments params) in
+  let plan = Fpga_arch.Params.track_plan params ~width in
+  let seg_of t = fst plan.(t) in
+  let len_of t = segs.(seg_of t).Fpga_arch.Params.s_length in
+  let offset_of t = snd plan.(t) in
   let nodes = ref [] and n_nodes = ref 0 in
   let node_tbl = Hashtbl.create 1024 in
-  let add kind capacity base_cost wire_tiles =
-    let n = { kind; capacity; base_cost; wire_tiles } in
+  let add kind capacity base_cost wire_tiles seg =
+    let n = { kind; capacity; base_cost; wire_tiles; seg } in
     nodes := n :: !nodes;
     Hashtbl.replace node_tbl !n_nodes n;
     incr n_nodes;
@@ -71,45 +107,31 @@ let build (params : Fpga_arch.Params.t) (grid : Fpga_arch.Grid.t)
   in
   (* ---- wire nodes ---- *)
   (* chanx wires: for y in 0..ny, track t, starts xs where wires tile the
-     row in steps of len with offset (t mod len) *)
+     row in steps of the track's segment length at its stagger offset *)
   let chanx_node = Hashtbl.create 256 in
   (* (xs, y, t) -> node *)
   let chany_node = Hashtbl.create 256 in
   for y = 0 to ny do
     for t = 0 to width - 1 do
-      let offset = t mod len in
-      let xs = ref (1 - offset) in
-      while !xs <= nx do
-        let xe = min nx (!xs + len - 1) in
-        let x0 = max 1 !xs in
-        let tiles = xe - x0 + 1 in
-        if tiles > 0 then begin
-          let id = add (Chanx (x0, y, t)) 1 (float_of_int tiles) tiles in
-          Hashtbl.replace chanx_node (x0, y, t) id
-        end;
-        xs := !xs + len
-      done
+      List.iter
+        (fun (x0, tiles) ->
+          let id = add (Chanx (x0, y, t)) 1 (float_of_int tiles) tiles (seg_of t) in
+          Hashtbl.replace chanx_node (x0, y, t) id)
+        (spans ~len:(len_of t) ~offset:(offset_of t) ~extent:nx)
     done
   done;
   for x = 0 to nx do
     for t = 0 to width - 1 do
-      let offset = t mod len in
-      let ys = ref (1 - offset) in
-      while !ys <= ny do
-        let ye = min ny (!ys + len - 1) in
-        let y0 = max 1 !ys in
-        let tiles = ye - y0 + 1 in
-        if tiles > 0 then begin
-          let id = add (Chany (x, y0, t)) 1 (float_of_int tiles) tiles in
-          Hashtbl.replace chany_node (x, y0, t) id
-        end;
-        ys := !ys + len
-      done
+      List.iter
+        (fun (y0, tiles) ->
+          let id = add (Chany (x, y0, t)) 1 (float_of_int tiles) tiles (seg_of t) in
+          Hashtbl.replace chany_node (x, y0, t) id)
+        (spans ~len:(len_of t) ~offset:(offset_of t) ~extent:ny)
     done
   done;
   (* wire lookup: the chanx wire covering tile x at (row) y, track t *)
   let chanx_covering x y t =
-    let offset = t mod len in
+    let len = len_of t and offset = offset_of t in
     (* wire starts at positions 1 - offset + k*len *)
     let rel = x - (1 - offset) in
     let xs = x - (rel mod len) in
@@ -117,7 +139,7 @@ let build (params : Fpga_arch.Params.t) (grid : Fpga_arch.Grid.t)
     Hashtbl.find_opt chanx_node (x0, y, t)
   in
   let chany_covering x y t =
-    let offset = t mod len in
+    let len = len_of t and offset = offset_of t in
     let rel = y - (1 - offset) in
     let ys = y - (rel mod len) in
     let y0 = max 1 ys in
@@ -164,12 +186,22 @@ let build (params : Fpga_arch.Params.t) (grid : Fpga_arch.Grid.t)
   (* ---- block pins ---- *)
   let node_of_opin = Hashtbl.create 64 in
   let node_of_sink = Hashtbl.create 64 in
-  let fc_tracks fc =
-    let k = int_of_float (Float.round (fc *. float_of_int width)) in
-    max 1 (min width k)
+  (* tracks of each segment type, in ascending track order *)
+  let type_tracks =
+    let acc = Array.make (Array.length segs) [] in
+    for t = width - 1 downto 0 do
+      acc.(seg_of t) <- t :: acc.(seg_of t)
+    done;
+    Array.map Array.of_list acc
   in
-  let n_in = fc_tracks params.Fpga_arch.Params.fc_in in
-  let n_out = fc_tracks params.Fpga_arch.Params.fc_out in
+  (* connection-box track count for fraction [fc] of [n] same-type
+     tracks: at least one (when any exist), at most all of them *)
+  let fc_tracks fc n =
+    if n = 0 then 0
+    else
+      let k = int_of_float (Float.round (fc *. float_of_int n)) in
+      max 1 (min n k)
+  in
   (* channels adjacent to tile (x, y) *)
   let adjacent_wires x y t =
     List.filter_map
@@ -181,6 +213,21 @@ let build (params : Fpga_arch.Params.t) (grid : Fpga_arch.Grid.t)
         (fun () -> chany_covering x y t);
       ]
   in
+  (* connect pin [pin] of the block at (x, y) through [connect] to an Fc
+     fraction of each segment type's tracks, offset by pin for diversity *)
+  let connect_pin ~fc_of ~pin ~x ~y connect =
+    Array.iteri
+      (fun si tks ->
+        let n = Array.length tks in
+        let c = fc_tracks (fc_of segs.(si)) n in
+        for j = 0 to c - 1 do
+          let t = tks.((pin + (j * n / c)) mod n) in
+          List.iter connect (adjacent_wires x y t)
+        done)
+      type_tracks
+  in
+  let fc_in_of (s : Fpga_arch.Params.segment) = s.Fpga_arch.Params.s_fc_in in
+  let fc_out_of (s : Fpga_arch.Params.segment) = s.Fpga_arch.Params.s_fc_out in
   Array.iteri
     (fun b kind ->
       let x, y = Place.Placement.coords placement b in
@@ -192,41 +239,28 @@ let build (params : Fpga_arch.Params.t) (grid : Fpga_arch.Grid.t)
           let n_bles = List.length cluster.Pack.Cluster.bles in
           (* output pins: one per BLE slot *)
           for pin = 0 to n_bles - 1 do
-            let id = add (Opin (b, pin)) 1 1.0 0 in
+            let id = add (Opin (b, pin)) 1 1.0 0 0 in
             Hashtbl.replace node_of_opin (b, pin) id;
-            (* connect to n_out tracks, offset by pin for diversity *)
-            for j = 0 to n_out - 1 do
-              let t = (pin + (j * width / n_out)) mod width in
-              List.iter (fun w -> add_edge id w) (adjacent_wires x y t)
-            done
+            connect_pin ~fc_of:fc_out_of ~pin ~x ~y (fun w -> add_edge id w)
           done;
           (* input pins -> sink *)
-          let sink = add (Sink b) params.Fpga_arch.Params.i 0.0 0 in
+          let sink = add (Sink b) params.Fpga_arch.Params.i 0.0 0 0 in
           Hashtbl.replace node_of_sink b sink;
           for pin = 0 to params.Fpga_arch.Params.i - 1 do
-            let id = add (Ipin (b, pin)) 1 0.95 0 in
+            let id = add (Ipin (b, pin)) 1 0.95 0 0 in
             add_edge id sink;
-            for j = 0 to n_in - 1 do
-              let t = (pin + (j * width / n_in)) mod width in
-              List.iter (fun w -> add_edge w id) (adjacent_wires x y t)
-            done
+            connect_pin ~fc_of:fc_in_of ~pin ~x ~y (fun w -> add_edge w id)
           done
       | Place.Problem.Input_pad _ ->
-          let id = add (Opin (b, 0)) 1 1.0 0 in
+          let id = add (Opin (b, 0)) 1 1.0 0 0 in
           Hashtbl.replace node_of_opin (b, 0) id;
-          for j = 0 to n_out - 1 do
-            let t = j * width / n_out mod width in
-            List.iter (fun w -> add_edge id w) (adjacent_wires x y t)
-          done
+          connect_pin ~fc_of:fc_out_of ~pin:0 ~x ~y (fun w -> add_edge id w)
       | Place.Problem.Output_pad _ ->
-          let sink = add (Sink b) 1 0.0 0 in
+          let sink = add (Sink b) 1 0.0 0 0 in
           Hashtbl.replace node_of_sink b sink;
-          let id = add (Ipin (b, 0)) 1 0.95 0 in
+          let id = add (Ipin (b, 0)) 1 0.95 0 0 in
           add_edge id sink;
-          for j = 0 to n_in - 1 do
-            let t = j * width / n_in mod width in
-            List.iter (fun w -> add_edge w id) (adjacent_wires x y t)
-          done)
+          connect_pin ~fc_of:fc_in_of ~pin:0 ~x ~y (fun w -> add_edge w id))
     blocks;
   let nodes = Array.of_list (List.rev !nodes) in
   let edge_arr =

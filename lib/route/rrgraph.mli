@@ -2,11 +2,15 @@
 
     Geometry (VPR conventions): horizontal channels chanx(x, y) for
     y = 0..ny, vertical channels chany(x, y) for x = 0..nx; the disjoint
-    switch box (Fs = 3) joins same-numbered tracks; wires span
-    [segment_length] tiles, staggered by track; every logic block touches
-    the four surrounding channels; pins connect to an Fc fraction of the
-    tracks; each block has one SINK fed by its input pins so the router
-    chooses pins naturally; output pins are per-BLE. *)
+    switch box (Fs = 3) joins same-numbered tracks at segment endpoints
+    only (a long wire passing over a switch point is not tapped); each
+    channel carries the declared segment mix
+    ({!Fpga_arch.Params.effective_segments}) with per-track stagger from
+    {!Fpga_arch.Params.track_plan}; every logic block touches the four
+    surrounding channels; pins connect to an Fc fraction of each segment
+    type's tracks (per-type Fc_in/Fc_out); each block has one SINK fed
+    by its input pins so the router chooses pins naturally; output pins
+    are per-BLE. *)
 
 type node_kind =
   | Opin of int * int        (** block index, pin *)
@@ -20,6 +24,11 @@ type node = {
   capacity : int;
   base_cost : float;
   wire_tiles : int; (** tiles spanned; 0 for pins *)
+  seg : int;
+      (** segment-type index into
+          {!Fpga_arch.Params.effective_segments}; 0 for pins.  Keys the
+          per-type RC in {!Timing} and the per-type capacitance in
+          [Power.Model]. *)
 }
 
 type t = {
@@ -41,6 +50,16 @@ type t = {
 
 val node_count : t -> int
 (** Number of RR nodes in the graph. *)
+
+val track_spans :
+  Fpga_arch.Params.t -> width:int -> extent:int -> track:int ->
+  (int * int) list
+(** The wires along one track of a channel spanning tiles 1..[extent]:
+    (start, tiles) per wire, ascending.  Wires are clipped to the
+    channel, so edge wires can span fewer tiles than the track's
+    declared segment length.  [Bitstream.Fabric] uses this to validate
+    that decoded switch patterns join real segment endpoints, and the
+    structural tests to pin the stagger. *)
 
 val build :
   Fpga_arch.Params.t -> Fpga_arch.Grid.t -> Place.Placement.t ->

@@ -10,14 +10,36 @@
 type constants = {
   r_switch : float;   (* routing switch on-resistance, ohm *)
   c_switch : float;   (* switch junction capacitance, F *)
-  r_wire_tile : float;
+  r_wire_tile : float; (* per-tile RC of the default segment type *)
   c_wire_tile : float;
+  seg_r_tile : float array; (* per-tile RC per segment type, indexed by
+                               Rrgraph node [seg] (one entry per
+                               Params.effective_segments element) *)
+  seg_c_tile : float array;
   t_lut : float;      (* LUT + local-interconnect delay, s *)
   t_ble_local : float;(* intra-cluster feedback delay, s *)
   t_clk_q : float;    (* DETFF clock-to-Q, s *)
   t_setup : float;
   t_ipin : float;     (* connection-box + input buffer delay, s *)
 }
+
+(* Per-tile RC of a wire node's segment type (scalar fallback keeps
+   hand-built constants without the arrays working). *)
+let wire_r consts seg =
+  if seg >= 0 && seg < Array.length consts.seg_r_tile then
+    consts.seg_r_tile.(seg)
+  else consts.r_wire_tile
+
+let wire_c consts seg =
+  if seg >= 0 && seg < Array.length consts.seg_c_tile then
+    consts.seg_c_tile.(seg)
+  else consts.c_wire_tile
+
+let wire_config_of_metal = function
+  | Fpga_arch.Params.Metal_min_min -> Spice.Tech.Min_width_min_spacing
+  | Fpga_arch.Params.Metal_min_double -> Spice.Tech.Min_width_double_spacing
+  | Fpga_arch.Params.Metal_double_double ->
+      Spice.Tech.Double_width_double_spacing
 
 (* On-resistance of an NMOS pass transistor of the given width multiple in
    the 0.18 um-class process (linear-region estimate at VDD). *)
@@ -28,17 +50,33 @@ let pass_resistance (tech : Spice.Tech.t) width_mult =
 
 let default_constants (params : Fpga_arch.Params.t) =
   let tech = Spice.Tech.stm018 in
-  let cfg = Spice.Tech.Min_width_double_spacing in
   let r_switch = pass_resistance tech params.Fpga_arch.Params.switch_width in
   let c_switch =
     2.0 *. tech.Spice.Tech.cj *. params.Fpga_arch.Params.switch_width
     *. tech.Spice.Tech.w_min
   in
+  (* per-segment-type RC from the measured wire model behind the
+     Fig. 8-10 sizing experiments, one entry per declared segment type
+     in the metal configuration the type selects *)
+  let segs = Array.of_list (Fpga_arch.Params.effective_segments params) in
+  let rc =
+    Array.map
+      (fun (s : Fpga_arch.Params.segment) ->
+        Spice.Routing_exp.wire_rc_per_tile
+          ~config:(wire_config_of_metal s.Fpga_arch.Params.s_metal))
+      segs
+  in
+  let r0, c0 =
+    Spice.Routing_exp.wire_rc_per_tile
+      ~config:Spice.Tech.Min_width_double_spacing
+  in
   {
     r_switch;
     c_switch;
-    r_wire_tile = Spice.Tech.wire_r_per_m cfg *. Spice.Tech.tile_length;
-    c_wire_tile = Spice.Tech.wire_c_per_m cfg *. Spice.Tech.tile_length;
+    r_wire_tile = r0;
+    c_wire_tile = c0;
+    seg_r_tile = Array.map fst rc;
+    seg_c_tile = Array.map snd rc;
     t_lut = 0.45e-9;
     t_ble_local = 0.18e-9;
     t_clk_q = 0.20e-9;
@@ -56,7 +94,8 @@ let elmore (g : Rrgraph.t) consts ~source (tree : Pathfinder.route_tree) =
     match node.Rrgraph.kind with
     | Rrgraph.Chanx _ | Rrgraph.Chany _ ->
         consts.r_switch
-        +. (consts.r_wire_tile *. float_of_int node.Rrgraph.wire_tiles)
+        +. (wire_r consts node.Rrgraph.seg
+           *. float_of_int node.Rrgraph.wire_tiles)
     | Rrgraph.Ipin _ -> consts.r_switch
     | Rrgraph.Opin _ -> consts.r_switch
     | Rrgraph.Sink _ -> 0.0
@@ -66,7 +105,8 @@ let elmore (g : Rrgraph.t) consts ~source (tree : Pathfinder.route_tree) =
     match node.Rrgraph.kind with
     | Rrgraph.Chanx _ | Rrgraph.Chany _ ->
         consts.c_switch
-        +. (consts.c_wire_tile *. float_of_int node.Rrgraph.wire_tiles)
+        +. (wire_c consts node.Rrgraph.seg
+           *. float_of_int node.Rrgraph.wire_tiles)
     | Rrgraph.Ipin _ -> 5e-15
     | Rrgraph.Opin _ -> consts.c_switch
     | Rrgraph.Sink _ -> 0.0

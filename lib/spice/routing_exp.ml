@@ -33,6 +33,15 @@ type curve = {
 let span_tiles = 8
 let n_loads = 4 (* logic blocks tapped along the track, as in Fig. 7 *)
 
+(* Per-tile wire RC of one segment tile in a metal configuration: the
+   distributed-RC model the Fig. 8-10 transient simulations are built on
+   (each tile of track becomes one lumped RC section in [build]),
+   exported so the CAD flow's Elmore delay provider and power model run
+   on the same measured electrical substrate as the experiments. *)
+let wire_rc_per_tile ~config =
+  ( Tech.wire_r_per_m config *. Tech.tile_length,
+    Tech.wire_c_per_m config *. Tech.tile_length )
+
 let period = 12.0e-9
 let slew = 100e-12
 let t_stop = period +. (period /. 2.0)

@@ -31,6 +31,13 @@ type curve = {
 val span_tiles : int
 val n_loads : int
 
+val wire_rc_per_tile : config:Tech.wire_config -> float * float
+(** (R, C) of one segment tile in the given metal configuration — the
+    same distributed-RC sections the Fig. 8-10 transient simulations
+    lump per tile.  The CAD flow's Elmore provider ([Route.Timing]) and
+    [Power.Model] consume these so routed-fabric delays and energies sit
+    on the measured electrical substrate of the experiments. *)
+
 val build :
   wire_length:int -> width:float -> config:Tech.wire_config ->
   style:switch_style -> Circuit.t

@@ -10,14 +10,27 @@
    fixtures were recorded with:
 
      dune exec bin/bcgen.exe -- counter8 > /tmp/counter8.vhd
-     dune exec bin/amdrel_flow.exe -- /tmp/counter8.vhd -o /tmp/out \
+     dune exec bin/amdrel_flow.exe -- /tmp/counter8.vhd -d /tmp/out \
        --timing-report
      cp /tmp/out/counter8.timing.json test/fixtures/
 
    (default seed 1, min-width search, timing-driven — the same config
-   this test uses). *)
+   this test uses).
+
+   The *.seg124.timing.json fixtures pin the same circuits on a
+   mixed-length 1xL1+1xL2+1xL4 segmented fabric; regenerate with:
+
+     dune exec bin/dutys.exe -- -o /tmp/seg124.arch \
+       --segments "1xL1+1xL2+1xL4"
+     dune exec bin/amdrel_flow.exe -- /tmp/counter8.vhd -d /tmp/out \
+       --arch /tmp/seg124.arch --timing-report
+     cp /tmp/out/counter8.timing.json \
+       test/fixtures/counter8.seg124.timing.json *)
 
 let circuits = [ "counter8"; "lfsr12"; "parity16"; "mult4"; "gray8" ]
+
+let seg_mix = "1xL1+1xL2+1xL4"
+let seg_circuits = [ "counter8"; "mult4" ]
 
 (* Token-wise comparison: numbers match within a relative tolerance
    (absorbing libm differences across platforms), everything else must
@@ -72,18 +85,22 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let test_golden name () =
+let run_and_compare name ~params ~fixture =
   let vhdl =
     match List.assoc_opt name Core.Bench_circuits.suite with
     | Some v -> v
     | None -> Alcotest.failf "%s is not in the bench suite" name
   in
   let config =
-    { Core.Flow.default_config with Core.Flow.timing_driven = true }
+    {
+      Core.Flow.default_config with
+      Core.Flow.params;
+      Core.Flow.timing_driven = true;
+    }
   in
   let r = Core.Flow.run_vhdl ~config vhdl in
   let actual = Core.Flow.timing_report_json ~design:name r in
-  let path = Filename.concat "fixtures" (name ^ ".timing.json") in
+  let path = Filename.concat "fixtures" fixture in
   let expected =
     try read_file path
     with Sys_error e ->
@@ -98,9 +115,31 @@ let test_golden name () =
          If the change is intended, regenerate the fixture (header of \
          test_golden.ml)." name msg
 
+let test_golden name () =
+  run_and_compare name ~params:Fpga_arch.Params.amdrel
+    ~fixture:(name ^ ".timing.json")
+
+(* the same circuits on the mixed-length segmented fabric: pins the
+   per-segment-type RC path through the STA engine *)
+let test_golden_seg name () =
+  let params =
+    Fpga_arch.Params.validate
+      {
+        Fpga_arch.Params.amdrel with
+        Fpga_arch.Params.segments = Fpga_arch.Params.segments_of_string seg_mix;
+      }
+  in
+  run_and_compare name ~params ~fixture:(name ^ ".seg124.timing.json")
+
 let suite =
   List.map
     (fun name ->
       Alcotest.test_case (name ^ " timing report matches fixture") `Slow
         (test_golden name))
     circuits
+  @ List.map
+      (fun name ->
+        Alcotest.test_case
+          (name ^ " segmented timing report matches fixture")
+          `Slow (test_golden_seg name))
+      seg_circuits

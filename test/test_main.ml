@@ -8,6 +8,7 @@ let () =
       ("techmap", Test_techmap.suite);
       ("backend", Test_backend.suite);
       ("route", Test_route.suite);
+      ("segments", Test_segments.suite);
       ("tools", Test_tools.suite);
       ("properties", Test_properties.suite);
       ("sta", Test_sta.suite);

@@ -119,10 +119,40 @@ let prop_anneal_cost_consistent =
       && Place.Placement.total_cost r.Place.Anneal.placement
          = r.Place.Anneal.final_cost)
 
+(* random mixed-length segment declarations: fc values are picked from
+   a set that prints exactly, so text round-trips are byte-faithful *)
+let segments_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 3)
+      (map
+         (fun (((count, length), (fc_in, fc_out)), metal) ->
+           {
+             Fpga_arch.Params.s_length = length;
+             s_count = count;
+             s_fc_in = fc_in;
+             s_fc_out = fc_out;
+             s_metal = metal;
+           })
+         (pair
+            (pair
+               (pair (int_range 1 3) (int_range 1 8))
+               (pair
+                  (oneofl [ 1.0; 0.5; 0.25; 0.75; 0.125 ])
+                  (oneofl [ 1.0; 0.5; 0.25; 0.75; 0.125 ])))
+            (oneofl
+               [
+                 Fpga_arch.Params.Metal_min_min;
+                 Fpga_arch.Params.Metal_min_double;
+                 Fpga_arch.Params.Metal_double_double;
+               ]))))
+
 let prop_archfile_roundtrip =
   QCheck.Test.make ~count:100 ~name:"architecture file round trip"
-    QCheck.(quad (int_range 2 5) (int_range 1 8) (int_range 1 4) (int_range 1 3))
-    (fun (k, n, seg, io_rat) ->
+    QCheck.(
+      pair
+        (quad (int_range 2 5) (int_range 1 8) (int_range 1 4) (int_range 1 3))
+        (make segments_gen))
+    (fun ((k, n, seg, io_rat), segments) ->
       let p =
         {
           Fpga_arch.Params.amdrel with
@@ -130,6 +160,7 @@ let prop_archfile_roundtrip =
           n;
           i = max k (Fpga_arch.Params.recommended_inputs ~k ~n);
           segment_length = seg;
+          segments;
           io_rat;
         }
       in
