@@ -5,9 +5,17 @@
    Usage:
      dune exec bench/main.exe             # everything
      dune exec bench/main.exe -- table1 table3 fig9 flow ablate stages
- *)
+     dune exec bench/main.exe -- --ledger bench/ledger --suite suite flow
+
+   With --ledger DIR the flow experiment appends one Ledger record per
+   circuit to DIR/<suite>.jsonl (suite-order, post-join), which
+   amdrel_report folds into BENCH_<suite>.json and gates. *)
 
 open Spice
+
+(* set by the driver from --ledger/--suite before experiments run *)
+let ledger_dir : string option ref = ref None
+let suite_name = ref "suite"
 
 let hr title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -177,29 +185,45 @@ let flow_qor () =
   Printf.printf "domains: %d (AMDREL_JOBS overrides)\n\n"
     (Util.Parallel.default_jobs ());
   (* independent circuits fan out across the Domain pool; failures are
-     reported after the join, in suite order *)
-  let rows =
+     reported after the join, in suite order.  Ledger records are built
+     in the workers but appended post-join, so the ledger file order is
+     the suite order regardless of which domain finished first. *)
+  let suite = !suite_name in
+  let outcomes =
     Util.Parallel.map_list
       (fun (name, vhdl) ->
         match Core.Flow.run_vhdl vhdl with
         | r ->
+            let lrec =
+              Option.map
+                (fun _ ->
+                  Ledger.of_result ~suite ~config:Core.Flow.default_config
+                    ~source:vhdl r)
+                !ledger_dir
+            in
             Ok
-              [
-                name;
-                string_of_int r.Core.Flow.mapped_stats.Netlist.Logic.n_gates;
-                string_of_int r.Core.Flow.mapped_stats.Netlist.Logic.n_latches;
-                string_of_int r.Core.Flow.n_clusters;
-                Printf.sprintf "%dx%d" r.Core.Flow.grid.Fpga_arch.Grid.nx
-                  r.Core.Flow.grid.Fpga_arch.Grid.ny;
-                (match r.Core.Flow.route_stats.Route.Router.minimum_width with
-                | Some w -> string_of_int w
-                | None -> "-");
-                Util.Tablefmt.f2
-                  (r.Core.Flow.route_stats.Route.Router.critical_path_s *. 1e9);
-                Util.Tablefmt.f3 (r.Core.Flow.power.Power.Model.total_w *. 1e3);
-                string_of_int r.Core.Flow.bitstream.Bitstream.Dagger.bits;
-                (if r.Core.Flow.bitstream_verified then "yes" else "NO");
-              ]
+              ( [
+                  name;
+                  string_of_int r.Core.Flow.mapped_stats.Netlist.Logic.n_gates;
+                  string_of_int
+                    r.Core.Flow.mapped_stats.Netlist.Logic.n_latches;
+                  string_of_int r.Core.Flow.n_clusters;
+                  Printf.sprintf "%dx%d" r.Core.Flow.grid.Fpga_arch.Grid.nx
+                    r.Core.Flow.grid.Fpga_arch.Grid.ny;
+                  (match
+                     r.Core.Flow.route_stats.Route.Router.minimum_width
+                   with
+                  | Some w -> string_of_int w
+                  | None -> "-");
+                  Util.Tablefmt.f2
+                    (r.Core.Flow.route_stats.Route.Router.critical_path_s
+                    *. 1e9);
+                  Util.Tablefmt.f3
+                    (r.Core.Flow.power.Power.Model.total_w *. 1e3);
+                  string_of_int r.Core.Flow.bitstream.Bitstream.Dagger.bits;
+                  (if r.Core.Flow.bitstream_verified then "yes" else "NO");
+                ],
+                lrec )
         | exception Core.Flow.Flow_error (stage, e) ->
             Error (name, stage, Printexc.to_string e))
       Core.Bench_circuits.suite
@@ -214,7 +238,16 @@ let flow_qor () =
       "circuit"; "LUTs"; "FFs"; "CLBs"; "grid"; "Wmin"; "crit(ns)"; "P(mW)";
       "bits"; "verified";
     ]
-    rows
+    (List.map fst outcomes);
+  match !ledger_dir with
+  | None -> ()
+  | Some dir ->
+      List.iter
+        (fun (_, lrec) -> Option.iter (Ledger.append ~dir) lrec)
+        outcomes;
+      Printf.printf "\nledger: appended %d record(s) to %s\n"
+        (List.length (List.filter_map snd outcomes))
+        (Ledger.path ~dir ~suite)
 
 (* ---------- Ablations ---------- *)
 
@@ -529,10 +562,24 @@ let all =
   ]
 
 let () =
+  (* peel --ledger DIR / --suite NAME off argv; the rest are experiments *)
+  let rec parse_opts acc = function
+    | "--ledger" :: dir :: rest ->
+        ledger_dir := Some dir;
+        parse_opts acc rest
+    | "--suite" :: name :: rest ->
+        suite_name := name;
+        parse_opts acc rest
+    | ("--ledger" | "--suite") :: [] ->
+        Printf.eprintf "missing argument for --ledger/--suite\n";
+        exit 1
+    | name :: rest -> parse_opts (name :: acc) rest
+    | [] -> List.rev acc
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst all
+    match parse_opts [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst all
+    | names -> names
   in
   List.iter
     (fun name ->

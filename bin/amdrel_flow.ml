@@ -48,9 +48,30 @@ let counter_value metrics key =
   | Some (Obs.Registry.Counter n) -> n
   | _ -> 0
 
+(* ---------- run ledger ---------- *)
+
+let ledger_append ~ledger ~suite ~config ~source r =
+  match ledger with
+  | None -> ()
+  | Some dir ->
+      Ledger.append ~dir (Ledger.of_result ~suite ~config ~source r);
+      Printf.printf "ledger: appended %s to %s\n" r.Core.Flow.design
+        (Filename.concat dir (suite ^ ".jsonl"))
+
+(* ---------- local event capture (--events without --remote) ---------- *)
+
+let write_events_file path events =
+  let oc = open_out path in
+  List.iter
+    (fun ev -> output_string oc (Obs.Emit.to_string (Obs.Events.to_json ev) ^ "\n"))
+    events;
+  close_out oc;
+  Printf.printf "events -> %s (%d records)\n" path (List.length events)
+
 (* ---------- single-design mode (the paper's GUI walkthrough) ---------- *)
 
-let run_single input outdir config timing_report metrics_json trace_file jobs =
+let run_single input outdir config timing_report metrics_json trace_file
+    events_file ledger suite jobs =
   let text = Tool_common.read_file input in
   let base =
     Filename.concat outdir
@@ -59,11 +80,17 @@ let run_single input outdir config timing_report metrics_json trace_file jobs =
   let w0 = Unix.gettimeofday () in
   let t0 = Sys.time () in
   let trace = Option.map (fun _ -> Obs.Span.create ()) trace_file in
+  let sink = Option.map (fun _ -> Obs.Events.create ()) events_file in
   let r =
-    match trace with
-    | Some tr ->
-        Obs.Span.with_trace tr (fun () -> Core.Flow.run_vhdl ~config text)
-    | None -> Core.Flow.run_vhdl ~config text
+    let compile () =
+      match trace with
+      | Some tr ->
+          Obs.Span.with_trace tr (fun () -> Core.Flow.run_vhdl ~config text)
+      | None -> Core.Flow.run_vhdl ~config text
+    in
+    match sink with
+    | Some s -> Obs.Events.with_sink s compile
+    | None -> compile ()
   in
   let elapsed = Sys.time () -. t0 in
   let wall = Unix.gettimeofday () -. w0 in
@@ -133,6 +160,10 @@ let run_single input outdir config timing_report metrics_json trace_file jobs =
       Tool_common.write_file path (Obs.Span.to_chrome_string tr ^ "\n");
       Printf.printf "trace -> %s (chrome://tracing / Perfetto)\n" path
   | _ -> ());
+  (match (sink, events_file) with
+  | Some s, Some path -> write_events_file path (Obs.Events.drain s)
+  | _ -> ());
+  ledger_append ~ledger ~suite ~config ~source:text r;
   Format.printf "=== 6. Power estimation and FPGA program ===@.  %a@."
     Power.Model.pp r.Core.Flow.power;
   Printf.printf "  %s\n" (Bitstream.Dagger.summary r.Core.Flow.bitstream);
@@ -177,9 +208,10 @@ type batch_outcome = {
   ok : bool;
   hits : int;
   misses : int;
+  lrec : Ledger.t option; (* ledger record, appended post-join in order *)
 }
 
-let compile_one config timing_report outdir source =
+let compile_one config timing_report ~suite ~want_ledger outdir source =
   let design = Filename.remove_extension (Filename.basename source) in
   let base = Filename.concat outdir design in
   match
@@ -189,9 +221,9 @@ let compile_one config timing_report outdir source =
     if timing_report then
       Tool_common.write_file (base ^ ".timing.json")
         (Core.Flow.timing_report_json ~design r);
-    r
+    (text, r)
   with
-  | r ->
+  | text, r ->
       let json = Core.Flow.result_json ~source r in
       Tool_common.write_file (base ^ ".result.json") json;
       {
@@ -202,6 +234,10 @@ let compile_one config timing_report outdir source =
         ok = true;
         hits = counter_value r.Core.Flow.metrics "cache.hit";
         misses = counter_value r.Core.Flow.metrics "cache.miss";
+        lrec =
+          (if want_ledger then
+             Some (Ledger.of_result ~suite ~config ~source:text r)
+           else None);
       }
   | exception e ->
       let msg =
@@ -230,9 +266,10 @@ let compile_one config timing_report outdir source =
         ok = false;
         hits = 0;
         misses = 0;
+        lrec = None;
       }
 
-let run_batch manifest outdir config timing_report jobs =
+let run_batch manifest outdir config timing_report ledger suite jobs =
   (* Manifest entries resolve against the manifest's own directory
      (Service.Manifest) — never against the CWD, which used to pick up
      same-named files from wherever the driver happened to run. *)
@@ -244,11 +281,30 @@ let run_batch manifest outdir config timing_report jobs =
      so the pool is never oversubscribed.  Outputs land in input order. *)
   let outcomes =
     Util.Parallel.map ?jobs
-      (compile_one config timing_report outdir)
+      (compile_one config timing_report ~suite ~want_ledger:(ledger <> None)
+         outdir)
       (Array.of_list sources)
   in
   let wall = Unix.gettimeofday () -. w0 in
   Array.iter (fun o -> print_endline o.line) outcomes;
+  (* ledger records append after the join, in manifest order, so the
+     file order is deterministic at any jobs value *)
+  (match ledger with
+  | None -> ()
+  | Some dir ->
+      let n =
+        Array.fold_left
+          (fun n o ->
+            match o.lrec with
+            | Some rec_ ->
+                Ledger.append ~dir rec_;
+                n + 1
+            | None -> n)
+          0 outcomes
+      in
+      if n > 0 then
+        Printf.printf "ledger: appended %d record(s) to %s\n" n
+          (Filename.concat dir (suite ^ ".jsonl")));
   let failed =
     Array.fold_left (fun n o -> if o.ok then n else n + 1) 0 outcomes
   in
@@ -324,18 +380,111 @@ let run_arch_sweep outdir mixes widths jobs =
 
 module J = Service.Jsonin
 
-let remote_submit client seed fixed_width timing_report period_ns source =
-  let submit =
-    {
-      Service.Protocol.default_submit with
-      Service.Protocol.vhdl = Tool_common.read_file source;
-      seed;
-      route_width = fixed_width;
-      timing_report;
-      period_ns;
-    }
+let make_submit seed fixed_width timing_report period_ns ~progress source =
+  {
+    Service.Protocol.default_submit with
+    Service.Protocol.vhdl = Tool_common.read_file source;
+    seed;
+    route_width = fixed_width;
+    timing_report;
+    period_ns;
+    progress;
+  }
+
+(* Live status line on stderr: each progress event overwrites the
+   previous one; the final response clears it.  Deliberately terse —
+   the raw stream (every record, untouched) goes to --events FILE. *)
+let render_event design ev =
+  let get name get_v = Option.bind (J.member name ev) get_v in
+  let stat =
+    match get "event" J.get_string with
+    | Some "stage-begin" ->
+        Option.map (Printf.sprintf "%s ...") (get "stage" J.get_string)
+    | Some "stage-end" ->
+        Option.map (Printf.sprintf "%s done") (get "stage" J.get_string)
+    | Some "cache" ->
+        Option.map
+          (fun s ->
+            Printf.sprintf "%s %s" s
+              (if get "hit" J.get_bool = Some true then "(cache hit)"
+               else "(cache miss)"))
+          (get "stage" J.get_string)
+    | Some "route-iteration" ->
+        Some
+          (Printf.sprintf "vpr-route iter %d, %d overused"
+             (Option.value (get "iteration" J.get_int) ~default:0)
+             (Option.value (get "overused" J.get_int) ~default:0))
+    | Some "place-temperature" ->
+        Some
+          (Printf.sprintf "vpr-place step %d, accept %.0f%%"
+             (Option.value (get "step" J.get_int) ~default:0)
+             (100.0
+             *. Option.value (get "accept_rate" J.get_float) ~default:0.0))
+    | Some "heartbeat" -> Some "..."
+    | _ -> None
   in
-  Service.Client.request client (Service.Protocol.Submit submit)
+  match stat with
+  | Some s -> Printf.eprintf "\r\027[K%-12s %s%!" design s
+  | None -> ()
+
+let clear_status () = Printf.eprintf "\r\027[K%!"
+
+(* Submit with a progress stream: read the accepted line, then event
+   lines (rendering each; appending raw lines to [events_oc]), until the
+   completion record — the first response line without an "event"
+   field.  A backpressure rejection arrives as that first line, before
+   any event, so the caller's retry loop sees it like a plain submit. *)
+let submit_streaming client events_oc design submit =
+  Service.Client.send client (Service.Protocol.Submit submit);
+  let first = Service.Client.recv client in
+  if not (Service.Client.ok first) then first
+  else begin
+    let rec next () =
+      let line = Service.Client.recv client in
+      match J.member "event" line with
+      | Some _ ->
+          (match events_oc with
+          | Some oc -> output_string oc (Obs.Emit.to_string line ^ "\n")
+          | None -> ());
+          render_event design line;
+          next ()
+      | None ->
+          clear_status ();
+          line
+    in
+    next ()
+  end
+
+(* One remote submit with bounded exponential backoff on transient
+   rejections (the plain path delegates to Client.request_retry; the
+   streaming path re-runs the submit/stream loop itself because the
+   rejection arrives as the first stream line). *)
+let remote_submit client ~retries ~wait_ms ~progress ~events_oc seed
+    fixed_width timing_report period_ns source =
+  let design = Filename.remove_extension (Filename.basename source) in
+  let submit =
+    make_submit seed fixed_width timing_report period_ns ~progress source
+  in
+  if not progress then
+    Service.Client.request_retry ~retries ~wait_ms client
+      (Service.Protocol.Submit submit)
+  else
+    let rec go attempt =
+      let resp = submit_streaming client events_oc design submit in
+      if
+        (not (Service.Client.ok resp))
+        && Service.Client.code resp = Some "backpressure"
+        && attempt < retries
+      then begin
+        Unix.sleepf
+          (Float.min 10_000.0
+             (float_of_int wait_ms *. (2.0 ** float_of_int attempt))
+          /. 1000.0);
+        go (attempt + 1)
+      end
+      else resp
+    in
+    go 0
 
 (* Write the same artifacts a local run would: BASE.bit (hex-decoded),
    BASE.result.json (the embedded per-design record, schema-identical
@@ -381,22 +530,32 @@ let write_remote_outputs outdir source resp =
   end
 
 let run_remote socket input outdir seed fixed_width timing_report period_ns
-    batch =
+    batch ~progress ~events_file ~retries ~wait_ms =
   let sources = if batch then Service.Manifest.read input else [ input ] in
   if sources = [] then failwith (input ^ ": no designs listed");
   let w0 = Unix.gettimeofday () in
+  let events_oc = Option.map open_out events_file in
   let failed =
-    Service.Client.with_connection socket (fun client ->
-        List.fold_left
-          (fun failed source ->
-            let resp =
-              remote_submit client seed fixed_width timing_report period_ns
-                source
-            in
-            if write_remote_outputs outdir source resp then failed
-            else failed + 1)
-          0 sources)
+    Fun.protect
+      ~finally:(fun () -> Option.iter close_out events_oc)
+      (fun () ->
+        let client = Service.Client.connect_retry ~retries ~wait_ms socket in
+        Fun.protect
+          ~finally:(fun () -> Service.Client.close client)
+          (fun () ->
+            List.fold_left
+              (fun failed source ->
+                let resp =
+                  remote_submit client ~retries ~wait_ms ~progress ~events_oc
+                    seed fixed_width timing_report period_ns source
+                in
+                if write_remote_outputs outdir source resp then failed
+                else failed + 1)
+              0 sources))
   in
+  (match events_file with
+  | Some path -> Printf.printf "events -> %s\n" path
+  | None -> ());
   Printf.printf "remote: %d design(s), %d failed, %.2f s wall via %s -> %s\n"
     (List.length sources) failed
     (Unix.gettimeofday () -. w0)
@@ -407,7 +566,8 @@ let run_remote socket input outdir seed fixed_width timing_report period_ns
 
 let run input outdir seed fixed_width jobs timing_report period_ns
     metrics_json trace_file no_incremental_sta batch no_cache cache_dir
-    remote arch arch_sweep sweep_mixes sweep_widths =
+    remote arch arch_sweep sweep_mixes sweep_widths progress events_file
+    retries retry_wait_ms ledger suite =
   (try Sys.mkdir outdir 0o755 with Sys_error _ -> ());
   if arch_sweep then run_arch_sweep outdir sweep_mixes sweep_widths jobs
   else
@@ -418,18 +578,33 @@ let run input outdir seed fixed_width jobs timing_report period_ns
     in
     match remote with
     | Some socket ->
+        if ledger <> None then
+          prerr_endline
+            "amdrel_flow: --ledger is ignored with --remote (the record is \
+             built from the local flow result; run the ledger on the \
+             daemon side or compile locally)";
+        (* --events alone also subscribes: an empty capture file from a
+           non-streaming submit helps nobody *)
         run_remote socket input outdir seed fixed_width timing_report period_ns
           batch
+          ~progress:(progress || events_file <> None)
+          ~events_file ~retries ~wait_ms:retry_wait_ms
     | None ->
+        if progress then
+          prerr_endline
+            "amdrel_flow: --progress streams from a daemon; without \
+             --remote it is ignored (use --events FILE to capture the \
+             event stream of a local run)";
         let cache_dir = if no_cache then None else Some cache_dir in
         let config =
           make_config arch seed fixed_width jobs timing_report period_ns
             no_incremental_sta cache_dir
         in
-        if batch then run_batch input outdir config timing_report jobs
+        if batch then
+          run_batch input outdir config timing_report ledger suite jobs
         else
           run_single input outdir config timing_report metrics_json trace_file
-            jobs
+            events_file ledger suite jobs
 
 let input_arg =
   Arg.(
@@ -614,6 +789,66 @@ let sweep_widths_arg =
           "Fixed channel widths to pair with every mix; empty (default) \
            binary-searches the minimum width per point instead.")
 
+let progress_arg =
+  Arg.(
+    value & flag
+    & info [ "progress" ]
+        ~doc:
+          "With $(b,--remote): subscribe to the daemon's progress-event \
+           stream for each submitted design and render a live status \
+           line on stderr (stage begin/end, cache hits, PathFinder \
+           iterations, annealer temperatures, heartbeats).  The final \
+           outputs are byte-identical to a non-streaming run.  Schema in \
+           docs/OBSERVABILITY.md.")
+
+let events_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "events" ] ~docv:"FILE"
+        ~doc:
+          "Persist the raw progress-event stream as newline-delimited \
+           JSON: with $(b,--remote) the daemon's framed records exactly \
+           as received (implies the subscription, with or without \
+           $(b,--progress)); in local single-design mode the flow's own \
+           event stream (drained at the end of the run).")
+
+let retry_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retry" ] ~docv:"N"
+        ~doc:
+          "With $(b,--remote): retry up to $(docv) times, with bounded \
+           exponential backoff, when the daemon is not accepting \
+           connections yet (connection refused) or answers a submit with \
+           a structured backpressure rejection.  Draining daemons are \
+           never retried.  Default 0 (fail fast).")
+
+let retry_wait_ms_arg =
+  Arg.(
+    value & opt int 200
+    & info [ "retry-wait-ms" ] ~docv:"MS"
+        ~doc:
+          "Base backoff for $(b,--retry): attempt $(i,k) sleeps \
+           $(docv)*2^$(i,k) milliseconds (capped at 10 s).")
+
+let ledger_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"DIR"
+        ~doc:
+          "Append one QoR/perf record per completed design to the run \
+           ledger $(docv)/<suite>.jsonl (single and $(b,--batch) local \
+           modes).  Fold and gate the ledger with $(b,amdrel_report).  \
+           Schema in docs/OBSERVABILITY.md.")
+
+let suite_arg =
+  Arg.(
+    value & opt string "suite"
+    & info [ "suite" ] ~docv:"NAME"
+        ~doc:"Suite name for $(b,--ledger) records (the ledger file stem).")
+
 let cmd =
   Cmd.v
     (Cmd.info "amdrel_flow"
@@ -623,13 +858,16 @@ let cmd =
           content-addressed cache; --remote submits to an amdreld daemon \
           instead; --arch-sweep explores segment-mix architectures")
     Term.(
-      const (fun i o s w j tr p mj tf ni b nc cd rm a asw sm sw ->
+      const (fun i o s w j tr p mj tf ni b nc cd rm a asw sm sw pg ev rt rw ld
+                 su ->
           Tool_common.protect (fun () ->
-              run i o s w j tr p mj tf ni b nc cd rm a asw sm sw))
+              run i o s w j tr p mj tf ni b nc cd rm a asw sm sw pg ev rt rw
+                ld su))
       $ input_arg $ outdir_arg $ seed_arg $ width_arg $ jobs_arg
       $ timing_report_arg $ period_arg $ metrics_json_arg $ trace_arg
       $ no_incremental_sta_arg $ batch_arg $ no_cache_arg $ cache_dir_arg
       $ remote_arg $ arch_arg $ arch_sweep_arg $ sweep_mixes_arg
-      $ sweep_widths_arg)
+      $ sweep_widths_arg $ progress_arg $ events_arg $ retry_arg
+      $ retry_wait_ms_arg $ ledger_arg $ suite_arg)
 
 let () = exit (Cmd.eval cmd)

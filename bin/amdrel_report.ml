@@ -1,0 +1,269 @@
+(* amdrel_report: fold a run ledger into BENCH_<suite>.json, render the
+   QoR trajectory, and gate on regressions.
+
+   The ledger (lib/ledger, written by `amdrel_flow --ledger` and
+   `bench/main.exe flow --ledger`) is the durable record; this tool is
+   the read side: it groups records per design, writes the folded
+   trajectory as one JSON file (the artifact CI uploads and the repo
+   pins), prints a table, and compares each design's latest record
+   against its previous comparable one — same design hash, params
+   fingerprint and seed, so only records the determinism contract says
+   must agree are compared.  A tracked metric moving past the tolerance
+   in the bad direction (wmin/crit/power up, wns/tns down) exits 1. *)
+
+open Cmdliner
+module E = Obs.Emit
+module L = Ledger
+
+(* ---------- gate ---------- *)
+
+type verdict = {
+  v_design : string;
+  v_metric : string;
+  v_old : float;
+  v_new : float;
+}
+
+(* Lower-better metrics; None when the record lacks the value. *)
+let lower_better =
+  [
+    ("wmin", fun (r : L.t) -> Option.map float_of_int r.L.wmin);
+    ("crit_s", fun (r : L.t) -> Some r.L.crit_s);
+    ("power_w", fun (r : L.t) -> Some r.L.power_w);
+  ]
+
+(* Higher-better: slack metrics (<= 0; closer to 0 is better). *)
+let higher_better =
+  [
+    ("wns_s", fun (r : L.t) -> Some r.L.wns_s);
+    ("tns_s", fun (r : L.t) -> Some r.L.tns_s);
+  ]
+
+let comparable (a : L.t) (b : L.t) =
+  a.L.design_hash = b.L.design_hash
+  && a.L.params_fp = b.L.params_fp
+  && a.L.seed = b.L.seed
+
+let judge ~tolerance (prev : L.t) (latest : L.t) =
+  let margin old = tolerance *. Float.max (Float.abs old) 1e-12 in
+  let check acc (metric, get) ~worse =
+    match (get prev, get latest) with
+    | Some o, Some n when worse o n ->
+        { v_design = latest.L.design; v_metric = metric; v_old = o; v_new = n }
+        :: acc
+    | _ -> acc
+  in
+  let acc =
+    List.fold_left
+      (fun acc m -> check acc m ~worse:(fun o n -> n > o +. margin o))
+      [] lower_better
+  in
+  List.fold_left
+    (fun acc m -> check acc m ~worse:(fun o n -> n < o -. margin o))
+    acc higher_better
+  |> List.rev
+
+(* ---------- folding ---------- *)
+
+let group_by_design records =
+  let order = ref [] and tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (r : L.t) ->
+      if not (Hashtbl.mem tbl r.L.design) then begin
+        order := r.L.design :: !order;
+        Hashtbl.replace tbl r.L.design []
+      end;
+      Hashtbl.replace tbl r.L.design (r :: Hashtbl.find tbl r.L.design))
+    records;
+  List.rev_map
+    (fun d -> (d, List.rev (Hashtbl.find tbl d)))
+    !order
+  |> List.rev
+
+let wall_total (r : L.t) =
+  List.fold_left (fun acc (_, s) -> acc +. s) 0.0 r.L.stage_wall
+
+let trajectory_entry (r : L.t) =
+  E.Obj
+    [
+      ("at", E.String r.L.at);
+      ("git", E.String r.L.git);
+      ("jobs", E.Int r.L.jobs);
+      ("wmin", match r.L.wmin with Some w -> E.Int w | None -> E.Null);
+      ("width", E.Int r.L.width);
+      ("crit_s", E.Float r.L.crit_s);
+      ("wns_s", E.Float r.L.wns_s);
+      ("tns_s", E.Float r.L.tns_s);
+      ("power_w", E.Float r.L.power_w);
+      ("bits", E.Int r.L.bits);
+      ("luts", E.Int r.L.luts);
+      ("clbs", E.Int r.L.clbs);
+      ("wall_s", E.Float (wall_total r));
+      ("cache_hits", E.Int r.L.cache_hits);
+      ("cache_misses", E.Int r.L.cache_misses);
+    ]
+
+let bench_json ~suite ~skipped ~tolerance ~groups ~verdicts ~compared =
+  E.Obj
+    [
+      ("suite", E.String suite);
+      ("generated", E.String (L.utc_now ()));
+      ( "records",
+        E.Int (List.fold_left (fun a (_, rs) -> a + List.length rs) 0 groups)
+      );
+      ("skipped", E.Int skipped);
+      ( "designs",
+        E.Obj
+          (List.map
+             (fun (design, runs) ->
+               ( design,
+                 E.Obj
+                   [
+                     ("runs", E.Int (List.length runs));
+                     ( "latest",
+                       L.to_json (List.nth runs (List.length runs - 1)) );
+                     ("trajectory", E.List (List.map trajectory_entry runs));
+                   ] ))
+             groups) );
+      ( "gate",
+        E.Obj
+          [
+            ("tolerance", E.Float tolerance);
+            ("compared", E.Int compared);
+            ("ok", E.Bool (verdicts = []));
+            ( "regressions",
+              E.List
+                (List.map
+                   (fun v ->
+                     E.Obj
+                       [
+                         ("design", E.String v.v_design);
+                         ("metric", E.String v.v_metric);
+                         ("previous", E.Float v.v_old);
+                         ("latest", E.Float v.v_new);
+                       ])
+                   verdicts) );
+          ] );
+    ]
+
+(* ---------- rendering ---------- *)
+
+let print_table groups =
+  Printf.printf "%-14s %4s %5s %5s %9s %9s %9s %6s\n" "design" "runs" "Wmin"
+    "width" "crit_ns" "power_mW" "wall_s" "jobs";
+  List.iter
+    (fun (design, runs) ->
+      let r = List.nth runs (List.length runs - 1) in
+      Printf.printf "%-14s %4d %5s %5d %9.3f %9.3f %9.3f %6d\n" design
+        (List.length runs)
+        (match r.L.wmin with Some w -> string_of_int w | None -> "-")
+        r.L.width (r.L.crit_s *. 1e9) (r.L.power_w *. 1e3) (wall_total r)
+        r.L.jobs)
+    groups
+
+let run ledger_dir suite out tolerance no_gate quiet =
+  let records, skipped = L.read ~dir:ledger_dir ~suite in
+  if records = [] then begin
+    Printf.eprintf "amdrel_report: no records for suite %S under %s\n" suite
+      ledger_dir;
+    exit 2
+  end;
+  let groups = group_by_design records in
+  (* latest vs the previous comparable record, per design *)
+  let compared = ref 0 in
+  let verdicts =
+    List.concat_map
+      (fun (_, runs) ->
+        let n = List.length runs in
+        if n < 2 then []
+        else
+          let latest = List.nth runs (n - 1) in
+          match
+            List.find_opt (comparable latest)
+              (List.rev (List.filteri (fun i _ -> i < n - 1) runs))
+          with
+          | None -> []
+          | Some prev ->
+              incr compared;
+              judge ~tolerance prev latest)
+      groups
+  in
+  let out_file =
+    match out with Some f -> f | None -> Printf.sprintf "BENCH_%s.json" suite
+  in
+  let json =
+    bench_json ~suite ~skipped ~tolerance ~groups ~verdicts
+      ~compared:!compared
+  in
+  let oc = open_out out_file in
+  output_string oc (E.to_string json ^ "\n");
+  close_out oc;
+  if not quiet then begin
+    print_table groups;
+    if skipped > 0 then
+      Printf.printf "(%d malformed ledger line%s skipped)\n" skipped
+        (if skipped = 1 then "" else "s");
+    Printf.printf "wrote %s (%d records, %d design%s)\n" out_file
+      (List.length records) (List.length groups)
+      (if List.length groups = 1 then "" else "s")
+  end;
+  List.iter
+    (fun v ->
+      Printf.eprintf
+        "REGRESSION %s.%s: %.6g -> %.6g (tolerance %.3g)\n" v.v_design
+        v.v_metric v.v_old v.v_new tolerance)
+    verdicts;
+  if verdicts <> [] && not no_gate then exit 1
+
+let ledger_arg =
+  Arg.(
+    value & opt string "bench/ledger"
+    & info [ "ledger" ] ~docv:"DIR"
+        ~doc:"Ledger directory holding $(docv)/<suite>.jsonl.")
+
+let suite_arg =
+  Arg.(
+    value & opt string "suite"
+    & info [ "suite" ] ~docv:"NAME" ~doc:"Suite name (the ledger file stem).")
+
+let out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "out" ] ~docv:"FILE"
+        ~doc:"Output path for the folded report (default BENCH_<suite>.json).")
+
+let tolerance_arg =
+  Arg.(
+    value & opt float 0.02
+    & info [ "tolerance" ] ~docv:"FRAC"
+        ~doc:
+          "Relative regression tolerance: the latest record fails the \
+           gate when a tracked metric is worse than the previous \
+           comparable record by more than $(docv) of its magnitude.")
+
+let no_gate_arg =
+  Arg.(
+    value & flag
+    & info [ "no-gate" ]
+        ~doc:
+          "Report regressions on stderr but exit 0 anyway (fold-only \
+           mode).")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the trajectory table.")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "amdrel_report"
+       ~doc:
+         "Fold a run ledger into BENCH_<suite>.json, print the QoR \
+          trajectory, and exit non-zero when a tracked metric regressed \
+          beyond the tolerance")
+    Term.(
+      const (fun l s o t g q ->
+          Tool_common.protect (fun () -> run l s o t g q))
+      $ ledger_arg $ suite_arg $ out_arg $ tolerance_arg $ no_gate_arg
+      $ quiet_arg)
+
+let () = exit (Cmd.eval cmd)

@@ -109,8 +109,23 @@ exception Flow_error of string * exn
 (* Each stage is one registry timer (wall + CPU seconds) and one trace
    span of the same name.  Nothing is recorded when the stage fails. *)
 let timed obs label f =
-  Obs.Span.with_ ~name:label (fun () ->
-      try R.time obs label f with e -> raise (Flow_error (label, e)))
+  Obs.Events.emit (Obs.Events.Stage_begin { stage = label });
+  let t0 = Unix.gettimeofday () in
+  let finish () =
+    Obs.Events.emit
+      (Obs.Events.Stage_end
+         { stage = label; wall_s = Unix.gettimeofday () -. t0 })
+  in
+  match
+    Obs.Span.with_ ~name:label (fun () ->
+        try R.time obs label f with e -> raise (Flow_error (label, e)))
+  with
+  | v ->
+      finish ();
+      v
+  | exception e ->
+      finish ();
+      raise e
 
 (* ---------- stage memoisation ---------- *)
 
@@ -163,8 +178,12 @@ let stage ctx name version key compute =
   | Some store -> (
       let k = Cache.Store.key (name :: version :: key ()) in
       match Cache.Store.find store k with
-      | Some v -> v
+      | Some v ->
+          Obs.Events.emit (Obs.Events.Cache_lookup { stage = name; hit = true });
+          v
       | None ->
+          Obs.Events.emit
+            (Obs.Events.Cache_lookup { stage = name; hit = false });
           let v = compute () in
           Cache.Store.store store k v;
           v)

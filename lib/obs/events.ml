@@ -1,0 +1,174 @@
+(* Bounded SPSC progress-event ring.
+
+   The producer (the domain running a flow) publishes an event by
+   writing its slot and then Atomic.set-ing [tail] — the release store
+   that makes the slot visible.  The consumer (daemon IO loop or CLI)
+   reads [tail] with an acquire load and walks [head..tail).  Overflow
+   never blocks the producer: when the ring is full the event is counted
+   into [dropped] and discarded, and the next drain synthesizes a
+   [Dropped] record for the gap.
+
+   The ambient slot mirrors Span's discipline exactly: one DLS cell per
+   domain, [with_sink] installs/restores, pool worker domains see no
+   ambient and their emissions vanish.  That — plus [without] around the
+   jobs-dependent paths — is what keeps the event-kind sequence
+   deterministic across jobs settings. *)
+
+type kind =
+  | Stage_begin of { stage : string }
+  | Stage_end of { stage : string; wall_s : float }
+  | Cache_lookup of { stage : string; hit : bool }
+  | Route_iteration of {
+      iteration : int;
+      overused : int;
+      rerouted : int;
+      heap_pops : int;
+    }
+  | Place_temperature of { step : int; temperature : float; accept_rate : float }
+  | Heartbeat
+  | Dropped of { count : int }
+
+type event = { seq : int; t_s : float; kind : kind }
+
+type slot = { s_t : float; s_kind : kind }
+
+type sink = {
+  slots : slot option array;
+  cap : int;
+  head : int Atomic.t; (* consumer-owned: next index to read *)
+  tail : int Atomic.t; (* producer-owned: next index to write *)
+  dropped : int Atomic.t;
+  epoch : float;
+  mutable next_seq : int; (* consumer-owned *)
+  mutable drop_seen : int; (* consumer-owned: drops already reported *)
+}
+
+let create ?(capacity = 8192) () =
+  let cap = max 16 capacity in
+  {
+    slots = Array.make cap None;
+    cap;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+    dropped = Atomic.make 0;
+    epoch = Unix.gettimeofday ();
+    next_seq = 0;
+    drop_seen = 0;
+  }
+
+let ambient : sink option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_sink s f =
+  let cell = Domain.DLS.get ambient in
+  let saved = !cell in
+  cell := Some s;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+let without f =
+  let cell = Domain.DLS.get ambient in
+  let saved = !cell in
+  cell := None;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+let active () = Option.is_some !(Domain.DLS.get ambient)
+
+let emit_to s kind =
+  let tail = Atomic.get s.tail in
+  let head = Atomic.get s.head in
+  if tail - head >= s.cap then Atomic.incr s.dropped
+  else begin
+    s.slots.(tail mod s.cap) <-
+      Some { s_t = Unix.gettimeofday () -. s.epoch; s_kind = kind };
+    (* release: publishes the slot write above *)
+    Atomic.set s.tail (tail + 1)
+  end
+
+let emit kind =
+  match !(Domain.DLS.get ambient) with
+  | None -> ()
+  | Some s -> emit_to s kind
+
+let stamp s kind t_s =
+  let seq = s.next_seq in
+  s.next_seq <- seq + 1;
+  { seq; t_s; kind }
+
+let next_seq s =
+  let seq = s.next_seq in
+  s.next_seq <- seq + 1;
+  seq
+
+let heartbeat s = stamp s Heartbeat (Unix.gettimeofday () -. s.epoch)
+
+let dropped_total s = Atomic.get s.dropped
+
+let drain s =
+  let tail = Atomic.get s.tail (* acquire: slots up to here are visible *) in
+  let head = Atomic.get s.head in
+  let gap =
+    let d = Atomic.get s.dropped in
+    let fresh = d - s.drop_seen in
+    s.drop_seen <- d;
+    fresh
+  in
+  let out = ref [] in
+  if gap > 0 then
+    out :=
+      [ stamp s (Dropped { count = gap }) (Unix.gettimeofday () -. s.epoch) ];
+  for i = head to tail - 1 do
+    match s.slots.(i mod s.cap) with
+    | None -> ()
+    | Some sl ->
+        s.slots.(i mod s.cap) <- None;
+        out := stamp s sl.s_kind sl.s_t :: !out
+  done;
+  Atomic.set s.head tail;
+  List.rev !out
+
+let kind_name = function
+  | Stage_begin _ -> "stage-begin"
+  | Stage_end _ -> "stage-end"
+  | Cache_lookup _ -> "cache"
+  | Route_iteration _ -> "route-iteration"
+  | Place_temperature _ -> "place-temperature"
+  | Heartbeat -> "heartbeat"
+  | Dropped _ -> "dropped"
+
+let volatile = function Heartbeat | Dropped _ -> true | _ -> false
+
+let kind_fields = function
+  | Stage_begin { stage } -> [ ("stage", Emit.String stage) ]
+  | Stage_end { stage; wall_s } ->
+      [ ("stage", Emit.String stage); ("wall_s", Emit.Float wall_s) ]
+  | Cache_lookup { stage; hit } ->
+      [ ("stage", Emit.String stage); ("hit", Emit.Bool hit) ]
+  | Route_iteration { iteration; overused; rerouted; heap_pops } ->
+      [
+        ("iteration", Emit.Int iteration);
+        ("overused", Emit.Int overused);
+        ("rerouted", Emit.Int rerouted);
+        ("heap_pops", Emit.Int heap_pops);
+      ]
+  | Place_temperature { step; temperature; accept_rate } ->
+      [
+        ("step", Emit.Int step);
+        ("temperature", Emit.Float temperature);
+        ("accept_rate", Emit.Float accept_rate);
+      ]
+  | Heartbeat -> []
+  | Dropped { count } -> [ ("count", Emit.Int count) ]
+
+let to_fields ev =
+  (("event", Emit.String (kind_name ev.kind)) :: ("seq", Emit.Int ev.seq)
+  :: kind_fields ev.kind)
+  @ [ ("t_s", Emit.Float ev.t_s) ]
+
+let to_json ev = Emit.Obj (to_fields ev)
+
+let deterministic_fields ev =
+  if volatile ev.kind then None
+  else
+    Some
+      (("event", Emit.String (kind_name ev.kind))
+      :: List.filter (fun (k, _) -> k <> "wall_s") (kind_fields ev.kind))

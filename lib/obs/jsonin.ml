@@ -1,0 +1,230 @@
+(* Recursive-descent JSON parser producing Emit.t — the inverse of
+   the flow's shared emitter, for the service wire protocol. *)
+
+exception Parse_error of string
+
+type state = { s : string; mutable i : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "at offset %d: %s" st.i msg))
+
+let peek st = if st.i < String.length st.s then Some st.s.[st.i] else None
+
+let next st =
+  match peek st with
+  | Some c ->
+      st.i <- st.i + 1;
+      c
+  | None -> fail st "unexpected end of input"
+
+let skip_ws st =
+  while
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        st.i <- st.i + 1;
+        true
+    | _ -> false
+  do
+    ()
+  done
+
+let expect st c =
+  let g = next st in
+  if g <> c then fail st (Printf.sprintf "expected %C, got %C" c g)
+
+let literal st word v =
+  String.iter (fun c -> expect st c) word;
+  v
+
+let hex4 st =
+  let d c =
+    match c with
+    | '0' .. '9' -> Char.code c - Char.code '0'
+    | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+    | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+    | _ -> fail st "invalid \\u escape"
+  in
+  let a = d (next st) in
+  let b = d (next st) in
+  let c = d (next st) in
+  let e = d (next st) in
+  (((a * 16) + b) * 16 + c) * 16 + e
+
+(* UTF-8 encode one scalar value (surrogate pairs already combined). *)
+let add_utf8 buf cp =
+  if cp < 0x80 then Buffer.add_char buf (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char buf (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else if cp < 0x10000 then begin
+    Buffer.add_char buf (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char buf (Char.chr (0xF0 lor (cp lsr 18)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 12) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char buf (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match next st with
+    | '"' -> Buffer.contents buf
+    | '\\' ->
+        (match next st with
+        | '"' -> Buffer.add_char buf '"'
+        | '\\' -> Buffer.add_char buf '\\'
+        | '/' -> Buffer.add_char buf '/'
+        | 'b' -> Buffer.add_char buf '\b'
+        | 'f' -> Buffer.add_char buf '\012'
+        | 'n' -> Buffer.add_char buf '\n'
+        | 'r' -> Buffer.add_char buf '\r'
+        | 't' -> Buffer.add_char buf '\t'
+        | 'u' ->
+            let cp = hex4 st in
+            let cp =
+              if cp >= 0xD800 && cp <= 0xDBFF then begin
+                (* high surrogate: a \uDC00-\uDFFF low half must follow *)
+                expect st '\\';
+                expect st 'u';
+                let lo = hex4 st in
+                if lo < 0xDC00 || lo > 0xDFFF then
+                  fail st "unpaired surrogate"
+                else 0x10000 + ((cp - 0xD800) lsl 10) + (lo - 0xDC00)
+              end
+              else if cp >= 0xDC00 && cp <= 0xDFFF then
+                fail st "unpaired surrogate"
+              else cp
+            in
+            add_utf8 buf cp
+        | c -> fail st (Printf.sprintf "invalid escape \\%C" c));
+        loop ()
+    | c ->
+        Buffer.add_char buf c;
+        loop ()
+  in
+  loop ()
+
+let parse_number st =
+  let start = st.i in
+  let consume p =
+    while match peek st with Some c when p c -> true | _ -> false do
+      st.i <- st.i + 1
+    done
+  in
+  if peek st = Some '-' then st.i <- st.i + 1;
+  consume (fun c -> c >= '0' && c <= '9');
+  let is_float = ref false in
+  if peek st = Some '.' then begin
+    is_float := true;
+    st.i <- st.i + 1;
+    consume (fun c -> c >= '0' && c <= '9')
+  end;
+  (match peek st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      st.i <- st.i + 1;
+      (match peek st with
+      | Some ('+' | '-') -> st.i <- st.i + 1
+      | _ -> ());
+      consume (fun c -> c >= '0' && c <= '9')
+  | _ -> ());
+  let text = String.sub st.s start (st.i - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Emit.Float f
+    | None -> fail st (Printf.sprintf "bad number %S" text)
+  else
+    match int_of_string_opt text with
+    | Some n -> Emit.Int n
+    | None -> (
+        (* out of int range: fall back to float *)
+        match float_of_string_opt text with
+        | Some f -> Emit.Float f
+        | None -> fail st (Printf.sprintf "bad number %S" text))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some '"' -> Emit.String (parse_string st)
+  | Some 't' -> literal st "true" (Emit.Bool true)
+  | Some 'f' -> literal st "false" (Emit.Bool false)
+  | Some 'n' -> literal st "null" Emit.Null
+  | Some '[' ->
+      st.i <- st.i + 1;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        st.i <- st.i + 1;
+        Emit.List []
+      end
+      else
+        let rec items acc =
+          let v = parse_value st in
+          skip_ws st;
+          match next st with
+          | ',' -> items (v :: acc)
+          | ']' -> Emit.List (List.rev (v :: acc))
+          | c -> fail st (Printf.sprintf "expected ',' or ']', got %C" c)
+        in
+        items []
+  | Some '{' ->
+      st.i <- st.i + 1;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        st.i <- st.i + 1;
+        Emit.Obj []
+      end
+      else
+        let rec members acc =
+          skip_ws st;
+          let k = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          skip_ws st;
+          match next st with
+          | ',' -> members ((k, v) :: acc)
+          | '}' -> Emit.Obj (List.rev ((k, v) :: acc))
+          | c -> fail st (Printf.sprintf "expected ',' or '}', got %C" c)
+        in
+        members []
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> fail st (Printf.sprintf "unexpected %C" c)
+
+let parse s =
+  let st = { s; i = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.i <> String.length s then fail st "trailing characters after value";
+  v
+
+let parse_opt s = try Some (parse s) with Parse_error _ -> None
+
+let parse_result s =
+  try Ok (parse s) with Parse_error msg -> Error msg
+
+(* ---------- accessors ---------- *)
+
+let member k = function
+  | Emit.Obj fields -> List.assoc_opt k fields
+  | _ -> None
+
+let get_string = function Emit.String s -> Some s | _ -> None
+let get_bool = function Emit.Bool b -> Some b | _ -> None
+
+let get_int = function
+  | Emit.Int n -> Some n
+  | Emit.Float f when Float.is_integer f && Float.abs f < 1e15 ->
+      Some (int_of_float f)
+  | _ -> None
+
+let get_float = function
+  | Emit.Float f -> Some f
+  | Emit.Int n -> Some (float_of_int n)
+  | _ -> None

@@ -1,39 +1,43 @@
 (** Minimal JSON parser for the compile-service wire protocol.
 
     The flow has always {e emitted} JSON through one shared emitter
-    ({!Obs.Emit}); the service protocol is the first surface that must
+    ({!Emit}); the service protocol is the first surface that must
     also {e read} it.  This parser is the emitter's inverse: it accepts
     standard JSON (RFC 8259 — whitespace, nested containers, string
     escapes including [\uXXXX] with surrogate pairs decoded to UTF-8)
-    and produces {!Obs.Emit.t} values, so one value type serves both
+    and produces {!Emit.t} values, so one value type serves both
     directions.  Numbers without [.], [e] or [E] that fit an OCaml
     [int] parse as [Int]; everything else parses as [Float].
-    [Obs.Emit.to_string] output round-trips exactly (floats through
+    [Emit.to_string] output round-trips exactly (floats through
     [%.9g] re-parse equal). *)
 
 exception Parse_error of string
 (** Position-tagged description of the first syntax error. *)
 
-val parse : string -> Obs.Emit.t
+val parse : string -> Emit.t
 (** Parse one JSON value (leading/trailing whitespace allowed; anything
     else after the value is an error).
     @raise Parse_error on malformed input. *)
 
-val parse_opt : string -> Obs.Emit.t option
+val parse_opt : string -> Emit.t option
+
+val parse_result : string -> (Emit.t, string) result
+(** [parse] with the error as a value — for surfaces (ledger readers,
+    stream consumers) that must report rather than raise. *)
 
 (** {1 Accessors}
 
     Total functions over parsed values, for protocol field extraction:
     each returns [None] on a missing member or a kind mismatch. *)
 
-val member : string -> Obs.Emit.t -> Obs.Emit.t option
+val member : string -> Emit.t -> Emit.t option
 (** Object member lookup (first binding wins). *)
 
-val get_string : Obs.Emit.t -> string option
-val get_bool : Obs.Emit.t -> bool option
+val get_string : Emit.t -> string option
+val get_bool : Emit.t -> bool option
 
-val get_int : Obs.Emit.t -> int option
+val get_int : Emit.t -> int option
 (** [Int n], or a [Float] with an exact integer value. *)
 
-val get_float : Obs.Emit.t -> float option
+val get_float : Emit.t -> float option
 (** [Float f] or [Int n] (as a float). *)

@@ -515,6 +515,9 @@ let temp_step ?obs st =
     | Some o -> Obs.Registry.observe o "place.accept-rate" rate
     | None -> ());
     Obs.Span.annotate [ ("accept_rate", Obs.Emit.Float rate) ];
+    Obs.Events.emit
+      (Obs.Events.Place_temperature
+         { step = st.steps; temperature = st.temperature; accept_rate = rate });
     let alpha =
       if rate > 0.96 then 0.5
       else if rate > 0.8 then 0.9
@@ -658,6 +661,10 @@ let run_multistart ?(options = default_options) ?timing ?jobs ?(starts = 1)
     ?prune_margin ?(prune_interval = 4) ?obs (problem : Problem.t) =
   if starts <= 1 then run ~options ?timing ?obs problem
   else
+    (* starts > 1 anneals inside Parallel.map, which runs inline at
+       jobs=1 but on pool domains otherwise — suppress progress events
+       so the emitted sequence stays jobs-independent *)
+    Obs.Events.without @@ fun () ->
     match prune_margin with
     | Some margin ->
         run_pruned ~options ~timing ~jobs ~starts ~margin

@@ -465,6 +465,14 @@ let route ?(max_iterations = 30) ?(pres_fac0 = 0.5) ?(pres_mult = 1.6)
         ("overused_nodes", Obs.Emit.Int overused);
         ("heap_pops", Obs.Emit.Int !iter_pops);
       ];
+    Obs.Events.emit
+      (Obs.Events.Route_iteration
+         {
+           iteration = !iteration;
+           overused;
+           rerouted;
+           heap_pops = !iter_pops;
+         });
     iter_stats :=
       {
         iteration = !iteration;

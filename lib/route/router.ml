@@ -148,11 +148,16 @@ let route_min_width ?(max_iterations = 60) ?(start = 6) ?timing ?table ?jobs
     | fresh ->
         let arr = Array.of_list (List.sort_uniq compare fresh) in
         probes := !probes + Array.length arr;
+        (* probe routings are speculative and their set depends on the
+           pool size; suppress their progress events so the stream only
+           carries the final routing's iterations, identically at any
+           jobs value *)
         let res =
-          Util.Parallel.map ~jobs
-            (fun w ->
-              Option.is_some (try_width ~max_iterations params placement w))
-            arr
+          Obs.Events.without (fun () ->
+              Util.Parallel.map ~jobs
+                (fun w ->
+                  Option.is_some (try_width ~max_iterations params placement w))
+                arr)
         in
         Array.iteri (fun i w -> Hashtbl.replace cache w res.(i)) arr
   in

@@ -42,6 +42,45 @@ let ok json =
   | Some b -> b
   | None -> false
 
+let code json = Option.bind (Jsonin.member "code" json) Jsonin.get_string
+
+(* ---------- retry policy ---------- *)
+
+(* Bounded exponential backoff.  Retryable conditions are the two
+   transient ones a well-behaved client sees from a healthy deployment:
+   nobody listening yet / daemon restarting (connection refused, socket
+   path briefly absent) and a full admission queue (the structured
+   backpressure rejection).  "draining" is deliberately NOT retried at
+   the same address — the daemon has told us it is going away. *)
+
+let backoff ~attempt ~wait_ms =
+  let ms = float_of_int wait_ms *. (2.0 ** float_of_int attempt) in
+  Unix.sleepf (Float.min 10_000.0 ms /. 1000.0)
+
+let connect_retry ?(retries = 0) ?(wait_ms = 200) path =
+  let rec go attempt =
+    match connect path with
+    | t -> t
+    | exception
+        Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when attempt < retries ->
+        backoff ~attempt ~wait_ms;
+        go (attempt + 1)
+  in
+  go 0
+
+let request_retry ?(retries = 0) ?(wait_ms = 200) t req =
+  let rec go attempt =
+    let resp = request t req in
+    if (not (ok resp)) && code resp = Some "backpressure" && attempt < retries
+    then begin
+      backoff ~attempt ~wait_ms;
+      go (attempt + 1)
+    end
+    else resp
+  in
+  go 0
+
 let error_message json =
   let str name =
     Option.bind (Jsonin.member name json) Jsonin.get_string

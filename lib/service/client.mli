@@ -13,6 +13,13 @@ val connect : string -> t
 (** Connect to the daemon's Unix-domain socket.
     @raise Unix.Unix_error when nobody is listening. *)
 
+val connect_retry : ?retries:int -> ?wait_ms:int -> string -> t
+(** {!connect} with bounded exponential backoff on [ECONNREFUSED] and
+    [ENOENT] (daemon not up yet, or restarting): up to [retries] extra
+    attempts (default 0 — identical to {!connect}), sleeping
+    [wait_ms * 2^attempt] milliseconds (default 200, capped at 10 s)
+    between attempts.  Other errors raise immediately. *)
+
 val close : t -> unit
 
 val request : t -> Protocol.request -> Obs.Emit.t
@@ -36,8 +43,22 @@ val with_connection : string -> (t -> 'a) -> 'a
 
 (** {1 Response accessors} *)
 
+val request_retry :
+  ?retries:int -> ?wait_ms:int -> t -> Protocol.request -> Obs.Emit.t
+(** {!request} with the same backoff schedule on structured
+    [backpressure] rejections (a full admission queue is transient; the
+    queued work ahead of us is finite).  [draining] rejections are
+    {e not} retried — that daemon is going away; pick another address.
+    Returns the last response (still a rejection when the budget runs
+    out). *)
+
 val ok : Obs.Emit.t -> bool
 (** The response's ["ok"] field ([false] when absent). *)
+
+val code : Obs.Emit.t -> string option
+(** The response's machine-readable ["code"] field, when present
+    ([backpressure] | [draining] | [bad-request] | [compile-error] |
+    [unknown-id]). *)
 
 val error_message : Obs.Emit.t -> string
 (** Human-readable failure description: ["error"] plus ["code"] and

@@ -11,6 +11,7 @@ type submit = {
   timing_report : bool;
   period_ns : float option;
   place_starts : int;
+  progress : bool;
 }
 
 let default_submit =
@@ -21,14 +22,16 @@ let default_submit =
     timing_report = false;
     period_ns = None;
     place_starts = 1;
+    progress = false;
   }
 
-type request = Submit of submit | Status | Metrics | Shutdown
+type request = Submit of submit | Status | Metrics | Shutdown | Watch of int
 
 let request_to_json = function
   | Status -> E.Obj [ ("verb", E.String "status") ]
   | Metrics -> E.Obj [ ("verb", E.String "metrics") ]
   | Shutdown -> E.Obj [ ("verb", E.String "shutdown") ]
+  | Watch id -> E.Obj [ ("verb", E.String "watch"); ("id", E.Int id) ]
   | Submit s ->
       E.Obj
         ([ ("verb", E.String "submit"); ("vhdl", E.String s.vhdl) ]
@@ -41,10 +44,10 @@ let request_to_json = function
         @ (match s.period_ns with
           | Some ns -> [ ("period_ns", E.Float ns) ]
           | None -> [])
-        @
-        if s.place_starts <> default_submit.place_starts then
-          [ ("place_starts", E.Int s.place_starts) ]
-        else [])
+        @ (if s.place_starts <> default_submit.place_starts then
+             [ ("place_starts", E.Int s.place_starts) ]
+           else [])
+        @ if s.progress then [ ("progress", E.Bool true) ] else [])
 
 (* Field extraction: absent optional fields default; present fields of
    the wrong kind are protocol errors (never silently ignored). *)
@@ -85,7 +88,18 @@ let submit_of_json json =
   let* place_starts =
     field json "place_starts" Jsonin.get_int ~default:d.place_starts
   in
-  Ok (Submit { vhdl; seed; route_width; timing_report; period_ns; place_starts })
+  let* progress = field json "progress" Jsonin.get_bool ~default:d.progress in
+  Ok
+    (Submit
+       {
+         vhdl;
+         seed;
+         route_width;
+         timing_report;
+         period_ns;
+         place_starts;
+         progress;
+       })
 
 let request_of_json json =
   match Option.bind (Jsonin.member "verb" json) Jsonin.get_string with
@@ -94,6 +108,10 @@ let request_of_json json =
   | Some "metrics" -> Ok Metrics
   | Some "shutdown" -> Ok Shutdown
   | Some "submit" -> submit_of_json json
+  | Some "watch" -> (
+      match Option.bind (Jsonin.member "id" json) Jsonin.get_int with
+      | Some id -> Ok (Watch id)
+      | None -> Error "watch requires an integer \"id\" field")
   | Some verb -> Error (Printf.sprintf "unknown verb %S" verb)
 
 (* ---------- bitstream transport ---------- *)

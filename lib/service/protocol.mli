@@ -2,7 +2,7 @@
     Unix-domain socket.
 
     Each request is one JSON object on one line; each response is one
-    JSON object on one line.  Four verbs:
+    JSON object on one line.  Five verbs:
 
     - [submit] — compile one design.  Carries the VHDL source text and
       the output-affecting config the client may choose (seed, fixed
@@ -10,8 +10,13 @@
       everything else — cache directory, job budget — is the server's.
       The response arrives when the compile finishes (or immediately,
       with [code = "backpressure"], when the admission queue is full).
-    - [status] — queue depth, in-flight count, lifetime counters.
-      Answered immediately.
+    - [status] — queue depth, in-flight count, lifetime counters, and
+      the queued requests' positions and ages.  Answered immediately.
+    - [watch] — subscribe this connection to the progress-event stream
+      of a queued or running request (one submitted with
+      [progress = true]); answered with an immediate acknowledgement
+      line, then event lines until the request completes.  See
+      docs/OBSERVABILITY.md § Progress event stream for the framing.
     - [metrics] — the server's full metric registry ([service.*] and
       [cache.*] keys; docs/OBSERVABILITY.md).  Answered immediately.
     - [shutdown] — begin a graceful drain: stop admitting, finish
@@ -40,12 +45,19 @@ type submit = {
   period_ns : float option;  (** target clock period (implies
                                  timing-driven) *)
   place_starts : int;        (** independent annealing starts *)
+  progress : bool;           (** stream progress events to this
+                                 connection while the compile runs:
+                                 the submit is acknowledged with an
+                                 [accepted] line carrying the request
+                                 id, event lines follow, and the
+                                 compile response arrives last *)
 }
 
 val default_submit : submit
-(** Empty source, seed 1, width search, no timing report, 1 start. *)
+(** Empty source, seed 1, width search, no timing report, 1 start,
+    no progress stream. *)
 
-type request = Submit of submit | Status | Metrics | Shutdown
+type request = Submit of submit | Status | Metrics | Shutdown | Watch of int
 
 val request_to_json : request -> Obs.Emit.t
 

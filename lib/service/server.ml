@@ -17,6 +17,7 @@ type config = {
   workers : int;
   jobs : int;
   cache_max_bytes : int option;
+  heartbeat_s : float;
   flow : F.config;
   log : string -> unit;
 }
@@ -28,16 +29,31 @@ let default_config =
     workers = 2;
     jobs = Util.Parallel.default_jobs ();
     cache_max_bytes = None;
+    heartbeat_s = 1.0;
     flow = { F.default_config with F.cache_dir = Some "_amdrel_cache" };
     log = ignore;
   }
 
-(* One admitted compile request. *)
+(* One admitted compile request.  [sink] is present when the client
+   asked for progress streaming: the worker publishes events into it,
+   the IO loop drains and frames them (the sink is the only object a
+   worker and the IO loop share per-request, and it is SPSC by
+   construction — worker produces, IO loop consumes). *)
 type job = {
   id : int;
   conn_uid : int;
   submit : P.submit;
   enqueued_at : float;
+  sink : Obs.Events.sink option;
+}
+
+(* IO-loop-owned view of one progress stream. *)
+type stream = {
+  st_id : int;
+  st_sink : Obs.Events.sink;
+  st_owner : int; (* submitting conn uid *)
+  mutable st_watchers : int list; (* extra conn uids via [watch] *)
+  mutable st_last : float; (* last line framed; heartbeat timer *)
 }
 
 (* What a worker hands back to the IO loop: the finished response line
@@ -90,6 +106,7 @@ type t = {
   mutable rejected : int;
   conns : (int, conn) Hashtbl.t;
   mutable next_uid : int;
+  streams : (int, stream) Hashtbl.t; (* request id -> live stream *)
 }
 
 let wake_byte = Bytes.make 1 '!'
@@ -122,7 +139,26 @@ let queue_len t =
   n
 
 let status_json t =
-  let q = queue_len t in
+  (* Snapshot the queued requests with their FIFO positions and ages in
+     one lock hold, so position/age pairs are mutually consistent. *)
+  let now = Unix.gettimeofday () in
+  Mutex.lock t.qlock;
+  let queued =
+    Queue.fold
+      (fun acc (j : job) ->
+        E.Obj
+          [
+            ("id", E.Int j.id);
+            ("position", E.Int (List.length acc + 1));
+            ( "age_us",
+              E.Int (int_of_float ((now -. j.enqueued_at) *. 1e6)) );
+          ]
+        :: acc)
+      [] t.queue
+  in
+  Mutex.unlock t.qlock;
+  let queued = List.rev queued in
+  let q = List.length queued in
   E.Obj
     [
       ("ok", E.Bool true);
@@ -135,6 +171,7 @@ let status_json t =
       ("completed", E.Int t.completed);
       ("rejected", E.Int t.rejected);
       ("draining", E.Bool (t.draining || Atomic.get t.stop));
+      ("queued", E.List queued);
     ]
 
 let metrics_json t =
@@ -176,8 +213,14 @@ let compile t job =
     }
   in
   let obs = R.create () in
+  let run () =
+    match job.sink with
+    | None -> F.run_vhdl ~config ~obs s.P.vhdl
+    | Some sink ->
+        Obs.Events.with_sink sink (fun () -> F.run_vhdl ~config ~obs s.P.vhdl)
+  in
   let resp, ok, design, hits, misses =
-    match F.run_vhdl ~config ~obs s.P.vhdl with
+    match run () with
     | r ->
         let json =
           E.Obj
@@ -278,18 +321,45 @@ let submit t conn s =
     else begin
       let id = t.next_id in
       t.next_id <- id + 1;
+      let sink =
+        if s.P.progress then Some (Obs.Events.create ()) else None
+      in
       Queue.push
         {
           id;
           conn_uid = conn.uid;
           submit = s;
           enqueued_at = Unix.gettimeofday ();
+          sink;
         }
         t.queue;
+      let position = Queue.length t.queue in
       Condition.signal t.qcond;
       Mutex.unlock t.qlock;
       t.accepted <- t.accepted + 1;
-      R.incr t.obs "service.accepted"
+      R.incr t.obs "service.accepted";
+      match sink with
+      | None -> ()
+      | Some sk ->
+          (* The stream is registered before the worker can finish the
+             job: completions are only drained by this same domain. *)
+          Hashtbl.replace t.streams id
+            {
+              st_id = id;
+              st_sink = sk;
+              st_owner = conn.uid;
+              st_watchers = [];
+              st_last = Unix.gettimeofday ();
+            };
+          R.incr t.obs "service.streams";
+          send conn
+            (E.Obj
+               [
+                 ("id", E.Int id);
+                 ("ok", E.Bool true);
+                 ("accepted", E.Bool true);
+                 ("queue_position", E.Int position);
+               ])
     end
   end
 
@@ -306,6 +376,31 @@ let handle_line t conn line =
   | Ok P.Shutdown ->
       send conn (E.Obj [ ("ok", E.Bool true); ("draining", E.Bool true) ]);
       initiate_shutdown t
+  | Ok (P.Watch id) -> (
+      match Hashtbl.find_opt t.streams id with
+      | None ->
+          send conn
+            (error_json ~id ~code:"unknown-id"
+               "no live progress stream with that id (not submitted with \
+                progress, or already completed)")
+      | Some st ->
+          if not (List.mem conn.uid st.st_watchers) then
+            st.st_watchers <- conn.uid :: st.st_watchers;
+          let state =
+            let queued = ref false in
+            Mutex.lock t.qlock;
+            Queue.iter (fun (j : job) -> if j.id = id then queued := true)
+              t.queue;
+            Mutex.unlock t.qlock;
+            if !queued then "queued" else "running"
+          in
+          send conn
+            (E.Obj
+               [
+                 ("id", E.Int id);
+                 ("ok", E.Bool true);
+                 ("state", E.String state);
+               ]))
   | Ok (P.Submit s) -> submit t conn s
 
 (* ---------- connection IO ---------- *)
@@ -386,6 +481,70 @@ let rec drain_pipe t buf =
   | 0 -> ()
   | _ -> drain_pipe t buf
 
+(* ---------- progress streams (IO loop) ---------- *)
+
+(* Frame one event line to the stream's owner and watchers.  Dead
+   connections drop their copy silently — a slow or vanished watcher
+   never stalls the compile (the ring bound upstream already guarantees
+   the producer side of that). *)
+let deliver_line t st line =
+  let to_uid uid =
+    match Hashtbl.find_opt t.conns uid with
+    | Some conn -> Buffer.add_string conn.outbox line
+    | None -> ()
+  in
+  to_uid st.st_owner;
+  List.iter (fun uid -> if uid <> st.st_owner then to_uid uid) st.st_watchers
+
+let frame_event t st ev =
+  deliver_line t st
+    (E.to_string (E.Obj (("id", E.Int st.st_id) :: Obs.Events.to_fields ev))
+    ^ "\n")
+
+(* Drain every live stream; synthesize a heartbeat when a stream has
+   been silent past the cadence, so watchers can tell a long-running
+   stage from a dead server.  Called once per IO-loop pass — the 0.2 s
+   select timeout bounds event latency. *)
+let pump_streams t =
+  Hashtbl.iter
+    (fun _ st ->
+      match Obs.Events.drain st.st_sink with
+      | [] ->
+          let now = Unix.gettimeofday () in
+          if now -. st.st_last >= t.cfg.heartbeat_s then begin
+            frame_event t st (Obs.Events.heartbeat st.st_sink);
+            st.st_last <- now
+          end
+      | evs ->
+          List.iter (frame_event t st) evs;
+          st.st_last <- Unix.gettimeofday ())
+    t.streams
+
+(* The worker finished this request (its events all precede the
+   completion by the clock-mutex ordering): flush the stream's tail so
+   every event line lands before the final response line, tell watchers
+   it is over, and retire the stream. *)
+let finish_stream t c_id ~ok =
+  match Hashtbl.find_opt t.streams c_id with
+  | None -> ()
+  | Some st ->
+      List.iter (frame_event t st) (Obs.Events.drain st.st_sink);
+      let dropped = Obs.Events.dropped_total st.st_sink in
+      deliver_line t st
+        (E.to_string
+           (E.Obj
+              ([
+                 ("id", E.Int st.st_id);
+                 ("event", E.String "done");
+                 ("seq", E.Int (Obs.Events.next_seq st.st_sink));
+                 ("ok", E.Bool ok);
+               ]
+              @
+              if dropped > 0 then [ ("dropped_total", E.Int dropped) ]
+              else []))
+        ^ "\n");
+      Hashtbl.remove t.streams c_id
+
 (* ---------- completions and cache upkeep (IO loop) ---------- *)
 
 let run_gc t =
@@ -415,6 +574,7 @@ let drain_completions t =
       R.add_time t.obs "service.compile" ~wall_s:c.c_wall_s ~cpu_s:c.c_cpu_s;
       if c.c_hits > 0 then R.incr ~by:c.c_hits t.obs "cache.hit";
       if c.c_misses > 0 then R.incr ~by:c.c_misses t.obs "cache.miss";
+      finish_stream t c.c_id ~ok:c.c_ok;
       (match Hashtbl.find_opt t.conns c.c_conn with
       | Some conn -> Buffer.add_string conn.outbox c.c_line
       | None -> () (* client went away; response has nowhere to go *));
@@ -497,6 +657,7 @@ let create cfg =
       rejected = 0;
       conns = Hashtbl.create 16;
       next_uid = 1;
+      streams = Hashtbl.create 8;
     }
   in
   cfg.log
@@ -525,6 +686,7 @@ let run t =
       Mutex.unlock t.qlock;
       t.cfg.log "draining: finishing queued and in-flight requests"
     end;
+    pump_streams t;
     drain_completions t;
     let pending_out =
       Hashtbl.fold

@@ -1,0 +1,181 @@
+(* Run ledger: record JSON roundtrip, append/read with malformed-line
+   tolerance, of_result field mapping from a real flow, and the
+   amdrel_report regression gate end to end (pass on identical records,
+   fail on an injected Wmin regression). *)
+
+module L = Ledger
+module E = Obs.Emit
+
+let mk ?(design = "counter4") ?(wmin = Some 12) ?(crit_s = 4.2e-9)
+    ?(power_w = 1.3e-3) ?(wns_s = -0.4e-9) ?(at = "2026-01-01T00:00:00Z") () :
+    L.t =
+  {
+    L.suite = "t";
+    design;
+    design_hash = "d41d8cd98f00b204e9800998ecf8427e";
+    params_fp = "aaaa";
+    mix = "2xL1+1xL4";
+    seed = 1;
+    jobs = 2;
+    git = "abc1234";
+    at;
+    luts = 9;
+    clbs = 3;
+    width = 14;
+    wmin;
+    crit_s;
+    wns_s;
+    tns_s = -1.1e-9;
+    power_w;
+    bits = 512;
+    stage_wall = [ ("vpr-place", 0.12); ("vpr-route", 0.34) ];
+    stage_cpu = [ ("vpr-place", 0.11); ("vpr-route", 0.31) ];
+    cache_hits = 0;
+    cache_misses = 7;
+    cache_stores = 7;
+  }
+
+let json_eq = Alcotest.testable (Fmt.of_to_string E.to_string) ( = )
+
+let test_roundtrip () =
+  let check r =
+    match L.of_json (L.to_json r) with
+    | Ok r' ->
+        Alcotest.check json_eq "roundtrip preserves the record"
+          (L.to_json r) (L.to_json r')
+    | Error e -> Alcotest.failf "of_json failed: %s" e
+  in
+  check (mk ());
+  check (mk ~wmin:None ());
+  (* wmin null survives *)
+  match L.of_json (L.to_json (mk ~wmin:None ())) with
+  | Ok r -> Alcotest.(check (option int)) "wmin None" None r.L.wmin
+  | Error e -> Alcotest.failf "of_json failed: %s" e
+
+let test_of_json_rejects () =
+  List.iter
+    (fun (label, json) ->
+      match L.of_json json with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%s should be rejected" label)
+    [
+      ("empty object", E.Obj []);
+      ("non-object", E.String "x");
+      ( "missing seed",
+        match L.to_json (mk ()) with
+        | E.Obj kvs -> E.Obj (List.remove_assoc "seed" kvs)
+        | j -> j );
+      ( "wmin wrong type",
+        match L.to_json (mk ()) with
+        | E.Obj kvs ->
+            E.Obj
+              (List.map
+                 (fun (k, v) ->
+                   if k = "wmin" then (k, E.String "twelve") else (k, v))
+                 kvs)
+        | j -> j );
+    ]
+
+let temp_dir tag =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "amdrel_ledger_%s_%d" tag (Unix.getpid ()))
+  in
+  (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  d
+
+let test_append_read () =
+  let dir = temp_dir "rw" in
+  let file = L.path ~dir ~suite:"t" in
+  if Sys.file_exists file then Sys.remove file;
+  Alcotest.(check (pair int int)) "missing file reads empty" (0, 0)
+    (let rs, sk = L.read ~dir ~suite:"t" in
+     (List.length rs, sk));
+  L.append ~dir (mk ());
+  (* alien and malformed lines are skipped, not fatal: the ledger is
+     shared and append-only, so one bad writer must not poison it *)
+  let oc = open_out_gen [ Open_append ] 0o644 file in
+  output_string oc "not json at all\n{\"suite\": 3}\n";
+  close_out oc;
+  L.append ~dir (mk ~design:"mult4" ());
+  let records, skipped = L.read ~dir ~suite:"t" in
+  Alcotest.(check int) "two good records" 2 (List.length records);
+  Alcotest.(check int) "two bad lines skipped" 2 skipped;
+  Alcotest.(check (list string)) "file order preserved"
+    [ "counter4"; "mult4" ]
+    (List.map (fun (r : L.t) -> r.L.design) records)
+
+let test_of_result () =
+  let vhdl = Core.Bench_circuits.counter 4 in
+  let r = Core.Flow.run_vhdl vhdl in
+  let rec_ =
+    L.of_result ~suite:"s" ~config:Core.Flow.default_config ~source:vhdl r
+  in
+  Alcotest.(check string) "design name" r.Core.Flow.design rec_.L.design;
+  Alcotest.(check string) "design hash is MD5 of the source"
+    (Digest.to_hex (Digest.string vhdl))
+    rec_.L.design_hash;
+  Alcotest.(check (option int)) "wmin from the width search"
+    r.Core.Flow.route_stats.Route.Router.minimum_width rec_.L.wmin;
+  Alcotest.(check int) "bits" r.Core.Flow.bitstream.Bitstream.Dagger.bits
+    rec_.L.bits;
+  Alcotest.(check bool) "stage wall timers present" true
+    (List.mem_assoc "vpr-route" rec_.L.stage_wall);
+  Alcotest.(check bool) "no dotted sub-stage timers" true
+    (List.for_all
+       (fun (k, _) -> not (String.contains k '.'))
+       rec_.L.stage_wall)
+
+(* ---------- the report gate, end to end ---------- *)
+
+let report_exe = Filename.concat ".." (Filename.concat "bin" "amdrel_report.exe")
+
+let run_report ~dir ~out =
+  Sys.command
+    (Printf.sprintf "%s --ledger %s --suite t -o %s --quiet 2>/dev/null"
+       (Filename.quote report_exe) (Filename.quote dir) (Filename.quote out))
+
+let test_gate_pass_and_fail () =
+  if not (Sys.file_exists report_exe) then
+    Alcotest.skip ()
+  else begin
+    let dir = temp_dir "gate" in
+    let file = L.path ~dir ~suite:"t" in
+    if Sys.file_exists file then Sys.remove file;
+    let out = Filename.concat dir "BENCH_t.json" in
+    (* two identical runs: the gate passes *)
+    L.append ~dir (mk ~at:"2026-01-01T00:00:00Z" ());
+    L.append ~dir (mk ~at:"2026-01-02T00:00:00Z" ());
+    Alcotest.(check int) "identical runs pass the gate" 0
+      (run_report ~dir ~out);
+    Alcotest.(check bool) "BENCH json written" true (Sys.file_exists out);
+    let bench = Obs.Jsonin.parse (In_channel.with_open_text out In_channel.input_all) in
+    (match Option.bind (Obs.Jsonin.member "gate" bench) (Obs.Jsonin.member "ok") with
+    | Some (E.Bool ok) -> Alcotest.(check bool) "gate.ok recorded" true ok
+    | _ -> Alcotest.fail "gate.ok missing from BENCH json");
+    (* inject a Wmin regression (12 -> 14, far past 2% tolerance) *)
+    L.append ~dir (mk ~at:"2026-01-03T00:00:00Z" ~wmin:(Some 14) ());
+    Alcotest.(check int) "Wmin regression fails the gate" 1
+      (run_report ~dir ~out);
+    (* a non-comparable record (different seed fingerprint) never gates
+       against the regressed one: doctor params_fp via a fresh design *)
+    let bench = Obs.Jsonin.parse (In_channel.with_open_text out In_channel.input_all) in
+    match
+      Option.bind (Obs.Jsonin.member "gate" bench)
+        (Obs.Jsonin.member "regressions")
+    with
+    | Some (E.List (_ :: _)) -> ()
+    | _ -> Alcotest.fail "regression detail missing from BENCH json"
+  end
+
+let suite =
+  [
+    Alcotest.test_case "record JSON roundtrip" `Quick test_roundtrip;
+    Alcotest.test_case "of_json rejects malformed records" `Quick
+      test_of_json_rejects;
+    Alcotest.test_case "append/read skips alien lines" `Quick
+      test_append_read;
+    Alcotest.test_case "of_result maps the flow result" `Slow test_of_result;
+    Alcotest.test_case "report gate passes then fails on regression" `Quick
+      test_gate_pass_and_fail;
+  ]

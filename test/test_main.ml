@@ -14,6 +14,8 @@ let () =
       ("sta", Test_sta.suite);
       ("golden", Test_golden.suite);
       ("obs", Test_obs.suite);
+      ("events", Test_events.suite);
+      ("ledger", Test_ledger.suite);
       ("cache", Test_cache.suite);
       ("service", Test_service.suite);
       ("flow", Test_flow.suite);

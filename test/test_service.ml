@@ -76,6 +76,76 @@ let test_jsonin_accessors () =
     (Option.bind (J.member "i" o) J.get_float = Some 3.0);
   Alcotest.(check bool) "absent member" true (J.member "zz" o = None)
 
+(* Property form of the same contract: parse . print is the identity on
+   printed JSON for arbitrary value trees — control characters escape
+   and come back, non-finite floats normalise to null, deep nesting
+   survives.  Stability is checked on the printed bytes because the
+   tree itself may legitimately change shape (a float that prints
+   without '.'/'e' reparses as an int with the same rendering). *)
+let emit_arb =
+  let open QCheck.Gen in
+  let any_string =
+    string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 12)
+  in
+  let any_float =
+    oneof
+      [
+        float;
+        oneofl [ Float.nan; Float.infinity; Float.neg_infinity; 1e300; -1e-300 ];
+      ]
+    (* -0. prints as "-0", which reparses as the integer 0: normalise *)
+    |> map (fun f -> if f = 0.0 then 0.0 else f)
+  in
+  let leaf =
+    oneof
+      [
+        return E.Null;
+        map (fun b -> E.Bool b) bool;
+        map (fun i -> E.Int i) int;
+        map (fun f -> E.Float f) any_float;
+        map (fun s -> E.String s) any_string;
+      ]
+  in
+  let tree =
+    sized
+    @@ fix (fun self n ->
+           if n <= 0 then leaf
+           else
+             frequency
+               [
+                 (3, leaf);
+                 ( 1,
+                   map
+                     (fun l -> E.List l)
+                     (list_size (int_range 0 4) (self (n / 2))) );
+                 ( 1,
+                   map
+                     (fun kvs -> E.Obj kvs)
+                     (list_size (int_range 0 4)
+                        (pair any_string (self (n / 2)))) );
+               ])
+  in
+  QCheck.make ~print:E.to_string tree
+
+let prop_jsonin_print_stable =
+  QCheck.Test.make ~count:500 ~name:"parse . print is the printed identity"
+    emit_arb (fun v ->
+      let s = E.to_string v in
+      E.to_string (J.parse s) = s)
+
+let test_jsonin_parse_result () =
+  (match J.parse_result "{\"a\": [1, 2]}" with
+  | Ok v ->
+      Alcotest.(check string) "ok case parses" "{\"a\": [1, 2]}"
+        (E.to_string v)
+  | Error e -> Alcotest.failf "unexpected parse failure: %s" e);
+  List.iter
+    (fun bad ->
+      match J.parse_result bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "parse_result accepted %S" bad)
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "\"\\q\""; "{\"a\":1} extra" ]
+
 (* ---------- the wire protocol ---------- *)
 
 let test_protocol_roundtrip () =
@@ -88,6 +158,7 @@ let test_protocol_roundtrip () =
   roundtrip P.Metrics;
   roundtrip P.Shutdown;
   roundtrip (P.Submit { P.default_submit with P.vhdl = "entity e is end;" });
+  roundtrip (P.Watch 42);
   roundtrip
     (P.Submit
        {
@@ -97,6 +168,7 @@ let test_protocol_roundtrip () =
          timing_report = true;
          period_ns = Some 12.5;
          place_starts = 3;
+         progress = true;
        })
 
 let test_protocol_errors () =
@@ -329,6 +401,7 @@ let quiet_server_config ~sock ~cache ~workers ~queue_depth ~jobs =
     workers;
     jobs;
     cache_max_bytes = None;
+    heartbeat_s = 1.0;
     flow = { Core.Flow.default_config with Core.Flow.cache_dir = Some cache };
     log = ignore;
   }
@@ -477,6 +550,22 @@ let test_daemon_backpressure_and_drain () =
   (* ...second fills the queue of one... *)
   Service.Client.send submitter (submit_req slow2);
   wait_for "second compile queued" (fun () -> status "queue_depth" = 1);
+  (* the enriched status names the queued request, its 1-based position
+     and its age in the queue *)
+  (let st = Service.Client.request poll P.Status in
+   match J.member "queued" st with
+   | Some (E.List [ entry ]) ->
+       Alcotest.(check (option int)) "queued id" (Some 2)
+         (Option.bind (J.member "id" entry) J.get_int);
+       Alcotest.(check (option int)) "queue position" (Some 1)
+         (Option.bind (J.member "position" entry) J.get_int);
+       Alcotest.(check bool) "age_us non-negative" true
+         (match Option.bind (J.member "age_us" entry) J.get_int with
+         | Some a -> a >= 0
+         | None -> false)
+   | Some (E.List l) ->
+       Alcotest.failf "expected one queued entry, got %d" (List.length l)
+   | _ -> Alcotest.fail "status lacks the queued list");
   (* ...third bounces immediately with a structured error, overtaking
      the in-flight compiles on the wire *)
   Service.Client.send submitter (submit_req slow2);
@@ -507,6 +596,237 @@ let test_daemon_backpressure_and_drain () =
   Alcotest.(check bool) "socket unlinked after drain" false
     (Sys.file_exists sock)
 
+(* ---------- progress streaming over the wire ---------- *)
+
+let event_name line = Option.bind (J.member "event" line) J.get_string
+
+(* Read response lines until the final (event-less) completion: returns
+   (event lines in arrival order, completion). *)
+let collect_stream client =
+  let rec go events =
+    let line = Service.Client.recv client in
+    match event_name line with
+    | Some _ -> go (line :: events)
+    | None -> (List.rev events, line)
+  in
+  go []
+
+let stage_begins events =
+  List.filter_map
+    (fun e ->
+      if event_name e = Some "stage-begin" then
+        Option.bind (J.member "stage" e) J.get_string
+      else None)
+    events
+
+let check_seqs name events =
+  let seqs =
+    List.filter_map (fun e -> Option.bind (J.member "seq" e) J.get_int) events
+  in
+  Alcotest.(check int)
+    (name ^ ": every event carries a seq")
+    (List.length events) (List.length seqs);
+  let rec strictly = function
+    | a :: (b :: _ as rest) -> a < b && strictly rest
+    | _ -> true
+  in
+  Alcotest.(check bool) (name ^ ": seq strictly increasing") true
+    (strictly seqs)
+
+(* A progress submit streams at least one event per flow stage, with
+   strictly increasing sequence numbers, terminated by a "done" event —
+   and the final artifacts are byte-identical to a plain submit of the
+   same design (served warm from the shared cache, which is exactly the
+   determinism the cache keys promise). *)
+let test_daemon_streaming () =
+  let sock = short_sock () in
+  let server =
+    Service.Server.create
+      (quiet_server_config ~sock ~cache:(fresh_dir ()) ~workers:1
+         ~queue_depth:4 ~jobs:1)
+  in
+  let server_domain = Domain.spawn (fun () -> Service.Server.run server) in
+  let vhdl = Core.Bench_circuits.counter 8 in
+  let events, completion, streamed_hex =
+    Service.Client.with_connection sock (fun c ->
+        Service.Client.send c
+          (P.Submit { P.default_submit with P.vhdl; progress = true });
+        let ack = Service.Client.recv c in
+        Alcotest.(check bool) "submit acknowledged" true
+          (Service.Client.ok ack);
+        Alcotest.(check (option bool)) "ack says accepted" (Some true)
+          (Option.bind (J.member "accepted" ack) J.get_bool);
+        Alcotest.(check bool) "ack reports the queue position" true
+          (J.member "queue_position" ack <> None);
+        let events, completion = collect_stream c in
+        ( events,
+          completion,
+          Option.bind (J.member "bitstream_hex" completion) J.get_string ))
+  in
+  Alcotest.(check bool) "compile ok" true (Service.Client.ok completion);
+  let begins = stage_begins events in
+  List.iter
+    (fun stage ->
+      Alcotest.(check bool)
+        (Printf.sprintf "stage %s streamed" stage)
+        true (List.mem stage begins))
+    [
+      "vhdl-parser"; "diviner-synth"; "sis-flowmap"; "t-vpack"; "vpr-place";
+      "vpr-route"; "sta"; "powermodel"; "dagger";
+    ];
+  check_seqs "stream" events;
+  (match List.rev events with
+  | last :: _ ->
+      Alcotest.(check (option string)) "stream ends with done" (Some "done")
+        (event_name last);
+      Alcotest.(check (option bool)) "done carries ok" (Some true)
+        (Option.bind (J.member "ok" last) J.get_bool)
+  | [] -> Alcotest.fail "no events streamed");
+  let id =
+    Option.bind (J.member "id" completion) J.get_int |> Option.value ~default:(-1)
+  in
+  List.iter
+    (fun e ->
+      Alcotest.(check (option int)) "event routed by request id" (Some id)
+        (Option.bind (J.member "id" e) J.get_int))
+    events;
+  (* plain resubmission: byte-identical bitstream, no event lines *)
+  let plain =
+    Service.Client.with_connection sock (fun c ->
+        Service.Client.request c (submit_req vhdl))
+  in
+  Alcotest.(check bool) "plain resubmit ok" true (Service.Client.ok plain);
+  Alcotest.(check (option string))
+    "streamed and plain bitstreams byte-identical" streamed_hex
+    (Option.bind (J.member "bitstream_hex" plain) J.get_string);
+  Service.Client.with_connection sock (fun c ->
+      ignore (Service.Client.request c P.Shutdown));
+  Domain.join server_domain
+
+(* The watch verb: a second connection attaches to a queued progress
+   submit and sees its event stream; watching a dead or unknown id is a
+   structured error. *)
+let test_daemon_watch () =
+  let sock = short_sock () in
+  let server =
+    Service.Server.create
+      (quiet_server_config ~sock ~cache:(fresh_dir ()) ~workers:1
+         ~queue_depth:2 ~jobs:1)
+  in
+  let server_domain = Domain.spawn (fun () -> Service.Server.run server) in
+  let submitter = Service.Client.connect sock in
+  let watcher = Service.Client.connect sock in
+  (* the first submit holds the single worker, so the progress submit is
+     still queued (stream live, job not started) when the watch lands *)
+  Service.Client.send submitter (submit_req (Core.Bench_circuits.multiplier 4));
+  Service.Client.send submitter
+    (P.Submit
+       {
+         P.default_submit with
+         P.vhdl = Core.Bench_circuits.counter 8;
+         progress = true;
+       });
+  let ack = Service.Client.recv submitter in
+  Alcotest.(check bool) "progress submit acked" true (Service.Client.ok ack);
+  let watched_id =
+    Option.bind (J.member "id" ack) J.get_int |> Option.value ~default:(-1)
+  in
+  let miss = Service.Client.request watcher (P.Watch 9999) in
+  Alcotest.(check bool) "unknown id rejected" false (Service.Client.ok miss);
+  Alcotest.(check (option string)) "unknown-id code" (Some "unknown-id")
+    (Option.bind (J.member "code" miss) J.get_string);
+  let watch_ack = Service.Client.request watcher (P.Watch watched_id) in
+  Alcotest.(check bool) "watch acked" true (Service.Client.ok watch_ack);
+  Alcotest.(check (option string)) "watched while queued" (Some "queued")
+    (Option.bind (J.member "state" watch_ack) J.get_string);
+  (* the watcher sees the full stream, terminated by done; it gets no
+     completion line (that belongs to the owner), so read to done *)
+  let rec watch_until_done events =
+    let line = Service.Client.recv watcher in
+    if event_name line = Some "done" then List.rev (line :: events)
+    else watch_until_done (line :: events)
+  in
+  let events = watch_until_done [] in
+  Alcotest.(check bool) "watcher saw stage events" true
+    (stage_begins events <> []);
+  check_seqs "watched stream" events;
+  (* the owner still gets everything: both completions, in order *)
+  let r1 = Service.Client.recv submitter in
+  let _events2, r2 = collect_stream submitter in
+  Alcotest.(check (option int)) "first completion id" (Some 1)
+    (Option.bind (J.member "id" r1) J.get_int);
+  Alcotest.(check (option int)) "second completion id" (Some watched_id)
+    (Option.bind (J.member "id" r2) J.get_int);
+  Alcotest.(check bool) "both ok" true
+    (Service.Client.ok r1 && Service.Client.ok r2);
+  Service.Client.close watcher;
+  Service.Client.with_connection sock (fun c ->
+      ignore (Service.Client.request c P.Shutdown));
+  Service.Client.close submitter;
+  Domain.join server_domain
+
+(* Client retry: a connection refused while the daemon is still coming
+   up is retried into success, and a backpressure rejection is retried
+   until the queue drains — reject first, accept later, same client. *)
+let test_client_retry () =
+  let sock = short_sock () in
+  let cache = fresh_dir () in
+  let server_domain =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.25;
+        Service.Server.run
+          (Service.Server.create
+             (quiet_server_config ~sock ~cache ~workers:1 ~queue_depth:1
+                ~jobs:1)))
+  in
+  (* nothing is listening yet: a bare connect refuses... *)
+  (match Service.Client.connect sock with
+  | c ->
+      Service.Client.close c;
+      Alcotest.fail "connected before the daemon was up"
+  | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _) -> ());
+  (* ...but the retrying connect lands once the daemon binds *)
+  let c = Service.Client.connect_retry ~retries:20 ~wait_ms:20 sock in
+  let filler = Service.Client.connect sock in
+  let wait_until what pred =
+    let rec go n =
+      if n > 2000 then Alcotest.failf "timeout waiting for %s" what
+      else if not (pred ()) then begin
+        Unix.sleepf 0.005;
+        go (n + 1)
+      end
+    in
+    go 0
+  in
+  let status name =
+    Service.Client.with_connection sock (fun c ->
+        let st = Service.Client.request c P.Status in
+        Option.value (Option.bind (J.member name st) J.get_int) ~default:(-1))
+  in
+  (* fill the worker, then the queue of one (sequenced through status so
+     the second submit queues instead of bouncing) *)
+  Service.Client.send filler (submit_req (Core.Bench_circuits.multiplier 4));
+  wait_until "first compile in flight" (fun () -> status "in_flight" = 1);
+  Service.Client.send filler (submit_req (Core.Bench_circuits.alu 8));
+  wait_until "queue full" (fun () -> status "queue_depth" = 1);
+  (* first attempts bounce with the structured backpressure code; the
+     retry loop keeps going and wins a slot when the queue drains *)
+  let resp =
+    Service.Client.request_retry ~retries:12 ~wait_ms:10 c
+      (submit_req (Core.Bench_circuits.counter 8))
+  in
+  Alcotest.(check bool) "rejected first, accepted later" true
+    (Service.Client.ok resp);
+  Alcotest.(check bool) "rejections were counted" true (status "rejected" >= 1);
+  (* drain: collect the two filler completions, then shut down *)
+  ignore (Service.Client.recv filler);
+  ignore (Service.Client.recv filler);
+  Service.Client.close filler;
+  let bye = Service.Client.request c P.Shutdown in
+  Alcotest.(check bool) "shutdown acked" true (Service.Client.ok bye);
+  Service.Client.close c;
+  Domain.join server_domain
+
 let suite =
   [
     ("jsonin roundtrip", `Quick, test_jsonin_roundtrip);
@@ -525,4 +845,13 @@ let suite =
     ("daemon end to end", `Slow, test_daemon_e2e);
     ("daemon backpressure and drain", `Slow,
      test_daemon_backpressure_and_drain);
+    ("daemon progress streaming", `Slow, test_daemon_streaming);
+    ("daemon watch verb", `Slow, test_daemon_watch);
+    ("client retry: reject then accept", `Slow, test_client_retry);
   ]
+  @ List.map
+      (fun t ->
+        let name, speed, fn = QCheck_alcotest.to_alcotest t in
+        (name, speed, fn))
+      [ prop_jsonin_print_stable ]
+  @ [ ("jsonin parse_result", `Quick, test_jsonin_parse_result) ]
